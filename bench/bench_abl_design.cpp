@@ -1,0 +1,146 @@
+// Ablation bench: quantifies the design choices DESIGN.md calls out.
+//
+//  A. Cache-line granularity — the A64FX's unusually large 256 B lines are
+//     load-bearing for controlled/diagonal gates: re-running the model with
+//     64 B lines shows how much traffic the big lines waste on low-bit
+//     controls (and why the model must be line-granular at all).
+//  B. Diagonal-fusion preference — emitting diagonal groups as DIAG gates
+//     instead of dense UNITARY matrices: model and host-measured effect.
+//  C. Communication scheduler — naive vs. Belady remap exchange volume on
+//     workloads with different node-qubit pressure.
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "dist/dist_sim.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/library.hpp"
+#include "sv/fusion.hpp"
+#include "sv/kernels.hpp"
+
+using namespace svsim;
+
+namespace {
+
+void ablation_line_size() {
+  auto m256 = machine::MachineSpec::a64fx();
+  auto m64 = m256;
+  m64.name = "A64FX (hypothetical 64B lines)";
+  for (auto& c : m64.caches) c.line_bytes = 64;
+
+  Table t("A: traffic vs. cache-line size (n=26, model bytes per gate)",
+          {"gate", "256B_lines_MB", "64B_lines_MB", "waste_factor"});
+  const std::vector<std::pair<std::string, qc::Gate>> gates = {
+      {"cx ctrl@0", qc::Gate::cx(0, 13)},
+      {"cx ctrl@3", qc::Gate::cx(3, 13)},
+      {"cx ctrl@25", qc::Gate::cx(25, 13)},
+      {"t @2", qc::Gate::t(2)},
+      {"t @25", qc::Gate::t(25)},
+      {"ccz 0,1,2", qc::Gate::ccz(0, 1, 2)},
+      {"ccz 23,24,25", qc::Gate::ccz(23, 24, 25)},
+  };
+  for (const auto& [name, g] : gates) {
+    const double b256 = perf::gate_cost(g, 26, m256, {}).bytes;
+    const double b64 = perf::gate_cost(g, 26, m64, {}).bytes;
+    t.add_row({name, b256 * 1e-6, b64 * 1e-6, b256 / b64});
+  }
+  t.print(std::cout);
+}
+
+void ablation_diagonal_fusion() {
+  // A circuit with long diagonal runs (QAOA cost layers).
+  const unsigned n_model = 26;
+  const qc::Circuit c_model = qc::qaoa_maxcut(
+      n_model, qc::ring_graph(n_model), {0.8, 0.7, 0.6}, {0.4, 0.3, 0.2});
+  const auto m = machine::MachineSpec::a64fx();
+
+  Table t("B: diagonal-fusion preference (QAOA p=3, model on A64FX n=26)",
+          {"variant", "gates", "model_s"});
+  for (const bool prefer : {true, false}) {
+    sv::FusionOptions fo;
+    fo.max_width = 4;
+    fo.prefer_diagonal = prefer;
+    const qc::Circuit fused = sv::fuse(c_model, fo);
+    const auto r = perf::simulate_circuit(fused, m, {});
+    t.add_row({std::string(prefer ? "DIAG kernels" : "dense UNITARY"),
+               static_cast<std::int64_t>(fused.size()), r.total_seconds});
+  }
+  t.print(std::cout);
+
+  // Host-measured.
+  const unsigned n_host = 18;
+  const qc::Circuit c_host = qc::qaoa_maxcut(
+      n_host, qc::ring_graph(n_host), {0.8, 0.7, 0.6}, {0.4, 0.3, 0.2});
+  Table th("B: diagonal-fusion preference (host measured, n=18)",
+           {"variant", "gates", "seconds"});
+  for (const bool prefer : {true, false}) {
+    sv::FusionOptions fo;
+    fo.max_width = 4;
+    fo.prefer_diagonal = prefer;
+    const qc::Circuit fused = sv::fuse(c_host, fo);
+    sv::Simulator<double> sim;
+    Timer timer;
+    sim.run(fused);
+    th.add_row({std::string(prefer ? "DIAG kernels" : "dense UNITARY"),
+                static_cast<std::int64_t>(fused.size()), timer.seconds()});
+  }
+  th.print(std::cout);
+}
+
+void ablation_scheduler() {
+  const auto m = machine::MachineSpec::a64fx();
+  const auto net = dist::InterconnectSpec::tofu_d();
+  Table t("C: communication scheduler (16 nodes, per-node GB exchanged)",
+          {"workload", "naive_GB", "remap_GB", "naive_s", "remap_s"});
+  const std::vector<std::pair<std::string, qc::Circuit>> workloads = {
+      {"qft(24)", qc::qft(24)},
+      {"qv(24,8)", qc::random_quantum_volume(24, 8, 5)},
+      {"ghz(24)", qc::ghz(24)},
+      {"qaoa(24,p2)", qc::qaoa_maxcut(24, qc::ring_graph(24), {0.8, 0.6},
+                                      {0.4, 0.3})},
+  };
+  for (const auto& [name, c] : workloads) {
+    const auto naive =
+        dist::plan_distribution(c, 4, dist::CommScheduler::Naive);
+    const auto remap =
+        dist::plan_distribution(c, 4, dist::CommScheduler::Remap);
+    const auto tn = dist::time_plan(naive, m, {}, net);
+    const auto tr = dist::time_plan(remap, m, {}, net);
+    t.add_row({name, tn.exchange_bytes * 1e-9, tr.exchange_bytes * 1e-9,
+               tn.total_seconds, tr.total_seconds});
+  }
+  t.print(std::cout);
+}
+
+void ablation_kernel_variant() {
+  // Run-blocked 1q kernel (contiguous inner loops the vectorizer can chew)
+  // vs. the per-pair insert_zero_bit variant. Host-measured.
+  const unsigned n = 20;
+  Xoshiro256 rng(2);
+  const qc::Matrix u = qc::Matrix::random_unitary(2, rng);
+  sv::StateVector<double> state(n);
+  sv::apply_gate(state, qc::Gate::h(0));
+  Table t("D: 1q kernel iteration scheme (host measured, n=20)",
+          {"target", "run_blocked_us", "per_pair_us", "speedup"});
+  for (unsigned target : {0u, 4u, 10u, 18u}) {
+    const double tb = time_mean_seconds([&] {
+      sv::apply_matrix1(state.data(), n, target, u, state.pool());
+    });
+    const double tp = time_mean_seconds([&] {
+      sv::apply_matrix1_pairwise(state.data(), n, target, u, state.pool());
+    });
+    t.add_row({static_cast<std::int64_t>(target), tb * 1e6, tp * 1e6,
+               tp / tb});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations", "design-choice quantification");
+  ablation_line_size();
+  ablation_diagonal_fusion();
+  ablation_scheduler();
+  ablation_kernel_variant();
+  return 0;
+}

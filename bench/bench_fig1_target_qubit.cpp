@@ -1,0 +1,69 @@
+// Figure 1 (reconstructed): effective bandwidth of a Hadamard kernel vs.
+// target qubit index.
+//
+// Model series (A64FX, n=30): flat HBM-limited bandwidth for high targets,
+// SIMD-penalty dip for targets below log2(vector lanes). Measured series
+// (host, n=22): the same qualitative dip at low targets.
+#include "bench_util.hpp"
+
+#include "perf/perf_simulator.hpp"
+
+using namespace svsim;
+
+int main() {
+  bench::print_header("Fig. 1",
+                      "H-gate effective bandwidth vs. target qubit");
+
+  // ---- model: A64FX, 30 qubits, 48 threads ------------------------------
+  {
+    const auto m = machine::MachineSpec::a64fx();
+    machine::ExecConfig cfg;
+    Table t("A64FX model, n=30 (48 threads, 512-bit SVE)",
+            {"target", "GB/s", "GFLOP/s", "simd_eff", "bound"});
+    for (unsigned target = 0; target < 30; target += 1) {
+      const auto gt = perf::time_gate(qc::Gate::h(target), 30, m, cfg);
+      t.add_row({static_cast<std::int64_t>(target),
+                 gt.cost.bytes / gt.seconds * 1e-9,
+                 gt.cost.flops / gt.seconds * 1e-9,
+                 gt.cost.simd_efficiency,
+                 std::string(gt.memory_bound ? "mem" : "fp")});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- model: cache-regime contrast (n=14, L1/L2-resident) ---------------
+  {
+    const auto m = machine::MachineSpec::a64fx();
+    machine::ExecConfig cfg;
+    cfg.threads = 1;
+    Table t("A64FX model, n=14, single core (cache regime: SIMD dip visible)",
+            {"target", "GB/s", "GFLOP/s", "simd_eff"});
+    for (unsigned target = 0; target < 14; ++target) {
+      const auto gt = perf::time_gate(qc::Gate::h(target), 14, m, cfg);
+      t.add_row({static_cast<std::int64_t>(target),
+                 gt.cost.bytes / gt.seconds * 1e-9,
+                 gt.cost.flops / gt.seconds * 1e-9,
+                 gt.cost.simd_efficiency});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- measured on the build host ----------------------------------------
+  {
+    const unsigned n = 20;
+    const auto host = bench::host_spec();
+    machine::ExecConfig cfg;
+    cfg.threads = 1;
+    Table t("Host measured, n=20 (absolute numbers machine-dependent)",
+            {"target", "ms/gate", "GB/s"});
+    for (unsigned target = 0; target < n; target += 2) {
+      const double s = bench::measure_gate_seconds(qc::Gate::h(target), n);
+      const double bytes =
+          perf::gate_cost(qc::Gate::h(target), n, host, cfg).bytes;
+      t.add_row({static_cast<std::int64_t>(target), s * 1e3,
+                 bench::measured_bandwidth_gbps(bytes, s)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

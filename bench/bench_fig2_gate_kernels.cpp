@@ -1,0 +1,73 @@
+// Figure 2 (reconstructed): time per gate vs. register size for the main
+// kernel classes (H, X, RZ, CX, fused 4-qubit unitary).
+//
+// The model series shows the L1 -> L2 -> HBM regime transitions on A64FX;
+// the measured host series shows the same growth-by-2x-per-qubit once the
+// state leaves cache.
+#include "bench_util.hpp"
+
+#include "common/rng.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/matrix.hpp"
+
+using namespace svsim;
+
+namespace {
+
+std::vector<std::pair<std::string, qc::Gate>> kernel_set(unsigned n) {
+  Xoshiro256 rng(7);
+  const unsigned hi = n - 2;
+  return {
+      {"h", qc::Gate::h(hi)},
+      {"x", qc::Gate::x(hi)},
+      {"rz", qc::Gate::rz(hi, 0.42)},
+      {"cx", qc::Gate::cx(n - 1, 2)},
+      {"fused4", qc::Gate::unitary({2, 5, hi - 1, hi},
+                                   qc::Matrix::random_unitary(16, rng))},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 2", "time per gate vs. register size");
+
+  {
+    const auto m = machine::MachineSpec::a64fx();
+    machine::ExecConfig cfg;
+    Table t("A64FX model (48 threads): microseconds per gate",
+            {"n", "h", "x", "rz", "cx", "fused4", "regime(h)"});
+    for (unsigned n = 14; n <= 30; n += 2) {
+      std::vector<Cell> row;
+      row.push_back(static_cast<std::int64_t>(n));
+      std::string regime;
+      for (const auto& [name, gate] : kernel_set(n)) {
+        const auto gt = perf::time_gate(gate, n, m, cfg);
+        row.push_back(gt.seconds * 1e6);
+        if (name == "h")
+          regime = gt.serving_level < 0
+                       ? "HBM"
+                       : m.caches[static_cast<std::size_t>(gt.serving_level)]
+                             .name;
+      }
+      row.push_back(regime);
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+
+  {
+    Table t("Host measured: microseconds per gate",
+            {"n", "h", "x", "rz", "cx", "fused4"});
+    for (unsigned n = 14; n <= 21; n += 1) {
+      std::vector<Cell> row;
+      row.push_back(static_cast<std::int64_t>(n));
+      for (const auto& [name, gate] : kernel_set(n)) {
+        row.push_back(bench::measure_gate_seconds(gate, n, 0.02) * 1e6);
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 3 (reconstructed): thread scaling and CMG affinity on A64FX.
+//
+// A memory-bound H-gate sweep (n=28) modeled for 1..48 threads under
+// compact vs. scatter placement. The expected shape: near-linear up to the
+// per-CMG saturation point (~6 cores compact), scatter reaching all four
+// HBM stacks much earlier, both converging at full occupancy. A small
+// register (n=16) shows the fork-join overhead eating the scaling instead.
+#include "bench_util.hpp"
+
+#include "perf/perf_simulator.hpp"
+
+using namespace svsim;
+
+namespace {
+
+void scaling_table(unsigned n, const char* title) {
+  const auto m = machine::MachineSpec::a64fx();
+  Table t(title, {"threads", "compact_us", "scatter_us", "compact_speedup",
+                  "scatter_speedup"});
+  double base = 0.0;
+  for (unsigned threads : {1u, 2u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+    machine::ExecConfig compact;
+    compact.threads = threads;
+    compact.affinity = machine::Affinity::Compact;
+    machine::ExecConfig scatter = compact;
+    scatter.affinity = machine::Affinity::Scatter;
+    const double tc = perf::time_gate(qc::Gate::h(n - 2), n, m, compact).seconds;
+    const double ts = perf::time_gate(qc::Gate::h(n - 2), n, m, scatter).seconds;
+    if (threads == 1) base = tc;
+    t.add_row({static_cast<std::int64_t>(threads), tc * 1e6, ts * 1e6,
+               base / tc, base / ts});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 3", "thread scaling and CMG affinity (model)");
+  scaling_table(28, "A64FX model, n=28 (HBM-bound): compact vs. scatter");
+  scaling_table(16, "A64FX model, n=16 (cache-resident, overhead-limited)");
+
+  // Host measurement: whatever parallelism this machine has.
+  {
+    const unsigned n = 20;
+    const unsigned max_threads = ThreadPool::global().num_threads();
+    Table t("Host measured, n=20", {"threads", "us/gate", "speedup"});
+    double base = 0.0;
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      ThreadPool pool(threads);
+      sv::StateVector<double> state(n, &pool);
+      sv::apply_gate(state, qc::Gate::h(0));
+      const double s = time_mean_seconds(
+          [&] { sv::apply_gate(state, qc::Gate::h(n - 2)); }, 0.05);
+      if (threads == 1) base = s;
+      t.add_row({static_cast<std::int64_t>(threads), s * 1e6, base / s});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 5 (reconstructed): roofline placement of the state-vector kernels
+// on A64FX.
+//
+// Every kernel class is plotted as (arithmetic intensity, attainable and
+// model-achieved GFLOP/s) against the 3.07 TF compute roof and the 830 GB/s
+// STREAM ceiling. Plain gates sit far left of the ridge (~3.7 flop/byte);
+// fusion walks them to the right, crossing the ridge around width 4-5.
+#include "bench_util.hpp"
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "machine/roofline.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/matrix.hpp"
+
+using namespace svsim;
+
+int main() {
+  bench::print_header("Fig. 5", "roofline placement of kernels (A64FX, n=30)");
+
+  const auto m = machine::MachineSpec::a64fx();
+  machine::ExecConfig cfg;
+  const auto placement = machine::place_threads(m, cfg);
+  const unsigned n = 30;
+
+  std::cout << "compute roof: " << m.peak_gflops() << " GFLOP/s, "
+            << "STREAM ceiling: " << m.stream_bandwidth_gbps() << " GB/s, "
+            << "ridge: "
+            << machine::ridge_intensity(m, placement, cfg, 1.0, 1ull << 34)
+            << " flop/byte\n\n";
+
+  Xoshiro256 rng(5);
+  std::vector<std::pair<std::string, qc::Gate>> kernels = {
+      {"x", qc::Gate::x(20)},
+      {"h", qc::Gate::h(20)},
+      {"rz (diag)", qc::Gate::rz(20, 0.3)},
+      {"rx (gen1q)", qc::Gate::rx(20, 0.3)},
+      {"cx", qc::Gate::cx(28, 20)},
+      {"u2q (gen2q)", qc::Gate::u2q(10, 20, qc::Matrix::random_unitary(4, rng))},
+  };
+  for (unsigned k = 3; k <= 6; ++k) {
+    std::vector<unsigned> qs;
+    for (unsigned i = 0; i < k; ++i) qs.push_back(4 * i + 2);
+    kernels.emplace_back(
+        "fused" + std::to_string(k),
+        qc::Gate::unitary(qs, qc::Matrix::random_unitary(pow2(k), rng)));
+  }
+
+  Table t("Roofline points",
+          {"kernel", "AI_flop_per_byte", "attainable_GFLOPs",
+           "model_GFLOPs", "bound"});
+  for (const auto& [name, gate] : kernels) {
+    const auto cost = perf::gate_cost(gate, n, m, cfg);
+    const auto pt = machine::roofline(m, placement, cfg,
+                                      cost.arithmetic_intensity(),
+                                      cost.simd_efficiency,
+                                      cost.footprint_bytes);
+    const auto gt = perf::time_gate(gate, n, m, cfg);
+    t.add_row({name, cost.arithmetic_intensity(), pt.attainable_gflops,
+               gt.cost.flops / gt.seconds * 1e-9,
+               std::string(pt.memory_bound ? "mem" : "fp")});
+  }
+  t.print(std::cout);
+  return 0;
+}

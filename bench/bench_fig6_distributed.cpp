@@ -1,0 +1,78 @@
+// Figure 6 (reconstructed): multi-node weak scaling over Tofu-D.
+//
+// Weak scaling with a fixed 2^24 local partition per node: at 2^d nodes the
+// register has 24+d qubits. A QFT workload (every qubit touched repeatedly)
+// is planned under the naive pair-exchange scheduler and the Belady qubit-
+// remapping scheduler; the figure reports compute/comm split and the
+// parallel efficiency of each.
+#include "bench_util.hpp"
+
+#include "dist/dist_sim.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/library.hpp"
+
+using namespace svsim;
+
+namespace {
+
+void weak_scaling(const dist::InterconnectSpec& net) {
+  const auto m = machine::MachineSpec::a64fx();
+  const unsigned local = 24;
+  std::cout << "interconnect: " << net.name << "\n";
+  Table t("Weak scaling, QFT, 2^24 amplitudes per node",
+          {"nodes", "n", "sched", "exchanges", "GB/node", "compute_s",
+           "comm_s", "total_s", "comm_share"});
+  for (unsigned d = 0; d <= 9; d += 3) {
+    const unsigned n = local + d;
+    const qc::Circuit c = qc::qft(n);
+    if (d == 0) {
+      const auto r = perf::simulate_circuit(c, m, {});
+      t.add_row({std::int64_t{1}, static_cast<std::int64_t>(n),
+                 std::string("-"), std::int64_t{0}, 0.0, r.total_seconds, 0.0,
+                 r.total_seconds, 0.0});
+      continue;
+    }
+    for (auto sched :
+         {dist::CommScheduler::Naive, dist::CommScheduler::Remap}) {
+      const auto plan = dist::plan_distribution(c, d, sched);
+      const auto dt = dist::time_plan(plan, m, {}, net);
+      t.add_row({static_cast<std::int64_t>(plan.num_nodes()),
+                 static_cast<std::int64_t>(n),
+                 std::string(dist::scheduler_name(sched)),
+                 static_cast<std::int64_t>(dt.num_exchanges),
+                 dt.exchange_bytes * 1e-9, dt.compute_seconds,
+                 dt.comm_seconds, dt.total_seconds,
+                 dt.comm_seconds / dt.total_seconds});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6", "distributed weak scaling (model)");
+  weak_scaling(dist::InterconnectSpec::tofu_d());
+  weak_scaling(dist::InterconnectSpec::infiniband_edr());
+
+  // Straggler propagation: the event-driven simulator's contribution.
+  {
+    const auto m = machine::MachineSpec::a64fx();
+    const auto net = dist::InterconnectSpec::tofu_d();
+    const qc::Circuit c = qc::qft(22);
+    const auto plan = dist::plan_distribution(c, 4, dist::CommScheduler::Naive);
+    Table t("Straggler propagation (16 nodes, one slow node, QFT(22))",
+            {"slowdown", "makespan_ms", "vs_clean"});
+    const double clean =
+        dist::event_driven_makespan(plan, m, {}, net);
+    for (double slow : {1.0, 1.5, 2.0, 4.0}) {
+      dist::StragglerConfig s;
+      s.node = 3;
+      s.slowdown = slow;
+      const double ms = dist::event_driven_makespan(plan, m, {}, net, s);
+      t.add_row({slow, ms * 1e3, ms / clean});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

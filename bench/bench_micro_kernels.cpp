@@ -1,0 +1,106 @@
+// Google-benchmark microkernels: real host measurements of the hot kernels.
+//
+// These complement the model tables with statistically solid wall-clock
+// numbers on whatever machine builds the repo (used to validate that the
+// kernels genuinely stream at memory speed and that fusion raises per-byte
+// work).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "qc/matrix.hpp"
+#include "sv/kernels.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+
+using namespace svsim;
+
+namespace {
+
+constexpr unsigned kN = 18;  // 4 MiB state: out of L2 on most hosts
+
+sv::StateVector<double>& shared_state() {
+  static sv::StateVector<double> state(kN);
+  return state;
+}
+
+void BM_ApplyH(benchmark::State& st) {
+  auto& sv = shared_state();
+  const unsigned target = static_cast<unsigned>(st.range(0));
+  for (auto _ : st) {
+    sv::apply_h(sv.data(), kN, target, sv.pool());
+    benchmark::ClobberMemory();
+  }
+  st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(pow2(kN)) * 32);
+}
+BENCHMARK(BM_ApplyH)->Arg(0)->Arg(4)->Arg(kN - 1);
+
+void BM_ApplyX(benchmark::State& st) {
+  auto& sv = shared_state();
+  for (auto _ : st) {
+    sv::apply_x(sv.data(), kN, 9, sv.pool());
+    benchmark::ClobberMemory();
+  }
+  st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
+                       static_cast<std::int64_t>(pow2(kN)) * 32);
+}
+BENCHMARK(BM_ApplyX);
+
+void BM_ApplyDiag(benchmark::State& st) {
+  auto& sv = shared_state();
+  for (auto _ : st) {
+    sv::apply_diag1(sv.data(), kN, 9, {1.0, 0.0}, {0.0, 1.0}, sv.pool());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ApplyDiag);
+
+void BM_ApplyCX(benchmark::State& st) {
+  auto& sv = shared_state();
+  for (auto _ : st) {
+    sv::apply_mcx(sv.data(), kN, {3}, 11, sv.pool());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ApplyCX);
+
+void BM_ApplyMatrix2(benchmark::State& st) {
+  auto& sv = shared_state();
+  Xoshiro256 rng(1);
+  const qc::Matrix u = qc::Matrix::random_unitary(4, rng);
+  for (auto _ : st) {
+    sv::apply_matrix2(sv.data(), kN, 3, 11, u, sv.pool());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ApplyMatrix2);
+
+void BM_ApplyFusedK(benchmark::State& st) {
+  auto& sv = shared_state();
+  const unsigned k = static_cast<unsigned>(st.range(0));
+  Xoshiro256 rng(k);
+  std::vector<unsigned> qs;
+  for (unsigned i = 0; i < k; ++i) qs.push_back(2 * i + 1);
+  const qc::Matrix u = qc::Matrix::random_unitary(pow2(k), rng);
+  for (auto _ : st) {
+    sv::apply_matrix_k(sv.data(), kN, qs, u, sv.pool());
+    benchmark::ClobberMemory();
+  }
+  // flops per group x groups, for the counters report.
+  const double sub = static_cast<double>(pow2(k));
+  st.counters["flops_per_iter"] =
+      sub * (6.0 * sub + 2.0 * (sub - 1.0)) * (static_cast<double>(pow2(kN)) / sub);
+}
+BENCHMARK(BM_ApplyFusedK)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+void BM_NormSquared(benchmark::State& st) {
+  auto& sv = shared_state();
+  for (auto _ : st) {
+    benchmark::DoNotOptimize(sv.norm_squared());
+  }
+}
+BENCHMARK(BM_NormSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table 3 (reconstructed): A64FX power modes (normal / boost / eco).
+//
+// The Fugaku power knobs applied to two contrasting workloads: a bandwidth-
+// bound plain QFT (eco should save energy nearly for free; boost should buy
+// nothing) and a compute-bound heavily-fused quantum-volume circuit (boost:
+// ~+10% speed for ~+17% power, the authors' published calibration point).
+#include "bench_util.hpp"
+
+#include "perf/power_model.hpp"
+#include "qc/library.hpp"
+
+using namespace svsim;
+
+namespace {
+
+void mode_table(const qc::Circuit& c, const perf::PerfOptions& opts,
+                const char* title) {
+  const std::vector<std::pair<std::string, machine::MachineSpec>> modes = {
+      {"normal", machine::MachineSpec::a64fx()},
+      {"boost", machine::MachineSpec::a64fx_boost()},
+      {"eco", machine::MachineSpec::a64fx_eco()},
+  };
+  Table t(title, {"mode", "seconds", "watts", "joules", "EDP_Js",
+                  "vs_normal_time", "vs_normal_power"});
+  double t0 = 0.0, w0 = 0.0;
+  for (const auto& [name, m] : modes) {
+    const auto p = perf::estimate_power(c, m, {}, opts);
+    if (name == "normal") {
+      t0 = p.seconds;
+      w0 = p.average_watts;
+    }
+    t.add_row({name, p.seconds, p.average_watts, p.joules,
+               p.energy_delay_product(), p.seconds / t0,
+               p.average_watts / w0});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Tab. 3", "A64FX power modes (model)");
+
+  mode_table(qc::qft(27), {}, "Memory-bound: QFT(27), no fusion");
+
+  perf::PerfOptions fused;
+  fused.fusion = true;
+  fused.fusion_width = 5;
+  mode_table(qc::random_quantum_volume(20, 20, 3), fused,
+             "Compute-bound: QV(20) depth 20, fusion width 5");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table 4 (reconstructed): double vs. single precision.
+//
+// Halving the amplitude size halves the streamed bytes; for a bandwidth-
+// bound simulator that is a ~2x speedup on the model, and measurably faster
+// on the host. The accuracy column reports the float-vs-double state error
+// after the full circuit — the trade the precision study quantifies.
+#include "bench_util.hpp"
+
+#include <cmath>
+
+#include "perf/perf_simulator.hpp"
+#include "qc/library.hpp"
+
+using namespace svsim;
+
+int main() {
+  bench::print_header("Tab. 4", "double vs. single precision");
+
+  {
+    const auto m = machine::MachineSpec::a64fx();
+    Table t("A64FX model, H-gate sweep", {"n", "double_us", "float_us",
+                                          "speedup"});
+    for (unsigned n = 20; n <= 30; n += 2) {
+      machine::ExecConfig dp;
+      machine::ExecConfig sp;
+      sp.element_bytes = 4;
+      const double td = perf::time_gate(qc::Gate::h(n - 2), n, m, dp).seconds;
+      const double ts = perf::time_gate(qc::Gate::h(n - 2), n, m, sp).seconds;
+      t.add_row({static_cast<std::int64_t>(n), td * 1e6, ts * 1e6, td / ts});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    const unsigned n = 20;
+    Table t("Host measured, n=20", {"kernel", "double_us", "float_us",
+                                    "speedup"});
+    const std::vector<std::pair<std::string, qc::Gate>> kernels = {
+        {"h", qc::Gate::h(n - 2)},
+        {"x", qc::Gate::x(n - 2)},
+        {"cx", qc::Gate::cx(n - 1, 2)},
+    };
+    for (const auto& [name, g] : kernels) {
+      const double td = bench::measure_gate_seconds<double>(g, n);
+      const double ts = bench::measure_gate_seconds<float>(g, n);
+      t.add_row({name, td * 1e6, ts * 1e6, td / ts});
+    }
+    t.print(std::cout);
+  }
+
+  {
+    // Accuracy: float-vs-double final-state error for a deep circuit.
+    Table t("Accuracy: QV circuit float-vs-double state error",
+            {"n", "depth", "max_amp_error", "fidelity_loss"});
+    for (unsigned n : {12u, 16u}) {
+      const qc::Circuit c = qc::random_quantum_volume(n, 12, 9);
+      sv::Simulator<double> sd;
+      sv::Simulator<float> sf;
+      const auto vd = sd.run(c);
+      const auto vf = sf.run(c);
+      const auto a = vd.to_vector();
+      const auto b = vf.to_vector();
+      double max_err = 0.0;
+      std::complex<double> ip{0, 0};
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        max_err = std::max(max_err, std::abs(a[i] - b[i]));
+        ip += std::conj(a[i]) * b[i];
+      }
+      t.add_row({static_cast<std::int64_t>(n), std::int64_t{12}, max_err,
+                 1.0 - std::abs(ip)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared helpers for the bench harness.
+//
+// Each bench binary regenerates one table or figure of the reconstructed
+// evaluation (see DESIGN.md). Two kinds of numbers appear side by side:
+//   measured  — real kernel executions on the build host;
+//   model     — the analytical A64FX/Xeon/ThunderX2 performance simulator.
+// Absolute host numbers depend on the machine running this; the model
+// columns are the paper-facing result.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "machine/machine_spec.hpp"
+#include "qc/gate.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+
+namespace svsim::bench {
+
+/// Mean seconds per application of `gate` to an n-qubit host register.
+/// The state is reused across repetitions (steady-state cache behaviour).
+template <typename T = double>
+double measure_gate_seconds(const qc::Gate& gate, unsigned n,
+                            double min_seconds = 0.05) {
+  sv::StateVector<T> state(n);
+  // Spread amplitude mass so kernels do representative work.
+  sv::apply_gate(state, qc::Gate::h(0));
+  return time_mean_seconds([&] { sv::apply_gate(state, gate); }, min_seconds);
+}
+
+/// Effective memory bandwidth of a measured gate application, given the
+/// model's byte count for the gate (bytes moved / measured seconds).
+inline double measured_bandwidth_gbps(double model_bytes, double seconds) {
+  return model_bytes / seconds * 1e-9;
+}
+
+/// A rough description of the build host for model cross-checks: core count
+/// from the thread pool, clock and STREAM guessed conservatively. Only the
+/// *shape* of host-model comparisons is meaningful.
+inline machine::MachineSpec host_spec() {
+  const unsigned cores = ThreadPool::global().num_threads();
+  return machine::MachineSpec::generic_host(cores, 2.1, 8.0 * cores);
+}
+
+/// Prints a standard bench header naming the experiment.
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::cout << "\n##### " << experiment << " — " << description << " #####\n\n";
+}
+
+}  // namespace svsim::bench

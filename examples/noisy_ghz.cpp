@@ -1,0 +1,74 @@
+// Noisy GHZ fidelity: quantum-trajectory noise simulation.
+//
+//   $ ./noisy_ghz [num_qubits]
+//
+// Prepares GHZ states under increasing depolarizing noise and reports the
+// trajectory-averaged parity <Z..Z> and the state fidelity with the ideal
+// GHZ state — the standard decoherence benchmark for NISQ-era studies.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svsim;
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  if (n < 2 || n > 16) {
+    std::cerr << "usage: noisy_ghz [2..16]\n";
+    return 1;
+  }
+  const qc::Circuit circuit = qc::ghz(n);
+  qc::PauliOperator parity(n);
+  parity.add(1.0, std::string(n, 'Z'));
+  qc::PauliOperator xparity(n);
+  xparity.add(1.0, std::string(n, 'X'));
+
+  sv::Simulator<double> ideal;
+  const auto ideal_state = ideal.run(circuit);
+
+  std::printf("GHZ(%u): trajectory-averaged observables vs. noise\n\n", n);
+  std::printf("%8s  %10s  %10s  %10s\n", "p_depol", "<Z...Z>", "<X...X>",
+              "fidelity");
+  const int trajectories = 150;
+  for (const double p : {0.0, 0.005, 0.02, 0.05, 0.1}) {
+    sv::SimulatorOptions opts;
+    if (p > 0.0) opts.noise.add_depolarizing(p);
+    opts.seed = 11;
+    sv::Simulator<double> sim(opts);
+    double z = 0.0, x = 0.0, fid = 0.0;
+    for (int t = 0; t < trajectories; ++t) {
+      const auto state = sim.run(circuit);
+      z += state.expectation(parity);
+      x += state.expectation(xparity);
+      const auto ip = ideal_state.inner_product(state);
+      fid += std::norm(ip);
+    }
+    std::printf("%8.3f  %10.4f  %10.4f  %10.4f\n", p, z / trajectories,
+                x / trajectories, fid / trajectories);
+  }
+  // Depolarizing noise hits Z- and X-parity symmetrically. Pure phase
+  // noise does not: the populations (Z-parity) are untouched while the
+  // coherence (X-parity) decays — the textbook GHZ decoherence hierarchy.
+  std::printf("\npure phase-flip noise: populations vs. coherence\n\n");
+  std::printf("%8s  %10s  %10s\n", "p_phase", "<Z...Z>", "<X...X>");
+  for (const double p : {0.0, 0.02, 0.05, 0.1}) {
+    sv::SimulatorOptions opts;
+    if (p > 0.0) opts.noise.add_phase_flip(p);
+    opts.seed = 13;
+    sv::Simulator<double> sim(opts);
+    double z = 0.0, x = 0.0;
+    for (int t = 0; t < trajectories; ++t) {
+      const auto state = sim.run(circuit);
+      z += state.expectation(parity);
+      x += state.expectation(xparity);
+    }
+    std::printf("%8.3f  %10.4f  %10.4f\n", p, z / trajectories,
+                x / trajectories);
+  }
+  std::printf(
+      "\nZ-parity is immune to phase flips while X-parity decays --\n"
+      "the GHZ coherence is the fragile quantity.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// VQE for the transverse-field Ising model.
+//
+//   $ ./vqe_tfim [num_qubits] [layers]
+//
+// Minimizes <H> of H = -J Σ Z_i Z_{i+1} - h Σ X_i over a hardware-efficient
+// ansatz using coordinate descent with exact expectation values (the
+// simulator's Pauli-expectation path), and compares against the exact ground
+// state from dense diagonalization-free power iteration on the (small)
+// Hamiltonian matrix.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "qc/library.hpp"
+#include "qc/pauli.hpp"
+#include "sv/simulator.hpp"
+
+using namespace svsim;
+
+namespace {
+
+double energy(unsigned n, unsigned layers, const std::vector<double>& params,
+              const qc::PauliOperator& ham) {
+  sv::Simulator<double> sim;
+  return sim.expectation(qc::hardware_efficient_ansatz(n, layers, params),
+                         ham);
+}
+
+/// Exact ground-state energy by inverse-free power iteration on (cI - H).
+double exact_ground_energy(const qc::PauliOperator& ham, unsigned n) {
+  const qc::Matrix hm = ham.to_matrix();
+  const std::uint64_t dim = pow2(n);
+  // Shift so the ground state dominates: c = ||H||_inf bound.
+  double shift = 0.0;
+  for (const auto& term : ham.terms()) shift += std::abs(term.coefficient);
+  std::vector<qc::cplx> v(dim, qc::cplx{1.0, 0.0});
+  for (int iter = 0; iter < 600; ++iter) {
+    std::vector<qc::cplx> w(dim, qc::cplx{0.0, 0.0});
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      w[r] = shift * v[r];
+      for (std::uint64_t c = 0; c < dim; ++c) w[r] -= hm(r, c) * v[c];
+    }
+    double norm = 0.0;
+    for (const auto& a : w) norm += std::norm(a);
+    norm = std::sqrt(norm);
+    for (auto& a : w) a /= norm;
+    v = std::move(w);
+  }
+  // Rayleigh quotient.
+  qc::cplx e{0.0, 0.0};
+  for (std::uint64_t r = 0; r < dim; ++r)
+    for (std::uint64_t c = 0; c < dim; ++c)
+      e += std::conj(v[r]) * hm(r, c) * v[c];
+  return e.real();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
+  const unsigned layers =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 3;
+  if (n < 2 || n > 12) {
+    std::cerr << "usage: vqe_tfim [2..12] [layers]\n";
+    return 1;
+  }
+  const double J = 1.0, h = 1.0;  // critical point: hardest for VQE
+  const auto ham = qc::tfim_hamiltonian(n, J, h);
+  const double exact = exact_ground_energy(ham, n);
+  std::printf("TFIM chain: n=%u, J=%.1f, h=%.1f, exact E0 = %.6f\n\n", n, J,
+              h, exact);
+
+  std::vector<double> params(2ull * n * layers, 0.1);
+  double e = energy(n, layers, params, ham);
+  std::printf("%6s  %12s  %14s\n", "sweep", "energy", "error_vs_exact");
+  std::printf("%6d  %12.6f  %14.6f\n", 0, e, e - exact);
+
+  // Coordinate descent: golden-ratio-free three-point parabolic step per
+  // parameter (expectations are trig polynomials, so ±π/2 probes give the
+  // exact sinusoidal minimum — the "rotosolve" rule).
+  for (int sweep = 1; sweep <= 6; ++sweep) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const double theta = params[i];
+      const double e0 = energy(n, layers, params, ham);
+      params[i] = theta + std::numbers::pi / 2;
+      const double ep = energy(n, layers, params, ham);
+      params[i] = theta - std::numbers::pi / 2;
+      const double em = energy(n, layers, params, ham);
+      // E(θ) = a + b sin(θ + φ): minimizer in closed form.
+      const double phi =
+          std::atan2(2.0 * e0 - ep - em, ep - em);
+      params[i] = theta - phi - std::numbers::pi / 2 +
+                  (2.0 * std::numbers::pi) *
+                      std::floor((phi + std::numbers::pi) /
+                                 (2.0 * std::numbers::pi));
+      // Keep whichever of the candidates is actually best (guards against
+      // branch issues in atan2 at degenerate points).
+      const double e_new = energy(n, layers, params, ham);
+      if (e_new > std::min({e0, ep, em})) {
+        const double best = std::min({e0, ep, em});
+        params[i] = best == e0 ? theta
+                    : best == ep ? theta + std::numbers::pi / 2
+                                 : theta - std::numbers::pi / 2;
+      }
+    }
+    e = energy(n, layers, params, ham);
+    std::printf("%6d  %12.6f  %14.6f\n", sweep, e, e - exact);
+  }
+
+  std::printf("\nfinal relative error: %.3f%%\n",
+              100.0 * (e - exact) / std::abs(exact));
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerates the recorded evaluation artifacts:
+#   test_output.txt  — full ctest log
+#   bench_output.txt — every table/figure bench, in order
+# Usage: scripts/regenerate_results.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD"
+
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in "$BUILD"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "################################################################" >> bench_output.txt
+  echo "# $(basename "$b")" >> bench_output.txt
+  "$b" >> bench_output.txt 2>&1
+done
+echo "wrote test_output.txt and bench_output.txt"

@@ -1,0 +1,42 @@
+// Error handling primitives shared across svsim.
+//
+// The library throws svsim::Error (an std::runtime_error) for user-facing
+// misuse (bad qubit index, malformed QASM, non-unitary matrix, ...) and uses
+// SVSIM_ASSERT for internal invariants that indicate a library bug.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace svsim {
+
+/// Exception type for all user-facing errors raised by svsim.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws svsim::Error with the given message if `cond` is false.
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw Error(msg);
+}
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "svsim internal assertion failed: %s at %s:%d\n", expr,
+               file, line);
+  std::abort();
+}
+}  // namespace detail
+
+}  // namespace svsim
+
+/// Internal invariant check: aborts on failure. Active in all build types —
+/// a violated invariant in a simulator silently corrupts physics results,
+/// which is worse than a crash.
+#define SVSIM_ASSERT(expr)                                        \
+  ((expr) ? static_cast<void>(0)                                  \
+          : ::svsim::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,132 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// xoshiro256** (Blackman & Vigna) — fast, high-quality, and trivially
+// splittable via long-jumps, which gives each worker thread an independent
+// stream from one seed so parallel sampling and noise trajectories are
+// reproducible regardless of thread count.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace svsim {
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single 64-bit seed using splitmix64,
+  /// as recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advances the state by 2^128 steps; used to derive non-overlapping
+  /// per-thread substreams from a common seed.
+  void long_jump() noexcept {
+    static constexpr std::uint64_t kJump[] = {
+        0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull, 0x77710069854ee241ull,
+        0x39109bb02acbe635ull};
+    std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    for (std::uint64_t jump : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (jump & (std::uint64_t{1} << b)) {
+          s0 ^= s_[0];
+          s1 ^= s_[1];
+          s2 ^= s_[2];
+          s3 ^= s_[3];
+        }
+        (*this)();
+      }
+    }
+    s_[0] = s0;
+    s_[1] = s1;
+    s_[2] = s2;
+    s_[3] = s3;
+  }
+
+  /// Returns a generator 2^128 * `stream` steps ahead — an independent
+  /// substream for worker `stream`.
+  Xoshiro256 split(unsigned stream) const noexcept {
+    Xoshiro256 g = *this;
+    for (unsigned i = 0; i <= stream; ++i) g.long_jump();
+    return g;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return v % n;
+  }
+
+  /// Standard normal variate (Marsaglia polar method, one value per call;
+  /// the spare is cached).
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace svsim

@@ -1,0 +1,93 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace svsim {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  require(!columns_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  require(row.size() == columns_.size(),
+          "Table row has wrong number of cells for '" + title_ + "'");
+  rows_.push_back(std::move(row));
+}
+
+std::string format_cell(const Cell& cell, int float_precision) {
+  std::ostringstream os;
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    os << *s;
+  } else if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    os << *i;
+  } else {
+    os << std::setprecision(float_precision) << std::fixed
+       << std::get<double>(cell);
+  }
+  return os.str();
+}
+
+std::string Table::to_text(int float_precision) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c], float_precision));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << (c + 1 < cells.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rendered) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv(int float_precision) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << escape(columns_[c]) << (c + 1 < columns_.size() ? "," : "\n");
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << escape(format_cell(row[c], float_precision))
+         << (c + 1 < row.size() ? "," : "\n");
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_text() << '\n'; }
+
+}  // namespace svsim

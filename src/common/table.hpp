@@ -1,0 +1,51 @@
+// Lightweight result-table formatting for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure from the paper; Table
+// collects rows of heterogeneous cells and renders them as aligned text (for
+// the terminal) or CSV (for plotting). No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace svsim {
+
+/// One table cell: string, integer, or floating point (with per-column
+/// precision chosen at render time).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// A titled table of rows. Columns are fixed at construction.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> row);
+
+  /// Renders as an aligned, human-readable text table.
+  std::string to_text(int float_precision = 3) const;
+
+  /// Renders as CSV (header + rows).
+  std::string to_csv(int float_precision = 6) const;
+
+  /// Prints the text rendering (plus a trailing newline) to `os`.
+  void print(std::ostream& os) const;
+
+  const std::string& title() const noexcept { return title_; }
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_columns() const noexcept { return columns_.size(); }
+  const std::vector<Cell>& row(std::size_t i) const { return rows_.at(i); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Formats a cell with the given floating-point precision.
+std::string format_cell(const Cell& cell, int float_precision);
+
+}  // namespace svsim

@@ -1,0 +1,120 @@
+#include "common/threading.hpp"
+
+#include <numeric>
+
+namespace svsim {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  unsigned n = num_threads;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  rngs_.resize(n);
+  seed_rngs(0x5eedULL);
+  // Worker 0 is the caller; spawn n-1 helpers.
+  threads_.reserve(n - 1);
+  for (unsigned w = 1; w < n; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::seed_rngs(std::uint64_t seed) {
+  Xoshiro256 root(seed);
+  for (unsigned w = 0; w < rngs_.size(); ++w) rngs_[w] = root.split(w);
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>* job;
+    std::uint64_t count;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      job = job_;
+      count = job_count_;
+    }
+    const Partition p = static_partition(count, num_threads(), worker_index);
+    if (p.begin < p.end) (*job)(worker_index, p.begin, p.end);
+    {
+      std::lock_guard lock(mutex_);
+      --pending_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::uint64_t count,
+    const std::function<void(unsigned, std::uint64_t, std::uint64_t)>& body,
+    std::uint64_t serial_cutoff) {
+  const unsigned n = num_threads();
+  // Run inline when parallelism can't pay for its fork-join cost, when there
+  // are no helpers, or when called from inside a parallel region (nested).
+  if (count < serial_cutoff || n == 1 || in_parallel_region_) {
+    if (count > 0) body(0, 0, count);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    job_ = &body;
+    job_count_ = count;
+    pending_ = n - 1;
+    ++generation_;
+    in_parallel_region_ = true;
+  }
+  cv_start_.notify_all();
+  const Partition p = static_partition(count, n, 0);
+  if (p.begin < p.end) body(0, p.begin, p.end);
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    in_parallel_region_ = false;
+  }
+}
+
+double ThreadPool::parallel_reduce(
+    std::uint64_t count,
+    const std::function<double(unsigned, std::uint64_t, std::uint64_t)>& body,
+    std::uint64_t serial_cutoff) {
+  const unsigned n = num_threads();
+  if (count < serial_cutoff || n == 1 || in_parallel_region_) {
+    return count > 0 ? body(0, 0, count) : 0.0;
+  }
+  // Pad partials to separate cache lines to avoid false sharing.
+  struct alignas(64) Padded {
+    double value = 0.0;
+  };
+  std::vector<Padded> partials(n);
+  parallel_for(
+      count,
+      [&](unsigned w, std::uint64_t begin, std::uint64_t end) {
+        partials[w].value = body(w, begin, end);
+      },
+      /*serial_cutoff=*/0);
+  double total = 0.0;
+  for (const auto& p : partials) total += p.value;
+  return total;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace svsim

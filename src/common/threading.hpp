@@ -1,0 +1,110 @@
+// A fixed-size thread pool with a fork-join parallel_for.
+//
+// State-vector kernels are embarrassingly parallel over the amplitude index
+// space; all we need is a static-partition fork-join loop with low per-gate
+// overhead (a gate on a small register takes microseconds, so re-spawning
+// std::thread per gate would dominate). Workers block on a condition
+// variable between parallel regions.
+//
+// The pool also exposes `parallel_reduce` for norms/probabilities and a
+// per-worker RNG substream facility for parallel sampling.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim {
+
+/// Describes how a range [0, count) is split across `num_workers` workers:
+/// contiguous static chunks, remainder spread over the first chunks.
+struct Partition {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Computes worker `w`'s chunk of [0, count) under static partitioning.
+inline Partition static_partition(std::uint64_t count, unsigned num_workers,
+                                  unsigned w) noexcept {
+  const std::uint64_t base = count / num_workers;
+  const std::uint64_t rem = count % num_workers;
+  const std::uint64_t begin =
+      w * base + (w < rem ? w : static_cast<std::uint64_t>(rem));
+  const std::uint64_t len = base + (w < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Fork-join worker pool. Thread-safe for one parallel region at a time;
+/// nested parallelism is not supported (inner calls run sequentially on the
+/// calling thread, which is the behaviour kernels want).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (>= 1). Worker 0 is the calling thread.
+  unsigned num_threads() const noexcept {
+    return static_cast<unsigned>(threads_.size()) + 1;
+  }
+
+  /// Runs body(worker_index, begin, end) on every worker with a static
+  /// partition of [0, count). Blocks until all workers finish. If the range
+  /// is smaller than `serial_cutoff`, runs inline on the caller.
+  void parallel_for(std::uint64_t count,
+                    const std::function<void(unsigned, std::uint64_t,
+                                             std::uint64_t)>& body,
+                    std::uint64_t serial_cutoff = 1u << 12);
+
+  /// Parallel sum-reduction: each worker computes body(worker, begin, end)
+  /// and the partial results are summed on the caller.
+  double parallel_reduce(std::uint64_t count,
+                         const std::function<double(unsigned, std::uint64_t,
+                                                    std::uint64_t)>& body,
+                         std::uint64_t serial_cutoff = 1u << 12);
+
+  /// Deterministic per-worker RNG substream derived from `seed`.
+  /// Re-seeds all streams; call once per stochastic run.
+  void seed_rngs(std::uint64_t seed);
+
+  /// RNG stream of worker `w`. Valid after seed_rngs().
+  Xoshiro256& rng(unsigned w) {
+    SVSIM_ASSERT(w < rngs_.size());
+    return rngs_[w];
+  }
+
+  /// Shared process-wide pool sized to hardware concurrency. Lazily created.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(unsigned worker_index);
+
+  std::vector<std::thread> threads_;
+  std::vector<Xoshiro256> rngs_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  // Generation counter: workers run the stored job once per increment.
+  std::uint64_t generation_ = 0;
+  unsigned pending_ = 0;
+  bool stopping_ = false;
+  std::atomic<bool> in_parallel_region_{false};
+
+  // Current job, valid while pending_ > 0.
+  const std::function<void(unsigned, std::uint64_t, std::uint64_t)>* job_ =
+      nullptr;
+  std::uint64_t job_count_ = 0;
+};
+
+}  // namespace svsim

@@ -1,0 +1,52 @@
+// Wall-clock timing utilities for benchmarks and the perf harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace svsim {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed nanoseconds.
+  std::uint64_t nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Times `fn()` repeatedly until at least `min_seconds` have elapsed (and at
+/// least `min_reps` repetitions ran) and returns the mean seconds per call.
+/// Good enough for kernel measurements where google-benchmark is too heavy.
+template <typename Fn>
+double time_mean_seconds(Fn&& fn, double min_seconds = 0.05,
+                         int min_reps = 3) {
+  // Warm-up run (touches memory, primes caches).
+  fn();
+  int reps = 0;
+  Timer t;
+  do {
+    fn();
+    ++reps;
+  } while (t.seconds() < min_seconds || reps < min_reps);
+  return t.seconds() / reps;
+}
+
+}  // namespace svsim

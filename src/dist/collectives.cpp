@@ -1,0 +1,73 @@
+#include "dist/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace svsim::dist {
+
+namespace {
+
+double alpha(const InterconnectSpec& net) {
+  return net.latency_seconds + net.software_overhead_seconds;
+}
+
+double beta(const InterconnectSpec& net) {
+  // One link per peer in a collective step (TNI concurrency helps the
+  // pairwise-exchange path, not tree steps to a single peer).
+  return 1.0 / (net.link_bandwidth_gbps * 1e9);
+}
+
+double log2_ceil(std::uint64_t nodes) {
+  double rounds = 0.0;
+  std::uint64_t span = 1;
+  while (span < nodes) {
+    span *= 2;
+    rounds += 1.0;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+double broadcast_seconds(std::uint64_t nodes, double bytes,
+                         const InterconnectSpec& net) {
+  require(nodes >= 1, "broadcast_seconds: need at least one node");
+  if (nodes == 1) return 0.0;
+  return log2_ceil(nodes) * (alpha(net) + bytes * beta(net));
+}
+
+double allreduce_seconds(std::uint64_t nodes, double bytes,
+                         const InterconnectSpec& net,
+                         AllreduceAlgorithm algorithm) {
+  require(nodes >= 1, "allreduce_seconds: need at least one node");
+  if (nodes == 1) return 0.0;
+  const double doubling =
+      log2_ceil(nodes) * (alpha(net) + bytes * beta(net));
+  const double ring =
+      2.0 * static_cast<double>(nodes - 1) *
+      (alpha(net) + bytes / static_cast<double>(nodes) * beta(net));
+  switch (algorithm) {
+    case AllreduceAlgorithm::RecursiveDoubling: return doubling;
+    case AllreduceAlgorithm::Ring: return ring;
+    case AllreduceAlgorithm::Auto: return std::min(doubling, ring);
+  }
+  throw Error("allreduce_seconds: unhandled algorithm");
+}
+
+double allgather_seconds(std::uint64_t nodes, double bytes_per_node,
+                         const InterconnectSpec& net) {
+  require(nodes >= 1, "allgather_seconds: need at least one node");
+  if (nodes == 1) return 0.0;
+  return static_cast<double>(nodes - 1) *
+         (alpha(net) + bytes_per_node * beta(net));
+}
+
+double expectation_allreduce_seconds(std::uint64_t nodes,
+                                     std::size_t num_terms,
+                                     const InterconnectSpec& net) {
+  return allreduce_seconds(nodes, 8.0 * static_cast<double>(num_terms), net);
+}
+
+}  // namespace svsim::dist

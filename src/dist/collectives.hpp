@@ -1,0 +1,48 @@
+// Collective-communication cost models over the interconnect.
+//
+// Distributed state-vector workloads need more than pairwise exchange:
+// observable estimation allreduces partial expectations, sampling gathers
+// per-node cumulative weights, and initial-state broadcast seeds replicas.
+// Standard algorithm models (Hockney-style alpha-beta):
+//   broadcast (binomial):            ceil(log2 P) · (α + m·β)
+//   allreduce (recursive doubling):  ceil(log2 P) · (α + m·β)       [small m]
+//   allreduce (ring):                2(P−1) · (α + (m/P)·β)         [large m]
+// with α = latency + software overhead, β = seconds/byte on one link.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/interconnect.hpp"
+
+namespace svsim::dist {
+
+enum class AllreduceAlgorithm {
+  RecursiveDoubling,  ///< latency-optimal, log2(P) full-message rounds
+  Ring,               ///< bandwidth-optimal, 2(P-1) chunked rounds
+  Auto,               ///< min of the two (what MPI libraries select)
+};
+
+/// Broadcast of `bytes` from one root to all `nodes` (binomial tree).
+double broadcast_seconds(std::uint64_t nodes, double bytes,
+                         const InterconnectSpec& net);
+
+/// Allreduce of `bytes` across `nodes`.
+double allreduce_seconds(std::uint64_t nodes, double bytes,
+                         const InterconnectSpec& net,
+                         AllreduceAlgorithm algorithm = AllreduceAlgorithm::Auto);
+
+/// Allgather: each node contributes `bytes_per_node`; everyone ends with
+/// nodes x bytes_per_node (ring model).
+double allgather_seconds(std::uint64_t nodes, double bytes_per_node,
+                         const InterconnectSpec& net);
+
+/// Cost of a distributed expectation value of `num_terms` Pauli terms:
+/// every node streams its 2^local_qubits partition once per term batch
+/// (modeled by the caller's compute estimate) and the partials are
+/// allreduced (8 bytes per term). This helper returns only the
+/// communication part.
+double expectation_allreduce_seconds(std::uint64_t nodes,
+                                     std::size_t num_terms,
+                                     const InterconnectSpec& net);
+
+}  // namespace svsim::dist

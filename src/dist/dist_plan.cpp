@@ -1,0 +1,260 @@
+#include "dist/dist_plan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::dist {
+
+using qc::Circuit;
+using qc::Gate;
+using qc::GateKind;
+
+const char* scheduler_name(CommScheduler s) {
+  return s == CommScheduler::Naive ? "naive" : "remap";
+}
+
+namespace {
+
+/// Next-use oracle: for each logical qubit, the ordered gate indices that
+/// touch it; a per-qubit cursor advances as planning passes each gate.
+class NextUse {
+ public:
+  NextUse(const Circuit& circuit) : uses_(circuit.num_qubits()),
+                                    cursor_(circuit.num_qubits(), 0) {
+    for (std::size_t i = 0; i < circuit.size(); ++i)
+      for (unsigned q : circuit.gate(i).qubits)
+        uses_[q].push_back(i);
+  }
+
+  /// First use of qubit q at or after gate index i (SIZE_MAX if none).
+  std::size_t next(unsigned q, std::size_t i) {
+    auto& c = cursor_[q];
+    const auto& u = uses_[q];
+    while (c < u.size() && u[c] < i) ++c;
+    return c < u.size() ? u[c] : std::numeric_limits<std::size_t>::max();
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> uses_;
+  std::vector<std::size_t> cursor_;
+};
+
+class Planner {
+ public:
+  Planner(const Circuit& circuit, unsigned node_qubits,
+          CommScheduler scheduler, unsigned element_bytes)
+      : circuit_(circuit),
+        scheduler_(scheduler),
+        n_(circuit.num_qubits()),
+        d_(node_qubits),
+        ln_(n_ - node_qubits),
+        partition_bytes_(static_cast<double>(pow2(ln_)) * 2.0 *
+                         element_bytes),
+        next_use_(circuit),
+        slot_of_(n_),
+        logical_at_(n_) {
+    for (unsigned q = 0; q < n_; ++q) {
+      slot_of_[q] = q;
+      logical_at_[q] = q;
+    }
+  }
+
+  DistPlan run() {
+    DistPlan plan;
+    plan.num_qubits = n_;
+    plan.node_qubits = d_;
+    plan.local_qubits = ln_;
+    for (std::size_t i = 0; i < circuit_.size(); ++i)
+      plan_gate(i, circuit_.gate(i), plan);
+    plan.final_slot_of = slot_of_;
+    for (const auto& s : plan.steps) {
+      if (s.exchange_bytes > 0.0) {
+        ++plan.num_exchanges;
+        plan.total_exchange_bytes += s.exchange_bytes;
+      }
+    }
+    return plan;
+  }
+
+ private:
+  bool is_local(unsigned slot) const { return slot < ln_; }
+
+  /// Picks a scratch local slot not in `used` (highest local slots first so
+  /// proxies rarely collide with real operands).
+  unsigned scratch_slot(std::vector<unsigned>& used) const {
+    for (unsigned s = ln_; s-- > 0;) {
+      if (std::find(used.begin(), used.end(), s) == used.end()) {
+        used.push_back(s);
+        return s;
+      }
+    }
+    throw Error("dist planner: no free local slot for proxy");
+  }
+
+  void add_local(DistPlan& plan, Gate g, double bytes, std::string note,
+                 int rank_bit = -1) {
+    DistStep step;
+    step.local_gate = std::move(g);
+    step.exchange_bytes = bytes;
+    step.exchange_rank_bit = bytes > 0.0 ? rank_bit : -1;
+    step.note = std::move(note);
+    plan.steps.push_back(std::move(step));
+  }
+
+  void add_comm_only(DistPlan& plan, double bytes, std::string note,
+                     int rank_bit = -1) {
+    DistStep step;
+    step.exchange_bytes = bytes;
+    step.exchange_rank_bit = rank_bit;
+    step.note = std::move(note);
+    plan.steps.push_back(std::move(step));
+  }
+
+  /// Performs a remap swap between the node slot of logical qubit `q` and a
+  /// local slot chosen by Belady eviction. Records the half-exchange.
+  /// Slots holding operands of the gate being planned are never evicted.
+  void remap_in(std::size_t gate_index, unsigned q, DistPlan& plan) {
+    const Gate& current = circuit_.gate(gate_index);
+    // Choose the local slot whose occupant's next use is farthest away.
+    unsigned best_slot = std::numeric_limits<unsigned>::max();
+    std::size_t best_next = 0;
+    for (unsigned s = 0; s < ln_; ++s) {
+      const unsigned occupant = logical_at_[s];
+      if (std::find(current.qubits.begin(), current.qubits.end(), occupant) !=
+          current.qubits.end())
+        continue;  // operand of the current gate: not evictable
+      const std::size_t nu = next_use_.next(occupant, gate_index + 1);
+      if (best_slot == std::numeric_limits<unsigned>::max() ||
+          nu >= best_next) {
+        best_next = nu;
+        best_slot = s;
+      }
+    }
+    require(best_slot != std::numeric_limits<unsigned>::max(),
+            "dist planner: no evictable local slot");
+    const unsigned node_slot = slot_of_[q];
+    const unsigned evicted = logical_at_[best_slot];
+    std::swap(logical_at_[best_slot], logical_at_[node_slot]);
+    slot_of_[q] = best_slot;
+    slot_of_[evicted] = node_slot;
+    add_comm_only(plan, partition_bytes_ / 2.0,
+                  "remap q" + std::to_string(q) + " into slot " +
+                      std::to_string(best_slot),
+                  static_cast<int>(node_slot - ln_));
+  }
+
+  void plan_gate(std::size_t i, const Gate& g, DistPlan& plan) {
+    if (g.kind == GateKind::BARRIER || g.kind == GateKind::I) return;
+    require(g.is_unitary_op(),
+            "dist planner: circuit must be unitary (no measure/reset)");
+
+    // Diagonal gates never communicate.
+    if (g.is_diagonal()) {
+      plan_diagonal(g, plan);
+      return;
+    }
+
+    // Split operands: node-slot controls are free; node-slot targets force
+    // an exchange (naive) or a remap.
+    const auto controls = g.controls();
+    const auto targets = g.targets();
+    std::vector<unsigned> node_targets;
+    for (unsigned q : targets)
+      if (!is_local(slot_of_[q])) node_targets.push_back(q);
+
+    if (scheduler_ == CommScheduler::Remap && !node_targets.empty()) {
+      for (unsigned q : node_targets) remap_in(i, q, plan);
+      node_targets.clear();
+    }
+
+    unsigned local_controls = 0;
+    for (unsigned q : controls)
+      if (is_local(slot_of_[q])) ++local_controls;
+
+    // Build the local proxy gate: slot-mapped operands, node-slot operands
+    // replaced by scratch local slots (post-exchange the work is local).
+    Gate proxy = g;
+    std::vector<unsigned> used;
+    for (unsigned q : g.qubits)
+      if (is_local(slot_of_[q])) used.push_back(slot_of_[q]);
+    for (auto& q : proxy.qubits) {
+      const unsigned slot = slot_of_[q];
+      q = is_local(slot) ? slot : scratch_slot(used);
+    }
+
+    double bytes = 0.0;
+    int rank_bit = -1;
+    std::string note = "local";
+    if (!node_targets.empty()) {
+      // One full-duplex partition exchange per node-slot target, restricted
+      // by local controls; a local<->node SWAP moves only mismatched halves.
+      double per_exchange =
+          partition_bytes_ / static_cast<double>(pow2(local_controls));
+      if (g.kind == GateKind::SWAP || g.kind == GateKind::CSWAP) {
+        const bool one_side_local =
+            node_targets.size() == 1 && targets.size() == 2;
+        if (one_side_local) per_exchange /= 2.0;
+      }
+      bytes = per_exchange * static_cast<double>(node_targets.size());
+      rank_bit = static_cast<int>(slot_of_[node_targets.front()] - ln_);
+      note = "exchange for " + std::string(g.name());
+    } else {
+      // All remaining node-slot operands are controls: free (conditional
+      // local execution on half the nodes). Drop them from the proxy cost?
+      // Keep the reduced arity: the makespan node still runs the target op.
+      note = controls.empty() ? "local" : "node-control local";
+    }
+    add_local(plan, std::move(proxy), bytes, std::move(note), rank_bit);
+  }
+
+  void plan_diagonal(const Gate& g, DistPlan& plan) {
+    std::vector<unsigned> local_slots;
+    for (unsigned q : g.qubits)
+      if (is_local(slot_of_[q])) local_slots.push_back(slot_of_[q]);
+
+    if (local_slots.size() == g.qubits.size()) {
+      Gate proxy = g;
+      for (auto& q : proxy.qubits) q = slot_of_[q];
+      add_local(plan, std::move(proxy), 0.0, "local diagonal");
+      return;
+    }
+    if (local_slots.empty()) {
+      // Pure rank-dependent phase: each node scales its whole partition.
+      add_local(plan, Gate::rz(0, 0.1), 0.0, "rank-phase diagonal");
+      return;
+    }
+    // Mixed: nodes whose rank bits satisfy the node operands apply the
+    // residual diagonal on the local slots.
+    std::vector<qc::cplx> entries(pow2(static_cast<unsigned>(
+                                      local_slots.size())),
+                                  qc::cplx{1.0, 0.0});
+    entries.back() = qc::cplx{0.0, 1.0};  // cost proxy values
+    add_local(plan, Gate::diag(local_slots, std::move(entries)), 0.0,
+              "conditional local diagonal");
+  }
+
+  const Circuit& circuit_;
+  CommScheduler scheduler_;
+  unsigned n_, d_, ln_;
+  double partition_bytes_;
+  NextUse next_use_;
+  std::vector<unsigned> slot_of_;    ///< logical qubit -> slot
+  std::vector<unsigned> logical_at_; ///< slot -> logical qubit
+};
+
+}  // namespace
+
+DistPlan plan_distribution(const Circuit& circuit, unsigned node_qubits,
+                           CommScheduler scheduler, unsigned element_bytes) {
+  require(node_qubits < circuit.num_qubits(),
+          "plan_distribution: node qubits must be fewer than total qubits");
+  require(circuit.num_qubits() - node_qubits >= 2,
+          "plan_distribution: need at least 2 local qubits");
+  Planner planner(circuit, node_qubits, scheduler, element_bytes);
+  return planner.run();
+}
+
+}  // namespace svsim::dist

@@ -1,0 +1,76 @@
+#include "dist/dist_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "perf/perf_simulator.hpp"
+
+namespace svsim::dist {
+
+using machine::ExecConfig;
+using machine::MachineSpec;
+
+namespace {
+
+double step_compute_seconds(const DistStep& step, const DistPlan& plan,
+                            const MachineSpec& m, const ExecConfig& config) {
+  if (!step.local_gate) return 0.0;
+  return perf::time_gate(*step.local_gate, plan.local_qubits, m, config)
+      .seconds;
+}
+
+}  // namespace
+
+DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
+                     const ExecConfig& config, const InterconnectSpec& net) {
+  DistTiming t;
+  for (const auto& step : plan.steps) {
+    t.compute_seconds += step_compute_seconds(step, plan, m, config);
+    if (step.exchange_bytes > 0.0) {
+      t.comm_seconds += net.pairwise_exchange_seconds(step.exchange_bytes);
+      ++t.num_exchanges;
+      t.exchange_bytes += step.exchange_bytes;
+    }
+  }
+  t.total_seconds = t.compute_seconds + t.comm_seconds;
+  t.pipelined_seconds = std::max(t.compute_seconds, t.comm_seconds);
+  return t;
+}
+
+double event_driven_makespan(const DistPlan& plan, const MachineSpec& m,
+                             const ExecConfig& config,
+                             const InterconnectSpec& net,
+                             const StragglerConfig& straggler) {
+  const std::uint64_t nodes = plan.num_nodes();
+  require(nodes <= (std::uint64_t{1} << 22),
+          "event_driven_makespan: too many nodes to simulate per-node");
+  std::vector<double> clock(nodes, 0.0);
+
+  for (const auto& step : plan.steps) {
+    const double base = step_compute_seconds(step, plan, m, config);
+    // Exchange first (data must arrive before the local kernel runs on it).
+    if (step.exchange_bytes > 0.0 && step.exchange_rank_bit >= 0) {
+      const double comm = net.pairwise_exchange_seconds(step.exchange_bytes);
+      const std::uint64_t mask = std::uint64_t{1}
+                                 << static_cast<unsigned>(
+                                        step.exchange_rank_bit);
+      for (std::uint64_t r = 0; r < nodes; ++r) {
+        const std::uint64_t partner = r ^ mask;
+        if (partner < r) continue;  // each pair once
+        const double ready = std::max(clock[r], clock[partner]) + comm;
+        clock[r] = ready;
+        clock[partner] = ready;
+      }
+    }
+    for (std::uint64_t r = 0; r < nodes; ++r) {
+      double compute = base;
+      if (r == straggler.node) compute *= straggler.slowdown;
+      clock[r] += compute;
+    }
+  }
+  return *std::max_element(clock.begin(), clock.end());
+}
+
+}  // namespace svsim::dist

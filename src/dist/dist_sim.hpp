@@ -1,0 +1,50 @@
+// Timing a distribution plan: BSP aggregate and event-driven timelines.
+//
+// The BSP estimate sums per-step local compute time (from the single-node
+// performance model applied to the local partition) and exchange time (from
+// the interconnect model); the pipelined bound overlaps the two streams.
+// The event-driven simulator keeps one clock per node and synchronizes
+// partner pairs at each exchange (rendezvous semantics), which is what lets
+// a straggling node's delay propagate through the exchange pattern — the
+// effect large-machine studies care about and a mean-field BSP sum hides.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/dist_plan.hpp"
+#include "dist/interconnect.hpp"
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+
+namespace svsim::dist {
+
+struct DistTiming {
+  double compute_seconds = 0.0;   ///< Σ per-step local kernel time
+  double comm_seconds = 0.0;      ///< Σ per-step exchange time
+  double total_seconds = 0.0;     ///< BSP: compute + comm (no overlap)
+  double pipelined_seconds = 0.0; ///< max(compute, comm): full-overlap bound
+  std::size_t num_exchanges = 0;
+  double exchange_bytes = 0.0;    ///< per node, total
+};
+
+/// Times `plan` with each node modeled as `m` under `config`.
+DistTiming time_plan(const DistPlan& plan, const machine::MachineSpec& m,
+                     const machine::ExecConfig& config,
+                     const InterconnectSpec& net);
+
+struct StragglerConfig {
+  /// Node whose compute time is scaled (UINT64_MAX = none).
+  std::uint64_t node = ~std::uint64_t{0};
+  double slowdown = 1.0;
+};
+
+/// Event-driven makespan: per-node clocks, rendezvous at each exchange.
+/// Without a straggler this equals the BSP total (all nodes identical);
+/// with one it shows how the delay spreads through the exchange pattern.
+double event_driven_makespan(const DistPlan& plan,
+                             const machine::MachineSpec& m,
+                             const machine::ExecConfig& config,
+                             const InterconnectSpec& net,
+                             const StragglerConfig& straggler = {});
+
+}  // namespace svsim::dist

@@ -1,0 +1,31 @@
+#include "dist/interconnect.hpp"
+
+namespace svsim::dist {
+
+double InterconnectSpec::pairwise_exchange_seconds(double bytes) const {
+  const double rate =
+      link_bandwidth_gbps * 1e9 * static_cast<double>(concurrent_links);
+  return latency_seconds + software_overhead_seconds + bytes / rate;
+}
+
+InterconnectSpec InterconnectSpec::tofu_d() {
+  InterconnectSpec s;
+  s.name = "Tofu-D";
+  s.link_bandwidth_gbps = 6.8;
+  s.concurrent_links = 4;  // four TNIs drive links concurrently
+  s.latency_seconds = 0.49e-6;
+  s.software_overhead_seconds = 0.3e-6;
+  return s;
+}
+
+InterconnectSpec InterconnectSpec::infiniband_edr() {
+  InterconnectSpec s;
+  s.name = "InfiniBand EDR";
+  s.link_bandwidth_gbps = 12.5;
+  s.concurrent_links = 1;
+  s.latency_seconds = 1.0e-6;
+  s.software_overhead_seconds = 0.5e-6;
+  return s;
+}
+
+}  // namespace svsim::dist

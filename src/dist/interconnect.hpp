@@ -1,0 +1,32 @@
+// Interconnect models for multi-node projection.
+//
+// Distributed state-vector simulation assigns the top d qubits to the node
+// rank; a non-diagonal gate on such a "node qubit" requires a pairwise
+// exchange of (up to) the whole local partition between partner nodes. The
+// only network primitive needed is therefore a full-duplex pairwise exchange,
+// which these specs cost as latency + bytes / (usable links x per-link rate).
+// Parameters are the published Tofu-D (Fugaku) and EDR InfiniBand numbers.
+#pragma once
+
+#include <string>
+
+namespace svsim::dist {
+
+struct InterconnectSpec {
+  std::string name;
+  double link_bandwidth_gbps;       ///< per link, per direction
+  unsigned concurrent_links;        ///< links usable by one exchange (TNIs)
+  double latency_seconds;           ///< end-to-end small-message latency
+  double software_overhead_seconds; ///< per-message injection overhead
+
+  /// Seconds for partner nodes to exchange `bytes` each way (full duplex).
+  double pairwise_exchange_seconds(double bytes) const;
+
+  /// Fugaku's Tofu Interconnect D: 6.8 GB/s per link, 4 usable TNIs,
+  /// ~0.5 µs put latency.
+  static InterconnectSpec tofu_d();
+  /// 100 Gb/s EDR InfiniBand (single rail) for comparison.
+  static InterconnectSpec infiniband_edr();
+};
+
+}  // namespace svsim::dist

@@ -1,0 +1,219 @@
+#include "dm/density_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::dm {
+
+using qc::Gate;
+using qc::GateKind;
+using qc::Matrix;
+using qc::cplx;
+
+DensityMatrix::DensityMatrix(unsigned num_qubits)
+    : n_(num_qubits), rho_(pow2(2 * num_qubits), cplx{0.0, 0.0}) {
+  require(num_qubits >= 1 && num_qubits <= 12,
+          "DensityMatrix supports 1..12 qubits");
+  rho_[0] = 1.0;
+}
+
+void DensityMatrix::set_pure(const std::vector<cplx>& psi) {
+  require(psi.size() == dim(), "set_pure: state size mismatch");
+  for (std::uint64_t r = 0; r < dim(); ++r)
+    for (std::uint64_t c = 0; c < dim(); ++c)
+      at(r, c) = psi[r] * std::conj(psi[c]);
+}
+
+namespace {
+
+/// Applies the small matrix `m` (on `qubits`, qubits[0] = LSB) to a strided
+/// vector view v[i * stride], i in [0, 2^n): v → M_embedded v.
+void apply_embedded(const Matrix& m, const std::vector<unsigned>& qubits,
+                    unsigned n, cplx* v, std::uint64_t stride) {
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  const std::uint64_t sub = pow2(k);
+  SVSIM_ASSERT(m.dim() == sub);
+  std::vector<unsigned> sorted(qubits.begin(), qubits.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<cplx> in(sub), out(sub);
+  for (std::uint64_t o = 0; o < pow2(n - k); ++o) {
+    const std::uint64_t base = insert_zero_bits(o, sorted);
+    for (std::uint64_t s = 0; s < sub; ++s)
+      in[s] = v[(base | scatter_bits(s, qubits)) * stride];
+    for (std::uint64_t r = 0; r < sub; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::uint64_t c = 0; c < sub; ++c) acc += m(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::uint64_t s = 0; s < sub; ++s)
+      v[(base | scatter_bits(s, qubits)) * stride] = out[s];
+  }
+}
+
+Matrix conjugated(const Matrix& m) {
+  Matrix out(m.dim());
+  for (std::size_t r = 0; r < m.dim(); ++r)
+    for (std::size_t c = 0; c < m.dim(); ++c)
+      out(r, c) = std::conj(m(r, c));
+  return out;
+}
+
+}  // namespace
+
+void DensityMatrix::apply_gate(const Gate& gate) {
+  if (gate.kind == GateKind::BARRIER || gate.kind == GateKind::I) return;
+  require(gate.is_unitary_op(),
+          "DensityMatrix::apply_gate: non-unitary operation");
+  const Matrix u = gate.matrix();
+  const Matrix u_conj = conjugated(u);
+  const std::uint64_t d = dim();
+  // ρ → U ρ: apply U to every column (stride d).
+  for (std::uint64_t c = 0; c < d; ++c)
+    apply_embedded(u, gate.qubits, n_, rho_.data() + c, d);
+  // (Uρ) → (Uρ) U†: apply conj(U) to every row (stride 1).
+  for (std::uint64_t r = 0; r < d; ++r)
+    apply_embedded(u_conj, gate.qubits, n_, rho_.data() + r * d, 1);
+}
+
+void DensityMatrix::apply(const qc::Circuit& circuit) {
+  require(circuit.num_qubits() == n_, "DensityMatrix::apply: width mismatch");
+  for (const auto& g : circuit.gates()) apply_gate(g);
+}
+
+void DensityMatrix::apply_kraus(const std::vector<Matrix>& kraus,
+                                const std::vector<unsigned>& qubits) {
+  require(!kraus.empty(), "apply_kraus: empty operator list");
+  const std::uint64_t d = dim();
+  std::vector<cplx> result(rho_.size(), cplx{0.0, 0.0});
+  std::vector<cplx> work;
+  for (const Matrix& k : kraus) {
+    work = rho_;
+    const Matrix k_conj = conjugated(k);
+    for (std::uint64_t c = 0; c < d; ++c)
+      apply_embedded(k, qubits, n_, work.data() + c, d);
+    for (std::uint64_t r = 0; r < d; ++r)
+      apply_embedded(k_conj, qubits, n_, work.data() + r * d, 1);
+    for (std::size_t i = 0; i < result.size(); ++i) result[i] += work[i];
+  }
+  rho_ = std::move(result);
+}
+
+void DensityMatrix::apply_depolarizing(double p,
+                                       const std::vector<unsigned>& qubits) {
+  require(p >= 0.0 && p <= 1.0, "apply_depolarizing: bad probability");
+  const unsigned k = static_cast<unsigned>(qubits.size());
+  const std::uint64_t paulis = pow2(2 * k);
+  std::vector<Matrix> kraus;
+  kraus.reserve(paulis);
+  const double per = p / static_cast<double>(paulis - 1);
+  for (std::uint64_t code = 0; code < paulis; ++code) {
+    // Joint Pauli over the k local qubits: 2 bits per qubit.
+    std::uint64_t x = 0, z = 0;
+    for (unsigned i = 0; i < k; ++i) {
+      const unsigned c = static_cast<unsigned>((code >> (2 * i)) & 3u);
+      if (c == 1 || c == 2) x |= pow2(i);
+      if (c == 2 || c == 3) z |= pow2(i);
+    }
+    const qc::PauliString ps(k, x, z);
+    const double weight = code == 0 ? 1.0 - p : per;
+    kraus.push_back(ps.to_matrix() * cplx{std::sqrt(weight), 0.0});
+  }
+  apply_kraus(kraus, qubits);
+}
+
+void DensityMatrix::apply_bit_flip(double p, unsigned qubit) {
+  apply_kraus({qc::mat::I() * cplx{std::sqrt(1.0 - p), 0.0},
+               qc::mat::X() * cplx{std::sqrt(p), 0.0}},
+              {qubit});
+}
+
+void DensityMatrix::apply_phase_flip(double p, unsigned qubit) {
+  apply_kraus({qc::mat::I() * cplx{std::sqrt(1.0 - p), 0.0},
+               qc::mat::Z() * cplx{std::sqrt(p), 0.0}},
+              {qubit});
+}
+
+void DensityMatrix::apply_amplitude_damping(double gamma, unsigned qubit) {
+  const Matrix k0(2, {1.0, 0.0, 0.0, std::sqrt(1.0 - gamma)});
+  const Matrix k1(2, {0.0, std::sqrt(gamma), 0.0, 0.0});
+  apply_kraus({k0, k1}, {qubit});
+}
+
+void DensityMatrix::apply_noise_after(const sv::NoiseModel& noise,
+                                      const Gate& gate) {
+  if (!gate.is_unitary_op()) return;
+  for (const auto& ch : noise.channels()) {
+    if (ch.arity != 0 && ch.arity != gate.num_qubits()) continue;
+    switch (ch.type) {
+      case sv::NoiseChannel::Type::Depolarizing:
+        apply_depolarizing(ch.parameter, gate.qubits);
+        break;
+      case sv::NoiseChannel::Type::BitFlip:
+        for (unsigned q : gate.qubits) apply_bit_flip(ch.parameter, q);
+        break;
+      case sv::NoiseChannel::Type::PhaseFlip:
+        for (unsigned q : gate.qubits) apply_phase_flip(ch.parameter, q);
+        break;
+      case sv::NoiseChannel::Type::AmplitudeDamping:
+        for (unsigned q : gate.qubits)
+          apply_amplitude_damping(ch.parameter, q);
+        break;
+    }
+  }
+}
+
+double DensityMatrix::trace() const {
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < dim(); ++i) t += at(i, i).real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  // tr(ρ²) = Σ_{r,c} ρ_{rc} ρ_{cr} = Σ |ρ_{rc}|² for Hermitian ρ.
+  double p = 0.0;
+  for (const cplx& v : rho_) p += std::norm(v);
+  return p;
+}
+
+double DensityMatrix::population(std::uint64_t basis) const {
+  require(basis < dim(), "population: basis index out of range");
+  return at(basis, basis).real();
+}
+
+double DensityMatrix::expectation(const qc::PauliString& pauli) const {
+  require(pauli.num_qubits() == n_, "expectation: width mismatch");
+  // tr(ρP) = Σ_i φ(i) ρ_{i, r(i)} with P|i> = φ(i)|r(i)>.
+  cplx acc{0.0, 0.0};
+  for (std::uint64_t i = 0; i < dim(); ++i) {
+    const auto [row, phase] = pauli.apply_to_basis(i);
+    acc += cplx{phase.real(), phase.imag()} * at(i, row);
+  }
+  return acc.real();
+}
+
+double DensityMatrix::fidelity_with_pure(const std::vector<cplx>& psi) const {
+  require(psi.size() == dim(), "fidelity_with_pure: size mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::uint64_t r = 0; r < dim(); ++r)
+    for (std::uint64_t c = 0; c < dim(); ++c)
+      acc += std::conj(psi[r]) * at(r, c) * psi[c];
+  return acc.real();
+}
+
+DensityMatrix run_with_noise(const qc::Circuit& circuit,
+                             const sv::NoiseModel& noise) {
+  require(circuit.is_unitary(),
+          "run_with_noise: circuit must not contain measure/reset");
+  DensityMatrix rho(circuit.num_qubits());
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == GateKind::BARRIER || g.kind == GateKind::I) continue;
+    rho.apply_gate(g);
+    rho.apply_noise_after(noise, g);
+  }
+  return rho;
+}
+
+}  // namespace svsim::dm

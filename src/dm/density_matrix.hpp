@@ -1,0 +1,84 @@
+// Exact density-matrix simulation — the noise-validation substrate.
+//
+// Stores the full 2^n x 2^n density matrix and evolves it exactly:
+// ρ → U ρ U† for unitaries, ρ → Σ_k K_k ρ K_k† for channels. Memory is
+// 4^n amplitudes, so this backend tops out around 10-12 qubits — exactly
+// what is needed to validate the state-vector trajectory noise (stochastic
+// unraveling) against the closed-form channel evolution, and to compute
+// mixed-state quantities (purity, populations) trajectories only estimate.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/matrix.hpp"
+#include "qc/pauli.hpp"
+#include "sv/noise.hpp"
+
+namespace svsim::dm {
+
+class DensityMatrix {
+ public:
+  /// ρ = |0...0><0...0| on n qubits (n <= 12).
+  explicit DensityMatrix(unsigned num_qubits);
+
+  unsigned num_qubits() const noexcept { return n_; }
+  std::uint64_t dim() const noexcept { return std::uint64_t{1} << n_; }
+
+  std::complex<double>& at(std::uint64_t r, std::uint64_t c) {
+    return rho_[r * dim() + c];
+  }
+  const std::complex<double>& at(std::uint64_t r, std::uint64_t c) const {
+    return rho_[r * dim() + c];
+  }
+
+  /// Initializes to the pure state |psi><psi|.
+  void set_pure(const std::vector<std::complex<double>>& psi);
+
+  /// Applies a unitary gate: ρ → U ρ U† (U embedded on the gate's qubits).
+  void apply_gate(const qc::Gate& gate);
+
+  /// Applies all unitary gates of the circuit (measure/reset rejected).
+  void apply(const qc::Circuit& circuit);
+
+  /// Applies a channel given by Kraus operators acting on `qubits`
+  /// (each matrix has dim 2^|qubits|): ρ → Σ_k K_k ρ K_k†.
+  void apply_kraus(const std::vector<qc::Matrix>& kraus,
+                   const std::vector<unsigned>& qubits);
+
+  /// Applies one of the library noise channels exactly to `qubits`
+  /// (same semantics as the trajectory channels in sv::NoiseModel).
+  void apply_depolarizing(double p, const std::vector<unsigned>& qubits);
+  void apply_bit_flip(double p, unsigned qubit);
+  void apply_phase_flip(double p, unsigned qubit);
+  void apply_amplitude_damping(double gamma, unsigned qubit);
+
+  /// Applies `noise` after a gate the way Simulator does per trajectory —
+  /// but exactly (the channel average).
+  void apply_noise_after(const sv::NoiseModel& noise, const qc::Gate& gate);
+
+  /// tr(ρ) — must stay 1.
+  double trace() const;
+  /// tr(ρ²) — 1 for pure states, 1/2^n for the maximally mixed state.
+  double purity() const;
+  /// P(basis state i) = ρ_ii.
+  double population(std::uint64_t basis) const;
+  /// tr(ρ P).
+  double expectation(const qc::PauliString& pauli) const;
+  /// <ψ|ρ|ψ> for a pure reference state (fidelity with a pure state).
+  double fidelity_with_pure(
+      const std::vector<std::complex<double>>& psi) const;
+
+ private:
+  unsigned n_ = 0;
+  std::vector<std::complex<double>> rho_;  ///< row-major dim x dim
+};
+
+/// Runs a circuit with exact channel noise from |0...0|: every unitary gate
+/// is followed by the exact channel `noise` prescribes for it.
+DensityMatrix run_with_noise(const qc::Circuit& circuit,
+                             const sv::NoiseModel& noise);
+
+}  // namespace svsim::dm

@@ -1,0 +1,58 @@
+#include "machine/bandwidth_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace svsim::machine {
+
+namespace {
+
+/// Number of active sharing-domains of a cache level under a placement:
+/// private caches count active cores; CMG/socket-shared caches count active
+/// NUMA domains (one cache instance per domain in all modeled machines).
+unsigned active_cache_domains(const CacheLevel& level, const Placement& p) {
+  if (level.shared_by_cores <= 1) return p.total_threads();
+  return p.active_domains();
+}
+
+}  // namespace
+
+int serving_level(const MachineSpec& m, const Placement& p,
+                  std::uint64_t footprint_bytes) {
+  for (std::size_t i = 0; i < m.caches.size(); ++i) {
+    const std::uint64_t capacity =
+        m.caches[i].size_bytes * active_cache_domains(m.caches[i], p);
+    if (footprint_bytes <= capacity) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+double memory_bandwidth_gbps(const MachineSpec& m, const Placement& p) {
+  double total = 0.0;
+  for (unsigned used : p.threads_per_domain) {
+    if (used == 0) continue;
+    const double domain_ceiling =
+        m.mem_bandwidth_gbps_per_domain * m.mem_stream_efficiency;
+    total += std::min(used * m.core_mem_bandwidth_gbps, domain_ceiling);
+  }
+  return total;
+}
+
+double effective_bandwidth_gbps(const MachineSpec& m, const Placement& p,
+                                std::uint64_t footprint_bytes) {
+  require(p.total_threads() >= 1, "effective_bandwidth: empty placement");
+  const int level = serving_level(m, p, footprint_bytes);
+  if (level < 0) return memory_bandwidth_gbps(m, p);
+
+  const CacheLevel& c = m.caches[static_cast<std::size_t>(level)];
+  double bw = c.core_bandwidth_gbps * p.total_threads();
+  if (c.domain_bandwidth_gbps > 0.0) {
+    const double ceiling =
+        c.domain_bandwidth_gbps * active_cache_domains(c, p);
+    bw = std::min(bw, ceiling);
+  }
+  return bw;
+}
+
+}  // namespace svsim::machine

@@ -1,0 +1,34 @@
+// Effective-bandwidth model: which level of the hierarchy serves a
+// streaming sweep, and how fast.
+//
+// State-vector kernels stream their footprint with unit or power-of-two
+// stride and no temporal reuse within a gate, so the serving level is a pure
+// capacity question (footprint vs. aggregate capacity of the caches the
+// active threads can reach) and the achievable rate is the min of per-core
+// rates and shared-domain ceilings. This reproduces the three-regime
+// structure (L1 / L2 / HBM) of bandwidth-vs-size plots on A64FX.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+
+namespace svsim::machine {
+
+/// Identifies the hierarchy level a sweep of `footprint_bytes` is served
+/// from: 0-based cache index, or -1 for main memory.
+int serving_level(const MachineSpec& m, const Placement& p,
+                  std::uint64_t footprint_bytes);
+
+/// Achievable aggregate bandwidth in GB/s when the active threads stream
+/// `footprint_bytes` (read+write counted by the caller in its byte volume).
+double effective_bandwidth_gbps(const MachineSpec& m, const Placement& p,
+                                std::uint64_t footprint_bytes);
+
+/// Main-memory bandwidth available to the placement (GB/s), i.e. the
+/// memory-regime asymptote: per-domain min(threads x core rate, STREAM
+/// ceiling), summed over domains.
+double memory_bandwidth_gbps(const MachineSpec& m, const Placement& p);
+
+}  // namespace svsim::machine

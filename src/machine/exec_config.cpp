@@ -1,0 +1,36 @@
+#include "machine/exec_config.hpp"
+
+#include "common/error.hpp"
+
+namespace svsim::machine {
+
+const char* affinity_name(Affinity a) {
+  return a == Affinity::Compact ? "compact" : "scatter";
+}
+
+Placement place_threads(const MachineSpec& m, const ExecConfig& config) {
+  unsigned threads = config.threads == 0 ? m.total_cores() : config.threads;
+  require(threads <= m.total_cores(),
+          "place_threads: more threads than cores");
+  Placement p;
+  p.threads_per_domain.assign(m.numa_domains, 0);
+  if (config.affinity == Affinity::Compact) {
+    for (unsigned d = 0; d < m.numa_domains && threads > 0; ++d) {
+      const unsigned take = std::min(threads, m.cores_per_domain);
+      p.threads_per_domain[d] = take;
+      threads -= take;
+    }
+  } else {
+    unsigned d = 0;
+    while (threads > 0) {
+      if (p.threads_per_domain[d] < m.cores_per_domain) {
+        ++p.threads_per_domain[d];
+        --threads;
+      }
+      d = (d + 1) % m.numa_domains;
+    }
+  }
+  return p;
+}
+
+}  // namespace svsim::machine

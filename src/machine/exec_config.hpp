@@ -1,0 +1,53 @@
+// Execution configuration: thread count, placement policy, vector length.
+//
+// The thread-affinity study (Fig. 3) hinges on where threads land: `Compact`
+// fills CMG 0 before touching CMG 1 (shorter OpenMP strides, one memory
+// controller at low thread counts); `Scatter` round-robins across CMGs
+// (all four HBM2 stacks active from 4 threads up). `vector_bits` overrides
+// the SIMD width below the machine's native width — the SVE vector-length-
+// agnostic sweep of Fig. 4.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+
+namespace svsim::machine {
+
+enum class Affinity { Compact, Scatter };
+
+const char* affinity_name(Affinity a);
+
+struct ExecConfig {
+  unsigned threads = 0;       ///< 0 = all cores
+  Affinity affinity = Affinity::Compact;
+  unsigned vector_bits = 0;   ///< 0 = machine native; else 128/256/512
+  unsigned element_bytes = 8; ///< 8 = double, 4 = float amplitudes' scalars
+
+  /// Effective SIMD width for this run on `m`.
+  unsigned effective_vector_bits(const MachineSpec& m) const noexcept {
+    return vector_bits == 0 ? m.simd_bits : vector_bits;
+  }
+};
+
+/// Resolved thread placement: how many threads sit in each NUMA domain.
+struct Placement {
+  std::vector<unsigned> threads_per_domain;
+
+  unsigned total_threads() const noexcept {
+    unsigned t = 0;
+    for (unsigned d : threads_per_domain) t += d;
+    return t;
+  }
+  unsigned active_domains() const noexcept {
+    unsigned a = 0;
+    for (unsigned d : threads_per_domain) a += (d > 0);
+    return a;
+  }
+};
+
+/// Places `config.threads` threads on `m` under the affinity policy.
+/// Throws if more threads than cores are requested.
+Placement place_threads(const MachineSpec& m, const ExecConfig& config);
+
+}  // namespace svsim::machine

@@ -1,0 +1,94 @@
+// Machine descriptions for the performance model.
+//
+// Every number here is a published, public parameter (vendor spec sheets and
+// the A64FX/Fugaku papers by Sato, Kodama, Tsuji, Odajima et al.): core
+// counts, NUMA/CMG topology, SIMD width, cache sizes, peak and STREAM
+// bandwidths, and power calibration points. The A64FX eco/boost variants
+// model the Fugaku power knobs (eco = one FMA pipe at reduced core power;
+// boost = 2.2 GHz at higher power) whose measured effects the authors
+// published (≈ +10% performance / +17% power for boost on CPU-bound code).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svsim::machine {
+
+/// One cache level. Bandwidth is split into a per-core sustainable rate and
+/// an optional per-sharing-domain ceiling (0 = no shared ceiling).
+struct CacheLevel {
+  std::string name;
+  std::uint64_t size_bytes;        ///< capacity per sharing domain
+  unsigned line_bytes;             ///< cache line size
+  unsigned shared_by_cores;        ///< 1 = private, 12 = per-CMG, ...
+  double core_bandwidth_gbps;      ///< per-core sustainable stream rate
+  double domain_bandwidth_gbps;    ///< ceiling per sharing domain (0 = none)
+  double latency_ns;
+};
+
+/// A processor (node-level) description.
+struct MachineSpec {
+  std::string name;
+
+  unsigned numa_domains;           ///< CMGs / sockets
+  unsigned cores_per_domain;
+  double clock_ghz;
+  unsigned simd_bits;              ///< SVE/AVX vector width
+  unsigned fma_pipes_per_core;     ///< FP pipelines issuing FMA per cycle
+
+  std::vector<CacheLevel> caches;  ///< ordered L1 → last level
+
+  double mem_bandwidth_gbps_per_domain;  ///< peak (HBM2: 256/CMG)
+  double mem_stream_efficiency;    ///< STREAM-achievable fraction of peak
+  double mem_latency_ns;
+  double core_mem_bandwidth_gbps;  ///< max memory BW one core can draw
+
+  // Power model calibration.
+  double idle_watts;               ///< chip + memory idle
+  double core_max_watts;           ///< per-core dynamic power at full load
+  double mem_watts_per_gbps;       ///< DRAM/HBM power per GB/s moved
+
+  // ---- derived ----------------------------------------------------------
+  unsigned total_cores() const noexcept {
+    return numa_domains * cores_per_domain;
+  }
+  /// DP flops per cycle per core: SIMD lanes x 2 (FMA) x pipes.
+  double flops_per_cycle_per_core(unsigned element_bytes = 8) const noexcept {
+    return static_cast<double>(simd_bits) / (8.0 * element_bytes) * 2.0 *
+           fma_pipes_per_core;
+  }
+  /// Node peak GFLOPS (double precision by default).
+  double peak_gflops(unsigned element_bytes = 8) const noexcept {
+    return flops_per_cycle_per_core(element_bytes) * clock_ghz * total_cores();
+  }
+  /// STREAM-achievable node memory bandwidth in GB/s.
+  double stream_bandwidth_gbps() const noexcept {
+    return mem_bandwidth_gbps_per_domain * numa_domains *
+           mem_stream_efficiency;
+  }
+  /// Last-level-cache aggregate capacity.
+  std::uint64_t llc_total_bytes() const noexcept;
+  /// Memory-system cache line size (line of the last level).
+  unsigned mem_line_bytes() const noexcept;
+
+  // ---- factory machine descriptions --------------------------------------
+  /// Fujitsu A64FX at 2.0 GHz (normal mode), 4 CMGs x 12 cores, HBM2.
+  static MachineSpec a64fx();
+  /// A64FX boost mode: 2.2 GHz, higher core power.
+  static MachineSpec a64fx_boost();
+  /// A64FX eco mode: one FMA pipe, reduced core power.
+  static MachineSpec a64fx_eco();
+  /// Fujitsu FX700 (commercial A64FX SKU): 1.8 GHz, same memory system.
+  static MachineSpec a64fx_fx700();
+  /// Dual-socket Intel Xeon Gold 6148 (Skylake-SP, 2 x 20 cores, AVX-512).
+  static MachineSpec xeon_6148_dual();
+  /// Dual-socket Marvell ThunderX2 CN9980 (2 x 32 cores, NEON 128-bit).
+  static MachineSpec thunderx2_dual();
+  /// A crude single-domain description of the build host (used only to
+  /// cross-check model shape against measured host numbers).
+  static MachineSpec generic_host(unsigned cores, double clock_ghz,
+                                  double stream_gbps);
+};
+
+}  // namespace svsim::machine

@@ -1,0 +1,43 @@
+#include "machine/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace svsim::machine {
+
+double placement_peak_gflops(const MachineSpec& m, const Placement& p,
+                             const ExecConfig& config) {
+  const unsigned vbits = config.effective_vector_bits(m);
+  require(vbits >= 8u * config.element_bytes,
+          "vector width below one element");
+  const double lanes =
+      static_cast<double>(vbits) / (8.0 * config.element_bytes);
+  const double flops_per_cycle = lanes * 2.0 * m.fma_pipes_per_core;
+  return flops_per_cycle * m.clock_ghz * p.total_threads();
+}
+
+RooflinePoint roofline(const MachineSpec& m, const Placement& p,
+                       const ExecConfig& config, double arithmetic_intensity,
+                       double simd_efficiency, std::uint64_t footprint_bytes) {
+  RooflinePoint pt;
+  pt.arithmetic_intensity = arithmetic_intensity;
+  pt.compute_roof_gflops =
+      placement_peak_gflops(m, p, config) * simd_efficiency;
+  pt.bandwidth_gbps = effective_bandwidth_gbps(m, p, footprint_bytes);
+  const double bw_roof = arithmetic_intensity * pt.bandwidth_gbps;
+  pt.memory_bound = bw_roof < pt.compute_roof_gflops;
+  pt.attainable_gflops = std::min(pt.compute_roof_gflops, bw_roof);
+  return pt;
+}
+
+double ridge_intensity(const MachineSpec& m, const Placement& p,
+                       const ExecConfig& config, double simd_efficiency,
+                       std::uint64_t footprint_bytes) {
+  const double compute =
+      placement_peak_gflops(m, p, config) * simd_efficiency;
+  const double bw = effective_bandwidth_gbps(m, p, footprint_bytes);
+  return compute / bw;
+}
+
+}  // namespace svsim::machine

@@ -1,0 +1,41 @@
+// Roofline model: attainable performance from arithmetic intensity.
+//
+// Attainable GFLOPS = min(compute roof, AI x bandwidth roof), where the
+// compute roof scales with the placement's active cores, the configured
+// vector length, and a per-kernel SIMD efficiency, and the bandwidth roof is
+// the effective-bandwidth model's rate for the sweep footprint.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/bandwidth_model.hpp"
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+
+namespace svsim::machine {
+
+/// Peak GFLOPS of the placement under `config` (vector-length override and
+/// precision applied), before SIMD-efficiency derating.
+double placement_peak_gflops(const MachineSpec& m, const Placement& p,
+                             const ExecConfig& config);
+
+struct RooflinePoint {
+  double arithmetic_intensity = 0.0;  ///< flops / byte
+  double attainable_gflops = 0.0;
+  double compute_roof_gflops = 0.0;
+  double bandwidth_gbps = 0.0;
+  bool memory_bound = false;
+};
+
+/// Evaluates the roofline at the given arithmetic intensity for a sweep of
+/// `footprint_bytes`, derating the compute roof by `simd_efficiency`.
+RooflinePoint roofline(const MachineSpec& m, const Placement& p,
+                       const ExecConfig& config, double arithmetic_intensity,
+                       double simd_efficiency, std::uint64_t footprint_bytes);
+
+/// The AI at which compute and bandwidth roofs intersect (the ridge point).
+double ridge_intensity(const MachineSpec& m, const Placement& p,
+                       const ExecConfig& config, double simd_efficiency,
+                       std::uint64_t footprint_bytes);
+
+}  // namespace svsim::machine

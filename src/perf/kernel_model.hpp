@@ -1,0 +1,53 @@
+// Per-gate cost derivation: flops, memory traffic, SIMD efficiency.
+//
+// This is the analysis the paper's class of work performs by hand; here it
+// is executable. For each gate kind on an n-qubit register we derive:
+//
+//  * flops — counting a complex multiply as 6 and a complex add as 2;
+//  * touched amplitudes — controlled/diagonal gates touch subsets;
+//  * memory traffic in *cache lines*, which is where control/target bit
+//    positions matter: a constraint on a bit at position >= log2(amps/line)
+//    eliminates whole lines, while a constraint below that only masks
+//    entries within lines that are fetched anyway. On A64FX the line is
+//    256 B = 16 double amplitudes, so a CX with a low control bit streams
+//    the whole state even though it updates a quarter of it;
+//  * SIMD efficiency as a function of the contiguous-run length 2^t vs. the
+//    vector length — the low-target-qubit permute penalty of SVE kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+#include "qc/gate.hpp"
+
+namespace svsim::perf {
+
+/// Cost profile of one gate applied to a 2^n state.
+struct KernelCost {
+  std::string kernel;                ///< kernel-class name for reporting
+  double flops = 0.0;
+  double bytes = 0.0;                ///< traffic incl. read+write, line-granular
+  std::uint64_t touched_amplitudes = 0;
+  std::uint64_t footprint_bytes = 0; ///< lines actually visited (for level selection)
+  double simd_efficiency = 1.0;
+
+  double arithmetic_intensity() const noexcept {
+    return bytes > 0.0 ? flops / bytes : 0.0;
+  }
+};
+
+/// SIMD efficiency of a unit-run-length-2^t strided pair kernel for vectors
+/// of `vector_bits` over complex elements of 2*element_bytes.
+double simd_efficiency_for_target(unsigned target, unsigned vector_bits,
+                                  unsigned element_bytes);
+
+/// Derives the cost profile of `gate` on an n-qubit register for machine
+/// `m` under `config`. Non-unitary ops (measure/reset) are costed as one
+/// state sweep (probability reduction + collapse); barriers are free.
+KernelCost gate_cost(const qc::Gate& gate, unsigned num_qubits,
+                     const machine::MachineSpec& m,
+                     const machine::ExecConfig& config);
+
+}  // namespace svsim::perf

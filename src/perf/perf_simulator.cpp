@@ -1,0 +1,88 @@
+#include "perf/perf_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "machine/bandwidth_model.hpp"
+#include "machine/roofline.hpp"
+#include "sv/fusion.hpp"
+
+namespace svsim::perf {
+
+using machine::ExecConfig;
+using machine::MachineSpec;
+using machine::Placement;
+
+namespace {
+
+/// Fork-join cost per parallel region: a base dispatch latency plus a
+/// tree-barrier term in log2(threads). Calibrated to OpenMP-class barriers
+/// (~1-2 µs at 48 threads).
+double fork_join_seconds(unsigned threads) {
+  if (threads <= 1) return 5.0e-8;
+  return 4.0e-7 + 2.0e-7 * std::log2(static_cast<double>(threads));
+}
+
+}  // namespace
+
+GateTiming time_gate(const qc::Gate& gate, unsigned num_qubits,
+                     const MachineSpec& m, const ExecConfig& config) {
+  const Placement p = machine::place_threads(m, config);
+  const KernelCost cost = gate_cost(gate, num_qubits, m, config);
+
+  GateTiming t;
+  t.gate = gate.name();
+  t.cost = cost;
+  if (cost.bytes == 0.0 && cost.flops == 0.0) {
+    // nop (barrier / identity)
+    return t;
+  }
+
+  const double compute_roof =
+      machine::placement_peak_gflops(m, p, config) * cost.simd_efficiency;
+  t.compute_seconds =
+      compute_roof > 0.0 ? cost.flops / (compute_roof * 1e9) : 0.0;
+
+  t.serving_level = machine::serving_level(m, p, cost.footprint_bytes);
+  const double bw =
+      machine::effective_bandwidth_gbps(m, p, cost.footprint_bytes);
+  t.memory_seconds = cost.bytes / (bw * 1e9);
+
+  t.overhead_seconds = fork_join_seconds(p.total_threads());
+  t.memory_bound = t.memory_seconds > t.compute_seconds;
+  t.seconds =
+      std::max(t.compute_seconds, t.memory_seconds) + t.overhead_seconds;
+  return t;
+}
+
+PerfReport simulate_circuit(const qc::Circuit& circuit, const MachineSpec& m,
+                            const ExecConfig& config,
+                            const PerfOptions& options) {
+  qc::Circuit prepared = circuit;
+  if (options.fusion) {
+    sv::FusionOptions fo;
+    fo.max_width = options.fusion_width;
+    prepared = sv::fuse(circuit, fo);
+  }
+
+  const Placement p = machine::place_threads(m, config);
+  PerfReport report;
+  report.machine_name = m.name;
+  report.num_qubits = circuit.num_qubits();
+  report.threads = p.total_threads();
+  report.num_gates = prepared.size();
+
+  for (const auto& g : prepared.gates()) {
+    GateTiming t = time_gate(g, circuit.num_qubits(), m, config);
+    report.total_seconds += t.seconds;
+    report.total_flops += t.cost.flops;
+    report.total_bytes += t.cost.bytes;
+    report.seconds_by_kernel[t.cost.kernel] += t.seconds;
+    if (options.record_trace) report.trace.push_back(std::move(t));
+  }
+  return report;
+}
+
+}  // namespace svsim::perf

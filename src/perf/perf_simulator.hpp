@@ -1,0 +1,74 @@
+// Execution-driven performance simulator.
+//
+// Walks a circuit gate by gate, derives each gate's cost profile
+// (kernel_model), resolves the thread placement and serving memory level
+// (machine models), and produces per-gate timings plus circuit aggregates:
+//
+//   gate time = max(flop time under the derated compute roof,
+//                   traffic / effective bandwidth) + fork-join overhead.
+//
+// The absolute numbers are model estimates; the point — as in the paper's
+// class of analysis — is the *shape*: regime transitions over target qubit
+// and register size, thread/affinity scaling, vector-length sensitivity,
+// fusion payoff, and cross-machine ranking.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+#include "perf/kernel_model.hpp"
+#include "qc/circuit.hpp"
+
+namespace svsim::perf {
+
+struct GateTiming {
+  std::string gate;
+  KernelCost cost;
+  double seconds = 0.0;
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  bool memory_bound = false;
+  int serving_level = -1;  ///< cache index or -1 = memory
+};
+
+struct PerfOptions {
+  bool fusion = false;
+  unsigned fusion_width = 3;
+  bool record_trace = false;
+};
+
+struct PerfReport {
+  std::string machine_name;
+  unsigned num_qubits = 0;
+  unsigned threads = 0;
+  double total_seconds = 0.0;
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  std::size_t num_gates = 0;
+  std::map<std::string, double> seconds_by_kernel;
+  std::vector<GateTiming> trace;  ///< filled iff record_trace
+
+  double achieved_gflops() const noexcept {
+    return total_seconds > 0.0 ? total_flops / total_seconds * 1e-9 : 0.0;
+  }
+  double achieved_bandwidth_gbps() const noexcept {
+    return total_seconds > 0.0 ? total_bytes / total_seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Models one gate on `m` under `config` for an n-qubit register.
+GateTiming time_gate(const qc::Gate& gate, unsigned num_qubits,
+                     const machine::MachineSpec& m,
+                     const machine::ExecConfig& config);
+
+/// Models a whole circuit (optionally fused first).
+PerfReport simulate_circuit(const qc::Circuit& circuit,
+                            const machine::MachineSpec& m,
+                            const machine::ExecConfig& config,
+                            const PerfOptions& options = {});
+
+}  // namespace svsim::perf

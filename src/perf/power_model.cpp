@@ -1,0 +1,44 @@
+#include "perf/power_model.hpp"
+
+#include <algorithm>
+
+#include "sv/fusion.hpp"
+
+namespace svsim::perf {
+
+using machine::ExecConfig;
+using machine::MachineSpec;
+
+PowerReport estimate_power(const qc::Circuit& circuit, const MachineSpec& m,
+                           const ExecConfig& config,
+                           const PerfOptions& options) {
+  qc::Circuit prepared = circuit;
+  if (options.fusion) {
+    sv::FusionOptions fo;
+    fo.max_width = options.fusion_width;
+    prepared = sv::fuse(circuit, fo);
+  }
+  const machine::Placement p = machine::place_threads(m, config);
+  const unsigned cores = p.total_threads();
+
+  PowerReport report;
+  for (const auto& g : prepared.gates()) {
+    const GateTiming t = time_gate(g, circuit.num_qubits(), m, config);
+    if (t.seconds <= 0.0) continue;
+    // Utilization: fraction of the gate the cores spend computing (vs.
+    // stalled on memory), floored at the stall draw.
+    const double util = std::max(
+        kStallPowerFloor,
+        t.seconds > 0.0 ? t.compute_seconds / t.seconds : 0.0);
+    const double gate_bw_gbps = t.cost.bytes / t.seconds * 1e-9;
+    const double watts = m.idle_watts + cores * m.core_max_watts * util +
+                         m.mem_watts_per_gbps * gate_bw_gbps;
+    report.joules += watts * t.seconds;
+    report.seconds += t.seconds;
+  }
+  report.average_watts =
+      report.seconds > 0.0 ? report.joules / report.seconds : m.idle_watts;
+  return report;
+}
+
+}  // namespace svsim::perf

@@ -1,0 +1,37 @@
+// Power and energy estimation on top of a PerfReport.
+//
+// P(t) = idle + Σ_active cores (core_max_watts x utilization)
+//             + mem_watts_per_gbps x achieved bandwidth,
+// where utilization is each gate's compute fraction (memory-stalled cores
+// still draw a floor fraction). Calibrated so the A64FX boost/eco variants
+// reproduce the authors' published relative effects (boost ≈ +10% perf /
+// +17% power on compute-bound work; eco cuts power sharply on memory-bound
+// work at little cost).
+#pragma once
+
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/circuit.hpp"
+
+namespace svsim::perf {
+
+struct PowerReport {
+  double average_watts = 0.0;
+  double joules = 0.0;
+  double seconds = 0.0;
+  /// Energy-delay product (J·s) — the metric the power studies optimize.
+  double energy_delay_product() const noexcept { return joules * seconds; }
+};
+
+/// Fraction of peak core power a memory-stalled core still draws.
+inline constexpr double kStallPowerFloor = 0.35;
+
+/// Estimates power for a circuit by re-running the performance model with
+/// per-gate utilization tracking.
+PowerReport estimate_power(const qc::Circuit& circuit,
+                           const machine::MachineSpec& m,
+                           const machine::ExecConfig& config,
+                           const PerfOptions& options = {});
+
+}  // namespace svsim::perf

@@ -1,0 +1,71 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+
+namespace svsim::perf {
+
+Table summary_table(const PerfReport& report) {
+  Table t("Performance summary — " + report.machine_name,
+          {"qubits", "threads", "gates", "seconds", "GFLOP/s", "GB/s"});
+  t.add_row({static_cast<std::int64_t>(report.num_qubits),
+             static_cast<std::int64_t>(report.threads),
+             static_cast<std::int64_t>(report.num_gates),
+             report.total_seconds, report.achieved_gflops(),
+             report.achieved_bandwidth_gbps()});
+  return t;
+}
+
+Table kernel_breakdown_table(const PerfReport& report) {
+  Table t("Time by kernel class — " + report.machine_name,
+          {"kernel", "seconds", "share"});
+  std::vector<std::pair<std::string, double>> rows(
+      report.seconds_by_kernel.begin(), report.seconds_by_kernel.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [kernel, seconds] : rows) {
+    t.add_row({kernel, seconds,
+               report.total_seconds > 0.0 ? seconds / report.total_seconds
+                                          : 0.0});
+  }
+  return t;
+}
+
+Table trace_table(const PerfReport& report, std::size_t max_rows) {
+  Table t("Gate trace — " + report.machine_name,
+          {"gate", "kernel", "us", "GB/s", "simd_eff", "bound"});
+  const std::size_t rows = std::min(report.trace.size(), max_rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const GateTiming& g = report.trace[i];
+    t.add_row({g.gate, g.cost.kernel, g.seconds * 1e6,
+               g.seconds > 0.0 ? g.cost.bytes / g.seconds * 1e-9 : 0.0,
+               g.cost.simd_efficiency,
+               std::string(g.memory_bound ? "mem" : "fp")});
+  }
+  return t;
+}
+
+Table comparison_table(
+    const std::vector<std::pair<std::string, PerfReport>>& runs) {
+  Table t("Configuration comparison",
+          {"configuration", "seconds", "GFLOP/s", "GB/s", "vs_first"});
+  const double base = runs.empty() ? 1.0 : runs.front().second.total_seconds;
+  for (const auto& [label, r] : runs) {
+    t.add_row({label, r.total_seconds, r.achieved_gflops(),
+               r.achieved_bandwidth_gbps(),
+               r.total_seconds > 0.0 ? base / r.total_seconds : 0.0});
+  }
+  return t;
+}
+
+Table power_table(
+    const std::vector<std::pair<std::string, PowerReport>>& runs) {
+  Table t("Power comparison",
+          {"configuration", "seconds", "watts", "joules", "EDP_Js"});
+  for (const auto& [label, p] : runs) {
+    t.add_row({label, p.seconds, p.average_watts, p.joules,
+               p.energy_delay_product()});
+  }
+  return t;
+}
+
+}  // namespace svsim::perf

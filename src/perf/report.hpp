@@ -1,0 +1,34 @@
+// Rendering of performance-analysis results as tables.
+//
+// Thin formatting layer so examples and benches print consistent output:
+// a PerfReport becomes a per-kernel breakdown table, a gate trace becomes a
+// per-gate listing, and a set of (machine, report) pairs becomes a
+// comparison table.
+#pragma once
+
+#include <vector>
+
+#include "common/table.hpp"
+#include "perf/perf_simulator.hpp"
+#include "perf/power_model.hpp"
+
+namespace svsim::perf {
+
+/// Summary line table: totals, achieved GFLOP/s and GB/s.
+Table summary_table(const PerfReport& report);
+
+/// Per-kernel-class time breakdown (sorted by share, descending).
+Table kernel_breakdown_table(const PerfReport& report);
+
+/// Per-gate trace listing (requires record_trace at simulation time).
+Table trace_table(const PerfReport& report, std::size_t max_rows = 32);
+
+/// Side-by-side comparison of several labeled runs.
+Table comparison_table(
+    const std::vector<std::pair<std::string, PerfReport>>& runs);
+
+/// Power summary for labeled runs.
+Table power_table(
+    const std::vector<std::pair<std::string, PowerReport>>& runs);
+
+}  // namespace svsim::perf

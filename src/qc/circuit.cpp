@@ -1,0 +1,115 @@
+#include "qc/circuit.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+Circuit::Circuit(unsigned num_qubits, unsigned num_clbits)
+    : num_qubits_(num_qubits),
+      num_clbits_(num_clbits == 0 ? num_qubits : num_clbits) {
+  require(num_qubits > 0, "Circuit requires at least one qubit");
+}
+
+Circuit& Circuit::append(Gate g) {
+  for (unsigned q : g.qubits)
+    require(q < num_qubits_, "gate '" + std::string(g.name()) +
+                                 "' references qubit " + std::to_string(q) +
+                                 " outside register of size " +
+                                 std::to_string(num_qubits_));
+  if (g.kind == GateKind::MEASURE)
+    require(g.cbit < num_clbits_, "measure references classical bit " +
+                                      std::to_string(g.cbit) +
+                                      " outside register");
+  gates_.push_back(std::move(g));
+  return *this;
+}
+
+Circuit& Circuit::measure_all() {
+  require(num_clbits_ >= num_qubits_,
+          "measure_all needs one classical bit per qubit");
+  for (unsigned q = 0; q < num_qubits_; ++q) measure(q, q);
+  return *this;
+}
+
+unsigned Circuit::depth() const {
+  std::vector<unsigned> level(num_qubits_, 0);
+  unsigned max_level = 0;
+  for (const auto& g : gates_) {
+    if (g.kind == GateKind::BARRIER) continue;
+    unsigned start = 0;
+    for (unsigned q : g.qubits) start = std::max(start, level[q]);
+    for (unsigned q : g.qubits) level[q] = start + 1;
+    max_level = std::max(max_level, start + 1);
+  }
+  return max_level;
+}
+
+std::map<std::string, std::size_t> Circuit::gate_counts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& g : gates_) ++counts[g.name()];
+  return counts;
+}
+
+std::size_t Circuit::multi_qubit_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_)
+    if (g.is_unitary_op() && g.num_qubits() >= 2) ++n;
+  return n;
+}
+
+bool Circuit::is_unitary() const {
+  return std::all_of(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return g.kind != GateKind::MEASURE && g.kind != GateKind::RESET;
+  });
+}
+
+Circuit& Circuit::compose(const Circuit& other) {
+  require(other.num_qubits_ == num_qubits_,
+          "compose: qubit count mismatch");
+  gates_.reserve(gates_.size() + other.gates_.size());
+  for (const auto& g : other.gates_) append(g);
+  return *this;
+}
+
+Circuit Circuit::inverse() const {
+  require(is_unitary(), "inverse: circuit contains measure/reset");
+  Circuit inv(num_qubits_, num_clbits_);
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it) {
+    if (it->kind == GateKind::BARRIER) {
+      inv.append(*it);
+      continue;
+    }
+    inv.append(it->inverse());
+  }
+  return inv;
+}
+
+Circuit Circuit::remap(const std::vector<unsigned>& mapping) const {
+  require(mapping.size() == num_qubits_, "remap: mapping size mismatch");
+  std::vector<bool> hit(num_qubits_, false);
+  for (unsigned m : mapping) {
+    require(m < num_qubits_ && !hit[m], "remap: mapping is not a permutation");
+    hit[m] = true;
+  }
+  Circuit out(num_qubits_, num_clbits_);
+  for (const auto& g : gates_) {
+    Gate h = g;
+    for (auto& q : h.qubits) q = mapping[q];
+    out.append(std::move(h));
+  }
+  return out;
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << num_qubits_ << " qubits, " << gates_.size()
+     << " gates, depth " << depth() << ")\n";
+  for (const auto& g : gates_) os << "  " << g.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace svsim::qc

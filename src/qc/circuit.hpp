@@ -1,0 +1,131 @@
+// Circuit: an ordered list of gates on a fixed-width qubit register.
+//
+// The class doubles as a fluent builder (`c.h(0).cx(0,1).rz(1, 0.3)`), and
+// offers the structural queries the rest of the library needs: depth, gate
+// histograms, composition, inversion, and qubit remapping (used by the
+// distributed scheduler).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qc/gate.hpp"
+
+namespace svsim::qc {
+
+class Circuit {
+ public:
+  Circuit() = default;
+  /// Circuit on `num_qubits` qubits with `num_clbits` classical bits
+  /// (defaults to one classical bit per qubit).
+  explicit Circuit(unsigned num_qubits, unsigned num_clbits = 0);
+
+  unsigned num_qubits() const noexcept { return num_qubits_; }
+  unsigned num_clbits() const noexcept { return num_clbits_; }
+  std::size_t size() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  const Gate& gate(std::size_t i) const { return gates_.at(i); }
+
+  /// Appends a gate after validating its operands against the register.
+  Circuit& append(Gate g);
+
+  // ---- fluent builder shims (all validate and return *this) ------------
+  Circuit& i(unsigned q) { return append(Gate::i(q)); }
+  Circuit& x(unsigned q) { return append(Gate::x(q)); }
+  Circuit& y(unsigned q) { return append(Gate::y(q)); }
+  Circuit& z(unsigned q) { return append(Gate::z(q)); }
+  Circuit& h(unsigned q) { return append(Gate::h(q)); }
+  Circuit& s(unsigned q) { return append(Gate::s(q)); }
+  Circuit& sdg(unsigned q) { return append(Gate::sdg(q)); }
+  Circuit& t(unsigned q) { return append(Gate::t(q)); }
+  Circuit& tdg(unsigned q) { return append(Gate::tdg(q)); }
+  Circuit& sx(unsigned q) { return append(Gate::sx(q)); }
+  Circuit& sxdg(unsigned q) { return append(Gate::sxdg(q)); }
+  Circuit& rx(unsigned q, double a) { return append(Gate::rx(q, a)); }
+  Circuit& ry(unsigned q, double a) { return append(Gate::ry(q, a)); }
+  Circuit& rz(unsigned q, double a) { return append(Gate::rz(q, a)); }
+  Circuit& p(unsigned q, double a) { return append(Gate::p(q, a)); }
+  Circuit& u(unsigned q, double t_, double p_, double l_) {
+    return append(Gate::u(q, t_, p_, l_));
+  }
+  Circuit& cx(unsigned c, unsigned t_) { return append(Gate::cx(c, t_)); }
+  Circuit& cy(unsigned c, unsigned t_) { return append(Gate::cy(c, t_)); }
+  Circuit& cz(unsigned c, unsigned t_) { return append(Gate::cz(c, t_)); }
+  Circuit& ch(unsigned c, unsigned t_) { return append(Gate::ch(c, t_)); }
+  Circuit& cp(unsigned c, unsigned t_, double a) {
+    return append(Gate::cp(c, t_, a));
+  }
+  Circuit& crx(unsigned c, unsigned t_, double a) {
+    return append(Gate::crx(c, t_, a));
+  }
+  Circuit& cry(unsigned c, unsigned t_, double a) {
+    return append(Gate::cry(c, t_, a));
+  }
+  Circuit& crz(unsigned c, unsigned t_, double a) {
+    return append(Gate::crz(c, t_, a));
+  }
+  Circuit& swap(unsigned a, unsigned b) { return append(Gate::swap(a, b)); }
+  Circuit& iswap(unsigned a, unsigned b) { return append(Gate::iswap(a, b)); }
+  Circuit& rxx(unsigned a, unsigned b, double th) {
+    return append(Gate::rxx(a, b, th));
+  }
+  Circuit& ryy(unsigned a, unsigned b, double th) {
+    return append(Gate::ryy(a, b, th));
+  }
+  Circuit& rzz(unsigned a, unsigned b, double th) {
+    return append(Gate::rzz(a, b, th));
+  }
+  Circuit& ccx(unsigned c0, unsigned c1, unsigned t_) {
+    return append(Gate::ccx(c0, c1, t_));
+  }
+  Circuit& ccz(unsigned c0, unsigned c1, unsigned t_) {
+    return append(Gate::ccz(c0, c1, t_));
+  }
+  Circuit& cswap(unsigned c, unsigned a, unsigned b) {
+    return append(Gate::cswap(c, a, b));
+  }
+  Circuit& measure(unsigned q, unsigned cbit) {
+    return append(Gate::measure(q, cbit));
+  }
+  Circuit& measure_all();
+  Circuit& reset(unsigned q) { return append(Gate::reset(q)); }
+  Circuit& barrier() { return append(Gate::barrier()); }
+
+  // ---- structure --------------------------------------------------------
+  /// Circuit depth: longest chain of gates sharing qubits (barriers ignored,
+  /// measure/reset counted).
+  unsigned depth() const;
+
+  /// Histogram of gate kinds by mnemonic.
+  std::map<std::string, std::size_t> gate_counts() const;
+
+  /// Total number of two-or-more-qubit unitary gates.
+  std::size_t multi_qubit_gate_count() const;
+
+  /// True if no MEASURE/RESET present.
+  bool is_unitary() const;
+
+  /// Appends all gates of `other` (qubit counts must match).
+  Circuit& compose(const Circuit& other);
+
+  /// The adjoint circuit: gates reversed and inverted. Requires unitarity.
+  Circuit inverse() const;
+
+  /// Returns the circuit with every qubit index q replaced by mapping[q].
+  /// `mapping` must be a permutation of [0, num_qubits).
+  Circuit remap(const std::vector<unsigned>& mapping) const;
+
+  /// Multi-line textual rendering.
+  std::string to_string() const;
+
+ private:
+  unsigned num_qubits_ = 0;
+  unsigned num_clbits_ = 0;
+  std::vector<Gate> gates_;
+};
+
+}  // namespace svsim::qc

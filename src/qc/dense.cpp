@@ -1,0 +1,120 @@
+#include "qc/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::qc::dense {
+
+std::vector<cplx> zero_state(unsigned num_qubits) {
+  std::vector<cplx> state(pow2(num_qubits), cplx{0.0, 0.0});
+  state[0] = 1.0;
+  return state;
+}
+
+void apply_gate(std::vector<cplx>& state, const Gate& gate,
+                unsigned num_qubits) {
+  if (gate.kind == GateKind::BARRIER) return;
+  require(gate.is_unitary_op(),
+          "dense::apply_gate: non-unitary operation in circuit");
+  SVSIM_ASSERT(state.size() == pow2(num_qubits));
+
+  const Matrix u = gate.matrix();
+  const unsigned k = gate.num_qubits();
+  const std::uint64_t sub_dim = pow2(k);
+  const std::uint64_t outer = pow2(num_qubits - k);
+
+  // Sorted operand positions for the insert-zero-bits enumeration; the
+  // gather/scatter below maps between matrix index order (gate.qubits) and
+  // state bits.
+  std::vector<unsigned> sorted_ops(gate.qubits.begin(), gate.qubits.end());
+  std::sort(sorted_ops.begin(), sorted_ops.end());
+
+  std::vector<cplx> in(sub_dim), out(sub_dim);
+  for (std::uint64_t o = 0; o < outer; ++o) {
+    const std::uint64_t base = insert_zero_bits(o, sorted_ops);
+    for (std::uint64_t s = 0; s < sub_dim; ++s) {
+      const std::uint64_t idx = base | scatter_bits(s, gate.qubits);
+      in[s] = state[idx];
+    }
+    for (std::uint64_t r = 0; r < sub_dim; ++r) {
+      cplx acc{0.0, 0.0};
+      for (std::uint64_t c = 0; c < sub_dim; ++c) acc += u(r, c) * in[c];
+      out[r] = acc;
+    }
+    for (std::uint64_t s = 0; s < sub_dim; ++s) {
+      const std::uint64_t idx = base | scatter_bits(s, gate.qubits);
+      state[idx] = out[s];
+    }
+  }
+}
+
+std::vector<cplx> run(const Circuit& circuit) {
+  require(circuit.is_unitary(), "dense::run: circuit contains measure/reset");
+  auto state = zero_state(circuit.num_qubits());
+  for (const auto& g : circuit.gates())
+    apply_gate(state, g, circuit.num_qubits());
+  return state;
+}
+
+Matrix circuit_unitary(const Circuit& circuit) {
+  require(circuit.is_unitary(),
+          "dense::circuit_unitary: circuit contains measure/reset");
+  const unsigned n = circuit.num_qubits();
+  require(n <= 12, "dense::circuit_unitary: too many qubits");
+  const std::uint64_t dim = pow2(n);
+  Matrix u(dim);
+  std::vector<cplx> col(dim);
+  for (std::uint64_t kcol = 0; kcol < dim; ++kcol) {
+    std::fill(col.begin(), col.end(), cplx{0.0, 0.0});
+    col[kcol] = 1.0;
+    for (const auto& g : circuit.gates()) apply_gate(col, g, n);
+    for (std::uint64_t r = 0; r < dim; ++r) u(r, kcol) = col[r];
+  }
+  return u;
+}
+
+double norm_squared(const std::vector<cplx>& state) {
+  double n = 0.0;
+  for (const cplx& a : state) n += std::norm(a);
+  return n;
+}
+
+double overlap(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  require(a.size() == b.size(), "overlap: state size mismatch");
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::conj(a[i]) * b[i];
+  return std::abs(acc);
+}
+
+double distance(const std::vector<cplx>& a, const std::vector<cplx>& b) {
+  require(a.size() == b.size(), "distance: state size mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::abs(a[i] - b[i]));
+  return d;
+}
+
+double distance_up_to_phase(const std::vector<cplx>& a,
+                            const std::vector<cplx>& b) {
+  require(a.size() == b.size(), "distance: state size mismatch");
+  // Align phases on the largest-magnitude entry of a.
+  std::size_t imax = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i]) > best) {
+      best = std::abs(a[i]);
+      imax = i;
+    }
+  }
+  if (best < 1e-15 || std::abs(b[imax]) < 1e-15) return distance(a, b);
+  const cplx phase = (b[imax] / std::abs(b[imax])) / (a[imax] / std::abs(a[imax]));
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::abs(a[i] * phase - b[i]));
+  return d;
+}
+
+}  // namespace svsim::qc::dense

@@ -1,0 +1,46 @@
+// Dense reference simulation — the test oracle.
+//
+// A deliberately simple O(2^n · 2^k) implementation of gate application on a
+// plain std::vector state, written with index gather/scatter helpers and no
+// shared code with the optimized sv kernels, so the two can check each other.
+// Usable up to ~14 qubits; tests stay well below that.
+#pragma once
+
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/gate.hpp"
+#include "qc/matrix.hpp"
+
+namespace svsim::qc::dense {
+
+/// |0...0> on n qubits.
+std::vector<cplx> zero_state(unsigned num_qubits);
+
+/// Applies a unitary gate to `state` (length 2^num_qubits) in place.
+/// Throws for MEASURE/RESET; BARRIER is a no-op.
+void apply_gate(std::vector<cplx>& state, const Gate& gate,
+                unsigned num_qubits);
+
+/// Runs all unitary gates of `circuit` on |0...0> and returns the final
+/// state. Throws if the circuit contains measure/reset.
+std::vector<cplx> run(const Circuit& circuit);
+
+/// Full 2^n x 2^n unitary of the circuit (column k = circuit applied to
+/// basis state |k>). Requires a unitary circuit and modest n (<= 12).
+Matrix circuit_unitary(const Circuit& circuit);
+
+/// Squared-norm of a state (should be 1 for physical states).
+double norm_squared(const std::vector<cplx>& state);
+
+/// |<a|b>|: overlap magnitude between two states.
+double overlap(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Max-norm distance between two states.
+double distance(const std::vector<cplx>& a, const std::vector<cplx>& b);
+
+/// Max-norm distance ignoring global phase.
+double distance_up_to_phase(const std::vector<cplx>& a,
+                            const std::vector<cplx>& b);
+
+}  // namespace svsim::qc::dense

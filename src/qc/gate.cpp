@@ -1,0 +1,419 @@
+#include "qc/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+namespace {
+constexpr cplx kI{0.0, 1.0};
+const double kInvSqrt2 = 1.0 / std::numbers::sqrt2;
+}  // namespace
+
+namespace mat {
+
+Matrix I() { return Matrix(2, {1, 0, 0, 1}); }
+Matrix X() { return Matrix(2, {0, 1, 1, 0}); }
+Matrix Y() { return Matrix(2, {0, -kI, kI, 0}); }
+Matrix Z() { return Matrix(2, {1, 0, 0, -1}); }
+Matrix H() {
+  return Matrix(2, {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2});
+}
+Matrix S() { return Matrix(2, {1, 0, 0, kI}); }
+Matrix Sdg() { return Matrix(2, {1, 0, 0, -kI}); }
+Matrix T() {
+  return Matrix(2, {1, 0, 0, std::polar(1.0, std::numbers::pi / 4)});
+}
+Matrix Tdg() {
+  return Matrix(2, {1, 0, 0, std::polar(1.0, -std::numbers::pi / 4)});
+}
+Matrix SX() {
+  // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]]
+  const cplx a{0.5, 0.5}, b{0.5, -0.5};
+  return Matrix(2, {a, b, b, a});
+}
+Matrix SXdg() {
+  const cplx a{0.5, -0.5}, b{0.5, 0.5};
+  return Matrix(2, {a, b, b, a});
+}
+Matrix RX(double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return Matrix(2, {c, -kI * s, -kI * s, c});
+}
+Matrix RY(double theta) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return Matrix(2, {c, -s, s, c});
+}
+Matrix RZ(double theta) {
+  return Matrix(2, {std::polar(1.0, -theta / 2), 0, 0,
+                    std::polar(1.0, theta / 2)});
+}
+Matrix P(double lambda) {
+  return Matrix(2, {1, 0, 0, std::polar(1.0, lambda)});
+}
+Matrix U(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  return Matrix(2, {c, -std::polar(1.0, lambda) * s,
+                    std::polar(1.0, phi) * s,
+                    std::polar(1.0, phi + lambda) * c});
+}
+Matrix SWAP() {
+  return Matrix(4, {1, 0, 0, 0,  //
+                    0, 0, 1, 0,  //
+                    0, 1, 0, 0,  //
+                    0, 0, 0, 1});
+}
+Matrix ISWAP() {
+  return Matrix(4, {1, 0, 0, 0,   //
+                    0, 0, kI, 0,  //
+                    0, kI, 0, 0,  //
+                    0, 0, 0, 1});
+}
+Matrix RXX(double theta) {
+  const cplx c = std::cos(theta / 2), s = -kI * std::sin(theta / 2);
+  return Matrix(4, {c, 0, 0, s,  //
+                    0, c, s, 0,  //
+                    0, s, c, 0,  //
+                    s, 0, 0, c});
+}
+Matrix RYY(double theta) {
+  const cplx c = std::cos(theta / 2);
+  const cplx s = -kI * std::sin(theta / 2);
+  return Matrix(4, {c, 0, 0, -s,  //
+                    0, c, s, 0,   //
+                    0, s, c, 0,   //
+                    -s, 0, 0, c});
+}
+Matrix RZZ(double theta) {
+  const cplx em = std::polar(1.0, -theta / 2), ep = std::polar(1.0, theta / 2);
+  return Matrix::diagonal({em, ep, ep, em});
+}
+
+}  // namespace mat
+
+Matrix controlled_matrix(const Matrix& u, unsigned num_controls) {
+  const std::size_t dim = u.dim() << num_controls;
+  const std::uint64_t cmask = low_mask(num_controls);
+  Matrix out = Matrix::identity(dim);
+  for (std::size_t r = 0; r < u.dim(); ++r) {
+    for (std::size_t c = 0; c < u.dim(); ++c) {
+      const std::size_t rr = (r << num_controls) | cmask;
+      const std::size_t cc = (c << num_controls) | cmask;
+      out(rr, cc) = u(r, c);
+    }
+  }
+  return out;
+}
+
+const char* gate_kind_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::I: return "id";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::H: return "h";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::SX: return "sx";
+    case GateKind::SXdg: return "sxdg";
+    case GateKind::RX: return "rx";
+    case GateKind::RY: return "ry";
+    case GateKind::RZ: return "rz";
+    case GateKind::P: return "p";
+    case GateKind::U: return "u";
+    case GateKind::CX: return "cx";
+    case GateKind::CY: return "cy";
+    case GateKind::CZ: return "cz";
+    case GateKind::CH: return "ch";
+    case GateKind::CP: return "cp";
+    case GateKind::CRX: return "crx";
+    case GateKind::CRY: return "cry";
+    case GateKind::CRZ: return "crz";
+    case GateKind::SWAP: return "swap";
+    case GateKind::ISWAP: return "iswap";
+    case GateKind::RXX: return "rxx";
+    case GateKind::RYY: return "ryy";
+    case GateKind::RZZ: return "rzz";
+    case GateKind::U2Q: return "u2q";
+    case GateKind::CCX: return "ccx";
+    case GateKind::CCZ: return "ccz";
+    case GateKind::CSWAP: return "cswap";
+    case GateKind::MCX: return "mcx";
+    case GateKind::MCP: return "mcp";
+    case GateKind::DIAG: return "diag";
+    case GateKind::UNITARY: return "unitary";
+    case GateKind::MEASURE: return "measure";
+    case GateKind::RESET: return "reset";
+    case GateKind::BARRIER: return "barrier";
+  }
+  return "?";
+}
+
+Gate Gate::make(GateKind kind, std::vector<unsigned> qubits,
+                std::vector<double> params) {
+  Gate g;
+  g.kind = kind;
+  g.qubits = std::move(qubits);
+  g.params = std::move(params);
+  g.validate();
+  return g;
+}
+
+Gate Gate::u2q(unsigned a, unsigned b, Matrix m) {
+  require(m.dim() == 4, "u2q requires a 4x4 matrix");
+  Gate g;
+  g.kind = GateKind::U2Q;
+  g.qubits = {a, b};
+  g.matrix_payload_ = std::make_shared<const Matrix>(std::move(m));
+  g.validate();
+  return g;
+}
+
+Gate Gate::mcx(std::vector<unsigned> controls, unsigned target) {
+  require(!controls.empty(), "mcx requires at least one control");
+  Gate g;
+  g.kind = GateKind::MCX;
+  g.qubits = std::move(controls);
+  g.qubits.push_back(target);
+  g.validate();
+  return g;
+}
+
+Gate Gate::mcp(std::vector<unsigned> controls, unsigned target,
+               double lambda) {
+  require(!controls.empty(), "mcp requires at least one control");
+  Gate g;
+  g.kind = GateKind::MCP;
+  g.qubits = std::move(controls);
+  g.qubits.push_back(target);
+  g.params = {lambda};
+  g.validate();
+  return g;
+}
+
+Gate Gate::diag(std::vector<unsigned> qs, std::vector<cplx> diag_entries) {
+  require(!qs.empty(), "diag requires at least one qubit");
+  require(diag_entries.size() == pow2(static_cast<unsigned>(qs.size())),
+          "diag entry count must be 2^k");
+  Gate g;
+  g.kind = GateKind::DIAG;
+  g.qubits = std::move(qs);
+  g.diag_payload_ =
+      std::make_shared<const std::vector<cplx>>(std::move(diag_entries));
+  g.validate();
+  return g;
+}
+
+Gate Gate::unitary(std::vector<unsigned> qs, Matrix m) {
+  require(!qs.empty(), "unitary requires at least one qubit");
+  require(m.dim() == pow2(static_cast<unsigned>(qs.size())),
+          "unitary matrix dimension must be 2^k");
+  Gate g;
+  g.kind = GateKind::UNITARY;
+  g.qubits = std::move(qs);
+  g.matrix_payload_ = std::make_shared<const Matrix>(std::move(m));
+  g.validate();
+  return g;
+}
+
+Gate Gate::measure(unsigned q, unsigned classical_bit) {
+  Gate g;
+  g.kind = GateKind::MEASURE;
+  g.qubits = {q};
+  g.cbit = classical_bit;
+  return g;
+}
+
+unsigned Gate::num_controls() const noexcept {
+  switch (kind) {
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::CP: case GateKind::CRX:
+    case GateKind::CRY: case GateKind::CRZ:
+      return 1;
+    case GateKind::CCX: case GateKind::CCZ:
+      return 2;
+    case GateKind::CSWAP:
+      return 1;
+    case GateKind::MCX: case GateKind::MCP:
+      return static_cast<unsigned>(qubits.size()) - 1;
+    default:
+      return 0;
+  }
+}
+
+std::vector<unsigned> Gate::targets() const {
+  return {qubits.begin() + num_controls(), qubits.end()};
+}
+
+std::vector<unsigned> Gate::controls() const {
+  return {qubits.begin(), qubits.begin() + num_controls()};
+}
+
+bool Gate::is_unitary_op() const noexcept {
+  return kind != GateKind::MEASURE && kind != GateKind::RESET &&
+         kind != GateKind::BARRIER;
+}
+
+bool Gate::is_diagonal() const noexcept {
+  switch (kind) {
+    case GateKind::I: case GateKind::Z: case GateKind::S: case GateKind::Sdg:
+    case GateKind::T: case GateKind::Tdg: case GateKind::RZ: case GateKind::P:
+    case GateKind::CZ: case GateKind::CP: case GateKind::CRZ:
+    case GateKind::RZZ: case GateKind::CCZ: case GateKind::MCP:
+    case GateKind::DIAG:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Matrix Gate::target_matrix() const {
+  switch (kind) {
+    case GateKind::CX: case GateKind::CCX: case GateKind::MCX:
+      return mat::X();
+    case GateKind::CY: return mat::Y();
+    case GateKind::CZ: case GateKind::CCZ: return mat::Z();
+    case GateKind::CH: return mat::H();
+    case GateKind::CP: case GateKind::MCP: return mat::P(params.at(0));
+    case GateKind::CRX: return mat::RX(params.at(0));
+    case GateKind::CRY: return mat::RY(params.at(0));
+    case GateKind::CRZ: return mat::RZ(params.at(0));
+    default:
+      throw Error(std::string("target_matrix: gate '") + name() +
+                  "' is not a controlled single-target gate");
+  }
+}
+
+Matrix Gate::matrix() const {
+  switch (kind) {
+    case GateKind::I: return mat::I();
+    case GateKind::X: return mat::X();
+    case GateKind::Y: return mat::Y();
+    case GateKind::Z: return mat::Z();
+    case GateKind::H: return mat::H();
+    case GateKind::S: return mat::S();
+    case GateKind::Sdg: return mat::Sdg();
+    case GateKind::T: return mat::T();
+    case GateKind::Tdg: return mat::Tdg();
+    case GateKind::SX: return mat::SX();
+    case GateKind::SXdg: return mat::SXdg();
+    case GateKind::RX: return mat::RX(params.at(0));
+    case GateKind::RY: return mat::RY(params.at(0));
+    case GateKind::RZ: return mat::RZ(params.at(0));
+    case GateKind::P: return mat::P(params.at(0));
+    case GateKind::U: return mat::U(params.at(0), params.at(1), params.at(2));
+    case GateKind::SWAP: return mat::SWAP();
+    case GateKind::ISWAP: return mat::ISWAP();
+    case GateKind::RXX: return mat::RXX(params.at(0));
+    case GateKind::RYY: return mat::RYY(params.at(0));
+    case GateKind::RZZ: return mat::RZZ(params.at(0));
+    case GateKind::U2Q: case GateKind::UNITARY: return *matrix_payload_;
+    case GateKind::DIAG: return Matrix::diagonal(*diag_payload_);
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::CP: case GateKind::CRX:
+    case GateKind::CRY: case GateKind::CRZ:
+    case GateKind::CCX: case GateKind::CCZ:
+    case GateKind::MCX: case GateKind::MCP:
+      return controlled_matrix(target_matrix(), num_controls());
+    case GateKind::CSWAP:
+      return controlled_matrix(mat::SWAP(), 1);
+    case GateKind::MEASURE: case GateKind::RESET: case GateKind::BARRIER:
+      break;
+  }
+  throw Error(std::string("matrix: gate '") + name() + "' is not unitary");
+}
+
+Gate Gate::inverse() const {
+  require(is_unitary_op(), "inverse: non-unitary operation");
+  Gate g = *this;
+  switch (kind) {
+    // Self-inverse kinds.
+    case GateKind::I: case GateKind::X: case GateKind::Y: case GateKind::Z:
+    case GateKind::H: case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::CH: case GateKind::SWAP: case GateKind::CCX:
+    case GateKind::CCZ: case GateKind::CSWAP: case GateKind::MCX:
+      return g;
+    // Kind swaps.
+    case GateKind::S: g.kind = GateKind::Sdg; return g;
+    case GateKind::Sdg: g.kind = GateKind::S; return g;
+    case GateKind::T: g.kind = GateKind::Tdg; return g;
+    case GateKind::Tdg: g.kind = GateKind::T; return g;
+    case GateKind::SX: g.kind = GateKind::SXdg; return g;
+    case GateKind::SXdg: g.kind = GateKind::SX; return g;
+    // Angle negation.
+    case GateKind::RX: case GateKind::RY: case GateKind::RZ: case GateKind::P:
+    case GateKind::CP: case GateKind::CRX: case GateKind::CRY:
+    case GateKind::CRZ: case GateKind::RXX: case GateKind::RYY:
+    case GateKind::RZZ: case GateKind::MCP:
+      g.params[0] = -g.params[0];
+      return g;
+    case GateKind::U:
+      // U(θ,φ,λ)⁻¹ = U(-θ,-λ,-φ)
+      g.params = {-params[0], -params[2], -params[1]};
+      return g;
+    case GateKind::ISWAP:
+      return Gate::u2q(qubits[0], qubits[1], mat::ISWAP().dagger());
+    case GateKind::U2Q:
+      return Gate::u2q(qubits[0], qubits[1], matrix_payload_->dagger());
+    case GateKind::UNITARY:
+      return Gate::unitary(qubits, matrix_payload_->dagger());
+    case GateKind::DIAG: {
+      std::vector<cplx> conj(diag_payload_->size());
+      for (std::size_t i = 0; i < conj.size(); ++i)
+        conj[i] = std::conj((*diag_payload_)[i]);
+      return Gate::diag(qubits, std::move(conj));
+    }
+    case GateKind::MEASURE: case GateKind::RESET: case GateKind::BARRIER:
+      break;
+  }
+  throw Error("inverse: unhandled gate kind");
+}
+
+const std::vector<cplx>& Gate::diagonal_entries() const {
+  require(diag_payload_ != nullptr, "gate has no diagonal payload");
+  return *diag_payload_;
+}
+
+const Matrix& Gate::matrix_payload() const {
+  require(matrix_payload_ != nullptr, "gate has no matrix payload");
+  return *matrix_payload_;
+}
+
+std::string Gate::to_string() const {
+  std::ostringstream os;
+  os << name();
+  if (!params.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < params.size(); ++i)
+      os << params[i] << (i + 1 < params.size() ? "," : "");
+    os << ')';
+  }
+  if (!qubits.empty()) {
+    os << ' ';
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+      os << "q[" << qubits[i] << ']' << (i + 1 < qubits.size() ? "," : "");
+  }
+  if (kind == GateKind::MEASURE) os << " -> c[" << cbit << ']';
+  return os.str();
+}
+
+void Gate::validate() const {
+  std::unordered_set<unsigned> seen;
+  for (unsigned q : qubits)
+    require(seen.insert(q).second,
+            "gate '" + std::string(name()) + "' has duplicate operand qubits");
+  if (kind == GateKind::UNITARY || kind == GateKind::U2Q)
+    require(matrix_payload_ != nullptr, "matrix-kind gate missing payload");
+  if (kind == GateKind::DIAG)
+    require(diag_payload_ != nullptr, "diag gate missing payload");
+}
+
+}  // namespace svsim::qc

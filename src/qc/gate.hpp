@@ -1,0 +1,232 @@
+// Gate definitions: the instruction set of the circuit IR.
+//
+// A Gate names an operation (kind), its operand qubits (controls first for
+// controlled kinds), its real parameters (rotation angles), and — for the
+// generic kinds UNITARY / U2Q / DIAG — an explicit matrix payload shared via
+// shared_ptr so gates stay cheap to copy.
+//
+// Conventions (matching Qiskit / OpenQASM little-endian):
+//  * qubits[0] is the least-significant bit of the gate's matrix index.
+//  * RX/RY/RZ(θ) = exp(-i θ P / 2); P(λ) = diag(1, e^{iλ}).
+//  * U(θ,φ,λ) = [[cos(θ/2), -e^{iλ} sin(θ/2)],
+//               [e^{iφ} sin(θ/2), e^{i(φ+λ)} cos(θ/2)]].
+//  * RXX/RYY/RZZ(θ) = exp(-i θ P⊗P / 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qc/matrix.hpp"
+
+namespace svsim::qc {
+
+enum class GateKind : std::uint8_t {
+  // one-qubit, parameter-free
+  I, X, Y, Z, H, S, Sdg, T, Tdg, SX, SXdg,
+  // one-qubit, parameterized
+  RX, RY, RZ, P, U,
+  // two-qubit
+  CX, CY, CZ, CH, CP, CRX, CRY, CRZ,
+  SWAP, ISWAP, RXX, RYY, RZZ,
+  U2Q,   // general two-qubit unitary (matrix payload)
+  // three-qubit
+  CCX, CCZ, CSWAP,
+  // n-qubit
+  MCX,     // multi-controlled X (any number of controls)
+  MCP,     // multi-controlled phase
+  DIAG,    // diagonal unitary on k qubits (diagonal payload)
+  UNITARY, // dense k-qubit unitary (matrix payload); produced by fusion
+  // non-unitary / meta operations
+  MEASURE, RESET, BARRIER,
+};
+
+/// Short lowercase mnemonic ("h", "cx", "rzz", ...).
+const char* gate_kind_name(GateKind kind);
+
+/// One circuit operation.
+class Gate {
+ public:
+  GateKind kind = GateKind::I;
+  /// Operand qubits; for controlled kinds, controls come first and the
+  /// target(s) last. All indices must be distinct.
+  std::vector<unsigned> qubits;
+  /// Rotation angles / phases, meaning depends on `kind`.
+  std::vector<double> params;
+  /// Classical bit for MEASURE (record index in the result buffer).
+  unsigned cbit = 0;
+
+  // ---- named constructors: 1-qubit -------------------------------------
+  static Gate i(unsigned q) { return make(GateKind::I, {q}); }
+  static Gate x(unsigned q) { return make(GateKind::X, {q}); }
+  static Gate y(unsigned q) { return make(GateKind::Y, {q}); }
+  static Gate z(unsigned q) { return make(GateKind::Z, {q}); }
+  static Gate h(unsigned q) { return make(GateKind::H, {q}); }
+  static Gate s(unsigned q) { return make(GateKind::S, {q}); }
+  static Gate sdg(unsigned q) { return make(GateKind::Sdg, {q}); }
+  static Gate t(unsigned q) { return make(GateKind::T, {q}); }
+  static Gate tdg(unsigned q) { return make(GateKind::Tdg, {q}); }
+  static Gate sx(unsigned q) { return make(GateKind::SX, {q}); }
+  static Gate sxdg(unsigned q) { return make(GateKind::SXdg, {q}); }
+  static Gate rx(unsigned q, double theta) {
+    return make(GateKind::RX, {q}, {theta});
+  }
+  static Gate ry(unsigned q, double theta) {
+    return make(GateKind::RY, {q}, {theta});
+  }
+  static Gate rz(unsigned q, double theta) {
+    return make(GateKind::RZ, {q}, {theta});
+  }
+  static Gate p(unsigned q, double lambda) {
+    return make(GateKind::P, {q}, {lambda});
+  }
+  static Gate u(unsigned q, double theta, double phi, double lambda) {
+    return make(GateKind::U, {q}, {theta, phi, lambda});
+  }
+
+  // ---- named constructors: 2-qubit -------------------------------------
+  static Gate cx(unsigned c, unsigned t) { return make(GateKind::CX, {c, t}); }
+  static Gate cy(unsigned c, unsigned t) { return make(GateKind::CY, {c, t}); }
+  static Gate cz(unsigned c, unsigned t) { return make(GateKind::CZ, {c, t}); }
+  static Gate ch(unsigned c, unsigned t) { return make(GateKind::CH, {c, t}); }
+  static Gate cp(unsigned c, unsigned t, double lambda) {
+    return make(GateKind::CP, {c, t}, {lambda});
+  }
+  static Gate crx(unsigned c, unsigned t, double theta) {
+    return make(GateKind::CRX, {c, t}, {theta});
+  }
+  static Gate cry(unsigned c, unsigned t, double theta) {
+    return make(GateKind::CRY, {c, t}, {theta});
+  }
+  static Gate crz(unsigned c, unsigned t, double theta) {
+    return make(GateKind::CRZ, {c, t}, {theta});
+  }
+  static Gate swap(unsigned a, unsigned b) {
+    return make(GateKind::SWAP, {a, b});
+  }
+  static Gate iswap(unsigned a, unsigned b) {
+    return make(GateKind::ISWAP, {a, b});
+  }
+  static Gate rxx(unsigned a, unsigned b, double theta) {
+    return make(GateKind::RXX, {a, b}, {theta});
+  }
+  static Gate ryy(unsigned a, unsigned b, double theta) {
+    return make(GateKind::RYY, {a, b}, {theta});
+  }
+  static Gate rzz(unsigned a, unsigned b, double theta) {
+    return make(GateKind::RZZ, {a, b}, {theta});
+  }
+  /// General two-qubit unitary (4x4). qubits[0]=a is the matrix LSB.
+  static Gate u2q(unsigned a, unsigned b, Matrix m);
+
+  // ---- named constructors: 3-qubit and n-qubit -------------------------
+  static Gate ccx(unsigned c0, unsigned c1, unsigned t) {
+    return make(GateKind::CCX, {c0, c1, t});
+  }
+  static Gate ccz(unsigned c0, unsigned c1, unsigned t) {
+    return make(GateKind::CCZ, {c0, c1, t});
+  }
+  static Gate cswap(unsigned c, unsigned a, unsigned b) {
+    return make(GateKind::CSWAP, {c, a, b});
+  }
+  static Gate mcx(std::vector<unsigned> controls, unsigned target);
+  static Gate mcp(std::vector<unsigned> controls, unsigned target,
+                  double lambda);
+  /// Diagonal unitary on `qs`; diag has 2^|qs| entries, indexed with qs[0]
+  /// as LSB.
+  static Gate diag(std::vector<unsigned> qs, std::vector<cplx> diag_entries);
+  /// Dense k-qubit unitary on `qs` (dim 2^|qs|), qs[0] as LSB.
+  static Gate unitary(std::vector<unsigned> qs, Matrix m);
+
+  // ---- named constructors: non-unitary ---------------------------------
+  static Gate measure(unsigned q, unsigned classical_bit);
+  static Gate reset(unsigned q) { return make(GateKind::RESET, {q}); }
+  static Gate barrier() { return make(GateKind::BARRIER, {}); }
+
+  // ---- queries ----------------------------------------------------------
+  const char* name() const { return gate_kind_name(kind); }
+  unsigned num_qubits() const noexcept {
+    return static_cast<unsigned>(qubits.size());
+  }
+  /// Number of leading operands that are controls for this kind (0 for
+  /// non-controlled kinds; qubits.size()-1 for MCX/MCP).
+  unsigned num_controls() const noexcept;
+  /// Target qubits (operands after the controls).
+  std::vector<unsigned> targets() const;
+  /// Control qubits (leading operands).
+  std::vector<unsigned> controls() const;
+
+  /// True for gates representable by a unitary (everything except
+  /// MEASURE / RESET / BARRIER).
+  bool is_unitary_op() const noexcept;
+  /// True if the full matrix is diagonal in the computational basis.
+  bool is_diagonal() const noexcept;
+  /// True for kinds carrying rotation-angle parameters.
+  bool is_parameterized() const noexcept { return !params.empty(); }
+
+  /// Full unitary on all operand qubits (controls included),
+  /// dim = 2^qubits.size(), with qubits[0] as the LSB of the matrix index.
+  /// Throws for non-unitary kinds.
+  Matrix matrix() const;
+
+  /// For kinds that are a controlled single-target operation (CX..CRZ, CCX,
+  /// CCZ, MCX, MCP): the 2x2 matrix applied to the target when all controls
+  /// are 1. Throws for other kinds.
+  Matrix target_matrix() const;
+
+  /// Gate implementing the adjoint. Parameterized kinds negate angles;
+  /// matrix-payload kinds take the dagger.
+  Gate inverse() const;
+
+  /// Diagonal entries for DIAG gates.
+  const std::vector<cplx>& diagonal_entries() const;
+  /// Matrix payload for UNITARY / U2Q gates.
+  const Matrix& matrix_payload() const;
+
+  /// Human-readable rendering, e.g. "cx q[0],q[3]" or "rz(0.5) q[2]".
+  std::string to_string() const;
+
+  /// Validates operand distinctness and payload shape; throws on error.
+  void validate() const;
+
+ private:
+  static Gate make(GateKind kind, std::vector<unsigned> qubits,
+                   std::vector<double> params = {});
+
+  std::shared_ptr<const Matrix> matrix_payload_;
+  std::shared_ptr<const std::vector<cplx>> diag_payload_;
+};
+
+/// Embeds `u` (on nt target qubits) as a controlled unitary with `nc`
+/// controls occupying the *low* bits of the result index: the result has
+/// dimension 2^(nc+nt) and applies `u` on the high bits exactly when all low
+/// (control) bits are 1.
+Matrix controlled_matrix(const Matrix& u, unsigned num_controls);
+
+/// The 2x2 constants used across the library.
+namespace mat {
+Matrix I();
+Matrix X();
+Matrix Y();
+Matrix Z();
+Matrix H();
+Matrix S();
+Matrix Sdg();
+Matrix T();
+Matrix Tdg();
+Matrix SX();
+Matrix SXdg();
+Matrix RX(double theta);
+Matrix RY(double theta);
+Matrix RZ(double theta);
+Matrix P(double lambda);
+Matrix U(double theta, double phi, double lambda);
+Matrix SWAP();
+Matrix ISWAP();
+Matrix RXX(double theta);
+Matrix RYY(double theta);
+Matrix RZZ(double theta);
+}  // namespace mat
+
+}  // namespace svsim::qc

@@ -1,0 +1,91 @@
+#include "qc/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+bool qubitwise_commute(const PauliString& a, const PauliString& b) {
+  require(a.num_qubits() == b.num_qubits(),
+          "qubitwise_commute: width mismatch");
+  for (unsigned q = 0; q < a.num_qubits(); ++q) {
+    const char pa = a.pauli_at(q), pb = b.pauli_at(q);
+    if (pa != 'I' && pb != 'I' && pa != pb) return false;
+  }
+  return true;
+}
+
+std::vector<MeasurementGroup> group_qubitwise_commuting(
+    const PauliOperator& op) {
+  const unsigned n = op.num_qubits();
+  std::vector<PauliOperator::Term> terms = op.terms();
+  std::sort(terms.begin(), terms.end(), [](const auto& a, const auto& b) {
+    return std::abs(a.coefficient) > std::abs(b.coefficient);
+  });
+
+  std::vector<MeasurementGroup> groups;
+  for (const auto& term : terms) {
+    bool placed = false;
+    for (auto& group : groups) {
+      bool compatible = true;
+      for (unsigned q = 0; q < n && compatible; ++q) {
+        const char t = term.pauli.pauli_at(q);
+        if (t != 'I' && group.basis[q] != 'I' && group.basis[q] != t)
+          compatible = false;
+      }
+      if (!compatible) continue;
+      group.terms.push_back(term);
+      for (unsigned q = 0; q < n; ++q) {
+        const char t = term.pauli.pauli_at(q);
+        if (t != 'I') group.basis[q] = t;
+      }
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      MeasurementGroup group;
+      group.basis.assign(n, 'I');
+      for (unsigned q = 0; q < n; ++q) {
+        const char t = term.pauli.pauli_at(q);
+        if (t != 'I') group.basis[q] = t;
+      }
+      group.terms.push_back(term);
+      groups.push_back(std::move(group));
+    }
+  }
+  return groups;
+}
+
+Circuit measurement_basis_circuit(const MeasurementGroup& group,
+                                  unsigned num_qubits) {
+  require(group.basis.size() == num_qubits,
+          "measurement_basis_circuit: width mismatch");
+  Circuit c(num_qubits);
+  for (unsigned q = 0; q < num_qubits; ++q) {
+    switch (group.basis[q]) {
+      case 'I':
+      case 'Z':
+        break;
+      case 'X':
+        c.h(q);
+        break;
+      case 'Y':
+        c.sdg(q);
+        c.h(q);
+        break;
+      default:
+        throw Error("measurement_basis_circuit: bad basis character");
+    }
+  }
+  return c;
+}
+
+double diagonal_term_value(const PauliString& pauli, std::uint64_t bits) {
+  const unsigned hits = popcount((pauli.x_mask() | pauli.z_mask()) & bits);
+  return (hits % 2) ? -1.0 : 1.0;
+}
+
+}  // namespace svsim::qc

@@ -1,0 +1,46 @@
+// Measurement grouping: partition a Pauli observable into qubit-wise
+// commuting (QWC) groups that can be estimated from shared shots.
+//
+// Two Pauli strings are QWC when on every qubit their factors are equal or
+// one is the identity; all strings of a QWC group are diagonalized by one
+// single-qubit basis-change layer, so one shot batch serves the whole group.
+// Grouping uses greedy sequential coloring (largest-weight-first), the
+// standard practical choice.
+#pragma once
+
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+
+namespace svsim::qc {
+
+/// True if a and b commute qubit-wise (a stronger condition than group
+/// commutation).
+bool qubitwise_commute(const PauliString& a, const PauliString& b);
+
+/// One QWC group: member terms plus the per-qubit measurement basis.
+struct MeasurementGroup {
+  std::vector<PauliOperator::Term> terms;
+  /// basis[q] in {'I','X','Y','Z'}: the non-identity factor required on
+  /// qubit q by any member ('I' = unconstrained).
+  std::vector<char> basis;
+};
+
+/// Greedily partitions the operator's terms into QWC groups
+/// (largest |coefficient| first). Identity terms form their own group with
+/// an all-'I' basis.
+std::vector<MeasurementGroup> group_qubitwise_commuting(
+    const PauliOperator& op);
+
+/// The basis-change layer for a group: H for X, Sdg+H for Y, nothing for
+/// Z/I. After appending it, every member term is diagonal (Z/I) in the
+/// computational basis.
+Circuit measurement_basis_circuit(const MeasurementGroup& group,
+                                  unsigned num_qubits);
+
+/// Value of a diagonalized term on a sampled bitstring: product over the
+/// term's non-identity qubits of (-1)^bit.
+double diagonal_term_value(const PauliString& pauli, std::uint64_t bits);
+
+}  // namespace svsim::qc

@@ -1,0 +1,223 @@
+#include "qc/library.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::qc {
+
+Circuit qft(unsigned num_qubits, bool with_swaps) {
+  Circuit c(num_qubits);
+  for (unsigned q = num_qubits; q-- > 0;) {
+    c.h(q);
+    for (unsigned j = q; j-- > 0;) {
+      // Controlled phase by π / 2^(q-j) with control j, target q.
+      c.cp(j, q, std::numbers::pi / static_cast<double>(pow2(q - j)));
+    }
+  }
+  if (with_swaps) {
+    for (unsigned q = 0; q < num_qubits / 2; ++q)
+      c.swap(q, num_qubits - 1 - q);
+  }
+  return c;
+}
+
+Circuit inverse_qft(unsigned num_qubits, bool with_swaps) {
+  return qft(num_qubits, with_swaps).inverse();
+}
+
+Circuit ghz(unsigned num_qubits) {
+  Circuit c(num_qubits);
+  c.h(0);
+  for (unsigned q = 0; q + 1 < num_qubits; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+unsigned grover_optimal_iterations(unsigned num_qubits) {
+  const double N = static_cast<double>(pow2(num_qubits));
+  return static_cast<unsigned>(std::floor(std::numbers::pi / 4 * std::sqrt(N)));
+}
+
+Circuit grover(unsigned num_qubits, std::uint64_t marked, unsigned iterations) {
+  require(num_qubits >= 2, "grover needs at least 2 qubits");
+  require(marked < pow2(num_qubits), "grover: marked item out of range");
+  if (iterations == 0) iterations = grover_optimal_iterations(num_qubits);
+
+  Circuit c(num_qubits);
+  for (unsigned q = 0; q < num_qubits; ++q) c.h(q);
+
+  std::vector<unsigned> controls;
+  for (unsigned q = 0; q + 1 < num_qubits; ++q) controls.push_back(q);
+  const unsigned target = num_qubits - 1;
+
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Oracle: phase-flip |marked>. X-conjugate the zero bits of `marked`
+    // around a multi-controlled Z (implemented as MCP(π)).
+    for (unsigned q = 0; q < num_qubits; ++q)
+      if (!test_bit(marked, q)) c.x(q);
+    c.append(Gate::mcp(controls, target, std::numbers::pi));
+    for (unsigned q = 0; q < num_qubits; ++q)
+      if (!test_bit(marked, q)) c.x(q);
+
+    // Diffuser: H X (multi-controlled Z) X H.
+    for (unsigned q = 0; q < num_qubits; ++q) c.h(q);
+    for (unsigned q = 0; q < num_qubits; ++q) c.x(q);
+    c.append(Gate::mcp(controls, target, std::numbers::pi));
+    for (unsigned q = 0; q < num_qubits; ++q) c.x(q);
+    for (unsigned q = 0; q < num_qubits; ++q) c.h(q);
+  }
+  return c;
+}
+
+Circuit random_quantum_volume(unsigned num_qubits, unsigned depth,
+                              std::uint64_t seed) {
+  require(num_qubits >= 2, "random_quantum_volume needs >= 2 qubits");
+  Xoshiro256 rng(seed);
+  Circuit c(num_qubits);
+  std::vector<unsigned> perm(num_qubits);
+  for (unsigned q = 0; q < num_qubits; ++q) perm[q] = q;
+  for (unsigned layer = 0; layer < depth; ++layer) {
+    // Fisher-Yates shuffle, then pair adjacent entries.
+    for (unsigned i = num_qubits; i-- > 1;) {
+      const auto j = static_cast<unsigned>(rng.uniform_int(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+    for (unsigned i = 0; i + 1 < num_qubits; i += 2) {
+      c.append(Gate::u2q(perm[i], perm[i + 1],
+                         Matrix::random_unitary(4, rng)));
+    }
+  }
+  return c;
+}
+
+Circuit random_clifford_t(unsigned num_qubits, std::size_t length,
+                          std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c(num_qubits);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto pick = rng.uniform_int(num_qubits >= 2 ? 5 : 4);
+    const auto q = static_cast<unsigned>(rng.uniform_int(num_qubits));
+    switch (pick) {
+      case 0: c.h(q); break;
+      case 1: c.t(q); break;
+      case 2: c.s(q); break;
+      case 3: c.x(q); break;
+      case 4: {
+        auto t = static_cast<unsigned>(rng.uniform_int(num_qubits - 1));
+        if (t >= q) ++t;
+        c.cx(q, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+Circuit qaoa_maxcut(
+    unsigned num_qubits,
+    const std::vector<std::tuple<unsigned, unsigned, double>>& edges,
+    const std::vector<double>& gammas, const std::vector<double>& betas) {
+  require(gammas.size() == betas.size(),
+          "qaoa_maxcut: gammas and betas must have equal length");
+  Circuit c(num_qubits);
+  for (unsigned q = 0; q < num_qubits; ++q) c.h(q);
+  for (std::size_t round = 0; round < gammas.size(); ++round) {
+    for (const auto& [i, j, w] : edges)
+      c.rzz(i, j, gammas[round] * w);
+    for (unsigned q = 0; q < num_qubits; ++q)
+      c.rx(q, 2.0 * betas[round]);
+  }
+  return c;
+}
+
+Circuit hardware_efficient_ansatz(unsigned num_qubits, unsigned layers,
+                                  const std::vector<double>& parameters) {
+  require(parameters.size() == 2ull * num_qubits * layers,
+          "hardware_efficient_ansatz: wrong parameter count");
+  Circuit c(num_qubits);
+  std::size_t p = 0;
+  for (unsigned layer = 0; layer < layers; ++layer) {
+    for (unsigned q = 0; q < num_qubits; ++q) c.ry(q, parameters[p++]);
+    for (unsigned q = 0; q < num_qubits; ++q) c.rz(q, parameters[p++]);
+    for (unsigned q = 0; q + 1 < num_qubits; ++q) c.cx(q, q + 1);
+  }
+  return c;
+}
+
+Circuit ising_trotter(unsigned num_qubits, double J, double h, double dt,
+                      unsigned steps) {
+  Circuit c(num_qubits);
+  for (unsigned step = 0; step < steps; ++step) {
+    // exp(-i (-J) ZZ dt) per bond: RZZ(θ) = exp(-i θ ZZ / 2) → θ = -2 J dt.
+    for (unsigned q = 0; q + 1 < num_qubits; ++q)
+      c.rzz(q, q + 1, -2.0 * J * dt);
+    // exp(-i (-h) X dt) per site: RX(θ) = exp(-i θ X / 2) → θ = -2 h dt.
+    for (unsigned q = 0; q < num_qubits; ++q) c.rx(q, -2.0 * h * dt);
+  }
+  return c;
+}
+
+Circuit ising_trotter2(unsigned num_qubits, double J, double h, double dt,
+                       unsigned steps) {
+  Circuit c(num_qubits);
+  for (unsigned step = 0; step < steps; ++step) {
+    for (unsigned q = 0; q < num_qubits; ++q) c.rx(q, -h * dt);
+    for (unsigned q = 0; q + 1 < num_qubits; ++q)
+      c.rzz(q, q + 1, -2.0 * J * dt);
+    for (unsigned q = 0; q < num_qubits; ++q) c.rx(q, -h * dt);
+  }
+  return c;
+}
+
+Circuit phase_estimation(unsigned precision_qubits, double phase) {
+  require(precision_qubits >= 1, "phase_estimation needs readout qubits");
+  const unsigned n = precision_qubits + 1;
+  const unsigned target = precision_qubits;
+  Circuit c(n);
+  c.x(target);  // eigenstate |1> of P(λ)
+  for (unsigned q = 0; q < precision_qubits; ++q) c.h(q);
+  // Controlled-U^(2^q): U = P(2π·phase) so U^(2^q) = P(2π·phase·2^q).
+  for (unsigned q = 0; q < precision_qubits; ++q) {
+    c.cp(q, target,
+         2.0 * std::numbers::pi * phase * static_cast<double>(pow2(q)));
+  }
+  // Inverse QFT on the readout register.
+  Circuit iqft = inverse_qft(precision_qubits, /*with_swaps=*/true);
+  for (const auto& g : iqft.gates()) c.append(g);
+  return c;
+}
+
+std::vector<std::tuple<unsigned, unsigned, double>> ring_graph(
+    unsigned num_qubits) {
+  std::vector<std::tuple<unsigned, unsigned, double>> edges;
+  for (unsigned q = 0; q < num_qubits; ++q)
+    edges.emplace_back(q, (q + 1) % num_qubits, 1.0);
+  return edges;
+}
+
+std::vector<std::tuple<unsigned, unsigned, double>> random_graph(
+    unsigned num_qubits, unsigned num_edges, std::uint64_t seed) {
+  require(num_qubits >= 2, "random_graph needs >= 2 vertices");
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(num_qubits) * (num_qubits - 1) / 2;
+  require(num_edges <= max_edges, "random_graph: too many edges requested");
+  Xoshiro256 rng(seed);
+  std::set<std::pair<unsigned, unsigned>> chosen;
+  while (chosen.size() < num_edges) {
+    auto a = static_cast<unsigned>(rng.uniform_int(num_qubits));
+    auto b = static_cast<unsigned>(rng.uniform_int(num_qubits));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    chosen.insert({a, b});
+  }
+  std::vector<std::tuple<unsigned, unsigned, double>> edges;
+  for (const auto& [a, b] : chosen) edges.emplace_back(a, b, 1.0);
+  return edges;
+}
+
+}  // namespace svsim::qc

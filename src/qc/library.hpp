@@ -1,0 +1,87 @@
+// Circuit library: the workloads used throughout the evaluation.
+//
+// These are the standard benchmark families for state-vector simulators —
+// QFT, GHZ, Grover, quantum-volume-style random circuits, QAOA and
+// Trotterized Ising dynamics — generated deterministically from a seed where
+// randomness is involved.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+
+namespace svsim::qc {
+
+/// Quantum Fourier transform on n qubits (with the final qubit-reversal
+/// swaps if `with_swaps`).
+Circuit qft(unsigned num_qubits, bool with_swaps = true);
+
+/// Inverse QFT.
+Circuit inverse_qft(unsigned num_qubits, bool with_swaps = true);
+
+/// GHZ state preparation: H on qubit 0, then a CX chain.
+Circuit ghz(unsigned num_qubits);
+
+/// Grover search for the single marked computational basis state `marked`,
+/// running the optimal ⌊π/4·√N⌋ iterations (or `iterations` if nonzero).
+Circuit grover(unsigned num_qubits, std::uint64_t marked,
+               unsigned iterations = 0);
+
+/// The optimal number of Grover iterations for one marked item among 2^n.
+unsigned grover_optimal_iterations(unsigned num_qubits);
+
+/// Quantum-volume-style random circuit: `depth` layers, each a random
+/// permutation of qubits paired up and a Haar-random SU(4) applied to each
+/// pair. Deterministic in `seed`.
+Circuit random_quantum_volume(unsigned num_qubits, unsigned depth,
+                              std::uint64_t seed);
+
+/// Random circuit over a universal discrete set {H,T,S,X,CX}, `length`
+/// gates, deterministic in `seed`. Used by property tests.
+Circuit random_clifford_t(unsigned num_qubits, std::size_t length,
+                          std::uint64_t seed);
+
+/// QAOA ansatz for MaxCut on the given weighted edges: p = gammas.size()
+/// rounds of cost (RZZ) and mixer (RX) layers over an initial |+...+>.
+Circuit qaoa_maxcut(
+    unsigned num_qubits,
+    const std::vector<std::tuple<unsigned, unsigned, double>>& edges,
+    const std::vector<double>& gammas, const std::vector<double>& betas);
+
+/// Hardware-efficient ansatz: `layers` repetitions of (RY,RZ on all qubits +
+/// linear CX entangler). Parameters consumed in order; must have
+/// 2 * num_qubits * layers entries.
+Circuit hardware_efficient_ansatz(unsigned num_qubits, unsigned layers,
+                                  const std::vector<double>& parameters);
+
+/// First-order Trotter circuit for the transverse-field Ising model:
+/// `steps` steps of exp(-i h dt Σ X_i) · exp(-i J dt Σ Z_i Z_{i+1}).
+Circuit ising_trotter(unsigned num_qubits, double J, double h, double dt,
+                      unsigned steps);
+
+/// Second-order (symmetric Suzuki) Trotter circuit for the same model:
+/// per step, half an X layer, a full ZZ layer, half an X layer. Error per
+/// step is O(dt³) vs. the first-order O(dt²).
+Circuit ising_trotter2(unsigned num_qubits, double J, double h, double dt,
+                       unsigned steps);
+
+/// Textbook quantum phase estimation of the phase gate P(2π·phase) acting on
+/// one target qubit prepared in |1>, with `precision_qubits` readout qubits.
+/// Qubits [0, precision) are the readout register, qubit `precision` is the
+/// target.
+Circuit phase_estimation(unsigned precision_qubits, double phase);
+
+/// Ring graph edges (i, i+1 mod n) with unit weight — a standard MaxCut
+/// instance.
+std::vector<std::tuple<unsigned, unsigned, double>> ring_graph(
+    unsigned num_qubits);
+
+/// Deterministic pseudo-random d-regular-ish graph: `num_edges` distinct
+/// edges with weight 1, seeded.
+std::vector<std::tuple<unsigned, unsigned, double>> random_graph(
+    unsigned num_qubits, unsigned num_edges, std::uint64_t seed);
+
+}  // namespace svsim::qc

@@ -1,0 +1,183 @@
+#include "qc/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+Matrix::Matrix(std::size_t dim) : dim_(dim), data_(dim * dim, cplx{0.0, 0.0}) {
+  require(dim > 0 && is_pow2(dim), "Matrix dimension must be a power of two");
+}
+
+Matrix::Matrix(std::size_t dim, std::initializer_list<cplx> entries)
+    : Matrix(dim, std::vector<cplx>(entries)) {}
+
+Matrix::Matrix(std::size_t dim, std::vector<cplx> entries)
+    : dim_(dim), data_(std::move(entries)) {
+  require(dim > 0 && is_pow2(dim), "Matrix dimension must be a power of two");
+  require(data_.size() == dim * dim,
+          "Matrix entry count does not match dimension");
+}
+
+Matrix Matrix::identity(std::size_t dim) {
+  Matrix m(dim);
+  for (std::size_t i = 0; i < dim; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const std::vector<cplx>& diag) {
+  Matrix m(diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::random_unitary(std::size_t dim, Xoshiro256& rng) {
+  // Complex Ginibre matrix followed by modified Gram-Schmidt. For the tiny
+  // dimensions used for gates this is numerically unitary to ~1e-14.
+  Matrix m(dim);
+  for (auto& v : m.data_) v = cplx{rng.normal(), rng.normal()};
+  for (std::size_t c = 0; c < dim; ++c) {
+    // Orthogonalize column c against previous columns, twice for stability.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t p = 0; p < c; ++p) {
+        cplx proj{0.0, 0.0};
+        for (std::size_t r = 0; r < dim; ++r)
+          proj += std::conj(m(r, p)) * m(r, c);
+        for (std::size_t r = 0; r < dim; ++r) m(r, c) -= proj * m(r, p);
+      }
+    }
+    double norm2 = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) norm2 += std::norm(m(r, c));
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (std::size_t r = 0; r < dim; ++r) m(r, c) *= inv;
+  }
+  return m;
+}
+
+unsigned Matrix::num_qubits() const noexcept { return ilog2(dim_); }
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  require(dim_ == rhs.dim_, "Matrix product dimension mismatch");
+  Matrix out(dim_);
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t k = 0; k < dim_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < dim_; ++c) out(r, c) += a * rhs(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  require(dim_ == rhs.dim_, "Matrix sum dimension mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  require(dim_ == rhs.dim_, "Matrix difference dimension mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(cplx scalar) const {
+  Matrix out = *this;
+  for (auto& v : out.data_) v *= scalar;
+  return out;
+}
+
+Matrix Matrix::dagger() const {
+  Matrix out(dim_);
+  for (std::size_t r = 0; r < dim_; ++r)
+    for (std::size_t c = 0; c < dim_; ++c) out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+Matrix Matrix::kron(const Matrix& rhs) const {
+  Matrix out(dim_ * rhs.dim_);
+  for (std::size_t r1 = 0; r1 < dim_; ++r1)
+    for (std::size_t c1 = 0; c1 < dim_; ++c1) {
+      const cplx a = (*this)(r1, c1);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t r2 = 0; r2 < rhs.dim_; ++r2)
+        for (std::size_t c2 = 0; c2 < rhs.dim_; ++c2)
+          out(r1 * rhs.dim_ + r2, c1 * rhs.dim_ + c2) = a * rhs(r2, c2);
+    }
+  return out;
+}
+
+std::vector<cplx> Matrix::apply(const std::vector<cplx>& v) const {
+  require(v.size() == dim_, "Matrix-vector dimension mismatch");
+  std::vector<cplx> out(dim_, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < dim_; ++r)
+    for (std::size_t c = 0; c < dim_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+double Matrix::unitarity_error() const {
+  const Matrix p = dagger() * (*this);
+  double err = 0.0;
+  for (std::size_t r = 0; r < dim_; ++r)
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const cplx expect = (r == c) ? cplx{1.0, 0.0} : cplx{0.0, 0.0};
+      err = std::max(err, std::abs(p(r, c) - expect));
+    }
+  return err;
+}
+
+bool Matrix::is_diagonal(double tol) const {
+  for (std::size_t r = 0; r < dim_; ++r)
+    for (std::size_t c = 0; c < dim_; ++c)
+      if (r != c && std::abs((*this)(r, c)) > tol) return false;
+  return true;
+}
+
+double Matrix::distance(const Matrix& rhs) const {
+  require(dim_ == rhs.dim_, "Matrix distance dimension mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    d = std::max(d, std::abs(data_[i] - rhs.data_[i]));
+  return d;
+}
+
+double Matrix::distance_up_to_phase(const Matrix& rhs) const {
+  require(dim_ == rhs.dim_, "Matrix distance dimension mismatch");
+  // Align global phase on the entry of *this with the largest magnitude.
+  std::size_t imax = 0;
+  double best = -1.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i]) > best) {
+      best = std::abs(data_[i]);
+      imax = i;
+    }
+  }
+  if (best < 1e-15 || std::abs(rhs.data_[imax]) < 1e-15)
+    return distance(rhs);
+  const cplx phase = (rhs.data_[imax] / std::abs(rhs.data_[imax])) /
+                     (data_[imax] / std::abs(data_[imax]));
+  return (*this * phase).distance(rhs);
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::setprecision(precision) << std::fixed;
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      const cplx v = (*this)(r, c);
+      os << '(' << v.real() << (v.imag() < 0 ? "" : "+") << v.imag() << "i)";
+      if (c + 1 < dim_) os << ' ';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace svsim::qc

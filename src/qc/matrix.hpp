@@ -1,0 +1,98 @@
+// Small dense complex matrices for gate definitions.
+//
+// Gates act on at most a handful of qubits, so these matrices are tiny
+// (2x2 .. 64x64). The class is a plain row-major owning matrix with the
+// operations the circuit layer needs: multiply, adjoint, Kronecker product,
+// unitarity checks, and random-unitary generation for quantum-volume style
+// workloads. It is not a linear-algebra library; the state-vector kernels
+// never touch it in their hot loops.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace svsim::qc {
+
+using cplx = std::complex<double>;
+
+/// Square row-major complex matrix with dimension a power of two.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// dim x dim zero matrix.
+  explicit Matrix(std::size_t dim);
+
+  /// Builds from a row-major initializer list of dim*dim entries.
+  Matrix(std::size_t dim, std::initializer_list<cplx> entries);
+
+  /// Builds from a row-major vector of dim*dim entries.
+  Matrix(std::size_t dim, std::vector<cplx> entries);
+
+  static Matrix identity(std::size_t dim);
+  static Matrix zero(std::size_t dim) { return Matrix(dim); }
+
+  /// Haar-ish random unitary via Gram-Schmidt on a complex Ginibre matrix.
+  static Matrix random_unitary(std::size_t dim, Xoshiro256& rng);
+
+  /// Diagonal matrix with the given diagonal entries.
+  static Matrix diagonal(const std::vector<cplx>& diag);
+
+  std::size_t dim() const noexcept { return dim_; }
+  /// Number of qubits this matrix acts on (log2 of dim).
+  unsigned num_qubits() const noexcept;
+
+  cplx& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * dim_ + c];
+  }
+  const cplx& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * dim_ + c];
+  }
+
+  const std::vector<cplx>& data() const noexcept { return data_; }
+  std::vector<cplx>& data() noexcept { return data_; }
+
+  Matrix operator*(const Matrix& rhs) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix operator*(cplx scalar) const;
+
+  /// Conjugate transpose.
+  Matrix dagger() const;
+
+  /// Kronecker product: (*this) ⊗ rhs. Index convention: the result's row
+  /// index is (r_this * rhs.dim + r_rhs).
+  Matrix kron(const Matrix& rhs) const;
+
+  /// Applies this matrix to a dense vector (dim must match).
+  std::vector<cplx> apply(const std::vector<cplx>& v) const;
+
+  /// Max-norm distance to the identity of U† U.
+  double unitarity_error() const;
+  bool is_unitary(double tol = 1e-10) const {
+    return unitarity_error() < tol;
+  }
+
+  /// True if every off-diagonal entry is (near) zero.
+  bool is_diagonal(double tol = 1e-12) const;
+
+  /// Max-norm distance between two matrices.
+  double distance(const Matrix& rhs) const;
+
+  /// Max-norm distance up to a global phase (aligns the phase on the
+  /// largest-magnitude entry first). Useful for gate-identity tests.
+  double distance_up_to_phase(const Matrix& rhs) const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<cplx> data_;
+};
+
+}  // namespace svsim::qc

@@ -1,0 +1,216 @@
+#include "qc/pauli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+namespace {
+constexpr std::complex<double> kI{0.0, 1.0};
+
+/// Phase of the single-qubit product a * b where a,b in {I,X,Y,Z}.
+std::complex<double> pauli_product_phase(char a, char b) {
+  if (a == 'I' || b == 'I' || a == b) return {1.0, 0.0};
+  // Cyclic: XY=iZ, YZ=iX, ZX=iY; reversed order gives -i.
+  const bool forward = (a == 'X' && b == 'Y') || (a == 'Y' && b == 'Z') ||
+                       (a == 'Z' && b == 'X');
+  return forward ? kI : -kI;
+}
+}  // namespace
+
+PauliString::PauliString(unsigned num_qubits, std::uint64_t x_mask,
+                         std::uint64_t z_mask)
+    : num_qubits_(num_qubits), x_(x_mask), z_(z_mask) {
+  require(num_qubits <= 64, "PauliString supports at most 64 qubits");
+  require((x_ | z_) <= low_mask(num_qubits),
+          "PauliString masks exceed qubit count");
+}
+
+PauliString PauliString::from_label(const std::string& label) {
+  require(!label.empty() && label.size() <= 64, "bad Pauli label length");
+  const unsigned n = static_cast<unsigned>(label.size());
+  std::uint64_t x = 0, z = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    // label[0] is the highest qubit.
+    const unsigned q = n - 1 - i;
+    switch (label[i]) {
+      case 'I': break;
+      case 'X': x = set_bit(x, q); break;
+      case 'Y': x = set_bit(x, q); z = set_bit(z, q); break;
+      case 'Z': z = set_bit(z, q); break;
+      default:
+        throw Error(std::string("bad Pauli label character '") + label[i] +
+                    "'");
+    }
+  }
+  return PauliString(n, x, z);
+}
+
+PauliString PauliString::single(unsigned num_qubits, unsigned q, char pauli) {
+  require(q < num_qubits, "single: qubit out of range");
+  std::uint64_t x = 0, z = 0;
+  switch (pauli) {
+    case 'I': break;
+    case 'X': x = pow2(q); break;
+    case 'Y': x = pow2(q); z = pow2(q); break;
+    case 'Z': z = pow2(q); break;
+    default: throw Error("single: bad Pauli character");
+  }
+  return PauliString(num_qubits, x, z);
+}
+
+char PauliString::pauli_at(unsigned q) const {
+  const bool x = test_bit(x_, q), z = test_bit(z_, q);
+  if (x && z) return 'Y';
+  if (x) return 'X';
+  if (z) return 'Z';
+  return 'I';
+}
+
+std::string PauliString::to_label() const {
+  std::string label(num_qubits_, 'I');
+  for (unsigned q = 0; q < num_qubits_; ++q)
+    label[num_qubits_ - 1 - q] = pauli_at(q);
+  return label;
+}
+
+unsigned PauliString::weight() const noexcept { return popcount(x_ | z_); }
+
+bool PauliString::commutes_with(const PauliString& other) const noexcept {
+  const unsigned anti =
+      popcount(x_ & other.z_) + popcount(z_ & other.x_);
+  return (anti % 2) == 0;
+}
+
+std::pair<std::complex<double>, PauliString> PauliString::multiply(
+    const PauliString& other) const {
+  require(num_qubits_ == other.num_qubits_, "Pauli product qubit mismatch");
+  std::complex<double> phase{1.0, 0.0};
+  for (unsigned q = 0; q < num_qubits_; ++q)
+    phase *= pauli_product_phase(pauli_at(q), other.pauli_at(q));
+  return {phase,
+          PauliString(num_qubits_, x_ ^ other.x_, z_ ^ other.z_)};
+}
+
+std::pair<std::uint64_t, std::complex<double>> PauliString::apply_to_basis(
+    std::uint64_t col) const {
+  const std::uint64_t row = col ^ x_;
+  // Z factors: (-1) per set z-bit of col. Y factors additionally give i and
+  // act as X on the bit; Y|b> = i(-1)^b |1-b>.
+  std::complex<double> phase{1.0, 0.0};
+  const unsigned z_hits = popcount(z_ & col);
+  if (z_hits % 2) phase = -phase;
+  const unsigned y_count = popcount(x_ & z_);
+  switch (y_count % 4) {
+    case 0: break;
+    case 1: phase *= kI; break;
+    case 2: phase *= -1.0; break;
+    case 3: phase *= -kI; break;
+  }
+  return {row, phase};
+}
+
+Matrix PauliString::to_matrix() const {
+  require(num_qubits_ <= 12, "PauliString::to_matrix: too many qubits");
+  const std::uint64_t dim = pow2(num_qubits_);
+  Matrix m(dim);
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    const auto [row, phase] = apply_to_basis(col);
+    m(row, col) = phase;
+  }
+  return m;
+}
+
+PauliOperator& PauliOperator::add(double coefficient, PauliString pauli) {
+  require(pauli.num_qubits() == num_qubits_,
+          "PauliOperator::add: qubit count mismatch");
+  for (auto& term : terms_) {
+    if (term.pauli == pauli) {
+      term.coefficient += coefficient;
+      return *this;
+    }
+  }
+  terms_.push_back({coefficient, std::move(pauli)});
+  return *this;
+}
+
+PauliOperator& PauliOperator::add(double coefficient,
+                                  const std::string& label) {
+  return add(coefficient, PauliString::from_label(label));
+}
+
+PauliOperator PauliOperator::operator+(const PauliOperator& rhs) const {
+  require(num_qubits_ == rhs.num_qubits_, "operator+: qubit count mismatch");
+  PauliOperator out = *this;
+  for (const auto& term : rhs.terms_) out.add(term.coefficient, term.pauli);
+  return out;
+}
+
+PauliOperator PauliOperator::operator*(double scale) const {
+  PauliOperator out = *this;
+  for (auto& term : out.terms_) term.coefficient *= scale;
+  return out;
+}
+
+Matrix PauliOperator::to_matrix() const {
+  require(num_qubits_ <= 12, "PauliOperator::to_matrix: too many qubits");
+  Matrix m(pow2(num_qubits_));
+  for (const auto& term : terms_)
+    m = m + term.pauli.to_matrix() * cplx{term.coefficient, 0.0};
+  return m;
+}
+
+std::string PauliOperator::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (i) os << " + ";
+    os << terms_[i].coefficient << "*" << terms_[i].pauli.to_label();
+  }
+  return os.str();
+}
+
+PauliOperator maxcut_hamiltonian(
+    unsigned num_qubits,
+    const std::vector<std::tuple<unsigned, unsigned, double>>& edges) {
+  PauliOperator h(num_qubits);
+  for (const auto& [i, j, w] : edges) {
+    require(i < num_qubits && j < num_qubits && i != j,
+            "maxcut_hamiltonian: bad edge");
+    auto zz = PauliString::single(num_qubits, i, 'Z')
+                  .multiply(PauliString::single(num_qubits, j, 'Z'));
+    h.add(-0.5 * w, zz.second);
+  }
+  return h;
+}
+
+PauliOperator tfim_hamiltonian(unsigned num_qubits, double J, double h_field) {
+  PauliOperator h(num_qubits);
+  for (unsigned q = 0; q + 1 < num_qubits; ++q) {
+    auto zz = PauliString::single(num_qubits, q, 'Z')
+                  .multiply(PauliString::single(num_qubits, q + 1, 'Z'));
+    h.add(-J, zz.second);
+  }
+  for (unsigned q = 0; q < num_qubits; ++q)
+    h.add(-h_field, PauliString::single(num_qubits, q, 'X'));
+  return h;
+}
+
+PauliOperator heisenberg_hamiltonian(unsigned num_qubits, double Jx, double Jy,
+                                     double Jz) {
+  PauliOperator h(num_qubits);
+  const char paulis[3] = {'X', 'Y', 'Z'};
+  const double coeffs[3] = {Jx, Jy, Jz};
+  for (unsigned q = 0; q + 1 < num_qubits; ++q) {
+    for (int a = 0; a < 3; ++a) {
+      auto pp = PauliString::single(num_qubits, q, paulis[a])
+                    .multiply(PauliString::single(num_qubits, q + 1, paulis[a]));
+      h.add(coeffs[a], pp.second);
+    }
+  }
+  return h;
+}
+
+}  // namespace svsim::qc

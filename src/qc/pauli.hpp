@@ -1,0 +1,127 @@
+// Pauli strings and weighted Pauli operators (observables).
+//
+// A Pauli string on n qubits is stored as two bitmasks (x, z): qubit q
+// carries X if x-bit set, Z if z-bit set, Y if both (Y = iXZ). This is the
+// standard symplectic representation; products, commutation and matrix
+// elements all reduce to bit arithmetic.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "qc/matrix.hpp"
+
+namespace svsim::qc {
+
+/// A single n-qubit Pauli string (no coefficient, phase convention +1).
+class PauliString {
+ public:
+  PauliString() = default;
+  /// Identity on n qubits.
+  explicit PauliString(unsigned num_qubits)
+      : num_qubits_(num_qubits) {}
+  /// From masks.
+  PauliString(unsigned num_qubits, std::uint64_t x_mask, std::uint64_t z_mask);
+
+  /// Parses a label like "XIZY"; label[0] is the HIGHEST qubit
+  /// (Qiskit order: rightmost character = qubit 0).
+  static PauliString from_label(const std::string& label);
+
+  /// Builds a single-qubit Pauli ('X','Y','Z','I') on qubit q of n.
+  static PauliString single(unsigned num_qubits, unsigned q, char pauli);
+
+  unsigned num_qubits() const noexcept { return num_qubits_; }
+  std::uint64_t x_mask() const noexcept { return x_; }
+  std::uint64_t z_mask() const noexcept { return z_; }
+
+  /// Pauli on qubit q: 'I', 'X', 'Y', or 'Z'.
+  char pauli_at(unsigned q) const;
+
+  /// Label with qubit n-1 first (inverse of from_label).
+  std::string to_label() const;
+
+  /// Number of non-identity tensor factors.
+  unsigned weight() const noexcept;
+
+  bool is_identity() const noexcept { return x_ == 0 && z_ == 0; }
+
+  /// True if this commutes with other.
+  bool commutes_with(const PauliString& other) const noexcept;
+
+  /// Product: returns (phase, string) with phase in {1, i, -1, -i} such that
+  /// this * other = phase * result.
+  std::pair<std::complex<double>, PauliString> multiply(
+      const PauliString& other) const;
+
+  /// Dense matrix (2^n); n must be small.
+  Matrix to_matrix() const;
+
+  /// Matrix element semantics without building the matrix: for basis state
+  /// |col>, P|col> = phase * |row>. Returns {row, phase}.
+  std::pair<std::uint64_t, std::complex<double>> apply_to_basis(
+      std::uint64_t col) const;
+
+  bool operator==(const PauliString& other) const noexcept {
+    return num_qubits_ == other.num_qubits_ && x_ == other.x_ &&
+           z_ == other.z_;
+  }
+
+ private:
+  unsigned num_qubits_ = 0;
+  std::uint64_t x_ = 0;
+  std::uint64_t z_ = 0;
+};
+
+/// A real-weighted sum of Pauli strings (a Hermitian observable).
+class PauliOperator {
+ public:
+  PauliOperator() = default;
+  explicit PauliOperator(unsigned num_qubits) : num_qubits_(num_qubits) {}
+
+  unsigned num_qubits() const noexcept { return num_qubits_; }
+
+  struct Term {
+    double coefficient;
+    PauliString pauli;
+  };
+
+  const std::vector<Term>& terms() const noexcept { return terms_; }
+  std::size_t size() const noexcept { return terms_.size(); }
+
+  /// Adds coefficient * pauli; merges with an existing equal string.
+  PauliOperator& add(double coefficient, PauliString pauli);
+  /// Adds coefficient * from_label(label).
+  PauliOperator& add(double coefficient, const std::string& label);
+
+  PauliOperator operator+(const PauliOperator& rhs) const;
+  PauliOperator operator*(double scale) const;
+
+  /// Dense matrix (2^n); n must be small.
+  Matrix to_matrix() const;
+
+  std::string to_string() const;
+
+ private:
+  unsigned num_qubits_ = 0;
+  std::vector<Term> terms_;
+};
+
+/// MaxCut cost Hamiltonian: C = Σ_(i,j)∈E w/2 (1 - Z_i Z_j); we drop the
+/// constant and return Σ -w/2 Z_i Z_j, whose ground state maximizes the cut.
+PauliOperator maxcut_hamiltonian(
+    unsigned num_qubits,
+    const std::vector<std::tuple<unsigned, unsigned, double>>& edges);
+
+/// Transverse-field Ising: H = -J Σ Z_i Z_{i+1} - h Σ X_i (open chain).
+PauliOperator tfim_hamiltonian(unsigned num_qubits, double J, double h);
+
+/// Heisenberg XXZ chain: H = Σ Jx X_i X_{i+1} + Jy Y_i Y_{i+1}
+///                          + Jz Z_i Z_{i+1} (open chain).
+PauliOperator heisenberg_hamiltonian(unsigned num_qubits, double Jx, double Jy,
+                                     double Jz);
+
+}  // namespace svsim::qc

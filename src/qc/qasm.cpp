@@ -1,0 +1,602 @@
+#include "qc/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <numbers>
+#include <optional>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+namespace {
+
+// ---- tokenizer ----------------------------------------------------------
+
+enum class Tok { Ident, Number, String, Symbol, End };
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  double value = 0.0;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("QASM parse error at line " + std::to_string(current_.line) +
+                ": " + msg);
+  }
+
+  /// With the current token being '{', returns the raw source up to the
+  /// matching '}' (exclusive) and advances past it. Used to capture `gate`
+  /// definition bodies for later expansion.
+  std::string capture_braced_block() {
+    if (current_.kind != Tok::Symbol || current_.text != "{")
+      fail("expected '{'");
+    std::size_t depth = 1;
+    const std::size_t start = pos_;
+    std::size_t p = pos_;
+    while (p < src_.size() && depth > 0) {
+      if (src_[p] == '{') ++depth;
+      else if (src_[p] == '}') --depth;
+      else if (src_[p] == '\n') ++line_;
+      ++p;
+    }
+    if (depth != 0) fail("unterminated gate body");
+    std::string body = src_.substr(start, p - 1 - start);
+    pos_ = p;
+    advance();
+    return body;
+  }
+
+ private:
+  void advance() {
+    skip_space_and_comments();
+    current_.line = line_;
+    if (pos_ >= src_.size()) {
+      current_ = {Tok::End, "", 0.0, line_};
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      current_ = {Tok::Ident, src_.substr(start, pos_ - start), 0.0, line_};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+              ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+               (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E'))))
+        ++pos_;
+      const std::string text = src_.substr(start, pos_ - start);
+      current_ = {Tok::Number, text, std::stod(text), line_};
+      return;
+    }
+    if (c == '"') {
+      std::size_t start = ++pos_;
+      while (pos_ < src_.size() && src_[pos_] != '"') ++pos_;
+      if (pos_ >= src_.size())
+        throw Error("QASM parse error: unterminated string at line " +
+                    std::to_string(line_));
+      current_ = {Tok::String, src_.substr(start, pos_ - start), 0.0, line_};
+      ++pos_;
+      return;
+    }
+    // Two-character symbol "->".
+    if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+      pos_ += 2;
+      current_ = {Tok::Symbol, "->", 0.0, line_};
+      return;
+    }
+    ++pos_;
+    current_ = {Tok::Symbol, std::string(1, c), 0.0, line_};
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token current_;
+};
+
+// ---- macro expansion scope ------------------------------------------------
+
+/// Bindings active while expanding a user-defined gate body: formal
+/// parameter names to values and formal qubit names to global indices.
+struct Scope {
+  std::map<std::string, double> params;
+  std::map<std::string, unsigned> qubits;
+};
+
+// ---- parameter expression evaluation (precedence climbing) --------------
+
+class ExprParser {
+ public:
+  explicit ExprParser(Lexer& lex, const Scope* scope = nullptr)
+      : lex_(lex), scope_(scope) {}
+
+  double parse() { return parse_binary(0); }
+
+ private:
+  static int precedence(const std::string& op) {
+    if (op == "+" || op == "-") return 1;
+    if (op == "*" || op == "/") return 2;
+    return -1;
+  }
+
+  double parse_binary(int min_prec) {
+    double lhs = parse_unary();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind != Tok::Symbol) return lhs;
+      const int prec = precedence(t.text);
+      if (prec < 0 || prec < min_prec) return lhs;
+      const std::string op = lex_.next().text;
+      const double rhs = parse_binary(prec + 1);
+      if (op == "+") lhs += rhs;
+      else if (op == "-") lhs -= rhs;
+      else if (op == "*") lhs *= rhs;
+      else lhs /= rhs;
+    }
+  }
+
+  double parse_unary() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Symbol && t.text == "-") {
+      lex_.next();
+      return -parse_unary();
+    }
+    if (t.kind == Tok::Symbol && t.text == "+") {
+      lex_.next();
+      return parse_unary();
+    }
+    if (t.kind == Tok::Symbol && t.text == "(") {
+      lex_.next();
+      const double v = parse_binary(0);
+      expect_symbol(")");
+      return v;
+    }
+    if (t.kind == Tok::Number) return lex_.next().value;
+    if (t.kind == Tok::Ident) {
+      const Token id = lex_.next();
+      if (scope_ != nullptr) {
+        const auto it = scope_->params.find(id.text);
+        if (it != scope_->params.end()) return it->second;
+      }
+      if (id.text == "pi") return std::numbers::pi;
+      if (id.text == "sin" || id.text == "cos" || id.text == "tan" ||
+          id.text == "exp" || id.text == "ln" || id.text == "sqrt") {
+        expect_symbol("(");
+        const double v = parse_binary(0);
+        expect_symbol(")");
+        if (id.text == "sin") return std::sin(v);
+        if (id.text == "cos") return std::cos(v);
+        if (id.text == "tan") return std::tan(v);
+        if (id.text == "exp") return std::exp(v);
+        if (id.text == "ln") return std::log(v);
+        return std::sqrt(v);
+      }
+      lex_.fail("unknown identifier '" + id.text + "' in expression");
+    }
+    lex_.fail("bad expression");
+  }
+
+  void expect_symbol(const std::string& s) {
+    const Token t = lex_.next();
+    if (t.kind != Tok::Symbol || t.text != s)
+      lex_.fail("expected '" + s + "'");
+  }
+
+  Lexer& lex_;
+  const Scope* scope_;
+};
+
+// ---- parser ---------------------------------------------------------------
+
+struct Register {
+  unsigned offset = 0;
+  unsigned size = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  Circuit parse() {
+    parse_header();
+    for (;;) {
+      const Token& t = lex_.peek();
+      if (t.kind == Tok::End) break;
+      if (t.kind != Tok::Ident) lex_.fail("expected statement");
+      parse_statement(lex_, nullptr, 0);
+    }
+    require(total_qubits_ > 0, "QASM: no qreg declared");
+    ensure_circuit();  // handles declaration-only programs
+    return std::move(circuit_).value();
+  }
+
+ private:
+  /// A user-defined gate: formal parameter/qubit names plus the raw body
+  /// source, re-parsed under a Scope at each invocation.
+  struct GateDef {
+    std::vector<std::string> params;
+    std::vector<std::string> qubits;
+    std::string body;
+  };
+
+  static constexpr int kMaxExpansionDepth = 32;
+
+  void parse_header() {
+    const Token& t = lex_.peek();
+    if (t.kind == Tok::Ident && t.text == "OPENQASM") {
+      lex_.next();
+      if (lex_.peek().kind == Tok::Number) lex_.next();  // version
+      expect_symbol(lex_, ";");
+    }
+  }
+
+  void parse_statement(Lexer& lex, const Scope* scope, int depth) {
+    const Token id = lex.next();
+    if (scope == nullptr) {
+      if (id.text == "include") {
+        lex.next();  // the string
+        expect_symbol(lex, ";");
+        return;
+      }
+      if (id.text == "qreg" || id.text == "creg") {
+        parse_register(id.text == "qreg");
+        return;
+      }
+      if (id.text == "gate") {
+        parse_gate_def();
+        return;
+      }
+      if (id.text == "OPENQASM") {
+        if (lex.peek().kind == Tok::Number) lex.next();
+        expect_symbol(lex, ";");
+        return;
+      }
+    }
+    ensure_circuit();
+    if (id.text == "measure") {
+      if (scope != nullptr) lex.fail("measure not allowed in a gate body");
+      const unsigned q = parse_qubit_operand(lex, scope);
+      expect_symbol(lex, "->");
+      const unsigned c = parse_clbit_operand(lex);
+      circuit_->measure(q, c);
+      expect_symbol(lex, ";");
+      return;
+    }
+    if (id.text == "reset") {
+      if (scope != nullptr) lex.fail("reset not allowed in a gate body");
+      circuit_->reset(parse_qubit_operand(lex, scope));
+      expect_symbol(lex, ";");
+      return;
+    }
+    if (id.text == "barrier") {
+      // Consume (and ignore) operands up to ';'.
+      while (!(lex.peek().kind == Tok::Symbol && lex.peek().text == ";"))
+        lex.next();
+      expect_symbol(lex, ";");
+      circuit_->barrier();
+      return;
+    }
+    parse_gate(lex, scope, id.text, depth);
+  }
+
+  void parse_register(bool quantum) {
+    const Token name = lex_.next();
+    if (name.kind != Tok::Ident) lex_.fail("expected register name");
+    expect_symbol(lex_, "[");
+    const Token size = lex_.next();
+    if (size.kind != Tok::Number) lex_.fail("expected register size");
+    expect_symbol(lex_, "]");
+    expect_symbol(lex_, ";");
+    require(circuit_ == std::nullopt,
+            "QASM: register declared after first gate");
+    const auto n = static_cast<unsigned>(size.value);
+    if (quantum) {
+      qregs_[name.text] = {total_qubits_, n};
+      total_qubits_ += n;
+    } else {
+      cregs_[name.text] = {total_clbits_, n};
+      total_clbits_ += n;
+    }
+  }
+
+  /// gate name(p0, p1) q0, q1 { ... }
+  void parse_gate_def() {
+    const Token name = lex_.next();
+    if (name.kind != Tok::Ident) lex_.fail("expected gate name");
+    GateDef def;
+    if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == "(") {
+      lex_.next();
+      while (!(lex_.peek().kind == Tok::Symbol && lex_.peek().text == ")")) {
+        const Token pn = lex_.next();
+        if (pn.kind != Tok::Ident) lex_.fail("expected parameter name");
+        def.params.push_back(pn.text);
+        if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ",")
+          lex_.next();
+      }
+      lex_.next();  // ')'
+    }
+    for (;;) {
+      const Token qn = lex_.next();
+      if (qn.kind != Tok::Ident) lex_.fail("expected formal qubit name");
+      def.qubits.push_back(qn.text);
+      if (lex_.peek().kind == Tok::Symbol && lex_.peek().text == ",") {
+        lex_.next();
+        continue;
+      }
+      break;
+    }
+    require(!def.qubits.empty(), "QASM: gate definition needs qubits");
+    def.body = lex_.capture_braced_block();
+    gate_defs_[name.text] = std::move(def);
+  }
+
+  void ensure_circuit() {
+    if (!circuit_) {
+      require(total_qubits_ > 0, "QASM: gate before qreg declaration");
+      circuit_.emplace(total_qubits_, std::max(total_clbits_, 1u));
+    }
+  }
+
+  unsigned parse_operand(Lexer& lex, const std::map<std::string, Register>& regs,
+                         const Scope* scope, const char* what) {
+    const Token name = lex.next();
+    if (name.kind != Tok::Ident) lex.fail(std::string("expected ") + what);
+    // Inside a gate body, a bare identifier is a formal qubit.
+    if (scope != nullptr &&
+        !(lex.peek().kind == Tok::Symbol && lex.peek().text == "[")) {
+      const auto it = scope->qubits.find(name.text);
+      if (it == scope->qubits.end())
+        lex.fail("unknown formal qubit '" + name.text + "'");
+      return it->second;
+    }
+    const auto it = regs.find(name.text);
+    if (it == regs.end())
+      lex.fail("unknown register '" + name.text + "'");
+    expect_symbol(lex, "[");
+    const Token idx = lex.next();
+    if (idx.kind != Tok::Number) lex.fail("expected index");
+    expect_symbol(lex, "]");
+    const auto i = static_cast<unsigned>(idx.value);
+    if (i >= it->second.size)
+      lex.fail("index out of range for register '" + name.text + "'");
+    return it->second.offset + i;
+  }
+
+  unsigned parse_qubit_operand(Lexer& lex, const Scope* scope) {
+    return parse_operand(lex, qregs_, scope, "qubit");
+  }
+  unsigned parse_clbit_operand(Lexer& lex) {
+    return parse_operand(lex, cregs_, nullptr, "clbit");
+  }
+
+  void parse_gate(Lexer& lex, const Scope* scope, const std::string& name,
+                  int depth) {
+    std::vector<double> params;
+    if (lex.peek().kind == Tok::Symbol && lex.peek().text == "(") {
+      lex.next();
+      if (!(lex.peek().kind == Tok::Symbol && lex.peek().text == ")")) {
+        for (;;) {
+          params.push_back(ExprParser(lex, scope).parse());
+          if (lex.peek().kind == Tok::Symbol && lex.peek().text == ",") {
+            lex.next();
+            continue;
+          }
+          break;
+        }
+      }
+      expect_symbol(lex, ")");
+    }
+    std::vector<unsigned> qs;
+    for (;;) {
+      qs.push_back(parse_qubit_operand(lex, scope));
+      if (lex.peek().kind == Tok::Symbol && lex.peek().text == ",") {
+        lex.next();
+        continue;
+      }
+      break;
+    }
+    expect_symbol(lex, ";");
+
+    const auto def_it = gate_defs_.find(name);
+    if (def_it != gate_defs_.end()) {
+      expand_gate_def(lex, def_it->second, params, qs, depth);
+      return;
+    }
+    circuit_->append(build_gate(lex, name, params, qs));
+  }
+
+  void expand_gate_def(Lexer& lex, const GateDef& def,
+                       const std::vector<double>& params,
+                       const std::vector<unsigned>& qs, int depth) {
+    if (depth >= kMaxExpansionDepth)
+      lex.fail("gate expansion too deep (recursive definition?)");
+    if (params.size() != def.params.size() || qs.size() != def.qubits.size())
+      lex.fail("gate call does not match its definition arity");
+    Scope scope;
+    for (std::size_t i = 0; i < params.size(); ++i)
+      scope.params[def.params[i]] = params[i];
+    for (std::size_t i = 0; i < qs.size(); ++i)
+      scope.qubits[def.qubits[i]] = qs[i];
+    Lexer body_lex(def.body);
+    for (;;) {
+      const Token& t = body_lex.peek();
+      if (t.kind == Tok::End) break;
+      if (t.kind != Tok::Ident) body_lex.fail("expected statement in body");
+      parse_statement(body_lex, &scope, depth + 1);
+    }
+  }
+
+  Gate build_gate(Lexer& lex, const std::string& name,
+                  const std::vector<double>& p,
+                  const std::vector<unsigned>& q) {
+    auto need = [&](std::size_t nq, std::size_t np) {
+      if (q.size() != nq || p.size() != np)
+        lex.fail("gate '" + name + "' has wrong operand/parameter count");
+    };
+    if (name == "id") { need(1, 0); return Gate::i(q[0]); }
+    if (name == "x") { need(1, 0); return Gate::x(q[0]); }
+    if (name == "y") { need(1, 0); return Gate::y(q[0]); }
+    if (name == "z") { need(1, 0); return Gate::z(q[0]); }
+    if (name == "h") { need(1, 0); return Gate::h(q[0]); }
+    if (name == "s") { need(1, 0); return Gate::s(q[0]); }
+    if (name == "sdg") { need(1, 0); return Gate::sdg(q[0]); }
+    if (name == "t") { need(1, 0); return Gate::t(q[0]); }
+    if (name == "tdg") { need(1, 0); return Gate::tdg(q[0]); }
+    if (name == "sx") { need(1, 0); return Gate::sx(q[0]); }
+    if (name == "sxdg") { need(1, 0); return Gate::sxdg(q[0]); }
+    if (name == "rx") { need(1, 1); return Gate::rx(q[0], p[0]); }
+    if (name == "ry") { need(1, 1); return Gate::ry(q[0], p[0]); }
+    if (name == "rz") { need(1, 1); return Gate::rz(q[0], p[0]); }
+    if (name == "p" || name == "u1") { need(1, 1); return Gate::p(q[0], p[0]); }
+    if (name == "u2") {
+      need(1, 2);
+      return Gate::u(q[0], std::numbers::pi / 2, p[0], p[1]);
+    }
+    if (name == "u3" || name == "u") {
+      need(1, 3);
+      return Gate::u(q[0], p[0], p[1], p[2]);
+    }
+    if (name == "cx" || name == "CX") { need(2, 0); return Gate::cx(q[0], q[1]); }
+    if (name == "cy") { need(2, 0); return Gate::cy(q[0], q[1]); }
+    if (name == "cz") { need(2, 0); return Gate::cz(q[0], q[1]); }
+    if (name == "ch") { need(2, 0); return Gate::ch(q[0], q[1]); }
+    if (name == "cp" || name == "cu1") {
+      need(2, 1);
+      return Gate::cp(q[0], q[1], p[0]);
+    }
+    if (name == "crx") { need(2, 1); return Gate::crx(q[0], q[1], p[0]); }
+    if (name == "cry") { need(2, 1); return Gate::cry(q[0], q[1], p[0]); }
+    if (name == "crz") { need(2, 1); return Gate::crz(q[0], q[1], p[0]); }
+    if (name == "swap") { need(2, 0); return Gate::swap(q[0], q[1]); }
+    if (name == "iswap") { need(2, 0); return Gate::iswap(q[0], q[1]); }
+    if (name == "rxx") { need(2, 1); return Gate::rxx(q[0], q[1], p[0]); }
+    if (name == "ryy") { need(2, 1); return Gate::ryy(q[0], q[1], p[0]); }
+    if (name == "rzz") { need(2, 1); return Gate::rzz(q[0], q[1], p[0]); }
+    if (name == "ccx") { need(3, 0); return Gate::ccx(q[0], q[1], q[2]); }
+    if (name == "ccz") { need(3, 0); return Gate::ccz(q[0], q[1], q[2]); }
+    if (name == "cswap") { need(3, 0); return Gate::cswap(q[0], q[1], q[2]); }
+    lex.fail("unsupported gate '" + name + "'");
+  }
+
+  void expect_symbol(Lexer& lex, const std::string& s) {
+    const Token t = lex.next();
+    if (t.kind != Tok::Symbol || t.text != s)
+      lex.fail("expected '" + s + "', got '" + t.text + "'");
+  }
+
+  Lexer lex_;
+  std::map<std::string, Register> qregs_;
+  std::map<std::string, Register> cregs_;
+  std::map<std::string, GateDef> gate_defs_;
+  unsigned total_qubits_ = 0;
+  unsigned total_clbits_ = 0;
+  std::optional<Circuit> circuit_;
+};
+
+}  // namespace
+
+Circuit parse_qasm(const std::string& source) {
+  return Parser(source).parse();
+}
+
+Circuit parse_qasm_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open QASM file '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_qasm(buf.str());
+}
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  os << "creg c[" << circuit.num_clbits() << "];\n";
+  for (const auto& g : circuit.gates()) {
+    switch (g.kind) {
+      case GateKind::U2Q:
+      case GateKind::UNITARY:
+      case GateKind::DIAG:
+      case GateKind::MCX:
+      case GateKind::MCP:
+        throw Error(std::string("to_qasm: gate '") + g.name() +
+                    "' has no OpenQASM 2.0 spelling");
+      case GateKind::BARRIER:
+        os << "barrier q;\n";
+        continue;
+      case GateKind::MEASURE:
+        os << "measure q[" << g.qubits[0] << "] -> c[" << g.cbit << "];\n";
+        continue;
+      case GateKind::P:
+        os << "u1(" << g.params[0] << ") q[" << g.qubits[0] << "];\n";
+        continue;
+      case GateKind::CP:
+        os << "cu1(" << g.params[0] << ") q[" << g.qubits[0] << "],q["
+           << g.qubits[1] << "];\n";
+        continue;
+      case GateKind::U:
+        os << "u3(" << g.params[0] << "," << g.params[1] << "," << g.params[2]
+           << ") q[" << g.qubits[0] << "];\n";
+        continue;
+      default:
+        break;
+    }
+    os << g.name();
+    if (!g.params.empty()) {
+      os << '(';
+      for (std::size_t i = 0; i < g.params.size(); ++i)
+        os << g.params[i] << (i + 1 < g.params.size() ? "," : "");
+      os << ')';
+    }
+    os << ' ';
+    for (std::size_t i = 0; i < g.qubits.size(); ++i)
+      os << "q[" << g.qubits[i] << ']'
+         << (i + 1 < g.qubits.size() ? "," : "");
+    os << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace svsim::qc

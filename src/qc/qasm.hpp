@@ -1,0 +1,29 @@
+// OpenQASM 2.0 subset I/O.
+//
+// Supports the gate vocabulary of qelib1.inc that maps onto svsim's gate
+// kinds, multiple quantum/classical registers (flattened into one index
+// space in declaration order), arithmetic parameter expressions with `pi`,
+// line comments, measure/reset/barrier. Custom `gate` definitions and
+// `if` statements are not supported — the simulator evaluation never uses
+// them.
+#pragma once
+
+#include <string>
+
+#include "qc/circuit.hpp"
+
+namespace svsim::qc {
+
+/// Parses OpenQASM 2.0 source into a Circuit. Throws svsim::Error with a
+/// line number on malformed input.
+Circuit parse_qasm(const std::string& source);
+
+/// Reads and parses a .qasm file.
+Circuit parse_qasm_file(const std::string& path);
+
+/// Serializes a circuit as OpenQASM 2.0 (one flat register "q"). Gates with
+/// no QASM spelling (u2q, unitary, diag, mcx, mcp) are rejected; run fusion
+/// only after export, or export the pre-fusion circuit.
+std::string to_qasm(const Circuit& circuit);
+
+}  // namespace svsim::qc

@@ -1,0 +1,77 @@
+#include "qc/routing.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace svsim::qc {
+
+namespace {
+
+/// Moves the logical qubit at physical position `from` to position `to` by
+/// inserting adjacent SWAPs, updating layout maps.
+void shift(unsigned from, unsigned to, Circuit& out,
+           std::vector<unsigned>& phys_of, std::vector<unsigned>& log_at,
+           std::size_t& swaps) {
+  while (from != to) {
+    const unsigned next = from < to ? from + 1 : from - 1;
+    out.swap(from, next);
+    ++swaps;
+    std::swap(log_at[from], log_at[next]);
+    phys_of[log_at[from]] = from;
+    phys_of[log_at[next]] = next;
+    from = next;
+  }
+}
+
+}  // namespace
+
+RoutedCircuit route_linear(const Circuit& circuit) {
+  const unsigned n = circuit.num_qubits();
+  RoutedCircuit result{Circuit(n, circuit.num_clbits()), {}, 0};
+  std::vector<unsigned> phys_of(n);  // logical -> physical
+  std::vector<unsigned> log_at(n);   // physical -> logical
+  std::iota(phys_of.begin(), phys_of.end(), 0u);
+  std::iota(log_at.begin(), log_at.end(), 0u);
+
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == GateKind::BARRIER) {
+      result.circuit.barrier();
+      continue;
+    }
+    require(g.num_qubits() <= 2,
+            "route_linear: decompose gates wider than 2 qubits first ('" +
+                std::string(g.name()) + "')");
+    Gate mapped = g;
+    for (auto& q : mapped.qubits) q = phys_of[q];
+    if (mapped.num_qubits() == 2) {
+      unsigned a = mapped.qubits[0];
+      unsigned b = mapped.qubits[1];
+      if (a > b ? a - b > 1 : b - a > 1) {
+        // Walk the first operand next to the second (cheapest single-line
+        // strategy; moving the closer one would also work).
+        const unsigned target_pos = a < b ? b - 1 : b + 1;
+        shift(a, target_pos, result.circuit, phys_of, log_at, result.swaps_inserted);
+        mapped.qubits[0] = phys_of[g.qubits[0]];
+        mapped.qubits[1] = phys_of[g.qubits[1]];
+      }
+    }
+    result.circuit.append(std::move(mapped));
+  }
+  result.final_layout = phys_of;
+  return result;
+}
+
+bool respects_linear_coupling(const Circuit& circuit) {
+  for (const auto& g : circuit.gates()) {
+    if (!g.is_unitary_op() || g.num_qubits() < 2) continue;
+    if (g.num_qubits() > 2) return false;
+    const unsigned a = g.qubits[0], b = g.qubits[1];
+    if ((a > b ? a - b : b - a) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace svsim::qc

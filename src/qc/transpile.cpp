@@ -1,0 +1,493 @@
+#include "qc/transpile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+
+namespace svsim::qc {
+
+namespace {
+
+constexpr double kTinyAngle = 1e-12;
+
+bool is_identity_product(const Gate& first, const Gate& second) {
+  const Matrix product = second.matrix() * first.matrix();
+  return product.distance(Matrix::identity(product.dim())) < 1e-10;
+}
+
+/// Kinds whose single parameter is an additive angle on fixed operands.
+bool is_additive_rotation(GateKind kind) {
+  switch (kind) {
+    case GateKind::RX: case GateKind::RY: case GateKind::RZ:
+    case GateKind::P: case GateKind::CP: case GateKind::CRX:
+    case GateKind::CRY: case GateKind::CRZ: case GateKind::RXX:
+    case GateKind::RYY: case GateKind::RZZ: case GateKind::MCP:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+ZyzAngles zyz_decompose(const Matrix& u) {
+  require(u.dim() == 2, "zyz_decompose: need a 2x2 matrix");
+  require(u.is_unitary(1e-9), "zyz_decompose: matrix is not unitary");
+  const cplx det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  ZyzAngles a{};
+  a.alpha = std::arg(det) / 2.0;
+  const cplx phase = std::polar(1.0, -a.alpha);
+  const cplx v00 = u(0, 0) * phase;
+  const cplx v10 = u(1, 0) * phase;
+  const cplx v11 = u(1, 1) * phase;
+
+  a.gamma = 2.0 * std::atan2(std::abs(v10), std::abs(v00));
+  if (std::abs(v00) < 1e-12) {
+    // cos(γ/2) = 0: only β - δ is determined; fix δ = 0.
+    // v10 = e^{i(β-δ)/2} sin(γ/2).
+    a.beta = 2.0 * std::arg(v10);
+    a.delta = 0.0;
+  } else if (std::abs(v10) < 1e-12) {
+    // sin(γ/2) = 0: only β + δ is determined; fix δ = 0.
+    // v11 = e^{i(β+δ)/2} cos(γ/2).
+    a.beta = 2.0 * std::arg(v11);
+    a.delta = 0.0;
+  } else {
+    a.beta = std::arg(v11) + std::arg(v10);
+    a.delta = std::arg(v11) - std::arg(v10);
+  }
+  return a;
+}
+
+Gate zyz_to_u(unsigned q, const ZyzAngles& angles, double* global_phase) {
+  // U(θ,φ,λ) = e^{i(φ+λ)/2} RZ(φ) RY(θ) RZ(λ).
+  if (global_phase != nullptr)
+    *global_phase = angles.alpha - (angles.beta + angles.delta) / 2.0;
+  return Gate::u(q, angles.gamma, angles.beta, angles.delta);
+}
+
+Circuit cancel_adjacent_inverses(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  std::vector<Gate> staged;
+  std::vector<bool> alive;
+  // last[q]: index in `staged` of the most recent op touching q (-1 none,
+  // -2 unknown after a cancellation — blocks chaining within this pass).
+  std::vector<std::ptrdiff_t> last(circuit.num_qubits(), -1);
+
+  auto block_all = [&](std::ptrdiff_t idx) {
+    for (auto& l : last) l = idx;
+  };
+
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == GateKind::BARRIER || !g.is_unitary_op()) {
+      staged.push_back(g);
+      alive.push_back(true);
+      const auto idx = static_cast<std::ptrdiff_t>(staged.size() - 1);
+      if (g.kind == GateKind::BARRIER) {
+        block_all(idx);
+      } else {
+        for (unsigned q : g.qubits) last[q] = idx;
+      }
+      continue;
+    }
+    // Candidate: the unique previous op touching exactly this operand set.
+    std::ptrdiff_t candidate = last[g.qubits.front()];
+    bool same = candidate >= 0;
+    for (unsigned q : g.qubits) same = same && last[q] == candidate;
+    if (same && alive[static_cast<std::size_t>(candidate)]) {
+      const Gate& prev = staged[static_cast<std::size_t>(candidate)];
+      if (prev.is_unitary_op() && prev.kind != GateKind::BARRIER &&
+          prev.qubits == g.qubits && is_identity_product(prev, g)) {
+        alive[static_cast<std::size_t>(candidate)] = false;
+        for (unsigned q : g.qubits) last[q] = -2;
+        continue;
+      }
+    }
+    staged.push_back(g);
+    alive.push_back(true);
+    const auto idx = static_cast<std::ptrdiff_t>(staged.size() - 1);
+    for (unsigned q : g.qubits) last[q] = idx;
+  }
+
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    if (alive[i]) out.append(std::move(staged[i]));
+  return out;
+}
+
+namespace {
+
+/// Exact commutation check of two gates on their joint support (union must
+/// span <= 4 qubits; wider unions return false = "assume non-commuting").
+bool gates_commute(const Gate& a, const Gate& b) {
+  std::vector<unsigned> support;
+  for (unsigned q : a.qubits) support.push_back(q);
+  for (unsigned q : b.qubits)
+    if (std::find(support.begin(), support.end(), q) == support.end())
+      support.push_back(q);
+  if (support.size() > 4) return false;
+  auto local = [&](const Gate& g) {
+    Gate lg = g;
+    for (auto& q : lg.qubits) {
+      const auto it = std::find(support.begin(), support.end(), q);
+      q = static_cast<unsigned>(it - support.begin());
+    }
+    return lg;
+  };
+  const unsigned k = static_cast<unsigned>(support.size());
+  Circuit ab(k), ba(k);
+  ab.append(local(a)).append(local(b));
+  ba.append(local(b)).append(local(a));
+  return dense::circuit_unitary(ab).distance(dense::circuit_unitary(ba)) <
+         1e-10;
+}
+
+}  // namespace
+
+Circuit commute_cancel(const Circuit& circuit, unsigned max_lookback) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  std::vector<Gate> staged;
+  std::vector<bool> alive;
+
+  for (const auto& g : circuit.gates()) {
+    if (!g.is_unitary_op() || g.kind == GateKind::BARRIER) {
+      staged.push_back(g);
+      alive.push_back(true);
+      continue;
+    }
+    bool cancelled = false;
+    unsigned looked = 0;
+    for (std::size_t i = staged.size(); i-- > 0 && looked < max_lookback;) {
+      if (!alive[i]) continue;
+      const Gate& p = staged[i];
+      ++looked;
+      if (!p.is_unitary_op() || p.kind == GateKind::BARRIER) {
+        // Measurement/reset/barrier: nothing moves across.
+        bool overlaps = p.kind == GateKind::BARRIER;
+        for (unsigned q : p.qubits)
+          overlaps = overlaps ||
+                     std::find(g.qubits.begin(), g.qubits.end(), q) !=
+                         g.qubits.end();
+        if (overlaps) break;
+        continue;
+      }
+      // Disjoint supports trivially commute.
+      bool overlaps = false;
+      for (unsigned q : p.qubits)
+        overlaps = overlaps || std::find(g.qubits.begin(), g.qubits.end(),
+                                         q) != g.qubits.end();
+      if (!overlaps) continue;
+      if (p.qubits == g.qubits && is_identity_product(p, g)) {
+        alive[i] = false;
+        cancelled = true;
+        break;
+      }
+      if (!gates_commute(p, g)) break;
+    }
+    if (cancelled) continue;
+    staged.push_back(g);
+    alive.push_back(true);
+  }
+
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    if (alive[i]) out.append(std::move(staged[i]));
+  return out;
+}
+
+Circuit merge_rotations(const Circuit& circuit, double angle_epsilon) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  std::vector<Gate> staged;
+  std::vector<bool> alive;
+  std::vector<std::ptrdiff_t> last(circuit.num_qubits(), -1);
+
+  for (const auto& g : circuit.gates()) {
+    bool merged = false;
+    if (is_additive_rotation(g.kind)) {
+      std::ptrdiff_t candidate = last[g.qubits.front()];
+      bool same = candidate >= 0;
+      for (unsigned q : g.qubits) same = same && last[q] == candidate;
+      if (same && alive[static_cast<std::size_t>(candidate)]) {
+        Gate& prev = staged[static_cast<std::size_t>(candidate)];
+        if (prev.kind == g.kind && prev.qubits == g.qubits) {
+          prev.params[0] += g.params[0];
+          if (std::abs(prev.params[0]) < angle_epsilon) {
+            alive[static_cast<std::size_t>(candidate)] = false;
+            for (unsigned q : g.qubits) last[q] = -2;
+          }
+          merged = true;
+        }
+      }
+    }
+    if (merged) continue;
+    staged.push_back(g);
+    alive.push_back(true);
+    const auto idx = static_cast<std::ptrdiff_t>(staged.size() - 1);
+    if (g.kind == GateKind::BARRIER) {
+      for (auto& l : last) l = idx;
+    } else {
+      for (unsigned q : g.qubits) last[q] = idx;
+    }
+  }
+
+  for (std::size_t i = 0; i < staged.size(); ++i)
+    if (alive[i]) out.append(std::move(staged[i]));
+  return out;
+}
+
+Circuit merge_single_qubit_runs(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  std::vector<std::vector<Gate>> pending(circuit.num_qubits());
+
+  auto flush = [&](unsigned q) {
+    auto& run = pending[q];
+    if (run.empty()) return;
+    if (run.size() == 1) {
+      out.append(run.front());
+    } else {
+      Matrix m = Matrix::identity(2);
+      for (const auto& g : run) m = g.matrix() * m;
+      out.append(zyz_to_u(q, zyz_decompose(m)));
+    }
+    run.clear();
+  };
+  auto flush_all = [&] {
+    for (unsigned q = 0; q < circuit.num_qubits(); ++q) flush(q);
+  };
+
+  for (const auto& g : circuit.gates()) {
+    if (g.is_unitary_op() && g.num_qubits() == 1 &&
+        g.kind != GateKind::I) {
+      pending[g.qubits[0]].push_back(g);
+      continue;
+    }
+    if (g.kind == GateKind::I) continue;
+    if (g.kind == GateKind::BARRIER) {
+      flush_all();
+      out.append(g);
+      continue;
+    }
+    for (unsigned q : g.qubits) flush(q);
+    out.append(g);
+  }
+  flush_all();
+  return out;
+}
+
+Circuit optimize(const Circuit& circuit, unsigned max_iterations) {
+  Circuit current = circuit;
+  for (unsigned i = 0; i < max_iterations; ++i) {
+    const std::size_t before = current.size();
+    current = cancel_adjacent_inverses(current);
+    current = merge_rotations(current);
+    if (current.size() == before) break;
+  }
+  return current;
+}
+
+namespace {
+
+/// Recursive emitter for decompose_to_cx_basis.
+class BasisEmitter {
+ public:
+  explicit BasisEmitter(Circuit& out) : out_(out) {}
+
+  void emit(const Gate& g) {
+    switch (g.kind) {
+      case GateKind::I:
+        return;
+      case GateKind::BARRIER:
+      case GateKind::MEASURE:
+      case GateKind::RESET:
+        out_.append(g);
+        return;
+      // Already in basis.
+      case GateKind::X: case GateKind::Y: case GateKind::Z: case GateKind::H:
+      case GateKind::S: case GateKind::Sdg: case GateKind::T:
+      case GateKind::Tdg: case GateKind::SX: case GateKind::SXdg:
+      case GateKind::RX: case GateKind::RY: case GateKind::RZ:
+      case GateKind::P: case GateKind::U: case GateKind::CX:
+        out_.append(g);
+        return;
+      case GateKind::SWAP:
+        emit_swap(g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::ISWAP: {
+        // iSWAP = (S⊗S)(H on a) CX(a,b) CX(b,a) (H on b)
+        const unsigned a = g.qubits[0], b = g.qubits[1];
+        out_.append(Gate::s(a));
+        out_.append(Gate::s(b));
+        out_.append(Gate::h(a));
+        out_.append(Gate::cx(a, b));
+        out_.append(Gate::cx(b, a));
+        out_.append(Gate::h(b));
+        return;
+      }
+      case GateKind::CZ: case GateKind::CY: case GateKind::CH:
+      case GateKind::CP: case GateKind::CRX: case GateKind::CRY:
+      case GateKind::CRZ:
+        emit_controlled_1q(g.qubits[0], g.qubits[1], g.target_matrix());
+        return;
+      case GateKind::RZZ:
+        emit_rzz(g.qubits[0], g.qubits[1], g.params[0]);
+        return;
+      case GateKind::RXX: {
+        const unsigned a = g.qubits[0], b = g.qubits[1];
+        out_.append(Gate::h(a));
+        out_.append(Gate::h(b));
+        emit_rzz(a, b, g.params[0]);
+        out_.append(Gate::h(a));
+        out_.append(Gate::h(b));
+        return;
+      }
+      case GateKind::RYY: {
+        const unsigned a = g.qubits[0], b = g.qubits[1];
+        const double half_pi = std::numbers::pi / 2;
+        out_.append(Gate::rx(a, half_pi));
+        out_.append(Gate::rx(b, half_pi));
+        emit_rzz(a, b, g.params[0]);
+        out_.append(Gate::rx(a, -half_pi));
+        out_.append(Gate::rx(b, -half_pi));
+        return;
+      }
+      case GateKind::CCX:
+        emit_ccx(g.qubits[0], g.qubits[1], g.qubits[2]);
+        return;
+      case GateKind::CCZ:
+        out_.append(Gate::h(g.qubits[2]));
+        emit_ccx(g.qubits[0], g.qubits[1], g.qubits[2]);
+        out_.append(Gate::h(g.qubits[2]));
+        return;
+      case GateKind::CSWAP: {
+        const unsigned c = g.qubits[0], a = g.qubits[1], b = g.qubits[2];
+        out_.append(Gate::cx(b, a));
+        emit_ccx(c, a, b);
+        out_.append(Gate::cx(b, a));
+        return;
+      }
+      case GateKind::MCX:
+        emit_mcx(g.controls(), g.targets()[0]);
+        return;
+      case GateKind::MCP:
+        emit_mcp(g.controls(), g.targets()[0], g.params[0]);
+        return;
+      case GateKind::U2Q:
+      case GateKind::UNITARY:
+      case GateKind::DIAG:
+        throw Error(std::string("decompose_to_cx_basis: gate '") + g.name() +
+                    "' with a dense payload is not supported");
+    }
+    throw Error("decompose_to_cx_basis: unhandled gate kind");
+  }
+
+ private:
+  void emit_swap(unsigned a, unsigned b) {
+    out_.append(Gate::cx(a, b));
+    out_.append(Gate::cx(b, a));
+    out_.append(Gate::cx(a, b));
+  }
+
+  void emit_rzz(unsigned a, unsigned b, double theta) {
+    out_.append(Gate::cx(a, b));
+    out_.append(Gate::rz(b, theta));
+    out_.append(Gate::cx(a, b));
+  }
+
+  /// Controlled-U via the ABC construction: with U = e^{iα} RZ(β) RY(γ)
+  /// RZ(δ), CU = P(α)_c · [A]_t CX [B]_t CX [C]_t where A = RZ(β) RY(γ/2),
+  /// B = RY(−γ/2) RZ(−(δ+β)/2), C = RZ((δ−β)/2). Circuit order: C first.
+  void emit_controlled_1q(unsigned c, unsigned t, const Matrix& u) {
+    const ZyzAngles a = zyz_decompose(u);
+    // C
+    maybe_rz(t, (a.delta - a.beta) / 2.0);
+    out_.append(Gate::cx(c, t));
+    // B (right factor first)
+    maybe_rz(t, -(a.delta + a.beta) / 2.0);
+    maybe_ry(t, -a.gamma / 2.0);
+    out_.append(Gate::cx(c, t));
+    // A
+    maybe_ry(t, a.gamma / 2.0);
+    maybe_rz(t, a.beta);
+    // controlled global phase
+    if (std::abs(a.alpha) > kTinyAngle) out_.append(Gate::p(c, a.alpha));
+  }
+
+  void maybe_rz(unsigned q, double angle) {
+    if (std::abs(angle) > kTinyAngle) out_.append(Gate::rz(q, angle));
+  }
+  void maybe_ry(unsigned q, double angle) {
+    if (std::abs(angle) > kTinyAngle) out_.append(Gate::ry(q, angle));
+  }
+
+  void emit_ccx(unsigned a, unsigned b, unsigned t) {
+    out_.append(Gate::h(t));
+    out_.append(Gate::cx(b, t));
+    out_.append(Gate::tdg(t));
+    out_.append(Gate::cx(a, t));
+    out_.append(Gate::t(t));
+    out_.append(Gate::cx(b, t));
+    out_.append(Gate::tdg(t));
+    out_.append(Gate::cx(a, t));
+    out_.append(Gate::t(b));
+    out_.append(Gate::t(t));
+    out_.append(Gate::h(t));
+    out_.append(Gate::cx(a, b));
+    out_.append(Gate::t(a));
+    out_.append(Gate::tdg(b));
+    out_.append(Gate::cx(a, b));
+  }
+
+  void emit_mcx(const std::vector<unsigned>& controls, unsigned t) {
+    if (controls.size() == 1) {
+      out_.append(Gate::cx(controls[0], t));
+      return;
+    }
+    if (controls.size() == 2) {
+      emit_ccx(controls[0], controls[1], t);
+      return;
+    }
+    out_.append(Gate::h(t));
+    emit_mcp(controls, t, std::numbers::pi);
+    out_.append(Gate::h(t));
+  }
+
+  /// No-ancilla recursion:
+  /// C^k P(λ) = CP(λ/2)(c_k,t) · C^{k-1}X(c_1..c_{k-1} → c_k)
+  ///          · CP(−λ/2)(c_k,t) · C^{k-1}X · C^{k-1}P(λ/2)(c_1..c_{k-1}, t).
+  /// Exponential in k; guarded by the arity limit below.
+  void emit_mcp(const std::vector<unsigned>& controls, unsigned t,
+                double lambda) {
+    require(controls.size() <= 8,
+            "decompose_to_cx_basis: MCP with >8 controls explodes; "
+            "use the native kernel instead");
+    if (controls.empty()) {
+      out_.append(Gate::p(t, lambda));
+      return;
+    }
+    if (controls.size() == 1) {
+      emit_controlled_1q(controls[0], t, mat::P(lambda));
+      return;
+    }
+    std::vector<unsigned> rest(controls.begin(), controls.end() - 1);
+    const unsigned ck = controls.back();
+    emit_controlled_1q(ck, t, mat::P(lambda / 2.0));
+    emit_mcx(rest, ck);
+    emit_controlled_1q(ck, t, mat::P(-lambda / 2.0));
+    emit_mcx(rest, ck);
+    emit_mcp(rest, t, lambda / 2.0);
+  }
+
+  Circuit& out_;
+};
+
+}  // namespace
+
+Circuit decompose_to_cx_basis(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  BasisEmitter emitter(out);
+  for (const auto& g : circuit.gates()) emitter.emit(g);
+  return out;
+}
+
+}  // namespace svsim::qc

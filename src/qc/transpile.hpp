@@ -1,0 +1,62 @@
+// Circuit transpilation: peephole optimization and basis decomposition.
+//
+// Passes:
+//  * cancel_adjacent_inverses — removes gate pairs that multiply to the
+//    identity when nothing touching their qubits sits between them
+//    (H·H, CX·CX, S·S†, RZ(θ)·RZ(−θ), ...).
+//  * merge_rotations — folds runs of same-axis rotations on the same
+//    operands into one gate and drops zero-angle results.
+//  * merge_single_qubit_runs — collapses any run of 1-qubit gates on one
+//    qubit into a single U(θ,φ,λ) via ZYZ decomposition (global phase is
+//    preserved only up to the run, which is physical).
+//  * optimize — fixpoint pipeline of the above.
+//  * decompose_to_cx_basis — rewrites every multi-qubit gate into
+//    {CX + 1-qubit gates}: SWAP/ISWAP/CZ/CY/CH/CP/CRX/CRY/CRZ/RXX/RYY/RZZ/
+//    CCX/CCZ/CSWAP/MCX/MCP. Dense-payload gates (U2Q/UNITARY/DIAG) are not
+//    supported and throw.
+//
+// All passes preserve the circuit's unitary exactly (up to global phase for
+// merge_single_qubit_runs); the tests verify this against the dense
+// reference for every pass and every gate kind.
+#pragma once
+
+#include "qc/circuit.hpp"
+#include "qc/matrix.hpp"
+
+namespace svsim::qc {
+
+/// ZYZ Euler angles of a 2x2 unitary: U = e^{iα} RZ(β) RY(γ) RZ(δ).
+struct ZyzAngles {
+  double alpha;  ///< global phase
+  double beta;
+  double gamma;
+  double delta;
+};
+
+/// Decomposes any 2x2 unitary. Throws if `u` is not unitary.
+ZyzAngles zyz_decompose(const Matrix& u);
+
+/// Converts ZYZ angles to the equivalent U(θ,φ,λ) gate on qubit q plus a
+/// global phase (returned in `*global_phase` if non-null).
+Gate zyz_to_u(unsigned q, const ZyzAngles& angles,
+              double* global_phase = nullptr);
+
+Circuit cancel_adjacent_inverses(const Circuit& circuit);
+
+/// Stronger cancellation: a gate may cancel an earlier inverse even when
+/// gates sit in between, as long as every intervening gate *commutes* with
+/// it (checked exactly on the joint qubit support, e.g. RZ on a CX control,
+/// X on a CX target). Lookback is bounded; unions wider than 4 qubits stop
+/// the search.
+Circuit commute_cancel(const Circuit& circuit, unsigned max_lookback = 12);
+Circuit merge_rotations(const Circuit& circuit, double angle_epsilon = 1e-12);
+Circuit merge_single_qubit_runs(const Circuit& circuit);
+
+/// Runs cancel + merge passes to a fixpoint (at most `max_iterations`).
+Circuit optimize(const Circuit& circuit, unsigned max_iterations = 8);
+
+/// Rewrites the circuit over the {CX, 1-qubit} basis. MEASURE/RESET/BARRIER
+/// pass through. Throws svsim::Error for dense-payload gates.
+Circuit decompose_to_cx_basis(const Circuit& circuit);
+
+}  // namespace svsim::qc

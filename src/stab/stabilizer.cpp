@@ -1,0 +1,376 @@
+#include "stab/stabilizer.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::stab {
+
+using qc::Gate;
+using qc::GateKind;
+
+namespace {
+
+/// Maps an angle to k with angle ≡ k·π/2 (mod 2π), if such k exists.
+std::optional<int> quarter_turns(double angle) {
+  const double turns = angle / (std::numbers::pi / 2);
+  const double rounded = std::round(turns);
+  if (std::abs(turns - rounded) > 1e-9) return std::nullopt;
+  int k = static_cast<int>(std::llround(rounded)) % 4;
+  if (k < 0) k += 4;
+  return k;
+}
+
+}  // namespace
+
+StabilizerState::StabilizerState(unsigned num_qubits)
+    : n_(num_qubits),
+      words_((num_qubits + 63) / 64),
+      x_(static_cast<std::size_t>(2) * num_qubits * words_, 0),
+      z_(static_cast<std::size_t>(2) * num_qubits * words_, 0),
+      r_(static_cast<std::size_t>(2) * num_qubits, false) {
+  require(num_qubits >= 1 && num_qubits <= 4096,
+          "StabilizerState supports 1..4096 qubits");
+  // Destabilizer j = X_j, stabilizer j = Z_j.
+  for (unsigned j = 0; j < n_; ++j) {
+    set_x(j, j, true);
+    set_z(n_ + j, j, true);
+  }
+}
+
+bool StabilizerState::get_x(unsigned row, unsigned q) const {
+  return (x_[static_cast<std::size_t>(row) * words_ + q / 64] >> (q % 64)) & 1u;
+}
+bool StabilizerState::get_z(unsigned row, unsigned q) const {
+  return (z_[static_cast<std::size_t>(row) * words_ + q / 64] >> (q % 64)) & 1u;
+}
+void StabilizerState::set_x(unsigned row, unsigned q, bool v) {
+  auto& w = x_[static_cast<std::size_t>(row) * words_ + q / 64];
+  w = v ? (w | (std::uint64_t{1} << (q % 64)))
+        : (w & ~(std::uint64_t{1} << (q % 64)));
+}
+void StabilizerState::set_z(unsigned row, unsigned q, bool v) {
+  auto& w = z_[static_cast<std::size_t>(row) * words_ + q / 64];
+  w = v ? (w | (std::uint64_t{1} << (q % 64)))
+        : (w & ~(std::uint64_t{1} << (q % 64)));
+}
+
+int StabilizerState::g_phase(bool x1, bool z1, bool x2, bool z2) {
+  if (!x1 && !z1) return 0;
+  if (x1 && z1) return static_cast<int>(z2) - static_cast<int>(x2);
+  if (x1 && !z1) return z2 ? (x2 ? 1 : -1) : 0;
+  /* !x1 && z1 */ return x2 ? (z2 ? -1 : 1) : 0;
+}
+
+void StabilizerState::rowsum(unsigned h, unsigned i) {
+  int phase = (r_[h] ? 2 : 0) + (r_[i] ? 2 : 0);
+  for (unsigned q = 0; q < n_; ++q)
+    phase += g_phase(get_x(i, q), get_z(i, q), get_x(h, q), get_z(h, q));
+  phase = ((phase % 4) + 4) % 4;
+  SVSIM_ASSERT(phase == 0 || phase == 2);
+  r_[h] = phase == 2;
+  for (unsigned w = 0; w < words_; ++w) {
+    x_[static_cast<std::size_t>(h) * words_ + w] ^=
+        x_[static_cast<std::size_t>(i) * words_ + w];
+    z_[static_cast<std::size_t>(h) * words_ + w] ^=
+        z_[static_cast<std::size_t>(i) * words_ + w];
+  }
+}
+
+void StabilizerState::h(unsigned q) {
+  require(q < n_, "stabilizer h: qubit out of range");
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    const bool xb = get_x(row, q), zb = get_z(row, q);
+    if (xb && zb) r_[row] = !r_[row];
+    set_x(row, q, zb);
+    set_z(row, q, xb);
+  }
+}
+
+void StabilizerState::s(unsigned q) {
+  require(q < n_, "stabilizer s: qubit out of range");
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    const bool xb = get_x(row, q), zb = get_z(row, q);
+    if (xb && zb) r_[row] = !r_[row];
+    set_z(row, q, zb ^ xb);
+  }
+}
+
+void StabilizerState::sdg(unsigned q) {
+  s(q);
+  s(q);
+  s(q);
+}
+
+void StabilizerState::z(unsigned q) {
+  s(q);
+  s(q);
+}
+
+void StabilizerState::x(unsigned q) {
+  require(q < n_, "stabilizer x: qubit out of range");
+  for (unsigned row = 0; row < 2 * n_; ++row)
+    if (get_z(row, q)) r_[row] = !r_[row];
+}
+
+void StabilizerState::y(unsigned q) {
+  require(q < n_, "stabilizer y: qubit out of range");
+  for (unsigned row = 0; row < 2 * n_; ++row)
+    if (get_x(row, q) != get_z(row, q)) r_[row] = !r_[row];
+}
+
+void StabilizerState::cx(unsigned c, unsigned t) {
+  require(c < n_ && t < n_ && c != t, "stabilizer cx: bad operands");
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    const bool xc = get_x(row, c), zc = get_z(row, c);
+    const bool xt = get_x(row, t), zt = get_z(row, t);
+    if (xc && zt && (xt == zc)) r_[row] = !r_[row];
+    set_x(row, t, xt ^ xc);
+    set_z(row, c, zc ^ zt);
+  }
+}
+
+void StabilizerState::cz(unsigned c, unsigned t) {
+  h(t);
+  cx(c, t);
+  h(t);
+}
+
+void StabilizerState::cy(unsigned c, unsigned t) {
+  sdg(t);
+  cx(c, t);
+  s(t);
+}
+
+void StabilizerState::swap(unsigned a, unsigned b) {
+  cx(a, b);
+  cx(b, a);
+  cx(a, b);
+}
+
+bool StabilizerState::is_clifford(qc::GateKind kind) {
+  switch (kind) {
+    case GateKind::I: case GateKind::X: case GateKind::Y: case GateKind::Z:
+    case GateKind::H: case GateKind::S: case GateKind::Sdg:
+    case GateKind::SX: case GateKind::SXdg:
+    case GateKind::CX: case GateKind::CY: case GateKind::CZ:
+    case GateKind::SWAP: case GateKind::ISWAP:
+    case GateKind::BARRIER:
+    // Parameterized kinds are Clifford only at quarter-turn angles; apply()
+    // checks the actual parameter.
+    case GateKind::P: case GateKind::RZ: case GateKind::CP:
+    case GateKind::RZZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void StabilizerState::apply(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::I:
+    case GateKind::BARRIER:
+      return;
+    case GateKind::X: x(g.qubits[0]); return;
+    case GateKind::Y: y(g.qubits[0]); return;
+    case GateKind::Z: z(g.qubits[0]); return;
+    case GateKind::H: h(g.qubits[0]); return;
+    case GateKind::S: s(g.qubits[0]); return;
+    case GateKind::Sdg: sdg(g.qubits[0]); return;
+    case GateKind::SX:  // √X = H S H (exactly)
+      h(g.qubits[0]); s(g.qubits[0]); h(g.qubits[0]);
+      return;
+    case GateKind::SXdg:
+      h(g.qubits[0]); sdg(g.qubits[0]); h(g.qubits[0]);
+      return;
+    case GateKind::CX: cx(g.qubits[0], g.qubits[1]); return;
+    case GateKind::CY: cy(g.qubits[0], g.qubits[1]); return;
+    case GateKind::CZ: cz(g.qubits[0], g.qubits[1]); return;
+    case GateKind::SWAP: swap(g.qubits[0], g.qubits[1]); return;
+    case GateKind::ISWAP: {
+      const unsigned a = g.qubits[0], b = g.qubits[1];
+      s(a); s(b); h(a); cx(a, b); cx(b, a); h(b);
+      return;
+    }
+    case GateKind::P:
+    case GateKind::RZ: {
+      // Global phase is irrelevant for the stabilizer formalism: both map
+      // to powers of S at quarter turns.
+      const auto k = quarter_turns(g.params[0]);
+      require(k.has_value(), "stabilizer: rotation angle is not Clifford");
+      for (int i = 0; i < *k; ++i) s(g.qubits[0]);
+      return;
+    }
+    case GateKind::CP: {
+      const auto k = quarter_turns(g.params[0]);
+      require(k.has_value() && (*k % 2 == 0 || *k == 0),
+              "stabilizer: cp angle is not Clifford");
+      if (*k == 2) cz(g.qubits[0], g.qubits[1]);
+      // k == 0: identity.
+      return;
+    }
+    case GateKind::RZZ: {
+      const auto k = quarter_turns(g.params[0]);
+      require(k.has_value(), "stabilizer: rzz angle is not Clifford");
+      // rzz(θ) = CX · RZ(θ)_t · CX (up to global phase).
+      cx(g.qubits[0], g.qubits[1]);
+      for (int i = 0; i < *k; ++i) s(g.qubits[1]);
+      cx(g.qubits[0], g.qubits[1]);
+      return;
+    }
+    case GateKind::MEASURE:
+    case GateKind::RESET:
+      throw Error("stabilizer: use measure() for measurement/reset");
+    default:
+      throw Error(std::string("stabilizer: gate '") + g.name() +
+                  "' is not Clifford");
+  }
+}
+
+void StabilizerState::apply(const qc::Circuit& circuit) {
+  require(circuit.num_qubits() <= n_,
+          "stabilizer: circuit wider than the register");
+  for (const auto& g : circuit.gates()) apply(g);
+}
+
+bool StabilizerState::measure(unsigned q, Xoshiro256& rng) {
+  require(q < n_, "stabilizer measure: qubit out of range");
+  // Random outcome iff some stabilizer generator anticommutes with Z_q.
+  unsigned p = 2 * n_;
+  for (unsigned row = n_; row < 2 * n_; ++row) {
+    if (get_x(row, q)) {
+      p = row;
+      break;
+    }
+  }
+  if (p < 2 * n_) {
+    for (unsigned row = 0; row < 2 * n_; ++row)
+      if (row != p && get_x(row, q)) rowsum(row, p);
+    // Destabilizer p-n := old stabilizer p; stabilizer p := ±Z_q.
+    for (unsigned w = 0; w < words_; ++w) {
+      x_[static_cast<std::size_t>(p - n_) * words_ + w] =
+          x_[static_cast<std::size_t>(p) * words_ + w];
+      z_[static_cast<std::size_t>(p - n_) * words_ + w] =
+          z_[static_cast<std::size_t>(p) * words_ + w];
+      x_[static_cast<std::size_t>(p) * words_ + w] = 0;
+      z_[static_cast<std::size_t>(p) * words_ + w] = 0;
+    }
+    r_[p - n_] = r_[p];
+    const bool outcome = rng.uniform() < 0.5;
+    set_z(p, q, true);
+    r_[p] = outcome;
+    return outcome;
+  }
+  // Deterministic: accumulate the product of stabilizers selected by the
+  // destabilizers that anticommute with Z_q.
+  std::vector<std::uint64_t> acc_x(words_, 0), acc_z(words_, 0);
+  int phase = 0;  // exponent of i, mod 4
+  for (unsigned j = 0; j < n_; ++j) {
+    if (!get_x(j, q)) continue;
+    const unsigned row = n_ + j;
+    if (r_[row]) phase += 2;
+    for (unsigned qq = 0; qq < n_; ++qq) {
+      const bool ax = (acc_x[qq / 64] >> (qq % 64)) & 1u;
+      const bool az = (acc_z[qq / 64] >> (qq % 64)) & 1u;
+      phase += g_phase(get_x(row, qq), get_z(row, qq), ax, az);
+    }
+    for (unsigned w = 0; w < words_; ++w) {
+      acc_x[w] ^= x_[static_cast<std::size_t>(row) * words_ + w];
+      acc_z[w] ^= z_[static_cast<std::size_t>(row) * words_ + w];
+    }
+  }
+  phase = ((phase % 4) + 4) % 4;
+  SVSIM_ASSERT(phase == 0 || phase == 2);
+  return phase == 2;
+}
+
+std::optional<bool> StabilizerState::deterministic_outcome(unsigned q) const {
+  require(q < n_, "stabilizer: qubit out of range");
+  for (unsigned row = n_; row < 2 * n_; ++row)
+    if (get_x(row, q)) return std::nullopt;
+  // Same accumulation as the deterministic branch of measure().
+  StabilizerState copy = *this;
+  Xoshiro256 unused(0);
+  return copy.measure(q, unused);
+}
+
+int StabilizerState::expectation(const qc::PauliString& p) const {
+  require(p.num_qubits() == n_, "stabilizer expectation: width mismatch");
+  auto anticommutes_with_row = [&](unsigned row) {
+    unsigned count = 0;
+    for (unsigned q = 0; q < n_; ++q) {
+      const bool px = test_bit(p.x_mask(), q), pz = test_bit(p.z_mask(), q);
+      const bool rx = get_x(row, q), rz = get_z(row, q);
+      count += static_cast<unsigned>((px && rz) != (pz && rx));
+    }
+    return count % 2 == 1;
+  };
+  for (unsigned j = 0; j < n_; ++j)
+    if (anticommutes_with_row(n_ + j)) return 0;
+
+  // ±P is in the stabilizer group: reconstruct it from the generators
+  // selected by the anticommuting destabilizers and read off the sign.
+  std::vector<std::uint64_t> acc_x(words_, 0), acc_z(words_, 0);
+  int phase = 0;
+  for (unsigned j = 0; j < n_; ++j) {
+    if (!anticommutes_with_row(j)) continue;
+    const unsigned row = n_ + j;
+    if (r_[row]) phase += 2;
+    for (unsigned qq = 0; qq < n_; ++qq) {
+      const bool ax = (acc_x[qq / 64] >> (qq % 64)) & 1u;
+      const bool az = (acc_z[qq / 64] >> (qq % 64)) & 1u;
+      phase += g_phase(get_x(row, qq), get_z(row, qq), ax, az);
+    }
+    for (unsigned w = 0; w < words_; ++w) {
+      acc_x[w] ^= x_[static_cast<std::size_t>(row) * words_ + w];
+      acc_z[w] ^= z_[static_cast<std::size_t>(row) * words_ + w];
+    }
+  }
+  // The reconstruction must reproduce P's masks exactly.
+  for (unsigned q = 0; q < n_; ++q) {
+    const bool ax = (acc_x[q / 64] >> (q % 64)) & 1u;
+    const bool az = (acc_z[q / 64] >> (q % 64)) & 1u;
+    SVSIM_ASSERT(ax == test_bit(p.x_mask(), q));
+    SVSIM_ASSERT(az == test_bit(p.z_mask(), q));
+  }
+  phase = ((phase % 4) + 4) % 4;
+  SVSIM_ASSERT(phase == 0 || phase == 2);
+  return phase == 0 ? 1 : -1;
+}
+
+std::pair<int, qc::PauliString> StabilizerState::stabilizer(unsigned j) const {
+  require(j < n_, "stabilizer index out of range");
+  const unsigned row = n_ + j;
+  std::uint64_t xm = 0, zm = 0;
+  require(n_ <= 64, "stabilizer(): PauliString export limited to 64 qubits");
+  for (unsigned q = 0; q < n_; ++q) {
+    if (get_x(row, q)) xm |= pow2(q);
+    if (get_z(row, q)) zm |= pow2(q);
+  }
+  return {r_[row] ? -1 : 1, qc::PauliString(n_, xm, zm)};
+}
+
+std::string StabilizerState::to_string() const {
+  std::ostringstream os;
+  for (unsigned j = 0; j < n_; ++j) {
+    const unsigned row = n_ + j;
+    os << (r_[row] ? '-' : '+');
+    for (unsigned q = n_; q-- > 0;) {
+      const bool xb = get_x(row, q), zb = get_z(row, q);
+      os << (xb && zb ? 'Y' : xb ? 'X' : zb ? 'Z' : 'I');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+StabilizerState run_clifford(const qc::Circuit& circuit) {
+  StabilizerState state(circuit.num_qubits());
+  state.apply(circuit);
+  return state;
+}
+
+}  // namespace svsim::stab

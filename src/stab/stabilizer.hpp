@@ -1,0 +1,90 @@
+// Stabilizer (CHP tableau) simulator — the Clifford-circuit baseline.
+//
+// Aaronson-Gottesman tableau: n destabilizer rows, n stabilizer rows, each a
+// signed Pauli over n qubits stored as packed x/z bit vectors. Clifford
+// gates are O(n) column updates; measurement is O(n^2). The simulator serves
+// two roles in this repository: an independent oracle that cross-validates
+// the state-vector kernels on Clifford circuits, and a baseline that handles
+// register sizes (hundreds of qubits) the state vector cannot touch.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+
+namespace svsim::stab {
+
+class StabilizerState {
+ public:
+  /// |0...0> on n qubits (stabilizers Z_0..Z_{n-1}).
+  explicit StabilizerState(unsigned num_qubits);
+
+  unsigned num_qubits() const noexcept { return n_; }
+
+  // ---- native Clifford updates (O(n) each) -------------------------------
+  void h(unsigned q);
+  void s(unsigned q);
+  void sdg(unsigned q);
+  void x(unsigned q);
+  void y(unsigned q);
+  void z(unsigned q);
+  void cx(unsigned c, unsigned t);
+  void cz(unsigned c, unsigned t);
+  void cy(unsigned c, unsigned t);
+  void swap(unsigned a, unsigned b);
+
+  /// Applies a circuit gate. Clifford kinds (including SX/SXdg/ISWAP and
+  /// CCX-free compositions) are mapped onto the native updates; non-Clifford
+  /// gates throw svsim::Error.
+  void apply(const qc::Gate& gate);
+
+  /// Applies every gate of a (Clifford, unitary) circuit.
+  void apply(const qc::Circuit& circuit);
+
+  /// True if `kind` (with arbitrary parameters) is supported.
+  static bool is_clifford(qc::GateKind kind);
+
+  /// Measures qubit q in the computational basis; collapses the tableau.
+  bool measure(unsigned q, Xoshiro256& rng);
+
+  /// If the outcome of measuring q is deterministic, returns it without
+  /// collapsing; otherwise nullopt (the outcome would be a fair coin).
+  std::optional<bool> deterministic_outcome(unsigned q) const;
+
+  /// <P> for a Pauli string: +1 or -1 if ±P stabilizes the state, 0 if the
+  /// outcome is equidistributed.
+  int expectation(const qc::PauliString& pauli) const;
+
+  /// The j-th stabilizer generator as (sign, PauliString).
+  std::pair<int, qc::PauliString> stabilizer(unsigned j) const;
+
+  /// Human-readable tableau ("+XXI / +ZZI / ..." style).
+  std::string to_string() const;
+
+ private:
+  bool get_x(unsigned row, unsigned q) const;
+  bool get_z(unsigned row, unsigned q) const;
+  void set_x(unsigned row, unsigned q, bool v);
+  void set_z(unsigned row, unsigned q, bool v);
+  /// row_h *= row_i with exact phase tracking (CHP "rowsum").
+  void rowsum(unsigned h, unsigned i);
+  /// Phase exponent contribution of multiplying single-qubit Paulis.
+  static int g_phase(bool x1, bool z1, bool x2, bool z2);
+
+  unsigned n_ = 0;
+  unsigned words_ = 0;
+  // Rows: [0, n) destabilizers, [n, 2n) stabilizers, 2n = scratch.
+  std::vector<std::uint64_t> x_;
+  std::vector<std::uint64_t> z_;
+  std::vector<bool> r_;
+};
+
+/// Convenience: runs a Clifford circuit from |0...0> and returns the state.
+StabilizerState run_clifford(const qc::Circuit& circuit);
+
+}  // namespace svsim::stab

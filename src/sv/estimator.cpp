@@ -1,0 +1,67 @@
+#include "sv/estimator.hpp"
+
+#include "common/error.hpp"
+#include "qc/grouping.hpp"
+
+namespace svsim::sv {
+
+template <typename T>
+EstimateResult estimate_expectation(Simulator<T>& simulator,
+                                    const qc::Circuit& circuit,
+                                    const qc::PauliOperator& observable,
+                                    std::size_t shots_per_group) {
+  require(circuit.num_qubits() == observable.num_qubits(),
+          "estimate_expectation: circuit/observable width mismatch");
+  require(circuit.is_unitary(),
+          "estimate_expectation: circuit must not contain measure/reset");
+  require(shots_per_group > 0, "estimate_expectation: need shots");
+
+  const auto groups = qc::group_qubitwise_commuting(observable);
+  EstimateResult result;
+  result.groups = groups.size();
+
+  for (const auto& group : groups) {
+    // Identity-only groups contribute their coefficients exactly.
+    bool all_identity = true;
+    for (const auto& term : group.terms)
+      all_identity = all_identity && term.pauli.is_identity();
+    if (all_identity) {
+      for (const auto& term : group.terms) result.value += term.coefficient;
+      continue;
+    }
+
+    qc::Circuit rotated = circuit;
+    rotated.compose(
+        qc::measurement_basis_circuit(group, circuit.num_qubits()));
+    const auto counts = simulator.sample_counts(rotated, shots_per_group);
+    result.total_shots += shots_per_group;
+
+    for (const auto& term : group.terms) {
+      if (term.pauli.is_identity()) {
+        result.value += term.coefficient;
+        continue;
+      }
+      // After the basis change the term acts as Z on its support.
+      const qc::PauliString diag(term.pauli.num_qubits(), 0,
+                                 term.pauli.x_mask() | term.pauli.z_mask());
+      double mean = 0.0;
+      for (const auto& [bits, count] : counts)
+        mean += qc::diagonal_term_value(diag, bits) *
+                static_cast<double>(count);
+      mean /= static_cast<double>(shots_per_group);
+      result.value += term.coefficient * mean;
+    }
+  }
+  return result;
+}
+
+template EstimateResult estimate_expectation<float>(Simulator<float>&,
+                                                    const qc::Circuit&,
+                                                    const qc::PauliOperator&,
+                                                    std::size_t);
+template EstimateResult estimate_expectation<double>(Simulator<double>&,
+                                                     const qc::Circuit&,
+                                                     const qc::PauliOperator&,
+                                                     std::size_t);
+
+}  // namespace svsim::sv

@@ -1,0 +1,36 @@
+// Shot-based observable estimation (the sampled-expectation path a hardware
+// workflow uses, with the QWC grouping from qc/grouping).
+#pragma once
+
+#include <cstddef>
+
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::sv {
+
+struct EstimateResult {
+  double value = 0.0;           ///< Σ_k c_k · sample-mean of term k
+  std::size_t groups = 0;       ///< number of QWC shot batches used
+  std::size_t total_shots = 0;  ///< shots across all batches
+};
+
+/// Estimates <O> on the final state of `circuit` from `shots_per_group`
+/// measurement shots per QWC group: for each group, append its basis-change
+/// layer, sample bitstrings, and average the diagonalized term values.
+/// Converges to Simulator::expectation as shots grow (~1/√shots error).
+template <typename T>
+EstimateResult estimate_expectation(Simulator<T>& simulator,
+                                    const qc::Circuit& circuit,
+                                    const qc::PauliOperator& observable,
+                                    std::size_t shots_per_group);
+
+extern template EstimateResult estimate_expectation<float>(
+    Simulator<float>&, const qc::Circuit&, const qc::PauliOperator&,
+    std::size_t);
+extern template EstimateResult estimate_expectation<double>(
+    Simulator<double>&, const qc::Circuit&, const qc::PauliOperator&,
+    std::size_t);
+
+}  // namespace svsim::sv

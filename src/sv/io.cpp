@@ -1,0 +1,107 @@
+#include "sv/io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace svsim::sv {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'V', 'S', 'I', 'M', 'S', 'T', '1'};
+
+struct Header {
+  char magic[8];
+  std::uint32_t element_bytes;  // 4 = float, 8 = double (per scalar)
+  std::uint32_t num_qubits;
+};
+
+}  // namespace
+
+template <typename T>
+void save_state(const StateVector<T>& state, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  require(out.good(), "save_state: cannot open '" + path + "'");
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.element_bytes = sizeof(T);
+  h.num_qubits = state.num_qubits();
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(state.data()),
+            static_cast<std::streamsize>(state.size() *
+                                         sizeof(std::complex<T>)));
+  require(out.good(), "save_state: write failed for '" + path + "'");
+}
+
+template <typename T>
+StateVector<T> load_state(const std::string& path, ThreadPool* pool) {
+  std::ifstream in(path, std::ios::binary);
+  require(in.good(), "load_state: cannot open '" + path + "'");
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  require(in.good() && std::memcmp(h.magic, kMagic, sizeof(kMagic)) == 0,
+          "load_state: '" + path + "' is not an svsim state file");
+  require(h.element_bytes == 4 || h.element_bytes == 8,
+          "load_state: unsupported precision in '" + path + "'");
+  require(h.num_qubits >= 1 && h.num_qubits <= 34,
+          "load_state: invalid register size in '" + path + "'");
+
+  StateVector<T> state(h.num_qubits, pool);
+  const std::uint64_t count = state.size();
+  if (h.element_bytes == sizeof(T)) {
+    in.read(reinterpret_cast<char*>(state.data()),
+            static_cast<std::streamsize>(count * sizeof(std::complex<T>)));
+    require(in.good(), "load_state: truncated state in '" + path + "'");
+    return state;
+  }
+  // Cross-precision load: stream-convert in chunks.
+  if (h.element_bytes == 8) {
+    std::vector<std::complex<double>> buffer(std::min<std::uint64_t>(
+        count, 1u << 16));
+    std::uint64_t done = 0;
+    while (done < count) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(buffer.size(), count - done);
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(chunk *
+                                           sizeof(std::complex<double>)));
+      require(in.good(), "load_state: truncated state in '" + path + "'");
+      for (std::uint64_t i = 0; i < chunk; ++i)
+        state.data()[done + i] = {static_cast<T>(buffer[i].real()),
+                                  static_cast<T>(buffer[i].imag())};
+      done += chunk;
+    }
+  } else {
+    std::vector<std::complex<float>> buffer(std::min<std::uint64_t>(
+        count, 1u << 16));
+    std::uint64_t done = 0;
+    while (done < count) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(buffer.size(), count - done);
+      in.read(reinterpret_cast<char*>(buffer.data()),
+              static_cast<std::streamsize>(chunk *
+                                           sizeof(std::complex<float>)));
+      require(in.good(), "load_state: truncated state in '" + path + "'");
+      for (std::uint64_t i = 0; i < chunk; ++i)
+        state.data()[done + i] = {static_cast<T>(buffer[i].real()),
+                                  static_cast<T>(buffer[i].imag())};
+      done += chunk;
+    }
+  }
+  return state;
+}
+
+template void save_state<float>(const StateVector<float>&,
+                                const std::string&);
+template void save_state<double>(const StateVector<double>&,
+                                 const std::string&);
+template StateVector<float> load_state<float>(const std::string&,
+                                              ThreadPool*);
+template StateVector<double> load_state<double>(const std::string&,
+                                                ThreadPool*);
+
+}  // namespace svsim::sv

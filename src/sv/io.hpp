@@ -1,0 +1,36 @@
+// State-vector checkpointing: binary save/load.
+//
+// Long multi-hour simulation campaigns checkpoint the register between
+// circuit segments. The format is a small magic+metadata header followed by
+// the raw amplitude array in the file's native precision; loading validates
+// the header and (optionally) converts precision.
+#pragma once
+
+#include <string>
+
+#include "sv/state_vector.hpp"
+
+namespace svsim::sv {
+
+/// Writes `state` to `path` (overwrites). Throws svsim::Error on I/O
+/// failure.
+template <typename T>
+void save_state(const StateVector<T>& state, const std::string& path);
+
+/// Reads a state written by save_state. The file may have been written in
+/// either precision; amplitudes are converted to T. Throws on malformed
+/// files, I/O failure, or register-size overflow.
+template <typename T>
+StateVector<T> load_state(const std::string& path,
+                          ThreadPool* pool = &ThreadPool::global());
+
+extern template void save_state<float>(const StateVector<float>&,
+                                       const std::string&);
+extern template void save_state<double>(const StateVector<double>&,
+                                        const std::string&);
+extern template StateVector<float> load_state<float>(const std::string&,
+                                                     ThreadPool*);
+extern template StateVector<double> load_state<double>(const std::string&,
+                                                       ThreadPool*);
+
+}  // namespace svsim::sv

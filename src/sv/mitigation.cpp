@@ -1,0 +1,74 @@
+#include "sv/mitigation.hpp"
+
+#include "common/error.hpp"
+
+namespace svsim::sv {
+
+qc::Circuit fold_global(const qc::Circuit& circuit, unsigned scale) {
+  require(scale % 2 == 1, "fold_global: scale must be odd");
+  require(circuit.is_unitary(), "fold_global: circuit must be unitary");
+  qc::Circuit folded(circuit.num_qubits(), circuit.num_clbits());
+  auto append_all = [&](const qc::Circuit& c) {
+    for (const auto& g : c.gates())
+      if (g.kind != qc::GateKind::BARRIER) folded.append(g);
+  };
+  append_all(circuit);
+  const qc::Circuit inverse = circuit.inverse();
+  for (unsigned k = 0; k < (scale - 1) / 2; ++k) {
+    append_all(inverse);
+    append_all(circuit);
+  }
+  return folded;
+}
+
+double richardson_extrapolate(const std::vector<double>& xs,
+                              const std::vector<double>& ys) {
+  require(xs.size() == ys.size() && !xs.empty(),
+          "richardson_extrapolate: need matching non-empty samples");
+  double result = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double weight = 1.0;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (j == i) continue;
+      require(xs[i] != xs[j], "richardson_extrapolate: duplicate scale");
+      weight *= xs[j] / (xs[j] - xs[i]);  // Lagrange basis at x = 0
+    }
+    result += weight * ys[i];
+  }
+  return result;
+}
+
+template <typename T>
+ZneResult zero_noise_extrapolation(Simulator<T>& simulator,
+                                   const qc::Circuit& circuit,
+                                   const qc::PauliOperator& observable,
+                                   int trajectories,
+                                   std::vector<unsigned> scales) {
+  require(trajectories > 0, "zero_noise_extrapolation: need trajectories");
+  require(!scales.empty(), "zero_noise_extrapolation: need scales");
+  ZneResult result;
+  result.scales = scales;
+  for (const unsigned scale : scales) {
+    const qc::Circuit folded = fold_global(circuit, scale);
+    double sum = 0.0;
+    for (int t = 0; t < trajectories; ++t)
+      sum += simulator.expectation(folded, observable);
+    result.values.push_back(sum / trajectories);
+  }
+  std::vector<double> xs(scales.begin(), scales.end());
+  result.extrapolated = richardson_extrapolate(xs, result.values);
+  return result;
+}
+
+template ZneResult zero_noise_extrapolation<float>(Simulator<float>&,
+                                                   const qc::Circuit&,
+                                                   const qc::PauliOperator&,
+                                                   int,
+                                                   std::vector<unsigned>);
+template ZneResult zero_noise_extrapolation<double>(Simulator<double>&,
+                                                    const qc::Circuit&,
+                                                    const qc::PauliOperator&,
+                                                    int,
+                                                    std::vector<unsigned>);
+
+}  // namespace svsim::sv

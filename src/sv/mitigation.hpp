@@ -1,0 +1,53 @@
+// Zero-noise extrapolation (ZNE) — error mitigation by noise amplification.
+//
+// Global unitary folding maps a circuit C to C (C† C)^k, which is the
+// identity transformation on the ideal state but multiplies the effective
+// noise exposure by the scale factor 2k+1. Measuring an observable at
+// several scale factors and extrapolating to scale 0 recovers an estimate
+// of the noiseless value — the standard NISQ mitigation technique, and a
+// natural consumer of this library's trajectory-noise stack.
+#pragma once
+
+#include <vector>
+
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::sv {
+
+/// Globally folds a unitary circuit: scale must be odd (1, 3, 5, ...);
+/// scale 2k+1 returns C (C† C)^k. Barriers are dropped inside folds.
+qc::Circuit fold_global(const qc::Circuit& circuit, unsigned scale);
+
+struct ZneResult {
+  std::vector<unsigned> scales;
+  std::vector<double> values;       ///< trajectory-averaged <O> per scale
+  double extrapolated = 0.0;        ///< Richardson estimate at scale 0
+};
+
+/// Runs trajectory-averaged expectations of `observable` at the given odd
+/// noise scales (default {1, 3, 5}) and Richardson-extrapolates to zero
+/// noise. `trajectories` trajectories per scale. The simulator's noise
+/// model supplies the noise; with an empty model every scale returns the
+/// ideal value.
+template <typename T>
+ZneResult zero_noise_extrapolation(Simulator<T>& simulator,
+                                   const qc::Circuit& circuit,
+                                   const qc::PauliOperator& observable,
+                                   int trajectories,
+                                   std::vector<unsigned> scales = {1, 3, 5});
+
+/// Richardson (polynomial) extrapolation of (x_i, y_i) to x = 0 via the
+/// Lagrange basis. Exact when y is a polynomial of degree < points.
+double richardson_extrapolate(const std::vector<double>& xs,
+                              const std::vector<double>& ys);
+
+extern template ZneResult zero_noise_extrapolation<float>(
+    Simulator<float>&, const qc::Circuit&, const qc::PauliOperator&, int,
+    std::vector<unsigned>);
+extern template ZneResult zero_noise_extrapolation<double>(
+    Simulator<double>&, const qc::Circuit&, const qc::PauliOperator&, int,
+    std::vector<unsigned>);
+
+}  // namespace svsim::sv

@@ -1,0 +1,71 @@
+// Stochastic noise channels (quantum-trajectory method).
+//
+// Pauli channels are simulated by inserting a randomly drawn Pauli after
+// each matching gate; amplitude damping uses the standard two-Kraus
+// trajectory (jump with probability γ·P(|1>), renormalize either way). A
+// NoiseModel attaches channels by gate arity, the way device-level noise is
+// usually specified for simulator studies.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qc/gate.hpp"
+#include "sv/state_vector.hpp"
+
+namespace svsim::sv {
+
+/// One noise channel applied to the qubits of a matching gate.
+struct NoiseChannel {
+  enum class Type {
+    Depolarizing,      ///< prob p: uniform non-identity Pauli on the qubits
+    BitFlip,           ///< prob p: X on each qubit independently
+    PhaseFlip,         ///< prob p: Z on each qubit independently
+    AmplitudeDamping,  ///< damping rate gamma on each qubit independently
+  };
+  Type type;
+  double parameter;    ///< p or gamma
+  unsigned arity;      ///< gate arity this channel attaches to (0 = any)
+};
+
+class NoiseModel {
+ public:
+  bool empty() const noexcept {
+    return channels_.empty() && !has_readout_error();
+  }
+
+  /// Depolarizing channel with probability p after every `arity`-qubit gate
+  /// (arity 0 = every gate).
+  NoiseModel& add_depolarizing(double p, unsigned arity = 0);
+  /// Independent X-flip with probability p per qubit of matching gates.
+  NoiseModel& add_bit_flip(double p, unsigned arity = 0);
+  /// Independent Z-flip with probability p per qubit of matching gates.
+  NoiseModel& add_phase_flip(double p, unsigned arity = 0);
+  /// Amplitude damping with rate gamma per qubit of matching gates.
+  NoiseModel& add_amplitude_damping(double gamma, unsigned arity = 0);
+
+  /// Classical readout error: a measured 0 is reported as 1 with
+  /// probability p0_to_1, a measured 1 as 0 with probability p1_to_0.
+  NoiseModel& set_readout_error(double p0_to_1, double p1_to_0);
+  bool has_readout_error() const noexcept {
+    return readout_p01_ > 0.0 || readout_p10_ > 0.0;
+  }
+  /// Applies the readout channel to a true outcome.
+  bool flip_readout(bool outcome, Xoshiro256& rng) const;
+
+  const std::vector<NoiseChannel>& channels() const noexcept {
+    return channels_;
+  }
+
+  /// Applies every channel matching `gate` to the state (one trajectory).
+  template <typename T>
+  void apply_after(StateVector<T>& state, const qc::Gate& gate,
+                   Xoshiro256& rng) const;
+
+ private:
+  std::vector<NoiseChannel> channels_;
+  double readout_p01_ = 0.0;
+  double readout_p10_ = 0.0;
+};
+
+}  // namespace svsim::sv

@@ -1,0 +1,250 @@
+#include "sv/simulator.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sv/kernels.hpp"
+
+namespace svsim::sv {
+
+using qc::Gate;
+using qc::GateKind;
+using qc::cplx;
+
+template <typename T>
+void apply_gate(StateVector<T>& state, const Gate& g) {
+  std::complex<T>* psi = state.data();
+  const unsigned n = state.num_qubits();
+  ThreadPool& pool = state.pool();
+  for (unsigned q : g.qubits)
+    require(q < n, "apply_gate: qubit out of range");
+
+  switch (g.kind) {
+    case GateKind::I:
+    case GateKind::BARRIER:
+      return;
+    case GateKind::X:
+      apply_x(psi, n, g.qubits[0], pool);
+      return;
+    case GateKind::Y:
+      apply_y(psi, n, g.qubits[0], pool);
+      return;
+    case GateKind::H:
+      apply_h(psi, n, g.qubits[0], pool);
+      return;
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::P:
+    case GateKind::RZ: {
+      const qc::Matrix u = g.matrix();
+      apply_diag1(psi, n, g.qubits[0], u(0, 0), u(1, 1), pool);
+      return;
+    }
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::U:
+      apply_matrix1(psi, n, g.qubits[0], g.matrix(), pool);
+      return;
+    case GateKind::CX:
+    case GateKind::CCX:
+    case GateKind::MCX:
+      apply_mcx(psi, n, g.controls(), g.targets()[0], pool);
+      return;
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::CRZ:
+    case GateKind::CCZ:
+    case GateKind::MCP: {
+      const qc::Matrix u = g.target_matrix();
+      apply_controlled_diag1(psi, n, g.controls(), g.targets()[0], u(0, 0),
+                             u(1, 1), pool);
+      return;
+    }
+    case GateKind::CY:
+    case GateKind::CH:
+    case GateKind::CRX:
+    case GateKind::CRY:
+      apply_controlled_matrix1(psi, n, g.controls(), g.targets()[0],
+                               g.target_matrix(), pool);
+      return;
+    case GateKind::SWAP:
+      apply_swap(psi, n, g.qubits[0], g.qubits[1], pool);
+      return;
+    case GateKind::RZZ: {
+      const qc::Matrix u = g.matrix();
+      apply_diag2(psi, n, g.qubits[0], g.qubits[1],
+                  {u(0, 0), u(1, 1), u(2, 2), u(3, 3)}, pool);
+      return;
+    }
+    case GateKind::ISWAP:
+    case GateKind::RXX:
+    case GateKind::RYY:
+    case GateKind::U2Q:
+      apply_matrix2(psi, n, g.qubits[0], g.qubits[1], g.matrix(), pool);
+      return;
+    case GateKind::CSWAP:
+      apply_matrix_k(psi, n, g.qubits, g.matrix(), pool);
+      return;
+    case GateKind::DIAG:
+      apply_diag_k(psi, n, g.qubits, g.diagonal_entries(), pool);
+      return;
+    case GateKind::UNITARY:
+      if (g.num_qubits() == 1) {
+        apply_matrix1(psi, n, g.qubits[0], g.matrix_payload(), pool);
+      } else if (g.num_qubits() == 2) {
+        apply_matrix2(psi, n, g.qubits[0], g.qubits[1], g.matrix_payload(),
+                      pool);
+      } else {
+        apply_matrix_k(psi, n, g.qubits, g.matrix_payload(), pool);
+      }
+      return;
+    case GateKind::MEASURE:
+    case GateKind::RESET:
+      throw Error(
+          "apply_gate: MEASURE/RESET need a Simulator (they are stochastic)");
+  }
+  throw Error("apply_gate: unhandled gate kind");
+}
+
+template <typename T>
+Simulator<T>::Simulator(SimulatorOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  SVSIM_ASSERT(options_.pool != nullptr);
+}
+
+template <typename T>
+qc::Circuit Simulator<T>::prepare(const qc::Circuit& circuit) const {
+  if (!options_.fusion) return circuit;
+  FusionOptions fo;
+  fo.max_width = options_.fusion_width;
+  return fuse(circuit, fo);
+}
+
+template <typename T>
+StateVector<T> Simulator<T>::run(const qc::Circuit& circuit) {
+  StateVector<T> state(circuit.num_qubits(), options_.pool);
+  run_in_place(state, circuit);
+  return state;
+}
+
+template <typename T>
+void Simulator<T>::run_in_place(StateVector<T>& state,
+                                const qc::Circuit& circuit) {
+  require(state.num_qubits() == circuit.num_qubits(),
+          "run_in_place: state/circuit width mismatch");
+  const qc::Circuit prepared = prepare(circuit);
+  classical_bits_.assign(circuit.num_clbits(), false);
+  for (const auto& g : prepared.gates()) {
+    switch (g.kind) {
+      case GateKind::MEASURE:
+        // Readout error flips only the recorded bit, not the collapse.
+        classical_bits_[g.cbit] = options_.noise.flip_readout(
+            state.measure(g.qubits[0], rng_), rng_);
+        break;
+      case GateKind::RESET:
+        state.reset_qubit(g.qubits[0], rng_);
+        break;
+      default:
+        apply_gate(state, g);
+        if (!options_.noise.empty())
+          options_.noise.apply_after(state, g, rng_);
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// True if every MEASURE comes after every non-measure operation.
+bool measurements_trailing(const qc::Circuit& circuit) {
+  bool seen_measure = false;
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == GateKind::MEASURE) {
+      seen_measure = true;
+    } else if (seen_measure && g.kind != GateKind::BARRIER) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+template <typename T>
+std::map<std::uint64_t, std::size_t> Simulator<T>::sample_counts(
+    const qc::Circuit& circuit, std::size_t shots) {
+  std::map<std::uint64_t, std::size_t> counts;
+  const bool has_measure = std::any_of(
+      circuit.gates().begin(), circuit.gates().end(),
+      [](const Gate& g) { return g.kind == GateKind::MEASURE; });
+  const bool has_reset = std::any_of(
+      circuit.gates().begin(), circuit.gates().end(),
+      [](const Gate& g) { return g.kind == GateKind::RESET; });
+
+  // Gate-level noise forces trajectories; pure readout error does not.
+  const bool fast_path = options_.noise.channels().empty() && !has_reset &&
+                         (!has_measure || measurements_trailing(circuit));
+  if (fast_path) {
+    // Strip trailing measures, run once, sample.
+    qc::Circuit unitary_part(circuit.num_qubits(), circuit.num_clbits());
+    std::vector<std::pair<unsigned, unsigned>> measures;  // (qubit, cbit)
+    for (const auto& g : circuit.gates()) {
+      if (g.kind == GateKind::MEASURE) {
+        measures.emplace_back(g.qubits[0], g.cbit);
+      } else if (g.kind != GateKind::BARRIER) {
+        unitary_part.append(g);
+      }
+    }
+    StateVector<T> state = run(unitary_part);
+    const auto samples = state.sample(shots, rng_);
+    const bool readout = options_.noise.has_readout_error();
+    for (std::uint64_t basis : samples) {
+      std::uint64_t key = 0;
+      if (has_measure) {
+        for (const auto& [q, c] : measures) {
+          bool bit = test_bit(basis, q);
+          if (readout) bit = options_.noise.flip_readout(bit, rng_);
+          if (bit) key = set_bit(key, c);
+        }
+      } else {
+        key = basis;
+      }
+      ++counts[key];
+    }
+    return counts;
+  }
+
+  // General path: one trajectory per shot.
+  for (std::size_t s = 0; s < shots; ++s) {
+    StateVector<T> state = run(circuit);
+    std::uint64_t key = 0;
+    if (has_measure) {
+      for (std::size_t b = 0; b < classical_bits_.size(); ++b)
+        if (classical_bits_[b]) key = set_bit(key, static_cast<unsigned>(b));
+    } else {
+      key = state.sample(1, rng_)[0];
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+template <typename T>
+double Simulator<T>::expectation(const qc::Circuit& circuit,
+                                 const qc::PauliOperator& op) {
+  StateVector<T> state = run(circuit);
+  return state.expectation(op);
+}
+
+template void apply_gate<float>(StateVector<float>&, const qc::Gate&);
+template void apply_gate<double>(StateVector<double>&, const qc::Gate&);
+template class Simulator<float>;
+template class Simulator<double>;
+
+}  // namespace svsim::sv

@@ -1,0 +1,88 @@
+// Simulator<T>: the user-facing execution engine.
+//
+// Dispatches circuit gates onto the specialized kernels, optionally running
+// the fusion pass first; handles measurement/reset/noise via per-shot
+// trajectories with a fast path (run once + sample) when the circuit is
+// noiseless with only trailing measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threading.hpp"
+#include "qc/circuit.hpp"
+#include "qc/pauli.hpp"
+#include "sv/fusion.hpp"
+#include "sv/noise.hpp"
+#include "sv/state_vector.hpp"
+
+namespace svsim::sv {
+
+/// Applies one unitary gate to the state (kernel dispatch; no noise, no
+/// measurement). BARRIER and I are no-ops. Throws for MEASURE/RESET.
+template <typename T>
+void apply_gate(StateVector<T>& state, const qc::Gate& gate);
+
+struct SimulatorOptions {
+  /// Worker pool (borrowed). Defaults to the process-global pool.
+  ThreadPool* pool = &ThreadPool::global();
+  /// Run the fusion pass before execution.
+  bool fusion = false;
+  /// Maximum fused-gate width when fusion is on.
+  unsigned fusion_width = 3;
+  /// Seed for measurement sampling and noise trajectories.
+  std::uint64_t seed = 0x5eed;
+  /// Noise model; empty = ideal simulation.
+  NoiseModel noise;
+};
+
+template <typename T>
+class Simulator {
+ public:
+  explicit Simulator(SimulatorOptions options = {});
+
+  const SimulatorOptions& options() const noexcept { return options_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+
+  /// Runs the circuit from |0...0> and returns the final state. MEASURE
+  /// collapses the state and records the outcome (see classical_bits());
+  /// RESET re-initializes the qubit.
+  StateVector<T> run(const qc::Circuit& circuit);
+
+  /// Same, operating on an existing state (which must match the circuit
+  /// width). The state's own pool is used for kernels.
+  void run_in_place(StateVector<T>& state, const qc::Circuit& circuit);
+
+  /// Classical bits recorded by MEASURE gates in the most recent run.
+  const std::vector<bool>& classical_bits() const noexcept {
+    return classical_bits_;
+  }
+
+  /// Executes `shots` shots and histograms the results. For a noiseless
+  /// circuit whose measurements (if any) all trail the unitary part, the
+  /// state is prepared once and sampled; otherwise each shot is an
+  /// independent trajectory. Keys: the measured classical register if the
+  /// circuit measures, else the full basis-state index.
+  std::map<std::uint64_t, std::size_t> sample_counts(
+      const qc::Circuit& circuit, std::size_t shots);
+
+  /// <ψ|O|ψ> on the final state of a unitary circuit (noise: single
+  /// trajectory; average externally for channel expectation).
+  double expectation(const qc::Circuit& circuit, const qc::PauliOperator& op);
+
+ private:
+  qc::Circuit prepare(const qc::Circuit& circuit) const;
+
+  SimulatorOptions options_;
+  Xoshiro256 rng_;
+  std::vector<bool> classical_bits_;
+};
+
+extern template void apply_gate<float>(StateVector<float>&, const qc::Gate&);
+extern template void apply_gate<double>(StateVector<double>&, const qc::Gate&);
+extern template class Simulator<float>;
+extern template class Simulator<double>;
+
+}  // namespace svsim::sv

@@ -1,0 +1,75 @@
+#include "common/aligned_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <numeric>
+
+namespace svsim {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesRequestedCount) {
+  AlignedBuffer<std::complex<double>> b(1024);
+  EXPECT_EQ(b.size(), 1024u);
+  EXPECT_NE(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, RespectsAlignment) {
+  for (std::size_t align : {64u, 256u, 4096u}) {
+    AlignedBuffer<double> b(100, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % align, 0u)
+        << "alignment " << align;
+  }
+}
+
+TEST(AlignedBuffer, ElementAccessAndIteration) {
+  AlignedBuffer<int> b(16);
+  std::iota(b.begin(), b.end(), 0);
+  for (std::size_t i = 0; i < b.size(); ++i)
+    EXPECT_EQ(b[i], static_cast<int>(i));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[0] = 42;
+  int* ptr = a.data();
+  AlignedBuffer<int> b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer<int> a(8);
+  AlignedBuffer<int> b(4);
+  a[0] = 7;
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[0], 7);
+}
+
+TEST(AlignedBuffer, OddSizeRoundsAllocationNotSize) {
+  // 3 doubles with 256-byte alignment: size stays 3.
+  AlignedBuffer<double> b(3, 256);
+  EXPECT_EQ(b.size(), 3u);
+  b[2] = 1.5;
+  EXPECT_DOUBLE_EQ(b[2], 1.5);
+}
+
+TEST(AlignedBuffer, ZeroCount) {
+  AlignedBuffer<double> b(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.begin(), b.end());
+}
+
+}  // namespace
+}  // namespace svsim

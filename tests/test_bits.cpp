@@ -1,0 +1,126 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace svsim {
+namespace {
+
+TEST(Bits, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(1), 2u);
+  EXPECT_EQ(pow2(10), 1024u);
+  EXPECT_EQ(pow2(63), 1ull << 63);
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(4), 0xFu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(12));
+}
+
+TEST(Bits, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1ull << 63), 63u);
+}
+
+TEST(Bits, SingleBitOps) {
+  EXPECT_TRUE(test_bit(0b1010, 1));
+  EXPECT_FALSE(test_bit(0b1010, 0));
+  EXPECT_EQ(set_bit(0b1000, 1), 0b1010u);
+  EXPECT_EQ(clear_bit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(flip_bit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(flip_bit(0b1010, 1), 0b1000u);
+}
+
+TEST(Bits, InsertZeroBitAtZero) {
+  // Inserting at position 0 doubles the value.
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 100ull})
+    EXPECT_EQ(insert_zero_bit(v, 0), v * 2);
+}
+
+TEST(Bits, InsertZeroBitMiddle) {
+  // v = 0b1011, insert at pos 2 -> 0b10011.
+  EXPECT_EQ(insert_zero_bit(0b1011, 2), 0b10011u);
+  // Bit `pos` of the result is always zero.
+  for (unsigned pos = 0; pos < 8; ++pos)
+    for (std::uint64_t v = 0; v < 64; ++v)
+      EXPECT_FALSE(test_bit(insert_zero_bit(v, pos), pos));
+}
+
+TEST(Bits, InsertZeroBitEnumeratesLowerPairIndices) {
+  // For n=4, target=2: the 8 counters must map exactly onto the 8 indices
+  // with bit 2 clear.
+  const unsigned t = 2;
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t c = 0; c < 8; ++c) got.push_back(insert_zero_bit(c, t));
+  std::vector<std::uint64_t> want = {0, 1, 2, 3, 8, 9, 10, 11};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bits, InsertZeroBitsMultiple) {
+  // Insert zeros at {0, 2}: counter c enumerates indices with bits 0 and 2
+  // clear, in increasing order.
+  const std::vector<unsigned> pos = {0, 2};
+  std::vector<std::uint64_t> got;
+  for (std::uint64_t c = 0; c < 4; ++c) got.push_back(insert_zero_bits(c, pos));
+  std::vector<std::uint64_t> want = {0b0000, 0b0010, 0b1000, 0b1010};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Bits, GatherScatterRoundTrip) {
+  const std::vector<unsigned> bits = {1, 3, 4};
+  for (std::uint64_t packed = 0; packed < 8; ++packed) {
+    const std::uint64_t scattered = scatter_bits(packed, bits);
+    EXPECT_EQ(gather_bits(scattered, bits), packed);
+  }
+}
+
+TEST(Bits, GatherBitsOrder) {
+  // gather respects the order of the bit list, not numeric order.
+  const std::vector<unsigned> bits = {3, 0};
+  // v = 0b1000: bit 3 set -> result bit 0 set.
+  EXPECT_EQ(gather_bits(0b1000, bits), 0b01u);
+  // v = 0b0001: bit 0 set -> result bit 1 set.
+  EXPECT_EQ(gather_bits(0b0001, bits), 0b10u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+  // Involution.
+  for (std::uint64_t v = 0; v < 32; ++v)
+    EXPECT_EQ(reverse_bits(reverse_bits(v, 5), 5), v);
+}
+
+class InsertZeroProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InsertZeroProperty, PreservesOrderAndSkipsBit) {
+  const unsigned pos = GetParam();
+  std::uint64_t prev = 0;
+  for (std::uint64_t c = 1; c < 256; ++c) {
+    const std::uint64_t cur = insert_zero_bit(c, pos);
+    EXPECT_GT(cur, prev) << "monotone in the counter";
+    EXPECT_FALSE(test_bit(cur, pos));
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, InsertZeroProperty,
+                         ::testing::Values(0u, 1u, 2u, 5u, 11u, 30u));
+
+}  // namespace
+}  // namespace svsim

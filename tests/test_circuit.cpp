@@ -1,0 +1,159 @@
+#include "qc/circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(Circuit, ConstructionAndDefaults) {
+  Circuit c(5);
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.num_clbits(), 5u);  // defaults to one per qubit
+  EXPECT_TRUE(c.empty());
+  Circuit c2(4, 2);
+  EXPECT_EQ(c2.num_clbits(), 2u);
+  EXPECT_THROW(Circuit(0), Error);
+}
+
+TEST(Circuit, FluentBuilderChains) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.5).barrier().measure(2, 0);
+  EXPECT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::H);
+  EXPECT_EQ(c.gate(5).kind, GateKind::MEASURE);
+}
+
+TEST(Circuit, RejectsOutOfRangeOperands) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), Error);
+  EXPECT_THROW(c.cx(0, 5), Error);
+  EXPECT_THROW(c.measure(0, 7), Error);
+}
+
+TEST(Circuit, DepthComputation) {
+  Circuit c(3);
+  EXPECT_EQ(c.depth(), 0u);
+  c.h(0);         // layer 1 on q0
+  c.h(1);         // layer 1 on q1
+  EXPECT_EQ(c.depth(), 1u);
+  c.cx(0, 1);     // layer 2
+  EXPECT_EQ(c.depth(), 2u);
+  c.h(2);         // layer 1 on q2 (independent)
+  EXPECT_EQ(c.depth(), 2u);
+  c.cx(1, 2);     // layer 3
+  EXPECT_EQ(c.depth(), 3u);
+  c.barrier();    // ignored by depth
+  EXPECT_EQ(c.depth(), 3u);
+}
+
+TEST(Circuit, GateCountsHistogram) {
+  Circuit c(2);
+  c.h(0).h(1).cx(0, 1).t(0).t(1).t(0);
+  const auto counts = c.gate_counts();
+  EXPECT_EQ(counts.at("h"), 2u);
+  EXPECT_EQ(counts.at("cx"), 1u);
+  EXPECT_EQ(counts.at("t"), 3u);
+  EXPECT_EQ(c.multi_qubit_gate_count(), 1u);
+}
+
+TEST(Circuit, IsUnitaryDetection) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  EXPECT_TRUE(c.is_unitary());
+  c.barrier();
+  EXPECT_TRUE(c.is_unitary());
+  c.measure(0, 0);
+  EXPECT_FALSE(c.is_unitary());
+}
+
+TEST(Circuit, ComposeAppendsGates) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.cx(0, 1);
+  a.compose(b);
+  EXPECT_EQ(a.size(), 2u);
+  Circuit wrong(3);
+  EXPECT_THROW(a.compose(wrong), Error);
+}
+
+TEST(Circuit, InverseUndoesCircuit) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(1).rz(2, 0.7).iswap(1, 2).ccx(0, 1, 2);
+  Circuit round_trip = c;
+  round_trip.compose(c.inverse());
+  const auto state = dense::run(round_trip);
+  // Must be |000> up to global phase.
+  EXPECT_NEAR(std::abs(state[0]), 1.0, 1e-10);
+  for (std::size_t i = 1; i < state.size(); ++i)
+    EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-10);
+}
+
+TEST(Circuit, InverseReversesOrder) {
+  Circuit c(2);
+  c.h(0).s(0);
+  const Circuit inv = c.inverse();
+  EXPECT_EQ(inv.gate(0).kind, GateKind::Sdg);
+  EXPECT_EQ(inv.gate(1).kind, GateKind::H);
+}
+
+TEST(Circuit, InverseRejectsMeasurement) {
+  Circuit c(1);
+  c.h(0).measure(0, 0);
+  EXPECT_THROW(c.inverse(), Error);
+}
+
+TEST(Circuit, RemapPermutesOperands) {
+  Circuit c(3);
+  c.h(0).cx(0, 2);
+  const Circuit r = c.remap({2, 1, 0});
+  EXPECT_EQ(r.gate(0).qubits[0], 2u);
+  EXPECT_EQ(r.gate(1).qubits, (std::vector<unsigned>{2, 0}));
+}
+
+TEST(Circuit, RemapValidatesPermutation) {
+  Circuit c(3);
+  c.h(0);
+  EXPECT_THROW(c.remap({0, 1}), Error);        // wrong size
+  EXPECT_THROW(c.remap({0, 0, 1}), Error);     // not a permutation
+  EXPECT_THROW(c.remap({0, 1, 5}), Error);     // out of range
+}
+
+TEST(Circuit, RemapPreservesSemanticsUnderConjugation) {
+  // remap(p) then computing the state equals permuting the qubits of the
+  // original state.
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2).cz(1, 2);
+  const std::vector<unsigned> perm = {1, 2, 0};
+  const auto direct = dense::run(c.remap(perm));
+  const auto base = dense::run(c);
+  // base amplitude at index i moves to the index with bits permuted.
+  for (std::uint64_t i = 0; i < base.size(); ++i) {
+    std::uint64_t j = 0;
+    for (unsigned q = 0; q < 3; ++q)
+      if ((i >> q) & 1) j |= std::uint64_t{1} << perm[q];
+    EXPECT_NEAR(std::abs(direct[j] - base[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Circuit, MeasureAll) {
+  Circuit c(3);
+  c.h(0).measure_all();
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(3).kind, GateKind::MEASURE);
+  EXPECT_EQ(c.gate(3).cbit, 2u);
+}
+
+TEST(Circuit, ToStringMentionsStructure) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("2 qubits"), std::string::npos);
+  EXPECT_NE(s.find("cx q[0],q[1]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svsim::qc

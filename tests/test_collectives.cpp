@@ -1,0 +1,85 @@
+#include "dist/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace svsim::dist {
+namespace {
+
+const InterconnectSpec kTofu = InterconnectSpec::tofu_d();
+
+TEST(Collectives, SingleNodeIsFree) {
+  EXPECT_DOUBLE_EQ(broadcast_seconds(1, 1e6, kTofu), 0.0);
+  EXPECT_DOUBLE_EQ(allreduce_seconds(1, 1e6, kTofu), 0.0);
+  EXPECT_DOUBLE_EQ(allgather_seconds(1, 1e6, kTofu), 0.0);
+}
+
+TEST(Collectives, BroadcastScalesLogarithmically) {
+  const double t2 = broadcast_seconds(2, 1e6, kTofu);
+  const double t4 = broadcast_seconds(4, 1e6, kTofu);
+  const double t16 = broadcast_seconds(16, 1e6, kTofu);
+  EXPECT_NEAR(t4 / t2, 2.0, 1e-9);
+  EXPECT_NEAR(t16 / t2, 4.0, 1e-9);
+  // Non-power-of-two rounds up.
+  EXPECT_DOUBLE_EQ(broadcast_seconds(5, 1e6, kTofu),
+                   broadcast_seconds(8, 1e6, kTofu));
+}
+
+TEST(Collectives, AllreducePinnedFormulas) {
+  const double a =
+      kTofu.latency_seconds + kTofu.software_overhead_seconds;
+  const double b = 1.0 / (kTofu.link_bandwidth_gbps * 1e9);
+  const double bytes = 4096.0;
+  EXPECT_NEAR(allreduce_seconds(8, bytes, kTofu,
+                                AllreduceAlgorithm::RecursiveDoubling),
+              3.0 * (a + bytes * b), 1e-15);
+  EXPECT_NEAR(allreduce_seconds(8, bytes, kTofu, AllreduceAlgorithm::Ring),
+              14.0 * (a + bytes / 8.0 * b), 1e-15);
+}
+
+TEST(Collectives, AutoPicksDoublingForSmallRingForLarge) {
+  const std::uint64_t nodes = 64;
+  const double small = 64.0;          // bytes: latency dominates
+  const double large = 256e6;         // bytes: bandwidth dominates
+  EXPECT_DOUBLE_EQ(
+      allreduce_seconds(nodes, small, kTofu, AllreduceAlgorithm::Auto),
+      allreduce_seconds(nodes, small, kTofu,
+                        AllreduceAlgorithm::RecursiveDoubling));
+  EXPECT_DOUBLE_EQ(
+      allreduce_seconds(nodes, large, kTofu, AllreduceAlgorithm::Auto),
+      allreduce_seconds(nodes, large, kTofu, AllreduceAlgorithm::Ring));
+}
+
+TEST(Collectives, RingBeatsDoublingAsymptotically) {
+  // For huge messages ring approaches 2mβ regardless of P; doubling pays
+  // log2(P) full messages.
+  const double m = 1e9;
+  const double ring =
+      allreduce_seconds(256, m, kTofu, AllreduceAlgorithm::Ring);
+  const double dbl = allreduce_seconds(
+      256, m, kTofu, AllreduceAlgorithm::RecursiveDoubling);
+  EXPECT_GT(dbl / ring, 3.0);
+}
+
+TEST(Collectives, AllgatherLinearInNodes) {
+  const double t2 = allgather_seconds(2, 1e5, kTofu);
+  const double t9 = allgather_seconds(9, 1e5, kTofu);
+  EXPECT_NEAR(t9 / t2, 8.0, 1e-9);
+}
+
+TEST(Collectives, ExpectationAllreduceTiny) {
+  // A handful of Pauli partials is latency-bound: microseconds even at
+  // thousands of nodes.
+  const double t = expectation_allreduce_seconds(1024, 50, kTofu);
+  EXPECT_LT(t, 1e-4);
+  EXPECT_GT(t, 0.0);
+}
+
+TEST(Collectives, ValidatesNodeCount) {
+  EXPECT_THROW(broadcast_seconds(0, 1.0, kTofu), Error);
+  EXPECT_THROW(allreduce_seconds(0, 1.0, kTofu), Error);
+}
+
+}  // namespace
+}  // namespace svsim::dist

@@ -1,0 +1,159 @@
+#include "qc/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::qc::dense {
+namespace {
+
+TEST(Dense, ZeroState) {
+  const auto s = zero_state(3);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s[0], (cplx{1, 0}));
+  EXPECT_NEAR(norm_squared(s), 1.0, 1e-15);
+}
+
+TEST(Dense, XFlipsBasisState) {
+  auto s = zero_state(2);
+  apply_gate(s, Gate::x(0), 2);
+  EXPECT_NEAR(std::abs(s[1]), 1.0, 1e-15);
+  apply_gate(s, Gate::x(1), 2);
+  EXPECT_NEAR(std::abs(s[3]), 1.0, 1e-15);
+}
+
+TEST(Dense, HadamardMakesUniformSuperposition) {
+  auto s = zero_state(1);
+  apply_gate(s, Gate::h(0), 1);
+  EXPECT_NEAR(s[0].real(), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(s[1].real(), 1 / std::numbers::sqrt2, 1e-12);
+}
+
+TEST(Dense, BellState) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  const auto s = run(c);
+  EXPECT_NEAR(std::abs(s[0]), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(s[3]), 1 / std::numbers::sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(s[1]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s[2]), 0.0, 1e-12);
+}
+
+TEST(Dense, CxControlOnUpperQubit) {
+  // Prepare |10> (q1=1) then CX(1,0) must give |11>.
+  Circuit c(2);
+  c.x(1).cx(1, 0);
+  const auto s = run(c);
+  EXPECT_NEAR(std::abs(s[3]), 1.0, 1e-12);
+}
+
+TEST(Dense, GateOnHighQubitOfLargerRegister) {
+  Circuit c(6);
+  c.x(5);
+  const auto s = run(c);
+  EXPECT_NEAR(std::abs(s[32]), 1.0, 1e-12);
+}
+
+TEST(Dense, NormPreservedByRandomCircuit) {
+  Xoshiro256 rng(9);
+  Circuit c(5);
+  for (int i = 0; i < 30; ++i) {
+    const auto a = static_cast<unsigned>(rng.uniform_int(5));
+    auto b = static_cast<unsigned>(rng.uniform_int(4));
+    if (b >= a) ++b;
+    c.append(Gate::u2q(a, b, Matrix::random_unitary(4, rng)));
+  }
+  const auto s = run(c);
+  EXPECT_NEAR(norm_squared(s), 1.0, 1e-10);
+}
+
+TEST(Dense, CircuitUnitaryMatchesGateMatrixForSingleGate) {
+  Circuit c(2);
+  c.cx(0, 1);
+  const Matrix u = circuit_unitary(c);
+  EXPECT_LT(u.distance(Gate::cx(0, 1).matrix()), 1e-12);
+}
+
+TEST(Dense, CircuitUnitaryComposes) {
+  Circuit c(1);
+  c.h(0).s(0);
+  const Matrix u = circuit_unitary(c);
+  // Circuit order h then s means matrix product S * H.
+  EXPECT_LT(u.distance(mat::S() * mat::H()), 1e-12);
+}
+
+TEST(Dense, CircuitUnitaryOfUnitaryCircuitIsUnitary) {
+  Xoshiro256 rng(4);
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2).iswap(1, 2).ccx(0, 1, 2);
+  EXPECT_TRUE(circuit_unitary(c).is_unitary(1e-10));
+}
+
+TEST(Dense, RejectsMeasurement) {
+  Circuit c(1);
+  c.h(0).measure(0, 0);
+  EXPECT_THROW(run(c), Error);
+  EXPECT_THROW(circuit_unitary(c), Error);
+  auto s = zero_state(1);
+  EXPECT_THROW(apply_gate(s, Gate::measure(0, 0), 1), Error);
+}
+
+TEST(Dense, BarrierIsNoop) {
+  auto s = zero_state(2);
+  const auto before = s;
+  apply_gate(s, Gate::barrier(), 2);
+  EXPECT_EQ(s, before);
+}
+
+TEST(Dense, OverlapAndDistance) {
+  const auto a = zero_state(2);
+  auto b = zero_state(2);
+  EXPECT_NEAR(overlap(a, b), 1.0, 1e-15);
+  EXPECT_NEAR(distance(a, b), 0.0, 1e-15);
+  apply_gate(b, Gate::x(0), 2);
+  EXPECT_NEAR(overlap(a, b), 0.0, 1e-15);
+  EXPECT_NEAR(distance(a, b), 1.0, 1e-15);
+}
+
+TEST(Dense, DistanceUpToPhaseIgnoresGlobalPhase) {
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  auto a = run(c);
+  auto b = a;
+  const cplx phase = std::polar(1.0, 0.9);
+  for (auto& v : b) v *= phase;
+  EXPECT_GT(distance(a, b), 0.1);
+  EXPECT_LT(distance_up_to_phase(a, b), 1e-12);
+}
+
+TEST(Dense, MultiControlledGates) {
+  // CCX flips target only when both controls are set.
+  Circuit c(3);
+  c.x(0).x(1).ccx(0, 1, 2);
+  const auto s = run(c);
+  EXPECT_NEAR(std::abs(s[7]), 1.0, 1e-12);
+
+  Circuit c2(3);
+  c2.x(0).ccx(0, 1, 2);  // only one control set
+  const auto s2 = run(c2);
+  EXPECT_NEAR(std::abs(s2[1]), 1.0, 1e-12);
+}
+
+TEST(Dense, MCPAppliesPhaseOnlyOnAllOnes) {
+  Circuit c(3);
+  for (unsigned q = 0; q < 3; ++q) c.h(q);
+  c.append(Gate::mcp({0, 1}, 2, std::numbers::pi));
+  const auto s = run(c);
+  // Only |111> picks up the -1.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const double expect_sign = (i == 7) ? -1.0 : 1.0;
+    EXPECT_NEAR(s[i].real(), expect_sign / std::sqrt(8.0), 1e-12) << i;
+  }
+}
+
+}  // namespace
+}  // namespace svsim::qc::dense

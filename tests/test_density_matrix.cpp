@@ -1,0 +1,186 @@
+#include "dm/density_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::dm {
+namespace {
+
+using qc::Circuit;
+using qc::Gate;
+using qc::PauliString;
+
+TEST(DensityMatrix, InitialStateIsPureZero) {
+  DensityMatrix rho(3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-14);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-14);
+  EXPECT_NEAR(rho.population(0), 1.0, 1e-14);
+  EXPECT_THROW(DensityMatrix(0), Error);
+  EXPECT_THROW(DensityMatrix(13), Error);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesPureState) {
+  const Circuit c = qc::random_clifford_t(4, 40, 5);
+  DensityMatrix rho(4);
+  rho.apply(c);
+  const auto psi = qc::dense::run(c);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+  EXPECT_NEAR(rho.fidelity_with_pure(psi), 1.0, 1e-10);
+  // Populations match |amplitudes|².
+  for (std::uint64_t i = 0; i < psi.size(); ++i)
+    EXPECT_NEAR(rho.population(i), std::norm(psi[i]), 1e-10);
+}
+
+TEST(DensityMatrix, ExpectationMatchesStateVector) {
+  const Circuit c = qc::qft(4);
+  DensityMatrix rho(4);
+  rho.apply(c);
+  sv::Simulator<double> sim;
+  const auto state = sim.run(c);
+  for (const std::string label : {"ZIII", "XXII", "IYZI", "ZZZZ"}) {
+    const auto p = PauliString::from_label(label);
+    EXPECT_NEAR(rho.expectation(p), state.expectation(p), 1e-10) << label;
+  }
+}
+
+TEST(DensityMatrix, BitFlipChannelExactPopulations) {
+  DensityMatrix rho(1);
+  rho.apply_bit_flip(0.3, 0);
+  EXPECT_NEAR(rho.population(0), 0.7, 1e-12);
+  EXPECT_NEAR(rho.population(1), 0.3, 1e-12);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  // Mixed now: purity = 0.7² + 0.3².
+  EXPECT_NEAR(rho.purity(), 0.58, 1e-12);
+}
+
+TEST(DensityMatrix, PhaseFlipKillsCoherenceKeepsPopulations) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate::h(0));
+  rho.apply_phase_flip(0.5, 0);  // total dephasing
+  EXPECT_NEAR(rho.population(0), 0.5, 1e-12);
+  EXPECT_NEAR(rho.population(1), 0.5, 1e-12);
+  EXPECT_NEAR(std::abs(rho.at(0, 1)), 0.0, 1e-12);
+  EXPECT_NEAR(rho.expectation(PauliString::from_label("X")), 0.0, 1e-12);
+}
+
+TEST(DensityMatrix, AmplitudeDampingExactDecay) {
+  DensityMatrix rho(1);
+  rho.apply_gate(Gate::x(0));
+  const double gamma = 0.25;
+  rho.apply_amplitude_damping(gamma, 0);
+  EXPECT_NEAR(rho.population(1), 1.0 - gamma, 1e-12);
+  EXPECT_NEAR(rho.population(0), gamma, 1e-12);
+  // Two applications: (1-γ)².
+  rho.apply_amplitude_damping(gamma, 0);
+  EXPECT_NEAR(rho.population(1), (1 - gamma) * (1 - gamma), 1e-12);
+}
+
+TEST(DensityMatrix, DepolarizingDrivesToMaximallyMixed) {
+  DensityMatrix rho(2);
+  rho.apply_gate(Gate::h(0));
+  rho.apply_gate(Gate::cx(0, 1));
+  for (int i = 0; i < 60; ++i) rho.apply_depolarizing(0.2, {0, 1});
+  // 2 qubits: maximally mixed has purity 1/4.
+  EXPECT_NEAR(rho.purity(), 0.25, 1e-3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, KrausCompletenessPreservesTrace) {
+  const Circuit c = qc::ghz(3);
+  sv::NoiseModel noise;
+  noise.add_depolarizing(0.07).add_amplitude_damping(0.05)
+      .add_phase_flip(0.03);
+  const DensityMatrix rho = run_with_noise(c, noise);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-9);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, TrajectoryAverageConvergesToExactChannel) {
+  // The central validation: stochastic trajectory unraveling in the SV
+  // simulator averages to the exact density-matrix channel evolution.
+  const unsigned n = 3;
+  const Circuit c = qc::ghz(n);
+  sv::NoiseModel noise;
+  noise.add_depolarizing(0.08);
+
+  const DensityMatrix exact = run_with_noise(c, noise);
+
+  sv::SimulatorOptions opts;
+  opts.noise = noise;
+  opts.seed = 77;
+  sv::Simulator<double> sim(opts);
+  const int trajectories = 3000;
+  qc::PauliOperator zzz(n), xxx(n);
+  zzz.add(1.0, "ZZZ");
+  xxx.add(1.0, "XXX");
+  double z_avg = 0.0, x_avg = 0.0;
+  std::vector<double> pop_avg(1u << n, 0.0);
+  for (int t = 0; t < trajectories; ++t) {
+    const auto state = sim.run(c);
+    z_avg += state.expectation(zzz);
+    x_avg += state.expectation(xxx);
+    for (std::uint64_t i = 0; i < pop_avg.size(); ++i)
+      pop_avg[i] += state.probability(i);
+  }
+  z_avg /= trajectories;
+  x_avg /= trajectories;
+  // ~1/√3000 ≈ 2% statistical error; allow 4σ-ish.
+  EXPECT_NEAR(z_avg, exact.expectation(PauliString::from_label("ZZZ")), 0.06);
+  EXPECT_NEAR(x_avg, exact.expectation(PauliString::from_label("XXX")), 0.06);
+  for (std::uint64_t i = 0; i < pop_avg.size(); ++i)
+    EXPECT_NEAR(pop_avg[i] / trajectories, exact.population(i), 0.03)
+        << "basis " << i;
+}
+
+TEST(DensityMatrix, AmplitudeDampingTrajectoriesMatchExact) {
+  // Amplitude damping uses the nontrivial jump/no-jump unraveling; verify
+  // its average too.
+  const unsigned n = 2;
+  Circuit c(n);
+  c.h(0).cx(0, 1);
+  sv::NoiseModel noise;
+  noise.add_amplitude_damping(0.15);
+
+  const DensityMatrix exact = run_with_noise(c, noise);
+  sv::SimulatorOptions opts;
+  opts.noise = noise;
+  opts.seed = 3;
+  sv::Simulator<double> sim(opts);
+  const int trajectories = 4000;
+  std::vector<double> pop(4, 0.0);
+  for (int t = 0; t < trajectories; ++t) {
+    const auto state = sim.run(c);
+    for (std::uint64_t i = 0; i < 4; ++i) pop[i] += state.probability(i);
+  }
+  for (std::uint64_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(pop[i] / trajectories, exact.population(i), 0.025)
+        << "basis " << i;
+}
+
+TEST(DensityMatrix, SetPureRoundTrip) {
+  const auto psi = qc::dense::run(qc::ghz(3));
+  DensityMatrix rho(3);
+  rho.set_pure(psi);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.fidelity_with_pure(psi), 1.0, 1e-12);
+  EXPECT_NEAR(rho.population(0), 0.5, 1e-12);
+  EXPECT_NEAR(rho.population(7), 0.5, 1e-12);
+}
+
+TEST(DensityMatrix, RejectsMeasurement) {
+  Circuit c(2);
+  c.h(0).measure(0, 0);
+  DensityMatrix rho(2);
+  EXPECT_THROW(rho.apply(c), Error);
+  EXPECT_THROW(run_with_noise(c, sv::NoiseModel{}), Error);
+}
+
+}  // namespace
+}  // namespace svsim::dm

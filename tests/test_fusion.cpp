@@ -1,0 +1,157 @@
+#include "sv/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+
+namespace svsim::sv {
+namespace {
+
+using qc::Circuit;
+using qc::Gate;
+using qc::GateKind;
+
+double circuit_equivalence_error(const Circuit& a, const Circuit& b) {
+  return qc::dense::circuit_unitary(a).distance(qc::dense::circuit_unitary(b));
+}
+
+TEST(Fusion, SingleGatePassesThroughUnchanged) {
+  Circuit c(3);
+  c.cx(0, 1);
+  const Circuit f = fuse(c, {});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.gate(0).kind, GateKind::CX);
+}
+
+TEST(Fusion, MergesSingleQubitChain) {
+  Circuit c(2);
+  c.h(0).t(0).s(0).h(0);
+  FusionOptions opts;
+  opts.max_width = 2;
+  const Circuit f = fuse(c, opts);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.gate(0).kind, GateKind::UNITARY);
+  EXPECT_EQ(f.gate(0).num_qubits(), 1u);
+  EXPECT_LT(circuit_equivalence_error(c, f), 1e-12);
+}
+
+TEST(Fusion, RespectsMaxWidth) {
+  Circuit c(6);
+  for (unsigned q = 0; q + 1 < 6; ++q) c.cx(q, q + 1);
+  FusionOptions opts;
+  opts.max_width = 3;
+  const Circuit f = fuse(c, opts);
+  for (const auto& g : f.gates())
+    EXPECT_LE(g.num_qubits(), 3u) << g.to_string();
+  EXPECT_LT(circuit_equivalence_error(c, f), 1e-12);
+}
+
+TEST(Fusion, DiagonalRunBecomesDiagGate) {
+  Circuit c(3);
+  c.t(0).cz(0, 1).rz(1, 0.4).cp(1, 2, 0.7).rzz(0, 2, 0.9);
+  FusionOptions opts;
+  opts.max_width = 3;
+  const Circuit f = fuse(c, opts);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.gate(0).kind, GateKind::DIAG);
+  EXPECT_LT(circuit_equivalence_error(c, f), 1e-12);
+}
+
+TEST(Fusion, DiagonalPreferenceCanBeDisabled) {
+  Circuit c(2);
+  c.t(0).cz(0, 1);
+  FusionOptions opts;
+  opts.prefer_diagonal = false;
+  const Circuit f = fuse(c, opts);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.gate(0).kind, GateKind::UNITARY);
+}
+
+TEST(Fusion, BarrierFlushesGroup) {
+  Circuit c(2);
+  c.h(0).barrier().h(0);
+  const Circuit f = fuse(c, {});
+  // Two H gates must not merge across the barrier.
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.gate(1).kind, GateKind::BARRIER);
+}
+
+TEST(Fusion, MeasureFlushesAndIsPreserved) {
+  Circuit c(2);
+  c.h(0).t(0).measure(0, 0).h(0);
+  const Circuit f = fuse(c, {});
+  bool has_measure = false;
+  for (const auto& g : f.gates()) has_measure |= g.kind == GateKind::MEASURE;
+  EXPECT_TRUE(has_measure);
+}
+
+TEST(Fusion, WideGatesPassThrough) {
+  Circuit c(5);
+  c.append(Gate::mcx({0, 1, 2, 3}, 4));
+  FusionOptions opts;
+  opts.max_width = 3;
+  const Circuit f = fuse(c, opts);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.gate(0).kind, GateKind::MCX);
+}
+
+TEST(Fusion, ReducesGateCountOnQft) {
+  const Circuit c = qc::qft(6);
+  FusionOptions opts;
+  opts.max_width = 3;
+  const Circuit f = fuse(c, opts);
+  EXPECT_LT(f.size(), c.size() / 2);
+  EXPECT_LT(circuit_equivalence_error(c, f), 1e-10);
+}
+
+class FusionWidthEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FusionWidthEquivalence, RandomCircuitsEquivalentAtEveryWidth) {
+  const unsigned width = GetParam();
+  for (std::uint64_t seed : {11ull, 22ull}) {
+    const Circuit c = qc::random_clifford_t(5, 60, seed);
+    FusionOptions opts;
+    opts.max_width = width;
+    const Circuit f = fuse(c, opts);
+    EXPECT_LT(circuit_equivalence_error(c, f), 1e-10)
+        << "width=" << width << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FusionWidthEquivalence,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Fusion, QuantumVolumeCircuitEquivalence) {
+  const Circuit c = qc::random_quantum_volume(6, 4, 9);
+  FusionOptions opts;
+  opts.max_width = 4;
+  const Circuit f = fuse(c, opts);
+  const auto a = qc::dense::run(c);
+  const auto b = qc::dense::run(f);
+  EXPECT_LT(qc::dense::distance(a, b), 1e-10);
+  EXPECT_LE(f.size(), c.size());
+}
+
+TEST(Fusion, InvalidWidthRejected) {
+  Circuit c(2);
+  c.h(0);
+  FusionOptions opts;
+  opts.max_width = 0;
+  EXPECT_THROW(fuse(c, opts), Error);
+  opts.max_width = 9;
+  EXPECT_THROW(fuse(c, opts), Error);
+}
+
+TEST(Fusion, IdentityGatesAreDropped) {
+  Circuit c(2);
+  c.h(0).i(1).i(0).h(0);
+  const Circuit f = fuse(c, {});
+  for (const auto& g : f.gates()) EXPECT_NE(g.kind, GateKind::I);
+  EXPECT_LT(circuit_equivalence_error(c, f), 1e-12);
+}
+
+}  // namespace
+}  // namespace svsim::sv

@@ -1,0 +1,230 @@
+#include "qc/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::qc {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(GateMatrices, AllNamedGatesAreUnitary) {
+  Xoshiro256 rng(1);
+  const std::vector<Gate> gates = {
+      Gate::i(0), Gate::x(0), Gate::y(0), Gate::z(0), Gate::h(0), Gate::s(0),
+      Gate::sdg(0), Gate::t(0), Gate::tdg(0), Gate::sx(0), Gate::sxdg(0),
+      Gate::rx(0, 0.3), Gate::ry(0, 0.4), Gate::rz(0, 0.5), Gate::p(0, 0.6),
+      Gate::u(0, 0.1, 0.2, 0.3), Gate::cx(0, 1), Gate::cy(0, 1),
+      Gate::cz(0, 1), Gate::ch(0, 1), Gate::cp(0, 1, 0.7),
+      Gate::crx(0, 1, 0.8), Gate::cry(0, 1, 0.9), Gate::crz(0, 1, 1.0),
+      Gate::swap(0, 1), Gate::iswap(0, 1), Gate::rxx(0, 1, 0.4),
+      Gate::ryy(0, 1, 0.5), Gate::rzz(0, 1, 0.6),
+      Gate::u2q(0, 1, Matrix::random_unitary(4, rng)), Gate::ccx(0, 1, 2),
+      Gate::ccz(0, 1, 2), Gate::cswap(0, 1, 2),
+      Gate::mcx({0, 1, 2}, 3), Gate::mcp({0, 1}, 2, 0.4),
+      Gate::diag({0, 1}, {1.0, cplx{0, 1}, -1.0, cplx{0, -1}}),
+      Gate::unitary({0, 1, 2}, Matrix::random_unitary(8, rng)),
+  };
+  for (const auto& g : gates) {
+    EXPECT_TRUE(g.matrix().is_unitary(1e-10)) << g.to_string();
+    EXPECT_EQ(g.matrix().dim(), pow2(g.num_qubits())) << g.to_string();
+  }
+}
+
+TEST(GateMatrices, PauliAlgebra) {
+  const Matrix x = mat::X(), y = mat::Y(), z = mat::Z();
+  // XY = iZ
+  EXPECT_LT((x * y).distance(z * cplx{0, 1}), kTol);
+  // X^2 = Y^2 = Z^2 = I
+  EXPECT_LT((x * x).distance(Matrix::identity(2)), kTol);
+  EXPECT_LT((y * y).distance(Matrix::identity(2)), kTol);
+  EXPECT_LT((z * z).distance(Matrix::identity(2)), kTol);
+}
+
+TEST(GateMatrices, HadamardRelations) {
+  const Matrix h = mat::H();
+  EXPECT_LT((h * h).distance(Matrix::identity(2)), kTol);
+  // HXH = Z
+  EXPECT_LT((h * mat::X() * h).distance(mat::Z()), kTol);
+}
+
+TEST(GateMatrices, PhaseTowers) {
+  // S^2 = Z, T^2 = S, T^8 = I
+  EXPECT_LT((mat::S() * mat::S()).distance(mat::Z()), kTol);
+  EXPECT_LT((mat::T() * mat::T()).distance(mat::S()), kTol);
+  Matrix t8 = Matrix::identity(2);
+  for (int i = 0; i < 8; ++i) t8 = t8 * mat::T();
+  EXPECT_LT(t8.distance(Matrix::identity(2)), kTol);
+}
+
+TEST(GateMatrices, SxSquaredIsX) {
+  EXPECT_LT((mat::SX() * mat::SX()).distance(mat::X()), kTol);
+  EXPECT_LT((mat::SX() * mat::SXdg()).distance(Matrix::identity(2)), kTol);
+}
+
+TEST(GateMatrices, RotationsAtSpecialAngles) {
+  // RZ(π) = -iZ (equal up to phase to Z).
+  EXPECT_LT(mat::RZ(std::numbers::pi).distance_up_to_phase(mat::Z()), kTol);
+  EXPECT_LT(mat::RX(std::numbers::pi).distance_up_to_phase(mat::X()), kTol);
+  EXPECT_LT(mat::RY(std::numbers::pi).distance_up_to_phase(mat::Y()), kTol);
+  // P(π/2) = S exactly.
+  EXPECT_LT(mat::P(std::numbers::pi / 2).distance(mat::S()), kTol);
+}
+
+TEST(GateMatrices, UCoversNamedGates) {
+  // U(π/2, 0, π) = H.
+  EXPECT_LT(mat::U(std::numbers::pi / 2, 0, std::numbers::pi).distance(mat::H()),
+            kTol);
+  // U(0, 0, λ) = P(λ).
+  EXPECT_LT(mat::U(0, 0, 0.37).distance(mat::P(0.37)), kTol);
+}
+
+TEST(GateMatrices, CxMatrixConvention) {
+  // qubits = {control=0, target=1}; basis index bit0 = control.
+  // CX maps |c=1,t=0> (index 1) -> |c=1,t=1> (index 3).
+  const Matrix cx = Gate::cx(0, 1).matrix();
+  EXPECT_DOUBLE_EQ(cx(0, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(cx(3, 1).real(), 1.0);
+  EXPECT_DOUBLE_EQ(cx(1, 3).real(), 1.0);
+  EXPECT_DOUBLE_EQ(cx(2, 2).real(), 1.0);
+  EXPECT_DOUBLE_EQ(cx(1, 1).real(), 0.0);
+}
+
+TEST(GateMatrices, SwapMatrix) {
+  const Matrix sw = Gate::swap(0, 1).matrix();
+  // |01> (index 1) <-> |10> (index 2)
+  EXPECT_DOUBLE_EQ(sw(2, 1).real(), 1.0);
+  EXPECT_DOUBLE_EQ(sw(1, 2).real(), 1.0);
+  EXPECT_DOUBLE_EQ(sw(0, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(sw(3, 3).real(), 1.0);
+}
+
+TEST(GateMatrices, RzzIsDiagonalWithCorrectPhases) {
+  const double theta = 0.7;
+  const Matrix m = Gate::rzz(0, 1, theta).matrix();
+  EXPECT_TRUE(m.is_diagonal());
+  // ZZ eigenvalue +1 on |00>,|11> -> phase e^{-iθ/2}.
+  EXPECT_NEAR(std::arg(m(0, 0)), -theta / 2, kTol);
+  EXPECT_NEAR(std::arg(m(3, 3)), -theta / 2, kTol);
+  EXPECT_NEAR(std::arg(m(1, 1)), theta / 2, kTol);
+}
+
+TEST(GateMatrices, ControlledMatrixEmbedding) {
+  // controlled_matrix(X, 1) must equal the CX matrix.
+  EXPECT_LT(controlled_matrix(mat::X(), 1).distance(Gate::cx(0, 1).matrix()),
+            kTol);
+  // Two controls: CCX.
+  EXPECT_LT(
+      controlled_matrix(mat::X(), 2).distance(Gate::ccx(0, 1, 2).matrix()),
+      kTol);
+}
+
+TEST(GateInverse, InverseGivesIdentityProduct) {
+  Xoshiro256 rng(3);
+  const std::vector<Gate> gates = {
+      Gate::x(0), Gate::h(0), Gate::s(0), Gate::t(0), Gate::sx(0),
+      Gate::rx(0, 0.3), Gate::u(0, 0.4, 0.5, 0.6), Gate::cx(0, 1),
+      Gate::cp(0, 1, 0.7), Gate::iswap(0, 1), Gate::rzz(0, 1, 0.5),
+      Gate::u2q(0, 1, Matrix::random_unitary(4, rng)), Gate::ccx(0, 1, 2),
+      Gate::mcp({0, 1}, 2, 0.9),
+      Gate::diag({0, 1}, {1.0, cplx{0, 1}, -1.0, cplx{0, -1}}),
+      Gate::unitary({0, 1}, Matrix::random_unitary(4, rng)),
+  };
+  for (const auto& g : gates) {
+    const Matrix prod = g.inverse().matrix() * g.matrix();
+    EXPECT_LT(prod.distance(Matrix::identity(prod.dim())), 1e-10)
+        << g.to_string();
+  }
+}
+
+TEST(GateInverse, UInverseParameters) {
+  const Gate g = Gate::u(0, 0.1, 0.2, 0.3);
+  const Gate inv = g.inverse();
+  EXPECT_DOUBLE_EQ(inv.params[0], -0.1);
+  EXPECT_DOUBLE_EQ(inv.params[1], -0.3);
+  EXPECT_DOUBLE_EQ(inv.params[2], -0.2);
+}
+
+TEST(GateStructure, ControlsAndTargets) {
+  const Gate ccx = Gate::ccx(3, 5, 1);
+  EXPECT_EQ(ccx.num_controls(), 2u);
+  EXPECT_EQ(ccx.controls(), (std::vector<unsigned>{3, 5}));
+  EXPECT_EQ(ccx.targets(), (std::vector<unsigned>{1}));
+
+  const Gate mcx = Gate::mcx({0, 1, 2, 3}, 7);
+  EXPECT_EQ(mcx.num_controls(), 4u);
+  EXPECT_EQ(mcx.targets(), (std::vector<unsigned>{7}));
+
+  const Gate sw = Gate::swap(2, 4);
+  EXPECT_EQ(sw.num_controls(), 0u);
+  EXPECT_EQ(sw.targets().size(), 2u);
+}
+
+TEST(GateStructure, DiagonalClassification) {
+  EXPECT_TRUE(Gate::z(0).is_diagonal());
+  EXPECT_TRUE(Gate::rz(0, 0.1).is_diagonal());
+  EXPECT_TRUE(Gate::cp(0, 1, 0.1).is_diagonal());
+  EXPECT_TRUE(Gate::rzz(0, 1, 0.1).is_diagonal());
+  EXPECT_TRUE(Gate::ccz(0, 1, 2).is_diagonal());
+  EXPECT_FALSE(Gate::x(0).is_diagonal());
+  EXPECT_FALSE(Gate::h(0).is_diagonal());
+  EXPECT_FALSE(Gate::cx(0, 1).is_diagonal());
+  EXPECT_FALSE(Gate::swap(0, 1).is_diagonal());
+}
+
+TEST(GateStructure, NonUnitaryOps) {
+  EXPECT_FALSE(Gate::measure(0, 0).is_unitary_op());
+  EXPECT_FALSE(Gate::reset(0).is_unitary_op());
+  EXPECT_FALSE(Gate::barrier().is_unitary_op());
+  EXPECT_TRUE(Gate::x(0).is_unitary_op());
+  EXPECT_THROW(Gate::measure(0, 0).matrix(), Error);
+  EXPECT_THROW(Gate::reset(0).inverse(), Error);
+}
+
+TEST(GateStructure, DuplicateOperandsRejected) {
+  EXPECT_THROW(Gate::cx(1, 1), Error);
+  EXPECT_THROW(Gate::ccx(0, 2, 2), Error);
+  EXPECT_THROW(Gate::swap(3, 3), Error);
+}
+
+TEST(GateStructure, PayloadValidation) {
+  EXPECT_THROW(Gate::u2q(0, 1, Matrix::identity(2)), Error);  // wrong dim
+  EXPECT_THROW(Gate::diag({0, 1}, {1.0, 1.0}), Error);        // wrong count
+  EXPECT_THROW(Gate::unitary({0}, Matrix::identity(4)), Error);
+  EXPECT_THROW(Gate::mcx({}, 0), Error);
+}
+
+TEST(GateStructure, ToStringFormat) {
+  EXPECT_EQ(Gate::cx(0, 3).to_string(), "cx q[0],q[3]");
+  EXPECT_EQ(Gate::rz(2, 0.5).to_string(), "rz(0.5) q[2]");
+  EXPECT_EQ(Gate::measure(1, 4).to_string(), "measure q[1] -> c[4]");
+}
+
+TEST(GateStructure, TargetMatrixForControlledKinds) {
+  EXPECT_LT(Gate::cx(0, 1).target_matrix().distance(mat::X()), kTol);
+  EXPECT_LT(Gate::ccz(0, 1, 2).target_matrix().distance(mat::Z()), kTol);
+  EXPECT_LT(Gate::crz(0, 1, 0.4).target_matrix().distance(mat::RZ(0.4)), kTol);
+  EXPECT_THROW(Gate::swap(0, 1).target_matrix(), Error);
+}
+
+class MCPParamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MCPParamTest, MCPEqualsEmbeddedPhase) {
+  const unsigned nc = GetParam();
+  std::vector<unsigned> controls(nc);
+  for (unsigned i = 0; i < nc; ++i) controls[i] = i;
+  const Gate g = Gate::mcp(controls, nc, 0.8);
+  const Matrix expect = controlled_matrix(mat::P(0.8), nc);
+  EXPECT_LT(g.matrix().distance(expect), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(ControlCounts, MCPParamTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace svsim::qc

@@ -1,0 +1,129 @@
+#include "qc/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+#include "sv/estimator.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(QubitwiseCommute, BasicCases) {
+  const auto p = [](const char* s) { return PauliString::from_label(s); };
+  EXPECT_TRUE(qubitwise_commute(p("XI"), p("IX")));
+  EXPECT_TRUE(qubitwise_commute(p("XX"), p("XI")));
+  EXPECT_TRUE(qubitwise_commute(p("ZZ"), p("ZI")));
+  EXPECT_TRUE(qubitwise_commute(p("II"), p("XY")));
+  EXPECT_FALSE(qubitwise_commute(p("XI"), p("ZI")));
+  // XX and ZZ commute as a group but NOT qubit-wise.
+  EXPECT_FALSE(qubitwise_commute(p("XX"), p("ZZ")));
+}
+
+TEST(Grouping, CompatibleTermsShareAGroup) {
+  PauliOperator op(3);
+  op.add(1.0, "ZZI").add(0.5, "IZZ").add(0.25, "ZIZ");
+  const auto groups = group_qubitwise_commuting(op);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].terms.size(), 3u);
+  EXPECT_EQ(groups[0].basis, (std::vector<char>{'Z', 'Z', 'Z'}));
+}
+
+TEST(Grouping, IncompatibleTermsSplit) {
+  PauliOperator op(2);
+  op.add(1.0, "ZZ").add(1.0, "XX").add(1.0, "ZI").add(1.0, "IX");
+  const auto groups = group_qubitwise_commuting(op);
+  // {ZZ, ZI} and {XX, IX}.
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].terms.size() + groups[1].terms.size(), 4u);
+}
+
+TEST(Grouping, TfimNeedsExactlyTwoGroups) {
+  // All ZZ bonds are mutually QWC; all X fields are mutually QWC; they
+  // conflict with each other.
+  const auto h = tfim_hamiltonian(6, 1.0, 0.7);
+  const auto groups = group_qubitwise_commuting(h);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, EveryTermAppearsExactlyOnce) {
+  const auto h = heisenberg_hamiltonian(5, 1.0, 0.8, 0.6);
+  const auto groups = group_qubitwise_commuting(h);
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    total += g.terms.size();
+    // All members must be QWC-compatible with the group basis.
+    for (const auto& t : g.terms)
+      for (unsigned q = 0; q < 5; ++q) {
+        const char c = t.pauli.pauli_at(q);
+        if (c != 'I') EXPECT_EQ(c, g.basis[q]);
+      }
+  }
+  EXPECT_EQ(total, h.size());
+}
+
+TEST(Grouping, BasisCircuitDiagonalizesMembers) {
+  PauliOperator op(3);
+  op.add(1.0, "XYI").add(0.5, "XIZ");
+  const auto groups = group_qubitwise_commuting(op);
+  ASSERT_EQ(groups.size(), 1u);
+  const Circuit basis = measurement_basis_circuit(groups[0], 3);
+  // Conjugating each member by the basis circuit must give a diagonal
+  // matrix: B P B† diagonal.
+  const Matrix b = dense::circuit_unitary(basis);
+  for (const auto& term : groups[0].terms) {
+    const Matrix conj = b * term.pauli.to_matrix() * b.dagger();
+    EXPECT_TRUE(conj.is_diagonal(1e-10)) << term.pauli.to_label();
+  }
+}
+
+TEST(Grouping, DiagonalTermValue) {
+  const auto zz = PauliString::from_label("ZZ");
+  EXPECT_DOUBLE_EQ(diagonal_term_value(zz, 0b00), 1.0);
+  EXPECT_DOUBLE_EQ(diagonal_term_value(zz, 0b01), -1.0);
+  EXPECT_DOUBLE_EQ(diagonal_term_value(zz, 0b10), -1.0);
+  EXPECT_DOUBLE_EQ(diagonal_term_value(zz, 0b11), 1.0);
+}
+
+TEST(Estimator, ConvergesToExactExpectation) {
+  const unsigned n = 5;
+  const auto ham = tfim_hamiltonian(n, 1.0, 0.9);
+  std::vector<double> params(2ull * n * 2, 0.3);
+  const Circuit ansatz = hardware_efficient_ansatz(n, 2, params);
+
+  sv::Simulator<double> sim;
+  const double exact = sim.expectation(ansatz, ham);
+  const auto est = sv::estimate_expectation(sim, ansatz, ham, 20000);
+  EXPECT_EQ(est.groups, 2u);
+  EXPECT_EQ(est.total_shots, 40000u);
+  EXPECT_NEAR(est.value, exact, 0.15);
+}
+
+TEST(Estimator, ExactForDiagonalObservableOnBasisState) {
+  Circuit c(3);
+  c.x(0).x(2);
+  PauliOperator op(3);
+  op.add(2.0, "IIZ").add(3.0, "ZII").add(1.0, "III");
+  sv::Simulator<double> sim;
+  const auto est = sv::estimate_expectation(sim, c, op, 100);
+  // |101>: <Z_0> = -1, <Z_2> = -1, identity = 1 -> 2(-1)+3(-1)+1 = -4.
+  EXPECT_NEAR(est.value, -4.0, 1e-12);
+}
+
+TEST(Estimator, ValidatesInput) {
+  Circuit c(2);
+  c.h(0);
+  PauliOperator wrong(3);
+  wrong.add(1.0, "ZZZ");
+  sv::Simulator<double> sim;
+  EXPECT_THROW(sv::estimate_expectation(sim, c, wrong, 10), Error);
+  Circuit measured(2);
+  measured.h(0).measure(0, 0);
+  PauliOperator op(2);
+  op.add(1.0, "ZZ");
+  EXPECT_THROW(sv::estimate_expectation(sim, measured, op, 10), Error);
+  EXPECT_THROW(sv::estimate_expectation(sim, c, op, 0), Error);
+}
+
+}  // namespace
+}  // namespace svsim::qc

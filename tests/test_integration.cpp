@@ -1,0 +1,182 @@
+// End-to-end integration: functional simulation, the performance pipeline,
+// and the calibration anchors from the authors' published A64FX numbers,
+// exercised together the way the bench harness uses them.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/bits.hpp"
+#include "common/timer.hpp"
+#include "dist/dist_sim.hpp"
+#include "machine/roofline.hpp"
+#include "perf/perf_simulator.hpp"
+#include "perf/power_model.hpp"
+#include "qc/library.hpp"
+#include "qc/qasm.hpp"
+#include "sv/kernels.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Integration, QasmToSimulationToExpectation) {
+  // Parse a VQE-style circuit from QASM, simulate, take an observable.
+  const qc::Circuit c = qc::parse_qasm(R"(
+    OPENQASM 2.0;
+    qreg q[4];
+    h q[0]; cx q[0],q[1]; cx q[1],q[2]; cx q[2],q[3];
+    rz(pi/3) q[3];
+    cx q[2],q[3]; cx q[1],q[2]; cx q[0],q[1]; h q[0];
+  )");
+  sv::Simulator<double> sim;
+  qc::PauliOperator z0(4);
+  z0.add(1.0, "IIIZ");
+  const double expect = sim.expectation(c, z0);
+  // The sandwich implements exp(-i π/6 X Z Z Z)-ish evolution on |0000>:
+  // <Z_0> = cos(π/3) = 0.5.
+  EXPECT_NEAR(expect, 0.5, 1e-10);
+}
+
+TEST(Integration, QftRoundTripOnSixteenQubits) {
+  const unsigned n = 16;
+  qc::Circuit c(n);
+  // Prepare a nontrivial basis state, QFT, inverse QFT, verify.
+  c.x(3).x(7).x(12);
+  c.compose(qc::qft(n));
+  c.compose(qc::inverse_qft(n));
+  sv::Simulator<double> sim;
+  const auto svec = sim.run(c);
+  const std::uint64_t want = pow2(3) | pow2(7) | pow2(12);
+  EXPECT_NEAR(svec.probability(want), 1.0, 1e-8);
+}
+
+TEST(Integration, FusedSimulationOfQv18MatchesUnfused) {
+  const qc::Circuit c = qc::random_quantum_volume(18, 6, 123);
+  sv::Simulator<double> plain;
+  sv::SimulatorOptions fo;
+  fo.fusion = true;
+  fo.fusion_width = 5;
+  sv::Simulator<double> fused(fo);
+  const auto a = plain.run(c);
+  const auto b = fused.run(c);
+  // Compare fidelity |<a|b>| = 1.
+  const auto ip = a.inner_product(b);
+  EXPECT_NEAR(std::abs(ip), 1.0, 1e-9);
+}
+
+TEST(Integration, CalibrationAnchorStreamBandwidth) {
+  // Anchor 1: the model's achieved bandwidth for a big memory-bound gate
+  // equals the published A64FX STREAM number (~830 GB/s).
+  const auto m = machine::MachineSpec::a64fx();
+  const perf::GateTiming t = perf::time_gate(qc::Gate::h(20), 30, m, {});
+  const double gbps = t.cost.bytes / t.memory_seconds * 1e-9;
+  EXPECT_NEAR(gbps, 830.0, 15.0);
+}
+
+TEST(Integration, CalibrationAnchorCmgSaturation) {
+  // Anchor 2: one CMG saturates around ~207 GB/s (256 GB/s HBM x 0.81).
+  const auto m = machine::MachineSpec::a64fx();
+  machine::ExecConfig cfg;
+  cfg.threads = 12;
+  EXPECT_NEAR(machine::memory_bandwidth_gbps(m, place_threads(m, cfg)),
+              207.4, 1.0);
+}
+
+TEST(Integration, CalibrationAnchorBoostMode) {
+  // Anchor 3: boost gives exactly +10% compute throughput.
+  const auto normal = machine::MachineSpec::a64fx();
+  const auto boost = machine::MachineSpec::a64fx_boost();
+  EXPECT_NEAR(boost.peak_gflops() / normal.peak_gflops(), 1.10, 1e-9);
+}
+
+TEST(Integration, PerfPipelineRanksMachinesLikeStream) {
+  // For a memory-bound circuit the machine ranking must follow STREAM:
+  // A64FX > ThunderX2 > Xeon.
+  const qc::Circuit c = qc::qft(26);
+  const double t_a64 =
+      perf::simulate_circuit(c, machine::MachineSpec::a64fx(), {})
+          .total_seconds;
+  const double t_tx2 =
+      perf::simulate_circuit(c, machine::MachineSpec::thunderx2_dual(), {})
+          .total_seconds;
+  const double t_xeon =
+      perf::simulate_circuit(c, machine::MachineSpec::xeon_6148_dual(), {})
+          .total_seconds;
+  EXPECT_LT(t_a64, t_tx2);
+  EXPECT_LT(t_tx2, t_xeon);
+}
+
+TEST(Integration, MeasuredHostKernelAgreesWithHostModelShape) {
+  // Run a real H-gate sweep on the host at n=18 and check the *shape*
+  // against the generic-host model: high-target time within 3x of
+  // low-target time (both stream the same bytes), and the model agrees
+  // that traffic is identical.
+  const unsigned n = 18;
+  sv::StateVector<double> svec(n);
+  auto time_target = [&](unsigned t) {
+    Timer timer;
+    for (int rep = 0; rep < 4; ++rep)
+      sv::apply_h(svec.data(), n, t, svec.pool());
+    return timer.seconds();
+  };
+  const double t_low = time_target(0);
+  const double t_high = time_target(n - 1);
+  EXPECT_GT(t_low, 0.0);
+  EXPECT_GT(t_high, 0.0);
+  EXPECT_LT(t_low / t_high, 8.0);
+  EXPECT_LT(t_high / t_low, 8.0);
+
+  const auto host = machine::MachineSpec::generic_host(1, 2.1, 10.0);
+  machine::ExecConfig cfg;
+  cfg.threads = 1;
+  const auto c_low = perf::gate_cost(qc::Gate::h(0), n, host, cfg);
+  const auto c_high = perf::gate_cost(qc::Gate::h(n - 1), n, host, cfg);
+  EXPECT_DOUBLE_EQ(c_low.bytes, c_high.bytes);
+}
+
+TEST(Integration, DistributedQftProjectionEndToEnd) {
+  // Full pipeline: plan -> time -> event-driven check, both schedulers.
+  const qc::Circuit c = qc::qft(24);
+  for (auto sched : {dist::CommScheduler::Naive, dist::CommScheduler::Remap}) {
+    const auto plan = dist::plan_distribution(c, 4, sched);
+    const auto t = dist::time_plan(plan, machine::MachineSpec::a64fx(), {},
+                                   dist::InterconnectSpec::tofu_d());
+    EXPECT_GT(t.total_seconds, 0.0) << dist::scheduler_name(sched);
+    const double makespan = dist::event_driven_makespan(
+        plan, machine::MachineSpec::a64fx(), {},
+        dist::InterconnectSpec::tofu_d());
+    EXPECT_NEAR(makespan, t.total_seconds, t.total_seconds * 1e-6);
+  }
+}
+
+TEST(Integration, PowerPerfEnergySweepIsConsistent) {
+  const qc::Circuit c = qc::qft(24);
+  const auto normal = perf::estimate_power(
+      c, machine::MachineSpec::a64fx(), {});
+  const auto report = perf::simulate_circuit(
+      c, machine::MachineSpec::a64fx(), {});
+  EXPECT_NEAR(normal.seconds, report.total_seconds,
+              report.total_seconds * 1e-9);
+}
+
+TEST(Integration, GroverWithNoiseDegradesSuccess) {
+  const unsigned n = 6;
+  const std::uint64_t marked = 21;
+  sv::Simulator<double> ideal;
+  const double p_ideal = ideal.run(qc::grover(n, marked)).probability(marked);
+
+  sv::SimulatorOptions noisy;
+  noisy.noise.add_depolarizing(0.02);
+  noisy.seed = 31;
+  sv::Simulator<double> sim(noisy);
+  double p_noisy = 0.0;
+  const int traj = 40;
+  for (int i = 0; i < traj; ++i)
+    p_noisy += sim.run(qc::grover(n, marked)).probability(marked);
+  p_noisy /= traj;
+  EXPECT_GT(p_ideal, 0.95);
+  EXPECT_LT(p_noisy, p_ideal - 0.1);
+}
+
+}  // namespace
+}  // namespace svsim

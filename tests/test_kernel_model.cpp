@@ -1,0 +1,171 @@
+#include "perf/kernel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "qc/gate.hpp"
+
+namespace svsim::perf {
+namespace {
+
+using machine::ExecConfig;
+using machine::MachineSpec;
+using qc::Gate;
+
+const MachineSpec kA64fx = MachineSpec::a64fx();
+const ExecConfig kCfg;  // defaults: all threads, double, native VL
+
+constexpr unsigned kN = 20;
+constexpr double kAmps = 1024.0 * 1024.0;  // 2^20
+constexpr double kAmpBytes = 16.0;
+
+TEST(KernelModel, General1QFlopsAndBytes) {
+  const KernelCost c = gate_cost(Gate::rx(10, 0.3), kN, kA64fx, kCfg);
+  // 28 flops per pair, 2^19 pairs.
+  EXPECT_DOUBLE_EQ(c.flops, 28.0 * kAmps / 2);
+  // Read+write the whole state.
+  EXPECT_DOUBLE_EQ(c.bytes, 2.0 * kAmps * kAmpBytes);
+  EXPECT_EQ(c.touched_amplitudes, 1u << kN);
+  // AI = 28 / 64 = 0.4375 flop/byte — the canonical SV number.
+  EXPECT_NEAR(c.arithmetic_intensity(), 0.4375, 1e-12);
+}
+
+TEST(KernelModel, XGateMovesDataWithoutFlops) {
+  const KernelCost c = gate_cost(Gate::x(5), kN, kA64fx, kCfg);
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+  EXPECT_DOUBLE_EQ(c.bytes, 2.0 * kAmps * kAmpBytes);
+}
+
+TEST(KernelModel, DiagonalHalfSweepOnHighQubit) {
+  // T on a high qubit touches half the amplitudes AND half the cache lines.
+  const KernelCost c = gate_cost(Gate::t(15), kN, kA64fx, kCfg);
+  EXPECT_EQ(c.touched_amplitudes, (1u << kN) / 2);
+  EXPECT_DOUBLE_EQ(c.bytes, kAmps * kAmpBytes);  // 2 x half the state
+}
+
+TEST(KernelModel, DiagonalOnLowQubitStreamsWholeLines) {
+  // T on qubit 0: touched entries are every other amplitude — every 256-byte
+  // line is visited, so traffic equals the full sweep despite touching half.
+  const KernelCost c = gate_cost(Gate::t(0), kN, kA64fx, kCfg);
+  EXPECT_EQ(c.touched_amplitudes, (1u << kN) / 2);
+  EXPECT_DOUBLE_EQ(c.bytes, 2.0 * kAmps * kAmpBytes);
+}
+
+TEST(KernelModel, LineGranularityThresholdAt16Amps) {
+  // 256B line = 16 double amplitudes: bit 4 is the first "line-killing" bit.
+  const double full = gate_cost(Gate::t(3), kN, kA64fx, kCfg).bytes;
+  const double half = gate_cost(Gate::t(4), kN, kA64fx, kCfg).bytes;
+  EXPECT_DOUBLE_EQ(full, 2.0 * kAmps * kAmpBytes);
+  EXPECT_DOUBLE_EQ(half, kAmps * kAmpBytes);
+}
+
+TEST(KernelModel, CxTrafficDependsOnControlPosition) {
+  // Control high (bit 19): half the lines. Control low (bit 0): all lines.
+  const double high = gate_cost(Gate::cx(19, 5), kN, kA64fx, kCfg).bytes;
+  const double low = gate_cost(Gate::cx(0, 5), kN, kA64fx, kCfg).bytes;
+  EXPECT_DOUBLE_EQ(high, kAmps * kAmpBytes);
+  EXPECT_DOUBLE_EQ(low, 2.0 * kAmps * kAmpBytes);
+  // Same amplitudes touched either way.
+  EXPECT_EQ(gate_cost(Gate::cx(19, 5), kN, kA64fx, kCfg).touched_amplitudes,
+            gate_cost(Gate::cx(0, 5), kN, kA64fx, kCfg).touched_amplitudes);
+}
+
+TEST(KernelModel, CcxQuartersLinesWithTwoHighControls) {
+  const KernelCost c = gate_cost(Gate::ccx(18, 19, 5), kN, kA64fx, kCfg);
+  EXPECT_DOUBLE_EQ(c.bytes, 0.5 * kAmps * kAmpBytes);
+  EXPECT_EQ(c.touched_amplitudes, (1u << kN) / 4);
+}
+
+TEST(KernelModel, McPhaseTouchesExponentiallyFewAmps) {
+  const KernelCost c =
+      gate_cost(Gate::mcp({16, 17, 18}, 19, 0.4), kN, kA64fx, kCfg);
+  EXPECT_EQ(c.touched_amplitudes, (1u << kN) / 16);
+  EXPECT_DOUBLE_EQ(c.bytes, 2.0 * kAmps * kAmpBytes / 16.0);
+}
+
+TEST(KernelModel, FusionRaisesArithmeticIntensity) {
+  Xoshiro256 rng(1);
+  const double ai1 =
+      gate_cost(Gate::rx(8, 0.1), kN, kA64fx, kCfg).arithmetic_intensity();
+  const double ai3 =
+      gate_cost(Gate::unitary({3, 7, 11},
+                              qc::Matrix::random_unitary(8, rng)),
+                kN, kA64fx, kCfg)
+          .arithmetic_intensity();
+  const double ai5 =
+      gate_cost(Gate::unitary({3, 7, 11, 13, 17},
+                              qc::Matrix::random_unitary(32, rng)),
+                kN, kA64fx, kCfg)
+          .arithmetic_intensity();
+  EXPECT_GT(ai3, 2.0 * ai1);
+  EXPECT_GT(ai5, 2.0 * ai3);
+}
+
+TEST(KernelModel, SimdEfficiencyPenalizesLowTargets) {
+  // 512-bit vectors over complex<double>: 4 pairs per vector; targets 0 and
+  // 1 pay permute penalties, target >= 2 runs at full efficiency.
+  const double e0 = simd_efficiency_for_target(0, 512, 8);
+  const double e1 = simd_efficiency_for_target(1, 512, 8);
+  const double e2 = simd_efficiency_for_target(2, 512, 8);
+  const double e9 = simd_efficiency_for_target(9, 512, 8);
+  EXPECT_LT(e0, e1);
+  EXPECT_LT(e1, e2);
+  EXPECT_DOUBLE_EQ(e2, e9);
+  EXPECT_DOUBLE_EQ(e2, 0.95);
+}
+
+TEST(KernelModel, ShorterVectorsMoveThePenaltyBoundary) {
+  // 128-bit vectors hold one complex<double>: no penalty anywhere.
+  EXPECT_DOUBLE_EQ(simd_efficiency_for_target(0, 128, 8), 0.95);
+  // Single precision halves the element, doubling lanes: penalty extends one
+  // qubit higher than double precision at the same width.
+  EXPECT_LT(simd_efficiency_for_target(2, 512, 4),
+            simd_efficiency_for_target(2, 512, 8));
+}
+
+TEST(KernelModel, PrecisionHalvesTraffic) {
+  ExecConfig sp = kCfg;
+  sp.element_bytes = 4;
+  const double dp_bytes = gate_cost(Gate::h(10), kN, kA64fx, kCfg).bytes;
+  const double sp_bytes = gate_cost(Gate::h(10), kN, kA64fx, sp).bytes;
+  EXPECT_DOUBLE_EQ(sp_bytes, dp_bytes / 2.0);
+}
+
+TEST(KernelModel, SwapTouchesHalfTheState) {
+  const KernelCost c = gate_cost(Gate::swap(17, 19), kN, kA64fx, kCfg);
+  EXPECT_EQ(c.touched_amplitudes, (1u << kN) / 2);
+  EXPECT_DOUBLE_EQ(c.flops, 0.0);
+  // Both operand bits high: half of all lines (2 subsets x quarter each).
+  EXPECT_DOUBLE_EQ(c.bytes, kAmps * kAmpBytes);
+}
+
+TEST(KernelModel, SwapOnLowQubitsCapsAtFullSweep) {
+  const KernelCost c = gate_cost(Gate::swap(0, 1), kN, kA64fx, kCfg);
+  EXPECT_DOUBLE_EQ(c.bytes, 2.0 * kAmps * kAmpBytes);
+}
+
+TEST(KernelModel, NopGatesAreFree) {
+  EXPECT_DOUBLE_EQ(gate_cost(Gate::i(3), kN, kA64fx, kCfg).bytes, 0.0);
+  EXPECT_DOUBLE_EQ(gate_cost(Gate::barrier(), kN, kA64fx, kCfg).flops, 0.0);
+}
+
+TEST(KernelModel, MeasureCostsSweeps) {
+  const KernelCost c = gate_cost(Gate::measure(3, 0), kN, kA64fx, kCfg);
+  EXPECT_GT(c.bytes, kAmps * kAmpBytes);
+  EXPECT_GT(c.flops, 0.0);
+}
+
+TEST(KernelModel, SmallerLineMachineLosesLessOnLowControls) {
+  // Xeon has 64-byte lines (4 double amps): control at bit 2 already kills
+  // lines there, while A64FX (16 amps/line) still streams everything.
+  const MachineSpec xeon = MachineSpec::xeon_6148_dual();
+  ExecConfig cfg;
+  cfg.threads = 40;
+  const double xeon_bytes = gate_cost(Gate::cx(2, 10), kN, xeon, cfg).bytes;
+  ExecConfig cfg48;
+  const double a64_bytes = gate_cost(Gate::cx(2, 10), kN, kA64fx, cfg48).bytes;
+  EXPECT_LT(xeon_bytes, a64_bytes);
+}
+
+}  // namespace
+}  // namespace svsim::perf

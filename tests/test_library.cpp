@@ -1,0 +1,229 @@
+#include "qc/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(LibraryQft, MatchesDftMatrix) {
+  // QFT (with swaps) |k> = 1/√N Σ_j ω^{jk} |j>, ω = e^{2πi/N}.
+  for (unsigned n : {2u, 3u, 4u}) {
+    const Matrix u = dense::circuit_unitary(qft(n, true));
+    const double N = static_cast<double>(pow2(n));
+    for (std::uint64_t r = 0; r < pow2(n); ++r) {
+      for (std::uint64_t c = 0; c < pow2(n); ++c) {
+        const cplx expect =
+            std::polar(1.0 / std::sqrt(N),
+                       2.0 * std::numbers::pi * static_cast<double>(r * c) / N);
+        EXPECT_NEAR(std::abs(u(r, c) - expect), 0.0, 1e-10)
+            << "n=" << n << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(LibraryQft, InverseQftUndoesQft) {
+  for (unsigned n : {2u, 4u, 5u}) {
+    Circuit c = qft(n);
+    c.compose(inverse_qft(n));
+    const Matrix u = dense::circuit_unitary(c);
+    EXPECT_LT(u.distance(Matrix::identity(pow2(n))), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(LibraryQft, WithoutSwapsIsBitReversedDft) {
+  const unsigned n = 3;
+  const Matrix with = dense::circuit_unitary(qft(n, true));
+  const Matrix without = dense::circuit_unitary(qft(n, false));
+  // with = SWAP_layer * without: rows of `without` are bit-reversed.
+  for (std::uint64_t r = 0; r < pow2(n); ++r)
+    for (std::uint64_t c = 0; c < pow2(n); ++c)
+      EXPECT_NEAR(std::abs(without(reverse_bits(r, n), c) - with(r, c)), 0.0,
+                  1e-10);
+}
+
+TEST(LibraryGhz, ProducesGhzState) {
+  for (unsigned n : {2u, 3u, 6u}) {
+    const auto s = dense::run(ghz(n));
+    EXPECT_NEAR(std::abs(s[0]), 1 / std::numbers::sqrt2, 1e-12);
+    EXPECT_NEAR(std::abs(s[pow2(n) - 1]), 1 / std::numbers::sqrt2, 1e-12);
+    for (std::uint64_t i = 1; i + 1 < pow2(n); ++i)
+      EXPECT_NEAR(std::abs(s[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(LibraryGrover, AmplifiesMarkedItem) {
+  const unsigned n = 5;
+  const std::uint64_t marked = 19;
+  const auto s = dense::run(grover(n, marked));
+  const double p_marked = std::norm(s[marked]);
+  EXPECT_GT(p_marked, 0.9);
+  // All other amplitudes tiny.
+  for (std::uint64_t i = 0; i < pow2(n); ++i)
+    if (i != marked) EXPECT_LT(std::norm(s[i]), 0.01);
+}
+
+TEST(LibraryGrover, OptimalIterationCount) {
+  EXPECT_EQ(grover_optimal_iterations(2), 1u);
+  EXPECT_EQ(grover_optimal_iterations(4), 3u);
+  EXPECT_EQ(grover_optimal_iterations(10), 25u);
+}
+
+TEST(LibraryGrover, SingleIterationIsWorseThanOptimal) {
+  const unsigned n = 5;
+  const std::uint64_t marked = 7;
+  const auto s1 = dense::run(grover(n, marked, 1));
+  const auto sopt = dense::run(grover(n, marked));
+  EXPECT_LT(std::norm(s1[marked]), std::norm(sopt[marked]));
+}
+
+TEST(LibraryQuantumVolume, DeterministicInSeed) {
+  const Circuit a = random_quantum_volume(5, 4, 77);
+  const Circuit b = random_quantum_volume(5, 4, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.gate(i).qubits, b.gate(i).qubits);
+  const Circuit c = random_quantum_volume(5, 4, 78);
+  // Different seed gives a different pairing or matrices; compare states.
+  EXPECT_GT(dense::distance(dense::run(a), dense::run(c)), 1e-6);
+}
+
+TEST(LibraryQuantumVolume, LayerStructure) {
+  const unsigned n = 6, depth = 3;
+  const Circuit c = random_quantum_volume(n, depth, 1);
+  // Each layer has floor(n/2) two-qubit unitaries.
+  EXPECT_EQ(c.size(), static_cast<std::size_t>(depth) * (n / 2));
+  for (const auto& g : c.gates()) EXPECT_EQ(g.kind, GateKind::U2Q);
+  // Norm preserved.
+  EXPECT_NEAR(dense::norm_squared(dense::run(c)), 1.0, 1e-10);
+}
+
+TEST(LibraryCliffordT, DeterministicAndUnitary) {
+  const Circuit a = random_clifford_t(4, 50, 5);
+  const Circuit b = random_clifford_t(4, 50, 5);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.gate(i).kind, b.gate(i).kind);
+  EXPECT_NEAR(dense::norm_squared(dense::run(a)), 1.0, 1e-10);
+}
+
+TEST(LibraryQaoa, RingMaxcutGridSearchBeatsRandomGuess) {
+  // p=1 QAOA on the 2-regular ring reaches 3/4 of the edges at the optimal
+  // angles; a coarse grid over (γ, β) must comfortably beat the random-guess
+  // expectation of half the edges.
+  const unsigned n = 6;
+  const auto edges = ring_graph(n);
+  const auto ham = maxcut_hamiltonian(n, edges);
+  const Matrix hm = ham.to_matrix();
+  double best_cut = -1.0;
+  for (double gamma = 0.2; gamma < 3.2; gamma += 0.3) {
+    for (double beta = 0.1; beta < 1.6; beta += 0.15) {
+      const auto state = dense::run(qaoa_maxcut(n, edges, {gamma}, {beta}));
+      // <C> = m/2 + <H> with our H = Σ -w/2 ZZ.
+      double h_expect = 0.0;
+      for (std::uint64_t i = 0; i < state.size(); ++i)
+        for (std::uint64_t j = 0; j < state.size(); ++j)
+          h_expect += (std::conj(state[i]) * hm(i, j) * state[j]).real();
+      best_cut = std::max(
+          best_cut, static_cast<double>(edges.size()) / 2.0 + h_expect);
+    }
+  }
+  EXPECT_GT(best_cut, 0.6 * static_cast<double>(edges.size()));
+  EXPECT_LE(best_cut, 0.76 * static_cast<double>(edges.size()));
+}
+
+TEST(LibraryQaoa, ParameterCountValidation) {
+  EXPECT_THROW(qaoa_maxcut(3, ring_graph(3), {0.1, 0.2}, {0.1}), Error);
+}
+
+TEST(LibraryAnsatz, HardwareEfficientShapeAndValidation) {
+  const unsigned n = 4, layers = 2;
+  std::vector<double> params(2 * n * layers, 0.1);
+  const Circuit c = hardware_efficient_ansatz(n, layers, params);
+  // Per layer: n RY + n RZ + (n-1) CX.
+  EXPECT_EQ(c.size(), static_cast<std::size_t>(layers) * (2 * n + (n - 1)));
+  EXPECT_THROW(hardware_efficient_ansatz(n, layers, {0.1}), Error);
+}
+
+TEST(LibraryIsing, TrotterApproximatesExactEvolutionShortTime) {
+  // For small dt and enough steps, |<ψ_trotter|ψ_exact>| ≈ 1. We verify
+  // self-consistency: more steps converge (fidelity between 8-step and
+  // 16-step states higher than between 1-step and 16-step).
+  const unsigned n = 4;
+  const double J = 1.0, h = 0.7, t = 0.5;
+  const auto run_steps = [&](unsigned steps) {
+    Circuit prep(n);
+    for (unsigned q = 0; q < n; ++q) prep.h(q);
+    prep.compose(ising_trotter(n, J, h, t / steps, steps));
+    return dense::run(prep);
+  };
+  const auto s1 = run_steps(1);
+  const auto s8 = run_steps(8);
+  const auto s16 = run_steps(16);
+  EXPECT_GT(dense::overlap(s8, s16), dense::overlap(s1, s16));
+  EXPECT_GT(dense::overlap(s8, s16), 0.999);
+}
+
+TEST(LibraryIsing, SecondOrderTrotterBeatsFirstOrder) {
+  // At equal step counts the symmetric splitting must be closer to the
+  // converged evolution than the first-order one.
+  const unsigned n = 4;
+  const double J = 1.0, h = 0.7, t = 0.8;
+  const unsigned steps = 4;
+  Circuit prep(n);
+  for (unsigned q = 0; q < n; ++q) prep.h(q);
+
+  auto run_with = [&](const Circuit& trotter) {
+    Circuit c = prep;
+    c.compose(trotter);
+    return dense::run(c);
+  };
+  // Reference: very fine first-order evolution.
+  const auto reference = run_with(ising_trotter(n, J, h, t / 512, 512));
+  const auto first = run_with(ising_trotter(n, J, h, t / steps, steps));
+  const auto second = run_with(ising_trotter2(n, J, h, t / steps, steps));
+  EXPECT_GT(dense::overlap(second, reference),
+            dense::overlap(first, reference));
+  EXPECT_GT(dense::overlap(second, reference), 0.999);
+}
+
+TEST(LibraryPhaseEstimation, RecoversExactlyRepresentablePhase) {
+  // phase = 5/16 with 4 readout qubits -> deterministic readout of 5
+  // (measured register in little-endian after the final swaps).
+  const unsigned precision = 4;
+  const double phase = 5.0 / 16.0;
+  const auto s = dense::run(phase_estimation(precision, phase));
+  // Target qubit (index 4) stays |1>; readout register must be |5>.
+  const std::uint64_t want = 5u | (1u << precision);
+  EXPECT_NEAR(std::norm(s[want]), 1.0, 1e-8);
+}
+
+TEST(LibraryGraphs, RingGraph) {
+  const auto edges = ring_graph(5);
+  EXPECT_EQ(edges.size(), 5u);
+  EXPECT_EQ(std::get<0>(edges[4]), 4u);
+  EXPECT_EQ(std::get<1>(edges[4]), 0u);
+}
+
+TEST(LibraryGraphs, RandomGraphDistinctEdges) {
+  const auto edges = random_graph(8, 12, 3);
+  EXPECT_EQ(edges.size(), 12u);
+  std::set<std::pair<unsigned, unsigned>> seen;
+  for (const auto& [a, b, w] : edges) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 8u);
+    EXPECT_LT(b, 8u);
+    EXPECT_TRUE(seen.insert({a, b}).second);
+  }
+  EXPECT_THROW(random_graph(3, 100, 1), Error);
+}
+
+}  // namespace
+}  // namespace svsim::qc

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/bandwidth_model.hpp"
+#include "machine/exec_config.hpp"
+#include "machine/machine_spec.hpp"
+#include "machine/roofline.hpp"
+
+namespace svsim::machine {
+namespace {
+
+TEST(MachineSpec, A64fxHeadlineNumbers) {
+  const MachineSpec m = MachineSpec::a64fx();
+  EXPECT_EQ(m.total_cores(), 48u);
+  EXPECT_EQ(m.numa_domains, 4u);
+  // 512-bit SVE, 2 pipes: 32 DP flops/cycle/core.
+  EXPECT_DOUBLE_EQ(m.flops_per_cycle_per_core(8), 32.0);
+  // Peak ~3.072 TFLOPS at 2.0 GHz.
+  EXPECT_NEAR(m.peak_gflops(8), 3072.0, 1.0);
+  // Single precision doubles the peak.
+  EXPECT_NEAR(m.peak_gflops(4), 6144.0, 1.0);
+  // STREAM ~830 GB/s (the published triad number).
+  EXPECT_NEAR(m.stream_bandwidth_gbps(), 830.0, 10.0);
+  // 256-byte cache lines.
+  EXPECT_EQ(m.mem_line_bytes(), 256u);
+  // L2 total: 4 CMG x 8 MiB.
+  EXPECT_EQ(m.llc_total_bytes(), 4ull * 8 * 1024 * 1024);
+}
+
+TEST(MachineSpec, BoostAndEcoVariants) {
+  const MachineSpec normal = MachineSpec::a64fx();
+  const MachineSpec boost = MachineSpec::a64fx_boost();
+  const MachineSpec eco = MachineSpec::a64fx_eco();
+  EXPECT_NEAR(boost.peak_gflops() / normal.peak_gflops(), 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(eco.peak_gflops(), normal.peak_gflops() / 2.0);
+  EXPECT_GT(boost.core_max_watts, normal.core_max_watts);
+  EXPECT_LT(eco.core_max_watts, normal.core_max_watts);
+}
+
+TEST(MachineSpec, Fx700Variant) {
+  const MachineSpec fx = MachineSpec::a64fx_fx700();
+  EXPECT_NEAR(fx.peak_gflops(), 3072.0 * 1.8 / 2.0, 1.0);
+  EXPECT_EQ(fx.total_cores(), 48u);
+  // Same HBM2 memory system: STREAM unchanged.
+  EXPECT_DOUBLE_EQ(fx.stream_bandwidth_gbps(),
+                   MachineSpec::a64fx().stream_bandwidth_gbps());
+}
+
+TEST(MachineSpec, ComparatorMachines) {
+  const MachineSpec xeon = MachineSpec::xeon_6148_dual();
+  EXPECT_EQ(xeon.total_cores(), 40u);
+  // A64FX has far more STREAM bandwidth than the Xeon node.
+  EXPECT_GT(MachineSpec::a64fx().stream_bandwidth_gbps(),
+            3 * xeon.stream_bandwidth_gbps());
+  const MachineSpec tx2 = MachineSpec::thunderx2_dual();
+  EXPECT_EQ(tx2.total_cores(), 64u);
+  EXPECT_EQ(tx2.simd_bits, 128u);
+}
+
+TEST(Placement, CompactFillsDomainsInOrder) {
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig cfg;
+  cfg.threads = 14;
+  cfg.affinity = Affinity::Compact;
+  const Placement p = place_threads(m, cfg);
+  EXPECT_EQ(p.threads_per_domain, (std::vector<unsigned>{12, 2, 0, 0}));
+  EXPECT_EQ(p.active_domains(), 2u);
+  EXPECT_EQ(p.total_threads(), 14u);
+}
+
+TEST(Placement, ScatterRoundRobins) {
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig cfg;
+  cfg.threads = 6;
+  cfg.affinity = Affinity::Scatter;
+  const Placement p = place_threads(m, cfg);
+  EXPECT_EQ(p.threads_per_domain, (std::vector<unsigned>{2, 2, 1, 1}));
+  EXPECT_EQ(p.active_domains(), 4u);
+}
+
+TEST(Placement, ZeroMeansAllCores) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  EXPECT_EQ(p.total_threads(), 48u);
+}
+
+TEST(Placement, RejectsOversubscription) {
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig cfg;
+  cfg.threads = 49;
+  EXPECT_THROW(place_threads(m, cfg), Error);
+}
+
+TEST(BandwidthModel, ServingLevelTransitions) {
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig cfg;
+  cfg.threads = 48;
+  const Placement p = place_threads(m, cfg);
+  // 1 MiB << 48 x 64 KiB L1: level 0.
+  EXPECT_EQ(serving_level(m, p, 1u << 20), 0);
+  // 16 MiB fits 4 x 8 MiB L2 but not L1 aggregate (3 MiB): level 1.
+  EXPECT_EQ(serving_level(m, p, 16u << 20), 1);
+  // 1 GiB: memory.
+  EXPECT_EQ(serving_level(m, p, 1u << 30), -1);
+}
+
+TEST(BandwidthModel, MemoryBandwidthSaturatesPerDomain) {
+  const MachineSpec m = MachineSpec::a64fx();
+  // One thread: limited by the core rate.
+  ExecConfig one;
+  one.threads = 1;
+  EXPECT_NEAR(memory_bandwidth_gbps(m, place_threads(m, one)),
+              m.core_mem_bandwidth_gbps, 1e-9);
+  // Full CMG (12 threads compact): capped at the CMG STREAM ceiling.
+  ExecConfig cmg;
+  cmg.threads = 12;
+  EXPECT_NEAR(memory_bandwidth_gbps(m, place_threads(m, cmg)),
+              256.0 * 0.81, 1e-6);
+  // All 48: four CMGs worth.
+  ExecConfig all;
+  all.threads = 48;
+  EXPECT_NEAR(memory_bandwidth_gbps(m, place_threads(m, all)),
+              4 * 256.0 * 0.81, 1e-6);
+}
+
+TEST(BandwidthModel, ScatterBeatsCompactAtLowThreadCounts) {
+  // 4 threads scattered reach 4 HBM stacks; compact threads share one.
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig compact;
+  compact.threads = 8;
+  compact.affinity = Affinity::Compact;
+  ExecConfig scatter = compact;
+  scatter.affinity = Affinity::Scatter;
+  const double bw_c = memory_bandwidth_gbps(m, place_threads(m, compact));
+  const double bw_s = memory_bandwidth_gbps(m, place_threads(m, scatter));
+  // 8 compact threads: min(8x40, 207) = 207 on one CMG.
+  // 8 scattered: 2 per CMG -> 4 x min(80, 207) = 320.
+  EXPECT_GT(bw_s, bw_c);
+}
+
+TEST(BandwidthModel, AffinityIrrelevantAtFullOccupancy) {
+  const MachineSpec m = MachineSpec::a64fx();
+  ExecConfig compact;
+  compact.affinity = Affinity::Compact;
+  ExecConfig scatter;
+  scatter.affinity = Affinity::Scatter;
+  EXPECT_DOUBLE_EQ(memory_bandwidth_gbps(m, place_threads(m, compact)),
+                   memory_bandwidth_gbps(m, place_threads(m, scatter)));
+}
+
+TEST(BandwidthModel, CacheRegimeIsFasterThanMemory) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  const double l1 = effective_bandwidth_gbps(m, p, 1u << 20);
+  const double l2 = effective_bandwidth_gbps(m, p, 16u << 20);
+  const double mem = effective_bandwidth_gbps(m, p, 1u << 30);
+  EXPECT_GT(l1, l2);
+  EXPECT_GT(l2, mem);
+}
+
+TEST(Roofline, PeakScalesWithVectorLengthAndPrecision) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  ExecConfig full;
+  EXPECT_NEAR(placement_peak_gflops(m, p, full), 3072.0, 1.0);
+  ExecConfig half;
+  half.vector_bits = 256;
+  EXPECT_NEAR(placement_peak_gflops(m, p, half), 1536.0, 1.0);
+  ExecConfig sp;  // single precision doubles lanes
+  sp.element_bytes = 4;
+  EXPECT_NEAR(placement_peak_gflops(m, p, sp), 6144.0, 1.0);
+}
+
+TEST(Roofline, MemoryBoundBelowRidge) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  ExecConfig cfg;
+  // State-vector 1q gate: AI ~ 0.44 on a huge footprint -> memory bound.
+  const RooflinePoint pt = roofline(m, p, cfg, 0.44, 1.0, 1ull << 32);
+  EXPECT_TRUE(pt.memory_bound);
+  EXPECT_NEAR(pt.attainable_gflops, 0.44 * 830.0, 10.0);
+  // Far above the ridge: compute bound.
+  const RooflinePoint hi = roofline(m, p, cfg, 100.0, 1.0, 1ull << 32);
+  EXPECT_FALSE(hi.memory_bound);
+  EXPECT_NEAR(hi.attainable_gflops, 3072.0, 1.0);
+}
+
+TEST(Roofline, RidgeIntensityConsistent) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  ExecConfig cfg;
+  const double ridge = ridge_intensity(m, p, cfg, 1.0, 1ull << 32);
+  // Peak / STREAM ≈ 3072 / 830 ≈ 3.7 flop/byte.
+  EXPECT_NEAR(ridge, 3072.0 / 830.0, 0.1);
+  const RooflinePoint at = roofline(m, p, cfg, ridge, 1.0, 1ull << 32);
+  EXPECT_NEAR(at.attainable_gflops, at.compute_roof_gflops,
+              at.compute_roof_gflops * 0.01);
+}
+
+TEST(Roofline, VectorWidthValidation) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  ExecConfig cfg;
+  cfg.vector_bits = 32;  // below one double
+  EXPECT_THROW(placement_peak_gflops(m, p, cfg), Error);
+}
+
+TEST(MachineSpec, GenericHostSanity) {
+  const MachineSpec h = MachineSpec::generic_host(4, 3.0, 20.0);
+  EXPECT_EQ(h.total_cores(), 4u);
+  EXPECT_NEAR(h.stream_bandwidth_gbps(), 20.0, 1e-9);
+  EXPECT_THROW(MachineSpec::generic_host(0, 3.0, 20.0), Error);
+}
+
+}  // namespace
+}  // namespace svsim::machine

@@ -1,0 +1,123 @@
+#include "qc/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(Matrix, RejectsNonPowerOfTwoDim) {
+  EXPECT_THROW(Matrix(3), Error);
+  EXPECT_THROW(Matrix(0), Error);
+  EXPECT_NO_THROW(Matrix(4));
+}
+
+TEST(Matrix, RejectsWrongEntryCount) {
+  EXPECT_THROW(Matrix(2, {1.0, 2.0, 3.0}), Error);
+}
+
+TEST(Matrix, IdentityIsUnitaryAndDiagonal) {
+  const Matrix id = Matrix::identity(8);
+  EXPECT_TRUE(id.is_unitary());
+  EXPECT_TRUE(id.is_diagonal());
+  EXPECT_EQ(id.num_qubits(), 3u);
+}
+
+TEST(Matrix, MultiplyAgainstHandComputed) {
+  // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+  const Matrix a(2, {1, 2, 3, 4});
+  const Matrix b(2, {5, 6, 7, 8});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0).real(), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1).real(), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0).real(), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1).real(), 50.0);
+}
+
+TEST(Matrix, DaggerConjugatesAndTransposes) {
+  const Matrix a(2, {cplx{1, 2}, cplx{3, 4}, cplx{5, 6}, cplx{7, 8}});
+  const Matrix d = a.dagger();
+  EXPECT_EQ(d(0, 0), (cplx{1, -2}));
+  EXPECT_EQ(d(0, 1), (cplx{5, -6}));
+  EXPECT_EQ(d(1, 0), (cplx{3, -4}));
+}
+
+TEST(Matrix, KronDimensionsAndEntries) {
+  const Matrix a(2, {1, 0, 0, 2});
+  const Matrix b(2, {3, 0, 0, 4});
+  const Matrix k = a.kron(b);
+  EXPECT_EQ(k.dim(), 4u);
+  EXPECT_DOUBLE_EQ(k(0, 0).real(), 3.0);
+  EXPECT_DOUBLE_EQ(k(1, 1).real(), 4.0);
+  EXPECT_DOUBLE_EQ(k(2, 2).real(), 6.0);
+  EXPECT_DOUBLE_EQ(k(3, 3).real(), 8.0);
+}
+
+TEST(Matrix, ApplyMatchesManualMatVec) {
+  const Matrix a(2, {cplx{0, 1}, 2, 3, cplx{0, -1}});
+  const std::vector<cplx> v = {1.0, cplx{0, 1}};
+  const auto out = a.apply(v);
+  EXPECT_NEAR(std::abs(out[0] - (cplx{0, 1} * 1.0 + 2.0 * cplx{0, 1})), 0.0,
+              1e-12);
+  EXPECT_NEAR(std::abs(out[1] - (3.0 * 1.0 + cplx{0, -1} * cplx{0, 1})), 0.0,
+              1e-12);
+}
+
+TEST(Matrix, RandomUnitaryIsUnitary) {
+  Xoshiro256 rng(17);
+  for (std::size_t dim : {2u, 4u, 8u, 16u}) {
+    const Matrix u = Matrix::random_unitary(dim, rng);
+    EXPECT_LT(u.unitarity_error(), 1e-12) << "dim " << dim;
+  }
+}
+
+TEST(Matrix, RandomUnitariesDiffer) {
+  Xoshiro256 rng(17);
+  const Matrix a = Matrix::random_unitary(4, rng);
+  const Matrix b = Matrix::random_unitary(4, rng);
+  EXPECT_GT(a.distance(b), 0.1);
+}
+
+TEST(Matrix, DiagonalFactory) {
+  const Matrix d = Matrix::diagonal({1.0, cplx{0, 1}});
+  EXPECT_TRUE(d.is_diagonal());
+  EXPECT_TRUE(d.is_unitary());
+  EXPECT_EQ(d(1, 1), (cplx{0, 1}));
+}
+
+TEST(Matrix, DistanceUpToPhase) {
+  Xoshiro256 rng(5);
+  const Matrix u = Matrix::random_unitary(4, rng);
+  const Matrix v = u * std::polar(1.0, 1.234);  // global phase
+  EXPECT_GT(u.distance(v), 0.1);
+  EXPECT_LT(u.distance_up_to_phase(v), 1e-12);
+}
+
+TEST(Matrix, AddSubtract) {
+  const Matrix a(2, {1, 2, 3, 4});
+  const Matrix b(2, {4, 3, 2, 1});
+  const Matrix s = a + b;
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(s(0, 0).real(), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1).real(), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 0).real(), -3.0);
+  EXPECT_DOUBLE_EQ(d(1, 1).real(), 3.0);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  EXPECT_THROW(Matrix(2) * Matrix(4), Error);
+  EXPECT_THROW(Matrix(2) + Matrix(4), Error);
+  EXPECT_THROW(Matrix(2).distance(Matrix(4)), Error);
+  EXPECT_THROW(Matrix(4).apply({1.0, 0.0}), Error);
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  const Matrix a(2, {1, 0, 0, 1});
+  const std::string s = a.to_string(2);
+  EXPECT_NE(s.find("1.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svsim::qc

@@ -1,0 +1,181 @@
+#include "qc/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qc/gate.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(PauliString, LabelRoundTrip) {
+  for (const std::string label : {"I", "X", "Y", "Z", "XZ", "IXYZ", "ZZXXYY"}) {
+    EXPECT_EQ(PauliString::from_label(label).to_label(), label);
+  }
+}
+
+TEST(PauliString, LabelOrderIsQiskitStyle) {
+  // "XZ": X on qubit 1, Z on qubit 0.
+  const PauliString p = PauliString::from_label("XZ");
+  EXPECT_EQ(p.pauli_at(0), 'Z');
+  EXPECT_EQ(p.pauli_at(1), 'X');
+}
+
+TEST(PauliString, BadLabelsThrow) {
+  EXPECT_THROW(PauliString::from_label(""), Error);
+  EXPECT_THROW(PauliString::from_label("XQ"), Error);
+}
+
+TEST(PauliString, Weight) {
+  EXPECT_EQ(PauliString::from_label("III").weight(), 0u);
+  EXPECT_EQ(PauliString::from_label("XYZ").weight(), 3u);
+  EXPECT_EQ(PauliString::from_label("IXI").weight(), 1u);
+  EXPECT_TRUE(PauliString(4).is_identity());
+}
+
+TEST(PauliString, SingleFactory) {
+  const PauliString y = PauliString::single(3, 1, 'Y');
+  EXPECT_EQ(y.to_label(), "IYI");
+  EXPECT_THROW(PauliString::single(3, 5, 'X'), Error);
+  EXPECT_THROW(PauliString::single(3, 0, 'Q'), Error);
+}
+
+TEST(PauliString, Commutation) {
+  const auto X = PauliString::from_label("X");
+  const auto Y = PauliString::from_label("Y");
+  const auto Z = PauliString::from_label("Z");
+  EXPECT_FALSE(X.commutes_with(Y));
+  EXPECT_FALSE(Y.commutes_with(Z));
+  EXPECT_FALSE(X.commutes_with(Z));
+  EXPECT_TRUE(X.commutes_with(X));
+  // XX and ZZ commute (two anticommuting factors).
+  EXPECT_TRUE(PauliString::from_label("XX").commutes_with(
+      PauliString::from_label("ZZ")));
+  // XI and ZZ anticommute (one anticommuting factor).
+  EXPECT_FALSE(PauliString::from_label("XI").commutes_with(
+      PauliString::from_label("ZZ")));
+}
+
+TEST(PauliString, ProductPhases) {
+  const auto X = PauliString::from_label("X");
+  const auto Y = PauliString::from_label("Y");
+  const auto Z = PauliString::from_label("Z");
+  // XY = iZ
+  auto [phase, result] = X.multiply(Y);
+  EXPECT_EQ(result.to_label(), "Z");
+  EXPECT_NEAR(std::abs(phase - std::complex<double>{0, 1}), 0.0, 1e-15);
+  // YX = -iZ
+  auto [phase2, result2] = Y.multiply(X);
+  EXPECT_EQ(result2.to_label(), "Z");
+  EXPECT_NEAR(std::abs(phase2 - std::complex<double>{0, -1}), 0.0, 1e-15);
+  // ZZ = I
+  auto [phase3, result3] = Z.multiply(Z);
+  EXPECT_TRUE(result3.is_identity());
+  EXPECT_NEAR(std::abs(phase3 - 1.0), 0.0, 1e-15);
+}
+
+TEST(PauliString, ProductMatchesMatrixProduct) {
+  const std::vector<std::string> labels = {"XY", "ZI", "YY", "XZ", "IY"};
+  for (const auto& la : labels) {
+    for (const auto& lb : labels) {
+      const auto a = PauliString::from_label(la);
+      const auto b = PauliString::from_label(lb);
+      auto [phase, ab] = a.multiply(b);
+      const Matrix expect = a.to_matrix() * b.to_matrix();
+      const Matrix got = ab.to_matrix() * cplx{phase.real(), phase.imag()};
+      EXPECT_LT(got.distance(expect), 1e-12) << la << " * " << lb;
+    }
+  }
+}
+
+TEST(PauliString, MatrixMatchesKroneckerConstruction) {
+  // "XZ" = X ⊗ Z in the (qubit1 ⊗ qubit0) convention.
+  const Matrix m = PauliString::from_label("XZ").to_matrix();
+  const Matrix expect = mat::X().kron(mat::Z());
+  EXPECT_LT(m.distance(expect), 1e-14);
+}
+
+TEST(PauliString, ApplyToBasisMatchesMatrixColumn) {
+  const auto p = PauliString::from_label("YXZ");
+  const Matrix m = p.to_matrix();
+  for (std::uint64_t col = 0; col < 8; ++col) {
+    const auto [row, phase] = p.apply_to_basis(col);
+    for (std::uint64_t r = 0; r < 8; ++r) {
+      const std::complex<double> expect = (r == row) ? phase : 0.0;
+      EXPECT_NEAR(std::abs(m(r, col) - cplx{expect.real(), expect.imag()}),
+                  0.0, 1e-14);
+    }
+  }
+}
+
+TEST(PauliString, PauliMatricesAreHermitianAndUnitary) {
+  for (const std::string label : {"X", "Y", "Z", "XY", "YZX"}) {
+    const Matrix m = PauliString::from_label(label).to_matrix();
+    EXPECT_TRUE(m.is_unitary(1e-12)) << label;
+    EXPECT_LT(m.distance(m.dagger()), 1e-14) << label << " hermitian";
+  }
+}
+
+TEST(PauliOperator, AddMergesEqualStrings) {
+  PauliOperator op(2);
+  op.add(0.5, "XZ").add(0.25, "XZ").add(1.0, "ZI");
+  EXPECT_EQ(op.size(), 2u);
+  EXPECT_DOUBLE_EQ(op.terms()[0].coefficient, 0.75);
+}
+
+TEST(PauliOperator, ArithmeticAndToMatrix) {
+  PauliOperator a(1);
+  a.add(2.0, "Z");
+  PauliOperator b(1);
+  b.add(1.0, "X");
+  const PauliOperator c = a + b * 3.0;
+  const Matrix m = c.to_matrix();
+  // 2Z + 3X = [[2, 3], [3, -2]]
+  EXPECT_NEAR(m(0, 0).real(), 2.0, 1e-14);
+  EXPECT_NEAR(m(0, 1).real(), 3.0, 1e-14);
+  EXPECT_NEAR(m(1, 1).real(), -2.0, 1e-14);
+}
+
+TEST(PauliOperator, MaxcutHamiltonian) {
+  // Triangle graph.
+  const auto h = maxcut_hamiltonian(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  EXPECT_EQ(h.size(), 3u);
+  for (const auto& t : h.terms()) {
+    EXPECT_DOUBLE_EQ(t.coefficient, -0.5);
+    EXPECT_EQ(t.pauli.weight(), 2u);
+  }
+}
+
+TEST(PauliOperator, TfimStructure) {
+  const auto h = tfim_hamiltonian(4, 1.0, 0.5);
+  // 3 ZZ bonds + 4 X fields.
+  EXPECT_EQ(h.size(), 7u);
+  unsigned zz = 0, x = 0;
+  for (const auto& t : h.terms()) {
+    if (t.pauli.weight() == 2) {
+      ++zz;
+      EXPECT_DOUBLE_EQ(t.coefficient, -1.0);
+    } else {
+      ++x;
+      EXPECT_DOUBLE_EQ(t.coefficient, -0.5);
+    }
+  }
+  EXPECT_EQ(zz, 3u);
+  EXPECT_EQ(x, 4u);
+}
+
+TEST(PauliOperator, HeisenbergStructure) {
+  const auto h = heisenberg_hamiltonian(3, 1.0, 2.0, 3.0);
+  EXPECT_EQ(h.size(), 6u);  // 2 bonds x 3 couplings
+  const Matrix m = h.to_matrix();
+  EXPECT_LT(m.distance(m.dagger()), 1e-12);  // Hermitian
+}
+
+TEST(PauliOperator, ToStringMentionsTerms) {
+  PauliOperator op(2);
+  op.add(0.5, "XZ");
+  EXPECT_NE(op.to_string().find("XZ"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svsim::qc

@@ -1,0 +1,245 @@
+#include "qc/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+
+namespace svsim::qc {
+namespace {
+
+TEST(QasmParse, MinimalProgram) {
+  const Circuit c = parse_qasm(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0],q[1];
+    measure q[0] -> c[0];
+  )");
+  EXPECT_EQ(c.num_qubits(), 2u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::H);
+  EXPECT_EQ(c.gate(1).kind, GateKind::CX);
+  EXPECT_EQ(c.gate(2).kind, GateKind::MEASURE);
+}
+
+TEST(QasmParse, ParameterExpressions) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[1];
+    rz(pi/2) q[0];
+    rx(-pi/4) q[0];
+    p(2*pi/8 + 0.5) q[0];
+    ry(cos(0)) q[0];
+  )");
+  EXPECT_NEAR(c.gate(0).params[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(c.gate(1).params[0], -std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.gate(2).params[0], std::numbers::pi / 4 + 0.5, 1e-12);
+  EXPECT_NEAR(c.gate(3).params[0], 1.0, 1e-12);
+}
+
+TEST(QasmParse, U2AndU3Spellings) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[1];
+    u3(0.1,0.2,0.3) q[0];
+    u2(0.4,0.5) q[0];
+    u1(0.6) q[0];
+  )");
+  EXPECT_EQ(c.gate(0).kind, GateKind::U);
+  EXPECT_EQ(c.gate(1).kind, GateKind::U);
+  EXPECT_NEAR(c.gate(1).params[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_EQ(c.gate(2).kind, GateKind::P);
+}
+
+TEST(QasmParse, MultipleRegistersFlatten) {
+  const Circuit c = parse_qasm(R"(
+    qreg a[2];
+    qreg b[3];
+    creg m[5];
+    x a[1];
+    x b[0];
+    measure b[2] -> m[4];
+  )");
+  EXPECT_EQ(c.num_qubits(), 5u);
+  EXPECT_EQ(c.gate(0).qubits[0], 1u);  // a[1]
+  EXPECT_EQ(c.gate(1).qubits[0], 2u);  // b[0] offset by |a|
+  EXPECT_EQ(c.gate(2).qubits[0], 4u);
+  EXPECT_EQ(c.gate(2).cbit, 4u);
+}
+
+TEST(QasmParse, CommentsAndWhitespace) {
+  const Circuit c = parse_qasm(
+      "// header comment\nqreg q[1];\nx q[0]; // trailing\n// done\n");
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QasmParse, BarrierResetAndThreeQubitGates) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[3];
+    ccx q[0],q[1],q[2];
+    cswap q[0],q[1],q[2];
+    barrier q;
+    reset q[1];
+  )");
+  EXPECT_EQ(c.gate(0).kind, GateKind::CCX);
+  EXPECT_EQ(c.gate(1).kind, GateKind::CSWAP);
+  EXPECT_EQ(c.gate(2).kind, GateKind::BARRIER);
+  EXPECT_EQ(c.gate(3).kind, GateKind::RESET);
+}
+
+TEST(QasmParse, Errors) {
+  EXPECT_THROW(parse_qasm("x q[0];"), Error);            // gate before qreg
+  EXPECT_THROW(parse_qasm("qreg q[1]; bogus q[0];"), Error);
+  EXPECT_THROW(parse_qasm("qreg q[1]; x q[5];"), Error);  // out of range
+  EXPECT_THROW(parse_qasm("qreg q[1]; x r[0];"), Error);  // unknown register
+  EXPECT_THROW(parse_qasm("qreg q[2]; cx q[0];"), Error); // operand count
+  EXPECT_THROW(parse_qasm("qreg q[1]; x q[0]"), Error);   // missing ';'
+  EXPECT_THROW(parse_qasm(""), Error);                    // no qreg
+}
+
+TEST(QasmParse, RegisterAfterGateRejected) {
+  EXPECT_THROW(parse_qasm("qreg q[1]; x q[0]; qreg r[1];"), Error);
+}
+
+TEST(QasmRoundTrip, SerializeThenParsePreservesSemantics) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).t(2).rz(1, 0.7).cp(0, 2, 0.3).swap(1, 2).ccx(0, 1, 2)
+      .u(0, 0.1, 0.2, 0.3).rzz(0, 1, 0.9).sx(2);
+  const std::string qasm = to_qasm(c);
+  const Circuit back = parse_qasm(qasm);
+  ASSERT_EQ(back.size(), c.size());
+  EXPECT_LT(dense::distance(dense::run(c), dense::run(back)), 1e-12);
+}
+
+TEST(QasmRoundTrip, QftSurvivesRoundTrip) {
+  const Circuit c = qft(4);
+  const Circuit back = parse_qasm(to_qasm(c));
+  EXPECT_LT(dense::distance(dense::run(c), dense::run(back)), 1e-10);
+}
+
+TEST(QasmRoundTrip, MeasureAndBarrier) {
+  Circuit c(2);
+  c.h(0).barrier().measure(0, 1);
+  const Circuit back = parse_qasm(to_qasm(c));
+  EXPECT_EQ(back.gate(2).kind, GateKind::MEASURE);
+  EXPECT_EQ(back.gate(2).cbit, 1u);
+}
+
+TEST(QasmSerialize, RejectsNonQasmGates) {
+  Circuit c(2);
+  c.append(Gate::mcp({0}, 1, 0.5));
+  EXPECT_THROW(to_qasm(c), Error);
+}
+
+
+TEST(QasmGateDef, SimpleMacroExpansion) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[2];
+    gate bell a,b { h a; cx a,b; }
+    bell q[0],q[1];
+  )");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::H);
+  EXPECT_EQ(c.gate(0).qubits[0], 0u);
+  EXPECT_EQ(c.gate(1).kind, GateKind::CX);
+  EXPECT_EQ(c.gate(1).qubits, (std::vector<unsigned>{0, 1}));
+}
+
+TEST(QasmGateDef, ParameterizedMacro) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[1];
+    gate tilt(theta, phi) a { rz(phi) a; rx(theta/2) a; }
+    tilt(pi, pi/4) q[0];
+  )");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_NEAR(c.gate(0).params[0], std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.gate(1).params[0], std::numbers::pi / 2, 1e-12);
+}
+
+TEST(QasmGateDef, NestedMacros) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[3];
+    gate pair a,b { h a; cx a,b; }
+    gate chain a,b,c { pair a,b; pair b,c; }
+    chain q[0],q[1],q[2];
+  )");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(3).qubits, (std::vector<unsigned>{1, 2}));
+}
+
+TEST(QasmGateDef, MacroReusedWithDifferentOperands) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[4];
+    gate flip a { x a; }
+    flip q[0];
+    flip q[3];
+  )");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.gate(0).qubits[0], 0u);
+  EXPECT_EQ(c.gate(1).qubits[0], 3u);
+}
+
+TEST(QasmGateDef, MacroSemanticsMatchInline) {
+  const Circuit macro = parse_qasm(R"(
+    qreg q[2];
+    gate mix(t) a,b { ry(t) a; cx a,b; rz(t*2) b; }
+    mix(0.7) q[1],q[0];
+  )");
+  Circuit inline_version(2);
+  inline_version.ry(1, 0.7).cx(1, 0).rz(0, 1.4);
+  EXPECT_LT(dense::distance(dense::run(macro), dense::run(inline_version)),
+            1e-12);
+}
+
+TEST(QasmGateDef, Errors) {
+  // Arity mismatch.
+  EXPECT_THROW(parse_qasm(R"(
+    qreg q[2];
+    gate g a,b { cx a,b; }
+    g q[0];
+  )"), Error);
+  // Unknown formal qubit in body.
+  EXPECT_THROW(parse_qasm(R"(
+    qreg q[1];
+    gate g a { x b; }
+    g q[0];
+  )"), Error);
+  // Recursive definition hits the depth limit.
+  EXPECT_THROW(parse_qasm(R"(
+    qreg q[1];
+    gate loop a { loop a; }
+    loop q[0];
+  )"), Error);
+  // Measure inside a body is rejected.
+  EXPECT_THROW(parse_qasm(R"(
+    qreg q[1];
+    creg c[1];
+    gate g a { measure a -> c[0]; }
+    g q[0];
+  )"), Error);
+  // Unterminated body.
+  EXPECT_THROW(parse_qasm("qreg q[1]; gate g a { x a;"), Error);
+}
+
+TEST(QasmGateDef, BodyMayUseRegistersOnlyViaFormals) {
+  // A register reference with [index] inside a body still resolves (QASM
+  // forbids it, but our parser allows it harmlessly for robustness) — the
+  // important property is that bare formals always win.
+  const Circuit c = parse_qasm(R"(
+    qreg q[2];
+    gate g a { x a; }
+    g q[1];
+  )");
+  EXPECT_EQ(c.gate(0).qubits[0], 1u);
+}
+
+TEST(QasmFile, MissingFileThrows) {
+  EXPECT_THROW(parse_qasm_file("/nonexistent/path.qasm"), Error);
+}
+
+}  // namespace
+}  // namespace svsim::qc

@@ -1,0 +1,63 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qc/library.hpp"
+
+namespace svsim::perf {
+namespace {
+
+PerfReport sample_report(bool with_trace) {
+  PerfOptions opts;
+  opts.record_trace = with_trace;
+  return simulate_circuit(qc::qft(18), machine::MachineSpec::a64fx(), {},
+                          opts);
+}
+
+TEST(Report, SummaryHasOneRow) {
+  const Table t = summary_table(sample_report(false));
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.to_text().find("A64FX"), std::string::npos);
+}
+
+TEST(Report, KernelBreakdownSharesSumToOne) {
+  const Table t = kernel_breakdown_table(sample_report(false));
+  EXPECT_GE(t.num_rows(), 2u);  // QFT uses h, mcphase, swap
+  double total = 0.0;
+  for (std::size_t i = 0; i < t.num_rows(); ++i)
+    total += std::get<double>(t.row(i)[2]);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Report, BreakdownSortedDescending) {
+  const Table t = kernel_breakdown_table(sample_report(false));
+  for (std::size_t i = 1; i < t.num_rows(); ++i)
+    EXPECT_GE(std::get<double>(t.row(i - 1)[1]),
+              std::get<double>(t.row(i)[1]));
+}
+
+TEST(Report, TraceTableRespectsCap) {
+  const Table t = trace_table(sample_report(true), 10);
+  EXPECT_EQ(t.num_rows(), 10u);
+  const Table empty = trace_table(sample_report(false), 10);
+  EXPECT_EQ(empty.num_rows(), 0u);
+}
+
+TEST(Report, ComparisonNormalizesToFirst) {
+  const auto a = sample_report(false);
+  const Table t = comparison_table({{"one", a}, {"two", a}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_NEAR(std::get<double>(t.row(0)[4]), 1.0, 1e-12);
+  EXPECT_NEAR(std::get<double>(t.row(1)[4]), 1.0, 1e-12);
+}
+
+TEST(Report, PowerTable) {
+  const auto p = estimate_power(qc::qft(18), machine::MachineSpec::a64fx(),
+                                {});
+  const Table t = power_table({{"normal", p}});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_GT(std::get<double>(t.row(0)[2]), 0.0);
+}
+
+}  // namespace
+}  // namespace svsim::perf

@@ -1,0 +1,98 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace svsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Xoshiro256 g(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntInRangeAndCoversAll) {
+  Xoshiro256 g(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = g.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntOfOneIsZero) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(g.uniform_int(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 g(99);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Xoshiro256 root(42);
+  Xoshiro256 s0 = root.split(0);
+  Xoshiro256 s1 = root.split(1);
+  Xoshiro256 s0b = Xoshiro256(42).split(0);
+  int same01 = 0;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(s0(), s0b());
+    // consume s1 too
+    same01 += (s1() == 0);
+  }
+  (void)same01;
+  // Streams 0 and 1 differ.
+  Xoshiro256 t0 = root.split(0), t1 = root.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (t0() == t1());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, LongJumpChangesState) {
+  Xoshiro256 a(5), b(5);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace svsim

@@ -1,0 +1,149 @@
+// Statistical validation of measurement sampling: chi-square goodness-of-fit
+// of sampled histograms against the exact |amplitude|^2 distribution for
+// several preparation circuits, plus determinism and trajectory-vs-fast-path
+// agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/bits.hpp"
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::sv {
+namespace {
+
+using qc::Circuit;
+
+/// Chi-square statistic of observed counts against expected probabilities
+/// (cells with expected count < 5 are pooled into a rest bucket).
+double chi_square(const std::map<std::uint64_t, std::size_t>& counts,
+                  const std::vector<double>& probs, std::size_t shots,
+                  int* dof_out) {
+  double chi2 = 0.0;
+  int dof = -1;  // constraints: totals match
+  double pooled_expected = 0.0;
+  double pooled_observed = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double expected = probs[i] * static_cast<double>(shots);
+    const auto it = counts.find(i);
+    const double observed =
+        it == counts.end() ? 0.0 : static_cast<double>(it->second);
+    if (expected < 5.0) {
+      pooled_expected += expected;
+      pooled_observed += observed;
+      continue;
+    }
+    chi2 += (observed - expected) * (observed - expected) / expected;
+    ++dof;
+  }
+  if (pooled_expected >= 5.0) {
+    chi2 += (pooled_observed - pooled_expected) *
+            (pooled_observed - pooled_expected) / pooled_expected;
+    ++dof;
+  }
+  *dof_out = std::max(dof, 1);
+  return chi2;
+}
+
+/// Loose upper quantile for chi-square: mean + 4·sqrt(2·dof) is far beyond
+/// the 99.99th percentile for the dofs used here.
+double chi_square_bound(int dof) {
+  return dof + 4.0 * std::sqrt(2.0 * dof);
+}
+
+void check_sampling(const Circuit& circuit, std::size_t shots,
+                    std::uint64_t seed) {
+  const auto exact = qc::dense::run(circuit);
+  std::vector<double> probs(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) probs[i] = std::norm(exact[i]);
+
+  SimulatorOptions opts;
+  opts.seed = seed;
+  Simulator<double> sim(opts);
+  const auto counts = sim.sample_counts(circuit, shots);
+
+  std::size_t total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  ASSERT_EQ(total, shots);
+
+  int dof = 0;
+  const double chi2 = chi_square(counts, probs, shots, &dof);
+  EXPECT_LT(chi2, chi_square_bound(dof))
+      << "chi2=" << chi2 << " dof=" << dof;
+}
+
+TEST(SamplingStats, UniformSuperposition) {
+  Circuit c(4);
+  for (unsigned q = 0; q < 4; ++q) c.h(q);
+  check_sampling(c, 16000, 1);
+}
+
+TEST(SamplingStats, BiasedSingleQubit) {
+  Circuit c(1);
+  c.ry(0, 0.8);  // P(1) = sin^2(0.4)
+  check_sampling(c, 20000, 2);
+}
+
+TEST(SamplingStats, QftOfBasisState) {
+  Circuit c(4);
+  c.x(0).x(2);
+  c.compose(qc::qft(4));
+  check_sampling(c, 16000, 3);
+}
+
+TEST(SamplingStats, RandomCircuitPorterThomasIsh) {
+  check_sampling(qc::random_quantum_volume(5, 6, 77), 20000, 4);
+}
+
+TEST(SamplingStats, GroverConcentratesMass) {
+  check_sampling(qc::grover(4, 11), 8000, 5);
+}
+
+TEST(SamplingStats, TrajectoryPathMatchesFastPathDistribution) {
+  // The same Bell circuit measured (a) via fast path and (b) forced down the
+  // trajectory path must give statistically identical histograms.
+  Circuit fast(2);
+  fast.h(0).cx(0, 1).measure_all();
+
+  Circuit trajectory(2);
+  // A reset on an untouched ancilla-free qubit forces the general path but
+  // does not change the distribution: reset(1) before any gate is identity
+  // on |0>.
+  trajectory.reset(1);
+  trajectory.h(0).cx(0, 1).measure_all();
+
+  SimulatorOptions opts;
+  opts.seed = 9;
+  Simulator<double> sim(opts);
+  const auto a = sim.sample_counts(fast, 2000);
+  const auto b = sim.sample_counts(trajectory, 2000);
+  // Both support {00, 11} with roughly equal mass.
+  for (const auto& counts : {a, b}) {
+    std::size_t c00 = counts.count(0) ? counts.at(0) : 0;
+    std::size_t c11 = counts.count(3) ? counts.at(3) : 0;
+    EXPECT_EQ(c00 + c11, 2000u);
+    EXPECT_NEAR(static_cast<double>(c00) / 2000.0, 0.5, 0.06);
+  }
+}
+
+TEST(SamplingStats, SeedChangesSamplesButNotDistribution) {
+  Circuit c(3);
+  for (unsigned q = 0; q < 3; ++q) c.h(q);
+  SimulatorOptions o1, o2;
+  o1.seed = 100;
+  o2.seed = 200;
+  Simulator<double> s1(o1), s2(o2);
+  const auto a = s1.sample_counts(c, 4000);
+  const auto b = s2.sample_counts(c, 4000);
+  EXPECT_NE(a, b);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(a.at(k)) / 4000.0, 0.125, 0.03);
+    EXPECT_NEAR(static_cast<double>(b.at(k)) / 4000.0, 0.125, 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace svsim::sv

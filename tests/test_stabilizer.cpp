@@ -1,0 +1,225 @@
+#include "stab/stabilizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "common/error.hpp"
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::stab {
+namespace {
+
+using qc::Circuit;
+using qc::Gate;
+using qc::PauliString;
+
+TEST(Stabilizer, InitialStateStabilizedByZ) {
+  StabilizerState s(3);
+  EXPECT_EQ(s.expectation(PauliString::from_label("IIZ")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("ZII")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("ZZZ")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("XII")), 0);
+  EXPECT_EQ(s.expectation(PauliString::from_label("IYI")), 0);
+}
+
+TEST(Stabilizer, HadamardMakesPlusState) {
+  StabilizerState s(1);
+  s.h(0);
+  EXPECT_EQ(s.expectation(PauliString::from_label("X")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("Z")), 0);
+}
+
+TEST(Stabilizer, XFlipsSign) {
+  StabilizerState s(2);
+  s.x(0);
+  EXPECT_EQ(s.expectation(PauliString::from_label("IZ")), -1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("ZI")), 1);
+}
+
+TEST(Stabilizer, SGivesYPlus) {
+  // S|+> = |y+> with <Y> = +1; Sdg gives -1.
+  StabilizerState s(1);
+  s.h(0);
+  s.s(0);
+  EXPECT_EQ(s.expectation(PauliString::from_label("Y")), 1);
+  StabilizerState t(1);
+  t.h(0);
+  t.sdg(0);
+  EXPECT_EQ(t.expectation(PauliString::from_label("Y")), -1);
+}
+
+TEST(Stabilizer, SxIsSqrtX) {
+  // SX|0> has <Y> = -1 (matches the dense matrix), SX² = X.
+  StabilizerState s(1);
+  s.apply(Gate::sx(0));
+  EXPECT_EQ(s.expectation(PauliString::from_label("Y")), -1);
+  s.apply(Gate::sx(0));
+  EXPECT_EQ(s.expectation(PauliString::from_label("Z")), -1);  // now |1>
+}
+
+TEST(Stabilizer, BellStateCorrelations) {
+  StabilizerState s(2);
+  s.h(0);
+  s.cx(0, 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("ZZ")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("XX")), 1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("YY")), -1);
+  EXPECT_EQ(s.expectation(PauliString::from_label("ZI")), 0);
+  EXPECT_EQ(s.expectation(PauliString::from_label("IX")), 0);
+}
+
+TEST(Stabilizer, GhzAtScaleBeyondStateVectors) {
+  // 200 qubits: far beyond any state-vector register.
+  const unsigned n = 200;
+  StabilizerState s(n);
+  s.h(0);
+  for (unsigned q = 0; q + 1 < n; ++q) s.cx(q, q + 1);
+  // Every single-qubit outcome is undetermined before any measurement.
+  for (unsigned q = 0; q < 5; ++q)
+    EXPECT_FALSE(s.deterministic_outcome(q).has_value());
+  // Measuring qubit 0 pins every other qubit.
+  Xoshiro256 rng(5);
+  const bool first = s.measure(0, rng);
+  for (unsigned q = 1; q < 5; ++q) {
+    const auto det = s.deterministic_outcome(q);
+    ASSERT_TRUE(det.has_value());
+    EXPECT_EQ(*det, first);
+  }
+}
+
+TEST(Stabilizer, DeterministicOutcomeDetection) {
+  StabilizerState s(2);
+  EXPECT_TRUE(s.deterministic_outcome(0).has_value());
+  EXPECT_FALSE(*s.deterministic_outcome(0));
+  s.h(0);
+  EXPECT_FALSE(s.deterministic_outcome(0).has_value());
+  s.x(1);
+  ASSERT_TRUE(s.deterministic_outcome(1).has_value());
+  EXPECT_TRUE(*s.deterministic_outcome(1));
+}
+
+TEST(Stabilizer, MeasurementCollapsesAndRepeats) {
+  Xoshiro256 rng(7);
+  StabilizerState s(1);
+  s.h(0);
+  const bool outcome = s.measure(0, rng);
+  // Re-measurement is now deterministic and equal.
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.measure(0, rng), outcome);
+}
+
+TEST(Stabilizer, MeasurementStatisticsOnPlus) {
+  Xoshiro256 rng(11);
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    StabilizerState s(1);
+    s.h(0);
+    ones += s.measure(0, rng);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.5, 0.05);
+}
+
+TEST(Stabilizer, CliffordAngleGates) {
+  StabilizerState s(2);
+  s.h(0);
+  s.apply(Gate::p(0, std::numbers::pi / 2));  // = S
+  EXPECT_EQ(s.expectation(PauliString::from_label("IY")), 1);
+  s.apply(Gate::rz(0, std::numbers::pi));     // = Z up to phase
+  EXPECT_EQ(s.expectation(PauliString::from_label("IY")), -1);
+  s.h(1);
+  s.apply(Gate::cp(0, 1, std::numbers::pi));  // = CZ
+  EXPECT_EQ(s.expectation(PauliString::from_label("II")), 1);
+}
+
+TEST(Stabilizer, NonCliffordRejected) {
+  StabilizerState s(2);
+  EXPECT_THROW(s.apply(Gate::t(0)), Error);
+  EXPECT_THROW(s.apply(Gate::rx(0, 0.3)), Error);
+  EXPECT_THROW(s.apply(Gate::rz(0, 0.7)), Error);
+  EXPECT_THROW(s.apply(Gate::ccx(0, 1, 2)), Error);  // non-Clifford kind
+}
+
+TEST(Stabilizer, IsCliffordClassification) {
+  EXPECT_TRUE(StabilizerState::is_clifford(qc::GateKind::H));
+  EXPECT_TRUE(StabilizerState::is_clifford(qc::GateKind::CX));
+  EXPECT_TRUE(StabilizerState::is_clifford(qc::GateKind::ISWAP));
+  EXPECT_FALSE(StabilizerState::is_clifford(qc::GateKind::T));
+  EXPECT_FALSE(StabilizerState::is_clifford(qc::GateKind::CCX));
+}
+
+TEST(Stabilizer, ToStringShowsGenerators) {
+  StabilizerState s(2);
+  s.h(0);
+  s.cx(0, 1);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("XX"), std::string::npos);
+  EXPECT_NE(str.find("ZZ"), std::string::npos);
+}
+
+// ---- cross-validation against the state-vector simulator -----------------
+
+/// Random Clifford circuit over {H, S, Sdg, X, CX, CZ, SWAP}.
+Circuit random_clifford(unsigned n, std::size_t length, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Circuit c(n);
+  for (std::size_t i = 0; i < length; ++i) {
+    const auto q = static_cast<unsigned>(rng.uniform_int(n));
+    auto p = static_cast<unsigned>(rng.uniform_int(n - 1));
+    if (p >= q) ++p;
+    switch (rng.uniform_int(7)) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.sdg(q); break;
+      case 3: c.x(q); break;
+      case 4: c.cx(q, p); break;
+      case 5: c.cz(q, p); break;
+      case 6: c.swap(q, p); break;
+    }
+  }
+  return c;
+}
+
+class CliffordCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliffordCrossValidation, ExpectationsMatchStateVector) {
+  const unsigned n = 6;
+  const Circuit c = random_clifford(n, 60, GetParam());
+  const StabilizerState stab = run_clifford(c);
+  sv::Simulator<double> sim;
+  const auto svec = sim.run(c);
+
+  Xoshiro256 prng(GetParam() + 999);
+  for (int trial = 0; trial < 25; ++trial) {
+    const PauliString p(n, prng.uniform_int(64), prng.uniform_int(64));
+    const int stab_exp = stab.expectation(p);
+    const double sv_exp = svec.expectation(p);
+    EXPECT_NEAR(sv_exp, static_cast<double>(stab_exp), 1e-9)
+        << "pauli " << p.to_label();
+  }
+}
+
+TEST_P(CliffordCrossValidation, DeterministicOutcomesMatchProbabilities) {
+  const unsigned n = 5;
+  const Circuit c = random_clifford(n, 40, GetParam() * 3 + 1);
+  const StabilizerState stab = run_clifford(c);
+  sv::Simulator<double> sim;
+  const auto svec = sim.run(c);
+  for (unsigned q = 0; q < n; ++q) {
+    const double p1 = svec.probability_of_one(q);
+    const auto det = stab.deterministic_outcome(q);
+    if (det.has_value()) {
+      EXPECT_NEAR(p1, *det ? 1.0 : 0.0, 1e-9) << "qubit " << q;
+    } else {
+      EXPECT_NEAR(p1, 0.5, 1e-9) << "qubit " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliffordCrossValidation,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull,
+                                           6ull, 7ull, 8ull));
+
+}  // namespace
+}  // namespace svsim::stab

@@ -1,0 +1,71 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace svsim {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table("t", {}), Error);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t("t", {"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), Error);
+  EXPECT_NO_THROW(t.add_row({std::string("x"), 1.0}));
+}
+
+TEST(Table, FormatsCellTypes) {
+  EXPECT_EQ(format_cell(std::string("abc"), 3), "abc");
+  EXPECT_EQ(format_cell(std::int64_t{42}, 3), "42");
+  EXPECT_EQ(format_cell(3.14159, 3), "3.142");
+}
+
+TEST(Table, TextRenderingContainsHeaderAndRows) {
+  Table t("My Title", {"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{1}});
+  t.add_row({std::string("beta"), 2.5});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("My Title"), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("2.500"), std::string::npos);
+}
+
+TEST(Table, CsvRendering) {
+  Table t("t", {"a", "b"});
+  t.add_row({std::string("x"), std::int64_t{7}});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\nx,7\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t("t", {"a"});
+  t.add_row({std::string("hello, \"world\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowAccessors) {
+  Table t("t", {"a", "b", "c"});
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(t.row(0)[2]), 3);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t("stream me", {"x"});
+  t.add_row({std::int64_t{9}});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("stream me"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svsim

@@ -1,0 +1,240 @@
+// svsim — command-line front-end.
+//
+//   svsim run <circuit.qasm> [--shots N] [--backend sv|sv32|stab]
+//             [--fusion W] [--seed S]
+//   svsim project <circuit.qasm | --qft N | --qv N D>
+//             [--machine a64fx|a64fx-boost|a64fx-eco|xeon|tx2]
+//             [--threads T] [--affinity compact|scatter] [--fusion W]
+//             [--trace]
+//   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
+//             [--route-linear]
+//   svsim machines
+//
+// `run` executes the circuit and prints measurement counts; `project`
+// prints the modeled performance/power report for the chosen machine;
+// `transpile` prints the rewritten circuit as OpenQASM.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "perf/power_model.hpp"
+#include "perf/report.hpp"
+#include "qc/library.hpp"
+#include "qc/qasm.hpp"
+#include "qc/routing.hpp"
+#include "qc/transpile.hpp"
+#include "stab/stabilizer.hpp"
+#include "sv/simulator.hpp"
+
+using namespace svsim;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string name = a.substr(2);
+      // Flags with known values take the next token; bare flags don't.
+      const bool takes_value =
+          name == "shots" || name == "backend" || name == "fusion" ||
+          name == "seed" || name == "machine" || name == "threads" ||
+          name == "affinity" || name == "qft" || name == "qv";
+      if (takes_value && i + 1 < argc) {
+        args.options[name] = argv[++i];
+        if (name == "qv" && i + 1 < argc &&
+            std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+          args.options["qv_depth"] = argv[++i];
+        }
+      } else {
+        args.options[name] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+machine::MachineSpec machine_by_name(const std::string& name) {
+  if (name == "a64fx") return machine::MachineSpec::a64fx();
+  if (name == "a64fx-boost") return machine::MachineSpec::a64fx_boost();
+  if (name == "a64fx-eco") return machine::MachineSpec::a64fx_eco();
+  if (name == "fx700") return machine::MachineSpec::a64fx_fx700();
+  if (name == "xeon") return machine::MachineSpec::xeon_6148_dual();
+  if (name == "tx2") return machine::MachineSpec::thunderx2_dual();
+  throw Error("unknown machine '" + name +
+              "' (try a64fx, a64fx-boost, a64fx-eco, fx700, xeon, tx2)");
+}
+
+qc::Circuit load_circuit(const Args& args) {
+  if (args.flag("qft"))
+    return qc::qft(static_cast<unsigned>(std::stoul(args.get("qft", "20"))));
+  if (args.flag("qv")) {
+    const auto n = static_cast<unsigned>(std::stoul(args.get("qv", "20")));
+    const auto d =
+        static_cast<unsigned>(std::stoul(args.get("qv_depth", "10")));
+    return qc::random_quantum_volume(n, d, 1234);
+  }
+  require(!args.positional.empty(),
+          "expected a .qasm file (or --qft N / --qv N D)");
+  return qc::parse_qasm_file(args.positional.front());
+}
+
+int cmd_run(const Args& args) {
+  qc::Circuit circuit = load_circuit(args);
+  const auto shots =
+      static_cast<std::size_t>(std::stoull(args.get("shots", "1024")));
+  const std::string backend = args.get("backend", "sv");
+
+  if (backend == "stab") {
+    Xoshiro256 rng(std::stoull(args.get("seed", "1")));
+    std::map<std::uint64_t, std::size_t> counts;
+    // Strip measures; stabilizer measures every qubit per shot.
+    qc::Circuit unitary(circuit.num_qubits());
+    for (const auto& g : circuit.gates())
+      if (g.is_unitary_op() && g.kind != qc::GateKind::BARRIER)
+        unitary.append(g);
+    for (std::size_t s = 0; s < shots; ++s) {
+      stab::StabilizerState state = stab::run_clifford(unitary);
+      std::uint64_t key = 0;
+      for (unsigned q = 0; q < circuit.num_qubits(); ++q)
+        if (state.measure(q, rng)) key |= std::uint64_t{1} << q;
+      ++counts[key];
+    }
+    for (const auto& [bits, count] : counts)
+      std::cout << bits << " : " << count << "\n";
+    return 0;
+  }
+
+  sv::SimulatorOptions opts;
+  opts.seed = std::stoull(args.get("seed", "1"));
+  if (args.flag("fusion")) {
+    opts.fusion = true;
+    opts.fusion_width =
+        static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
+  }
+  if (circuit.is_unitary()) circuit.measure_all();
+  auto print_counts = [&](const auto& counts) {
+    for (const auto& [bits, count] : counts) {
+      std::string label;
+      for (unsigned b = circuit.num_clbits(); b-- > 0;)
+        label += ((bits >> b) & 1) ? '1' : '0';
+      std::cout << label << " : " << count << "\n";
+    }
+  };
+  if (backend == "sv32") {
+    sv::Simulator<float> sim(opts);
+    print_counts(sim.sample_counts(circuit, shots));
+  } else if (backend == "sv") {
+    sv::Simulator<double> sim(opts);
+    print_counts(sim.sample_counts(circuit, shots));
+  } else {
+    throw Error("unknown backend '" + backend + "' (sv, sv32, stab)");
+  }
+  return 0;
+}
+
+int cmd_project(const Args& args) {
+  const qc::Circuit circuit = load_circuit(args);
+  const auto m = machine_by_name(args.get("machine", "a64fx"));
+  machine::ExecConfig cfg;
+  if (args.flag("threads"))
+    cfg.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+  if (args.get("affinity", "compact") == "scatter")
+    cfg.affinity = machine::Affinity::Scatter;
+  perf::PerfOptions opts;
+  if (args.flag("fusion")) {
+    opts.fusion = true;
+    opts.fusion_width =
+        static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
+  }
+  opts.record_trace = args.flag("trace");
+
+  const auto report = perf::simulate_circuit(circuit, m, cfg, opts);
+  perf::summary_table(report).print(std::cout);
+  perf::kernel_breakdown_table(report).print(std::cout);
+  if (opts.record_trace) perf::trace_table(report).print(std::cout);
+  const auto power = perf::estimate_power(circuit, m, cfg, opts);
+  perf::power_table({{m.name, power}}).print(std::cout);
+  return 0;
+}
+
+int cmd_transpile(const Args& args) {
+  qc::Circuit circuit = load_circuit(args);
+  if (args.flag("basis-cx")) circuit = qc::decompose_to_cx_basis(circuit);
+  if (args.flag("optimize")) circuit = qc::optimize(circuit);
+  if (args.flag("route-linear")) {
+    const auto routed = qc::route_linear(circuit);
+    std::cerr << "inserted " << routed.swaps_inserted << " swaps\n";
+    circuit = routed.circuit;
+  }
+  std::cout << qc::to_qasm(circuit);
+  return 0;
+}
+
+int cmd_machines() {
+  Table t("Machine library",
+          {"name", "cores", "GHz", "SIMD", "peak_GFLOPs", "STREAM_GBs"});
+  for (const auto& m :
+       {machine::MachineSpec::a64fx(), machine::MachineSpec::a64fx_boost(),
+        machine::MachineSpec::a64fx_eco(),
+        machine::MachineSpec::a64fx_fx700(),
+        machine::MachineSpec::xeon_6148_dual(),
+        machine::MachineSpec::thunderx2_dual()}) {
+    t.add_row({m.name, static_cast<std::int64_t>(m.total_cores()),
+               m.clock_ghz, static_cast<std::int64_t>(m.simd_bits),
+               m.peak_gflops(), m.stream_bandwidth_gbps()});
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: svsim <command> [args]\n"
+      "  run <file.qasm|--qft N|--qv N D> [--shots N] [--backend sv|sv32|stab]\n"
+      "      [--fusion W] [--seed S]\n"
+      "  project <file.qasm|--qft N|--qv N D> [--machine NAME] [--threads T]\n"
+      "      [--affinity compact|scatter] [--fusion W] [--trace]\n"
+      "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
+      "  machines\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "project") return cmd_project(args);
+    if (cmd == "transpile") return cmd_transpile(args);
+    if (cmd == "machines") return cmd_machines();
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
