@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_design.dir/bench_abl_design.cpp.o"
+  "CMakeFiles/bench_abl_design.dir/bench_abl_design.cpp.o.d"
+  "bench_abl_design"
+  "bench_abl_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

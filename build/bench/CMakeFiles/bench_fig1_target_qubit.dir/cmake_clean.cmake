@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_target_qubit.dir/bench_fig1_target_qubit.cpp.o"
+  "CMakeFiles/bench_fig1_target_qubit.dir/bench_fig1_target_qubit.cpp.o.d"
+  "bench_fig1_target_qubit"
+  "bench_fig1_target_qubit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_target_qubit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

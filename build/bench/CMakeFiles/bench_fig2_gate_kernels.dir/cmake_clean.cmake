@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_gate_kernels.dir/bench_fig2_gate_kernels.cpp.o"
+  "CMakeFiles/bench_fig2_gate_kernels.dir/bench_fig2_gate_kernels.cpp.o.d"
+  "bench_fig2_gate_kernels"
+  "bench_fig2_gate_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_gate_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_sve_width.dir/bench_fig4_sve_width.cpp.o"
+  "CMakeFiles/bench_fig4_sve_width.dir/bench_fig4_sve_width.cpp.o.d"
+  "bench_fig4_sve_width"
+  "bench_fig4_sve_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_sve_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_roofline.dir/bench_fig5_roofline.cpp.o"
+  "CMakeFiles/bench_fig5_roofline.dir/bench_fig5_roofline.cpp.o.d"
+  "bench_fig5_roofline"
+  "bench_fig5_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_fusion.dir/bench_tab2_fusion.cpp.o"
+  "CMakeFiles/bench_tab2_fusion.dir/bench_tab2_fusion.cpp.o.d"
+  "bench_tab2_fusion"
+  "bench_tab2_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_power.dir/bench_tab3_power.cpp.o"
+  "CMakeFiles/bench_tab3_power.dir/bench_tab3_power.cpp.o.d"
+  "bench_tab3_power"
+  "bench_tab3_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_precision.dir/bench_tab4_precision.cpp.o"
+  "CMakeFiles/bench_tab4_precision.dir/bench_tab4_precision.cpp.o.d"
+  "bench_tab4_precision"
+  "bench_tab4_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_clifford_baseline.dir/bench_tab5_clifford_baseline.cpp.o"
+  "CMakeFiles/bench_tab5_clifford_baseline.dir/bench_tab5_clifford_baseline.cpp.o.d"
+  "bench_tab5_clifford_baseline"
+  "bench_tab5_clifford_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_clifford_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

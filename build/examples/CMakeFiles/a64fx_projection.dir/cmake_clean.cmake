@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/a64fx_projection.dir/a64fx_projection.cpp.o"
+  "CMakeFiles/a64fx_projection.dir/a64fx_projection.cpp.o.d"
+  "a64fx_projection"
+  "a64fx_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/a64fx_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

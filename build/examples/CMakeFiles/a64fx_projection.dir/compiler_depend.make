@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for a64fx_projection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for a64fx_projection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noisy_ghz.dir/noisy_ghz.cpp.o"
+  "CMakeFiles/noisy_ghz.dir/noisy_ghz.cpp.o.d"
+  "noisy_ghz"
+  "noisy_ghz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noisy_ghz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

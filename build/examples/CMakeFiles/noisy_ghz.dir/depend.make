@@ -1,0 +1,2 @@
+# Empty dependencies file for noisy_ghz.
+# This may be replaced when dependencies are built.

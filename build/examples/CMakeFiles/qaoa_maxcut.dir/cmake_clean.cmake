@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_maxcut.dir/qaoa_maxcut.cpp.o"
+  "CMakeFiles/qaoa_maxcut.dir/qaoa_maxcut.cpp.o.d"
+  "qaoa_maxcut"
+  "qaoa_maxcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_maxcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_run.dir/qasm_run.cpp.o"
+  "CMakeFiles/qasm_run.dir/qasm_run.cpp.o.d"
+  "qasm_run"
+  "qasm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

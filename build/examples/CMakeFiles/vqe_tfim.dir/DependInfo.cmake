@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/vqe_tfim.cpp" "examples/CMakeFiles/vqe_tfim.dir/vqe_tfim.cpp.o" "gcc" "examples/CMakeFiles/vqe_tfim.dir/vqe_tfim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/svsim_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/svsim_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/svsim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stab/CMakeFiles/svsim_stab.dir/DependInfo.cmake"
+  "/root/repo/build/src/dm/CMakeFiles/svsim_dm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/svsim_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/svsim_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

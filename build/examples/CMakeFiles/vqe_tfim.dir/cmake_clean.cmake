@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqe_tfim.dir/vqe_tfim.cpp.o"
+  "CMakeFiles/vqe_tfim.dir/vqe_tfim.cpp.o.d"
+  "vqe_tfim"
+  "vqe_tfim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqe_tfim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vqe_tfim.
+# This may be replaced when dependencies are built.

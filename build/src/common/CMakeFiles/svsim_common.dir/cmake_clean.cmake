@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_common.dir/table.cpp.o"
+  "CMakeFiles/svsim_common.dir/table.cpp.o.d"
+  "CMakeFiles/svsim_common.dir/threading.cpp.o"
+  "CMakeFiles/svsim_common.dir/threading.cpp.o.d"
+  "libsvsim_common.a"
+  "libsvsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

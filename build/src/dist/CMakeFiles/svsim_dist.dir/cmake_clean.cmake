@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_dist.dir/collectives.cpp.o"
+  "CMakeFiles/svsim_dist.dir/collectives.cpp.o.d"
+  "CMakeFiles/svsim_dist.dir/dist_plan.cpp.o"
+  "CMakeFiles/svsim_dist.dir/dist_plan.cpp.o.d"
+  "CMakeFiles/svsim_dist.dir/dist_sim.cpp.o"
+  "CMakeFiles/svsim_dist.dir/dist_sim.cpp.o.d"
+  "CMakeFiles/svsim_dist.dir/interconnect.cpp.o"
+  "CMakeFiles/svsim_dist.dir/interconnect.cpp.o.d"
+  "libsvsim_dist.a"
+  "libsvsim_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

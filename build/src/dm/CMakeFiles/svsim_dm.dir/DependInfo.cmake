@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dm/density_matrix.cpp" "src/dm/CMakeFiles/svsim_dm.dir/density_matrix.cpp.o" "gcc" "src/dm/CMakeFiles/svsim_dm.dir/density_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/svsim_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/svsim_sv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_dm.dir/density_matrix.cpp.o"
+  "CMakeFiles/svsim_dm.dir/density_matrix.cpp.o.d"
+  "libsvsim_dm.a"
+  "libsvsim_dm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_dm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for svsim_dm.
+# This may be replaced when dependencies are built.

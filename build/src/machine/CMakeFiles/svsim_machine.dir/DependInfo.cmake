@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/bandwidth_model.cpp" "src/machine/CMakeFiles/svsim_machine.dir/bandwidth_model.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/bandwidth_model.cpp.o.d"
+  "/root/repo/src/machine/exec_config.cpp" "src/machine/CMakeFiles/svsim_machine.dir/exec_config.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/exec_config.cpp.o.d"
+  "/root/repo/src/machine/machine_spec.cpp" "src/machine/CMakeFiles/svsim_machine.dir/machine_spec.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/machine_spec.cpp.o.d"
+  "/root/repo/src/machine/roofline.cpp" "src/machine/CMakeFiles/svsim_machine.dir/roofline.cpp.o" "gcc" "src/machine/CMakeFiles/svsim_machine.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

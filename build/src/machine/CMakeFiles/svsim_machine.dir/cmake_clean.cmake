@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_machine.dir/bandwidth_model.cpp.o"
+  "CMakeFiles/svsim_machine.dir/bandwidth_model.cpp.o.d"
+  "CMakeFiles/svsim_machine.dir/exec_config.cpp.o"
+  "CMakeFiles/svsim_machine.dir/exec_config.cpp.o.d"
+  "CMakeFiles/svsim_machine.dir/machine_spec.cpp.o"
+  "CMakeFiles/svsim_machine.dir/machine_spec.cpp.o.d"
+  "CMakeFiles/svsim_machine.dir/roofline.cpp.o"
+  "CMakeFiles/svsim_machine.dir/roofline.cpp.o.d"
+  "libsvsim_machine.a"
+  "libsvsim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

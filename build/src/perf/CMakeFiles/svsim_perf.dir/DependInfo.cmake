@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/kernel_model.cpp" "src/perf/CMakeFiles/svsim_perf.dir/kernel_model.cpp.o" "gcc" "src/perf/CMakeFiles/svsim_perf.dir/kernel_model.cpp.o.d"
+  "/root/repo/src/perf/perf_simulator.cpp" "src/perf/CMakeFiles/svsim_perf.dir/perf_simulator.cpp.o" "gcc" "src/perf/CMakeFiles/svsim_perf.dir/perf_simulator.cpp.o.d"
+  "/root/repo/src/perf/power_model.cpp" "src/perf/CMakeFiles/svsim_perf.dir/power_model.cpp.o" "gcc" "src/perf/CMakeFiles/svsim_perf.dir/power_model.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/perf/CMakeFiles/svsim_perf.dir/report.cpp.o" "gcc" "src/perf/CMakeFiles/svsim_perf.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/svsim_qc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sv/CMakeFiles/svsim_sv.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/svsim_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_perf.dir/kernel_model.cpp.o"
+  "CMakeFiles/svsim_perf.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/svsim_perf.dir/perf_simulator.cpp.o"
+  "CMakeFiles/svsim_perf.dir/perf_simulator.cpp.o.d"
+  "CMakeFiles/svsim_perf.dir/power_model.cpp.o"
+  "CMakeFiles/svsim_perf.dir/power_model.cpp.o.d"
+  "CMakeFiles/svsim_perf.dir/report.cpp.o"
+  "CMakeFiles/svsim_perf.dir/report.cpp.o.d"
+  "libsvsim_perf.a"
+  "libsvsim_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qc/circuit.cpp" "src/qc/CMakeFiles/svsim_qc.dir/circuit.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/circuit.cpp.o.d"
+  "/root/repo/src/qc/dense.cpp" "src/qc/CMakeFiles/svsim_qc.dir/dense.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/dense.cpp.o.d"
+  "/root/repo/src/qc/gate.cpp" "src/qc/CMakeFiles/svsim_qc.dir/gate.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/gate.cpp.o.d"
+  "/root/repo/src/qc/grouping.cpp" "src/qc/CMakeFiles/svsim_qc.dir/grouping.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/grouping.cpp.o.d"
+  "/root/repo/src/qc/library.cpp" "src/qc/CMakeFiles/svsim_qc.dir/library.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/library.cpp.o.d"
+  "/root/repo/src/qc/matrix.cpp" "src/qc/CMakeFiles/svsim_qc.dir/matrix.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/matrix.cpp.o.d"
+  "/root/repo/src/qc/pauli.cpp" "src/qc/CMakeFiles/svsim_qc.dir/pauli.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/pauli.cpp.o.d"
+  "/root/repo/src/qc/qasm.cpp" "src/qc/CMakeFiles/svsim_qc.dir/qasm.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/qasm.cpp.o.d"
+  "/root/repo/src/qc/routing.cpp" "src/qc/CMakeFiles/svsim_qc.dir/routing.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/routing.cpp.o.d"
+  "/root/repo/src/qc/transpile.cpp" "src/qc/CMakeFiles/svsim_qc.dir/transpile.cpp.o" "gcc" "src/qc/CMakeFiles/svsim_qc.dir/transpile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

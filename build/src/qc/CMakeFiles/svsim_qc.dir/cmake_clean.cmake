@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_qc.dir/circuit.cpp.o"
+  "CMakeFiles/svsim_qc.dir/circuit.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/dense.cpp.o"
+  "CMakeFiles/svsim_qc.dir/dense.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/gate.cpp.o"
+  "CMakeFiles/svsim_qc.dir/gate.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/grouping.cpp.o"
+  "CMakeFiles/svsim_qc.dir/grouping.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/library.cpp.o"
+  "CMakeFiles/svsim_qc.dir/library.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/matrix.cpp.o"
+  "CMakeFiles/svsim_qc.dir/matrix.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/pauli.cpp.o"
+  "CMakeFiles/svsim_qc.dir/pauli.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/qasm.cpp.o"
+  "CMakeFiles/svsim_qc.dir/qasm.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/routing.cpp.o"
+  "CMakeFiles/svsim_qc.dir/routing.cpp.o.d"
+  "CMakeFiles/svsim_qc.dir/transpile.cpp.o"
+  "CMakeFiles/svsim_qc.dir/transpile.cpp.o.d"
+  "libsvsim_qc.a"
+  "libsvsim_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

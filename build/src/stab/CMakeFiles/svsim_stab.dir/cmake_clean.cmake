@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_stab.dir/stabilizer.cpp.o"
+  "CMakeFiles/svsim_stab.dir/stabilizer.cpp.o.d"
+  "libsvsim_stab.a"
+  "libsvsim_stab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_stab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

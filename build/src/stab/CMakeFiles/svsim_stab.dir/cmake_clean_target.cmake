@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsvsim_stab.a"
+)

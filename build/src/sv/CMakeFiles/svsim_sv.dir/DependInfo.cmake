@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sv/estimator.cpp" "src/sv/CMakeFiles/svsim_sv.dir/estimator.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/estimator.cpp.o.d"
+  "/root/repo/src/sv/fusion.cpp" "src/sv/CMakeFiles/svsim_sv.dir/fusion.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/fusion.cpp.o.d"
+  "/root/repo/src/sv/gradient.cpp" "src/sv/CMakeFiles/svsim_sv.dir/gradient.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/gradient.cpp.o.d"
+  "/root/repo/src/sv/io.cpp" "src/sv/CMakeFiles/svsim_sv.dir/io.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/io.cpp.o.d"
+  "/root/repo/src/sv/mitigation.cpp" "src/sv/CMakeFiles/svsim_sv.dir/mitigation.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/mitigation.cpp.o.d"
+  "/root/repo/src/sv/noise.cpp" "src/sv/CMakeFiles/svsim_sv.dir/noise.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/noise.cpp.o.d"
+  "/root/repo/src/sv/simulator.cpp" "src/sv/CMakeFiles/svsim_sv.dir/simulator.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/simulator.cpp.o.d"
+  "/root/repo/src/sv/state_vector.cpp" "src/sv/CMakeFiles/svsim_sv.dir/state_vector.cpp.o" "gcc" "src/sv/CMakeFiles/svsim_sv.dir/state_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/svsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qc/CMakeFiles/svsim_qc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

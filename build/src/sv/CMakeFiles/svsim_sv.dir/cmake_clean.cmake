@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_sv.dir/estimator.cpp.o"
+  "CMakeFiles/svsim_sv.dir/estimator.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/fusion.cpp.o"
+  "CMakeFiles/svsim_sv.dir/fusion.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/gradient.cpp.o"
+  "CMakeFiles/svsim_sv.dir/gradient.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/io.cpp.o"
+  "CMakeFiles/svsim_sv.dir/io.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/mitigation.cpp.o"
+  "CMakeFiles/svsim_sv.dir/mitigation.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/noise.cpp.o"
+  "CMakeFiles/svsim_sv.dir/noise.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/simulator.cpp.o"
+  "CMakeFiles/svsim_sv.dir/simulator.cpp.o.d"
+  "CMakeFiles/svsim_sv.dir/state_vector.cpp.o"
+  "CMakeFiles/svsim_sv.dir/state_vector.cpp.o.d"
+  "libsvsim_sv.a"
+  "libsvsim_sv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_sv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

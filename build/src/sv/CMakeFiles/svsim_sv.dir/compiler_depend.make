@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svsim_sv.
+# This may be replaced when dependencies are built.

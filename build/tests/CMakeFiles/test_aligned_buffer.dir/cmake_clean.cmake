@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aligned_buffer.dir/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_aligned_buffer.dir/test_aligned_buffer.cpp.o.d"
+  "test_aligned_buffer"
+  "test_aligned_buffer.pdb"
+  "test_aligned_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aligned_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density_matrix.dir/test_density_matrix.cpp.o"
+  "CMakeFiles/test_density_matrix.dir/test_density_matrix.cpp.o.d"
+  "test_density_matrix"
+  "test_density_matrix.pdb"
+  "test_density_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

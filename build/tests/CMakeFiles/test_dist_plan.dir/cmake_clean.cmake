@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_plan.dir/test_dist_plan.cpp.o"
+  "CMakeFiles/test_dist_plan.dir/test_dist_plan.cpp.o.d"
+  "test_dist_plan"
+  "test_dist_plan.pdb"
+  "test_dist_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_sim.dir/test_dist_sim.cpp.o"
+  "CMakeFiles/test_dist_sim.dir/test_dist_sim.cpp.o.d"
+  "test_dist_sim"
+  "test_dist_sim.pdb"
+  "test_dist_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

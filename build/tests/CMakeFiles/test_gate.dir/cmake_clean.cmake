@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gate.dir/test_gate.cpp.o"
+  "CMakeFiles/test_gate.dir/test_gate.cpp.o.d"
+  "test_gate"
+  "test_gate.pdb"
+  "test_gate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

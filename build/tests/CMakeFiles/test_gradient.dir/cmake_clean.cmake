@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradient.dir/test_gradient.cpp.o"
+  "CMakeFiles/test_gradient.dir/test_gradient.cpp.o.d"
+  "test_gradient"
+  "test_gradient.pdb"
+  "test_gradient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

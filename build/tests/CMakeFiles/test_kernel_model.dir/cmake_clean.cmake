@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_model.dir/test_kernel_model.cpp.o"
+  "CMakeFiles/test_kernel_model.dir/test_kernel_model.cpp.o.d"
+  "test_kernel_model"
+  "test_kernel_model.pdb"
+  "test_kernel_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

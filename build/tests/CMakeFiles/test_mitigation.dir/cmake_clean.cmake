@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mitigation.dir/test_mitigation.cpp.o"
+  "CMakeFiles/test_mitigation.dir/test_mitigation.cpp.o.d"
+  "test_mitigation"
+  "test_mitigation.pdb"
+  "test_mitigation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

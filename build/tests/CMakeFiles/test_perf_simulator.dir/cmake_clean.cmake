@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_simulator.dir/test_perf_simulator.cpp.o"
+  "CMakeFiles/test_perf_simulator.dir/test_perf_simulator.cpp.o.d"
+  "test_perf_simulator"
+  "test_perf_simulator.pdb"
+  "test_perf_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_stats.dir/test_sampling_stats.cpp.o"
+  "CMakeFiles/test_sampling_stats.dir/test_sampling_stats.cpp.o.d"
+  "test_sampling_stats"
+  "test_sampling_stats.pdb"
+  "test_sampling_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

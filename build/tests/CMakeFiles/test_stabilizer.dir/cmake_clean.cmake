@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stabilizer.dir/test_stabilizer.cpp.o"
+  "CMakeFiles/test_stabilizer.dir/test_stabilizer.cpp.o.d"
+  "test_stabilizer"
+  "test_stabilizer.pdb"
+  "test_stabilizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stabilizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transpile.dir/test_transpile.cpp.o"
+  "CMakeFiles/test_transpile.dir/test_transpile.cpp.o.d"
+  "test_transpile"
+  "test_transpile.pdb"
+  "test_transpile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

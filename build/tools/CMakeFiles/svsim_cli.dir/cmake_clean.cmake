@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svsim_cli.dir/svsim_cli.cpp.o"
+  "CMakeFiles/svsim_cli.dir/svsim_cli.cpp.o.d"
+  "svsim"
+  "svsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
