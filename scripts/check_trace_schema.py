@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by `svsim run --trace-json`.
+
+Usage:
+  check_trace_schema.py TRACE.json
+  check_trace_schema.py --emit-with PATH/TO/svsim [--output TRACE.json]
+
+With --emit-with, the tool is run first (`run --qft 5 --shots 8
+--trace-json OUTPUT`) and the emitted file is then validated, so the check
+exercises the full emit path. Exits nonzero with a diagnostic on the first
+schema violation.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+KNOWN_CATEGORIES = {"kernel", "measure", "fusion", "collective", "region"}
+
+
+def fail(msg):
+    print(f"check_trace_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        fail(f"{where} is not an object")
+    for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur", "args"):
+        if key not in ev:
+            fail(f"{where} missing required key '{key}'")
+    if not isinstance(ev["name"], str) or not ev["name"]:
+        fail(f"{where}: 'name' must be a non-empty string")
+    if ev["cat"] not in KNOWN_CATEGORIES:
+        fail(f"{where}: unknown category '{ev['cat']}'")
+    if ev["ph"] != "X":
+        fail(f"{where}: expected complete ('X') event, got '{ev['ph']}'")
+    for key in ("pid", "tid"):
+        if not isinstance(ev[key], int) or ev[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative integer")
+    for key in ("ts", "dur"):
+        if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative number (µs)")
+    args = ev["args"]
+    if not isinstance(args, dict):
+        fail(f"{where}: 'args' must be an object")
+    for key in ("bytes", "stride"):
+        if key not in args or not isinstance(args[key], int) or args[key] < 0:
+            fail(f"{where}: args.{key} must be a non-negative integer")
+    if "qubits" in args:
+        q = args["qubits"]
+        if not isinstance(q, list) or not q:
+            fail(f"{where}: args.qubits must be a non-empty list")
+        # Entries are qubit indices; a trailing "+N" string summarizes
+        # operands beyond the two recorded per span.
+        for entry in q:
+            ok = (isinstance(entry, int) and entry >= 0) or (
+                isinstance(entry, str) and entry.startswith("+")
+            )
+            if not ok:
+                fail(f"{where}: bad args.qubits entry {entry!r}")
+
+
+def check_trace(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("displayTimeUnit") not in ("ns", "ms"):
+        fail("missing or invalid 'displayTimeUnit'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("'traceEvents' must be a non-empty array")
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+    kernels = sum(1 for ev in events if ev["cat"] in ("kernel", "measure"))
+    if kernels == 0:
+        fail("no kernel/measure spans — tracing was not wired into the run")
+    # Spans are sorted by start time at export.
+    ts = [ev["ts"] for ev in events]
+    if ts != sorted(ts):
+        fail("events are not sorted by timestamp")
+    print(
+        f"check_trace_schema: OK: {len(events)} events "
+        f"({kernels} kernel/measure spans)"
+    )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="existing trace JSON to check")
+    parser.add_argument("--emit-with", metavar="SVSIM",
+                        help="svsim binary; run it first to emit the trace")
+    parser.add_argument("--output", default="trace_schema_check.json",
+                        help="where --emit-with writes the trace")
+    args = parser.parse_args()
+
+    if args.emit_with:
+        path = args.output
+        cmd = [args.emit_with, "run", "--qft", "5", "--shots", "8",
+               "--trace-json", path]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(f"'{' '.join(cmd)}' exited {result.returncode}:\n"
+                 f"{result.stderr}")
+    elif args.trace:
+        path = args.trace
+    else:
+        parser.error("need a trace file or --emit-with")
+    check_trace(path)
+
+
+if __name__ == "__main__":
+    main()

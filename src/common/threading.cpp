@@ -66,9 +66,13 @@ void ThreadPool::parallel_for(
   // Run inline when parallelism can't pay for its fork-join cost, when there
   // are no helpers, or when called from inside a parallel region (nested).
   if (count < serial_cutoff || n == 1 || in_parallel_region_) {
+    stat_inline_.fetch_add(1, std::memory_order_relaxed);
+    stat_items_.fetch_add(count, std::memory_order_relaxed);
     if (count > 0) body(0, 0, count);
     return;
   }
+  stat_parallel_.fetch_add(1, std::memory_order_relaxed);
+  stat_items_.fetch_add(count, std::memory_order_relaxed);
   {
     std::lock_guard lock(mutex_);
     job_ = &body;
@@ -94,6 +98,8 @@ double ThreadPool::parallel_reduce(
     std::uint64_t serial_cutoff) {
   const unsigned n = num_threads();
   if (count < serial_cutoff || n == 1 || in_parallel_region_) {
+    stat_inline_.fetch_add(1, std::memory_order_relaxed);
+    stat_items_.fetch_add(count, std::memory_order_relaxed);
     return count > 0 ? body(0, 0, count) : 0.0;
   }
   // Pad partials to separate cache lines to avoid false sharing.

@@ -41,6 +41,15 @@ inline Partition static_partition(std::uint64_t count, unsigned num_workers,
   return {begin, begin + len};
 }
 
+/// Cumulative counters of what a pool has executed. Observability hook for
+/// the obs layer (which mirrors these into its metrics registry); kept here
+/// as plain atomics so `common` stays dependency-free.
+struct PoolStats {
+  std::uint64_t parallel_regions = 0;  ///< regions forked across workers
+  std::uint64_t inline_regions = 0;    ///< regions run inline (cutoff/nested)
+  std::uint64_t items = 0;             ///< total loop iterations dispatched
+};
+
 /// Fork-join worker pool. Thread-safe for one parallel region at a time;
 /// nested parallelism is not supported (inner calls run sequentially on the
 /// calling thread, which is the behaviour kernels want).
@@ -83,6 +92,20 @@ class ThreadPool {
     return rngs_[w];
   }
 
+  /// Snapshot of the execution counters (relaxed; monotonic per field).
+  PoolStats stats() const noexcept {
+    return {stat_parallel_.load(std::memory_order_relaxed),
+            stat_inline_.load(std::memory_order_relaxed),
+            stat_items_.load(std::memory_order_relaxed)};
+  }
+
+  /// Zeroes the execution counters.
+  void reset_stats() noexcept {
+    stat_parallel_.store(0, std::memory_order_relaxed);
+    stat_inline_.store(0, std::memory_order_relaxed);
+    stat_items_.store(0, std::memory_order_relaxed);
+  }
+
   /// Shared process-wide pool sized to hardware concurrency. Lazily created.
   static ThreadPool& global();
 
@@ -91,6 +114,10 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::vector<Xoshiro256> rngs_;
+
+  std::atomic<std::uint64_t> stat_parallel_{0};
+  std::atomic<std::uint64_t> stat_inline_{0};
+  std::atomic<std::uint64_t> stat_items_{0};
 
   std::mutex mutex_;
   std::condition_variable cv_start_;

@@ -5,6 +5,8 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/perf_simulator.hpp"
 
 namespace svsim::dist {
@@ -23,8 +25,24 @@ double step_compute_seconds(const DistStep& step, const DistPlan& plan,
 
 }  // namespace
 
+namespace {
+
+/// Publishes what one plan-timing evaluation modeled.
+void record_plan_metrics(std::size_t exchanges, double exchange_bytes) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& evals = registry.counter("dist.plan_evals");
+  static obs::Counter& xchg = registry.counter("dist.exchanges");
+  static obs::Counter& bytes = registry.counter("dist.exchange_bytes");
+  evals.increment();
+  xchg.add(exchanges);
+  bytes.add(static_cast<std::uint64_t>(exchange_bytes));
+}
+
+}  // namespace
+
 DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
                      const ExecConfig& config, const InterconnectSpec& net) {
+  obs::ScopedSpan span("time_plan", obs::SpanCategory::Collective);
   DistTiming t;
   for (const auto& step : plan.steps) {
     t.compute_seconds += step_compute_seconds(step, plan, m, config);
@@ -36,6 +54,8 @@ DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
   }
   t.total_seconds = t.compute_seconds + t.comm_seconds;
   t.pipelined_seconds = std::max(t.compute_seconds, t.comm_seconds);
+  span.set_bytes(static_cast<std::uint64_t>(t.exchange_bytes));
+  record_plan_metrics(t.num_exchanges, t.exchange_bytes);
   return t;
 }
 
@@ -43,6 +63,7 @@ double event_driven_makespan(const DistPlan& plan, const MachineSpec& m,
                              const ExecConfig& config,
                              const InterconnectSpec& net,
                              const StragglerConfig& straggler) {
+  obs::ScopedSpan span("makespan", obs::SpanCategory::Collective);
   const std::uint64_t nodes = plan.num_nodes();
   require(nodes <= (std::uint64_t{1} << 22),
           "event_driven_makespan: too many nodes to simulate per-node");

@@ -1,0 +1,115 @@
+#include "obs/hwcounters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace svsim::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;  // user-space only; also needs less privilege
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // follow the pool's worker threads
+  // pid=0, cpu=-1: this process (all threads via inherit), any CPU.
+  const long fd =
+      syscall(SYS_perf_event_open, &attr, 0, -1, /*group_fd=*/-1, /*flags=*/0);
+  return static_cast<int>(fd);
+}
+
+std::uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+HwCounterScope::HwCounterScope() {
+  fd_cycles_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fd_cycles_ < 0) return;  // platform refused; stay a no-op
+  fd_instructions_ =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fd_misses_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  for (int fd : {fd_cycles_, fd_instructions_, fd_misses_}) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+HwCounterScope::~HwCounterScope() {
+  stop();
+  for (int fd : {fd_cycles_, fd_instructions_, fd_misses_})
+    if (fd >= 0) close(fd);
+}
+
+HwCounterValues HwCounterScope::stop() {
+  if (stopped_) return result_;
+  stopped_ = true;
+  for (int fd : {fd_cycles_, fd_instructions_, fd_misses_})
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  if (fd_cycles_ >= 0) {
+    result_.valid = true;
+    result_.cycles = read_counter(fd_cycles_);
+    result_.instructions = read_counter(fd_instructions_);
+    result_.cache_misses = read_counter(fd_misses_);
+  }
+  return result_;
+}
+
+bool HwCounterScope::available() {
+  static const bool ok = [] {
+    const int fd = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0) return false;
+    close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+#else  // !__linux__
+
+HwCounterScope::HwCounterScope() = default;
+
+HwCounterScope::~HwCounterScope() = default;
+
+HwCounterValues HwCounterScope::stop() {
+  stopped_ = true;
+  return result_;
+}
+
+bool HwCounterScope::available() { return false; }
+
+#endif
+
+Table hw_counter_table(const HwCounterValues& v) {
+  Table t("Hardware counters",
+          {"valid", "cycles", "instructions", "IPC", "LLC_misses"});
+  if (v.valid) {
+    t.add_row({std::string("yes"), static_cast<std::int64_t>(v.cycles),
+               static_cast<std::int64_t>(v.instructions), v.ipc(),
+               static_cast<std::int64_t>(v.cache_misses)});
+  } else {
+    t.add_row({std::string("no"), std::string("-"), std::string("-"),
+               std::string("-"), std::string("-")});
+  }
+  return t;
+}
+
+}  // namespace svsim::obs

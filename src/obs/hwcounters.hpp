@@ -1,0 +1,62 @@
+// Hardware performance-counter sampling via perf_event_open (Linux).
+//
+// The paper's analysis attributes kernel throughput to memory behaviour;
+// cycles / instructions / last-level-cache misses measured around a circuit
+// run let the reproduction check that attribution on real hardware.
+// Availability is probed at runtime: on non-Linux builds, in containers
+// without CAP_PERFMON, or when perf_event_paranoid forbids it, the scope
+// degrades to a no-op and reports `valid == false` — callers never need
+// platform #ifdefs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/table.hpp"
+
+namespace svsim::obs {
+
+/// One sample of the counter group. `valid` is false when the platform
+/// refused the counters (the numeric fields are then zero).
+struct HwCounterValues {
+  bool valid = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;  ///< LLC misses (perf "cache-misses")
+
+  double ipc() const noexcept {
+    return cycles > 0
+               ? static_cast<double>(instructions) / static_cast<double>(cycles)
+               : 0.0;
+  }
+};
+
+/// RAII counter scope: counting starts at construction and stops at
+/// `stop()` (or destruction). One scope per measured region; scopes do not
+/// nest usefully (the kernel multiplexes the underlying events).
+class HwCounterScope {
+ public:
+  HwCounterScope();
+  ~HwCounterScope();
+
+  HwCounterScope(const HwCounterScope&) = delete;
+  HwCounterScope& operator=(const HwCounterScope&) = delete;
+
+  /// Stops counting and returns the sample. Idempotent — later calls
+  /// return the same values.
+  HwCounterValues stop();
+
+  /// True if this process can open the counter group at all (probed once).
+  static bool available();
+
+ private:
+  int fd_cycles_ = -1;
+  int fd_instructions_ = -1;
+  int fd_misses_ = -1;
+  bool stopped_ = false;
+  HwCounterValues result_;
+};
+
+/// Single-row rendering (dashes when !valid).
+Table hw_counter_table(const HwCounterValues& values);
+
+}  // namespace svsim::obs

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace svsim::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  require(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+              std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                  bounds_.end(),
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> (C++20); relaxed is fine — metrics are
+  // statistical, not synchronizing.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  SVSIM_ASSERT(i < buckets_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+/// "≤1 ≤3 >6" style label for histogram bucket i.
+std::string bucket_label(const std::vector<double>& bounds, std::size_t i) {
+  std::ostringstream os;
+  if (i < bounds.size())
+    os << "le_" << bounds[i];
+  else
+    os << "gt_" << bounds.back();
+  return os.str();
+}
+
+}  // namespace
+
+Table MetricsRegistry::table() const {
+  std::lock_guard lock(mutex_);
+  Table t("Metrics", {"name", "value"});
+  for (const auto& [name, c] : counters_)
+    t.add_row({name, static_cast<std::int64_t>(c->value())});
+  for (const auto& [name, g] : gauges_) t.add_row({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    t.add_row({name + ".count", static_cast<std::int64_t>(h->count())});
+    t.add_row({name + ".mean", h->mean()});
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      t.add_row({name + "." + bucket_label(h->bounds(), i),
+                 static_cast<std::int64_t>(h->bucket_count(i))});
+    }
+  }
+  return t;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << name << "\":" << g->value();
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << h->sum() << ",\"buckets\":[";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i)
+      os << (i > 0 ? "," : "") << h->bucket_count(i);
+    os << "]}";
+    first = false;
+  }
+  os << "}}\n";
+}
+
+}  // namespace svsim::obs

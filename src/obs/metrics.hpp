@@ -1,0 +1,113 @@
+// Metrics registry: named counters, gauges, and histograms.
+//
+// The execution layers publish what they did (gates applied, bytes
+// streamed, fused-block widths, exchanges modeled) into a process-wide
+// registry; consumers snapshot it as a text table or JSON. Metric objects
+// are created on first use, never destroyed, and updated with relaxed
+// atomics, so references returned by the registry stay valid for the
+// process lifetime and updates are wait-free.
+//
+// Naming convention: "subsystem.metric", e.g. "sv.gates_applied",
+// "fusion.blocks", "dist.exchange_bytes".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace svsim::obs {
+
+/// Monotonic unsigned counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins floating-point value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram (Prometheus-style "le" buckets plus overflow).
+/// Bucket i counts observations v with v <= bounds[i] (and > bounds[i-1]);
+/// the final bucket counts v > bounds.back().
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Count in bucket i, i in [0, bounds().size()] — last = overflow.
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;  ///< strictly increasing
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Process-wide metric namespace. Lookup takes a mutex; the returned
+/// references are stable, so hot paths should cache them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first creation only (later calls must agree in
+  /// size or pass empty to reuse).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Zeroes every metric (objects and references stay valid).
+  void reset();
+
+  /// All metrics as one table (histograms as count/mean plus buckets).
+  Table table() const;
+
+  /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace svsim::obs

@@ -1,0 +1,253 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace svsim::obs {
+
+const char* span_category_name(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::Kernel: return "kernel";
+    case SpanCategory::Measure: return "measure";
+    case SpanCategory::Fusion: return "fusion";
+    case SpanCategory::Collective: return "collective";
+    case SpanCategory::Region: return "region";
+  }
+  return "?";
+}
+
+/// One thread's ring. `head` counts every span ever stored; the slot is
+/// head % capacity, so the ring retains the most recent `capacity` spans.
+struct Tracer::ThreadRing {
+  ThreadRing(std::size_t capacity, std::uint16_t index, std::thread::id owner)
+      : spans(capacity), thread_index(index), tid(owner) {}
+
+  std::vector<Span> spans;
+  std::uint64_t head = 0;
+  std::uint16_t thread_index = 0;
+  std::thread::id tid;
+};
+
+namespace {
+
+/// Thread-local cache of the ring registered with a particular tracer, so
+/// record() takes the registration mutex only once per (thread, tracer).
+struct RingCache {
+  std::uint64_t owner_id = 0;  // 0 = empty; tracer ids start at 1
+  void* ring = nullptr;        // Tracer::ThreadRing* (private type)
+};
+thread_local RingCache tl_ring_cache;
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : capacity_(capacity_per_thread),
+      id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {
+  require(capacity_ > 0, "Tracer: capacity must be positive");
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  RingCache& cache = tl_ring_cache;
+  if (cache.owner_id == id_)
+    return *static_cast<ThreadRing*>(cache.ring);
+  const std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard lock(mutex_);
+  // The cache only remembers one tracer per thread; a thread that alternates
+  // between tracers must rediscover its existing ring here.
+  auto it = std::find_if(rings_.begin(), rings_.end(),
+                         [&](const auto& r) { return r->tid == tid; });
+  if (it == rings_.end()) {
+    rings_.push_back(std::make_unique<ThreadRing>(
+        capacity_, static_cast<std::uint16_t>(rings_.size()), tid));
+    it = rings_.end() - 1;
+  }
+  cache.owner_id = id_;
+  cache.ring = it->get();
+  return **it;
+}
+
+void Tracer::record_span(const char* name, SpanCategory category,
+                         const unsigned* qubits, std::size_t nq,
+                         std::uint64_t stride, std::uint64_t bytes,
+                         std::uint64_t start_ns) {
+  if (!enabled()) return;
+  Span s;
+  std::strncpy(s.name.data(), name, s.name.size() - 1);
+  s.category = category;
+  s.num_qubits = static_cast<std::uint8_t>(std::min<std::size_t>(nq, 255));
+  if (nq > 0) s.q0 = qubits[0];
+  if (nq > 1) s.q1 = qubits[1];
+  s.stride = stride;
+  s.bytes = bytes;
+  s.start_ns = start_ns;
+  const std::uint64_t end = now_ns();
+  s.duration_ns = end > start_ns ? end - start_ns : 0;
+  record(std::move(s));
+}
+
+void Tracer::record(Span span) {
+  if (!enabled()) return;
+  ThreadRing& ring = ring_for_this_thread();
+  span.thread = ring.thread_index;
+  span.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  ring.spans[ring.head % capacity_] = span;
+  ++ring.head;
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  for (auto& ring : rings_) ring->head = 0;
+  seq_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Span> Tracer::collect() const {
+  std::vector<Span> all;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& ring : rings_) {
+      const std::uint64_t kept = std::min<std::uint64_t>(ring->head, capacity_);
+      const std::uint64_t first = ring->head - kept;
+      for (std::uint64_t i = first; i < ring->head; ++i)
+        all.push_back(ring->spans[i % capacity_]);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    return a.start_ns != b.start_ns ? a.start_ns < b.start_ns : a.seq < b.seq;
+  });
+  return all;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->head;
+  return total;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t lost = 0;
+  for (const auto& ring : rings_)
+    if (ring->head > capacity_) lost += ring->head - capacity_;
+  return lost;
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  const std::vector<Span> spans = collect();
+  // Timestamps are µs floats; default precision would truncate runs longer
+  // than a second to µs granularity or print scientific notation.
+  const auto saved_precision = os.precision(15);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; Chrome expects microsecond floats.
+    os << "\n{\"name\":\"" << s.name.data() << "\",\"cat\":\""
+       << span_category_name(s.category) << "\",\"ph\":\"X\",\"pid\":0,"
+       << "\"tid\":" << s.thread << ",\"ts\":"
+       << static_cast<double>(s.start_ns) * 1e-3 << ",\"dur\":"
+       << static_cast<double>(s.duration_ns) * 1e-3 << ",\"args\":{";
+    os << "\"bytes\":" << s.bytes << ",\"stride\":" << s.stride;
+    if (s.q0 != Span::kNoQubit) {
+      os << ",\"qubits\":[" << s.q0;
+      if (s.q1 != Span::kNoQubit) os << "," << s.q1;
+      if (s.num_qubits > 2) os << ",\"+" << (s.num_qubits - 2) << "\"";
+      os << "]";
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  os.precision(saved_precision);
+}
+
+ScopedSpan::ScopedSpan(const char* name, SpanCategory category)
+    : name_(name), category_(category) {
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) {
+    tracer_ = &tracer;
+    start_ns_ = tracer.now_ns();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr)
+    tracer_->record_span(name_, category_, nullptr, 0, /*stride=*/0, bytes_,
+                         start_ns_);
+}
+
+Table span_table(const std::vector<Span>& spans, std::size_t max_rows) {
+  Table t("Measured gate spans",
+          {"name", "cat", "thread", "start_us", "us", "GB/s"});
+  const std::size_t rows = std::min(spans.size(), max_rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const Span& s = spans[i];
+    t.add_row({std::string(s.name.data()),
+               std::string(span_category_name(s.category)),
+               static_cast<std::int64_t>(s.thread),
+               static_cast<double>(s.start_ns) * 1e-3,
+               static_cast<double>(s.duration_ns) * 1e-3, s.gbps()});
+  }
+  return t;
+}
+
+Table kernel_bandwidth_table(const std::vector<Span>& spans) {
+  struct Agg {
+    std::size_t count = 0;
+    std::uint64_t ns = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<std::pair<std::string, Agg>> aggs;
+  for (const Span& s : spans) {
+    if (s.category != SpanCategory::Kernel &&
+        s.category != SpanCategory::Measure)
+      continue;
+    const std::string name(s.name.data());
+    auto it = std::find_if(aggs.begin(), aggs.end(),
+                           [&](const auto& a) { return a.first == name; });
+    if (it == aggs.end()) it = aggs.insert(aggs.end(), {name, Agg{}});
+    ++it->second.count;
+    it->second.ns += s.duration_ns;
+    it->second.bytes += s.bytes;
+  }
+  std::sort(aggs.begin(), aggs.end(), [](const auto& a, const auto& b) {
+    return a.second.ns > b.second.ns;
+  });
+  Table t("Measured bandwidth by kernel",
+          {"kernel", "count", "ms", "MB", "GB/s"});
+  for (const auto& [name, a] : aggs) {
+    t.add_row({name, static_cast<std::int64_t>(a.count),
+               static_cast<double>(a.ns) * 1e-6,
+               static_cast<double>(a.bytes) * 1e-6,
+               a.ns > 0 ? static_cast<double>(a.bytes) /
+                              static_cast<double>(a.ns)
+                        : 0.0});
+  }
+  return t;
+}
+
+}  // namespace svsim::obs

@@ -1,6 +1,7 @@
 #include "perf/report.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace svsim::perf {
 
@@ -65,6 +66,77 @@ Table power_table(
     t.add_row({label, p.seconds, p.average_watts, p.joules,
                p.energy_delay_product()});
   }
+  return t;
+}
+
+DriftReport drift_report(const PerfReport& model,
+                         const std::vector<obs::Span>& spans) {
+  // Only per-gate spans participate; fusion/collective spans are passes,
+  // not gates, and have no model-side partner.
+  std::vector<const obs::Span*> measured;
+  measured.reserve(spans.size());
+  for (const obs::Span& s : spans)
+    if (s.category == obs::SpanCategory::Kernel ||
+        s.category == obs::SpanCategory::Measure)
+      measured.push_back(&s);
+
+  DriftReport drift;
+  std::map<std::string, DriftRow> by_kernel;
+  const std::size_t joined = std::min(measured.size(), model.trace.size());
+  for (std::size_t i = 0; i < joined; ++i) {
+    const obs::Span& s = *measured[i];
+    const GateTiming& g = model.trace[i];
+    if (g.gate != s.name.data()) {
+      // Positional mismatch: the two sides ran different gate sequences.
+      ++drift.orphan_spans;
+      ++drift.orphan_model;
+      continue;
+    }
+    ++drift.matched;
+    DriftRow& row = by_kernel[g.cost.kernel];
+    row.kernel = g.cost.kernel;
+    ++row.count;
+    row.measured_seconds += static_cast<double>(s.duration_ns) * 1e-9;
+    row.modeled_seconds += g.seconds;
+    // Both bandwidths use the model's line-granular traffic estimate, so
+    // the ratio isolates the *time* disagreement.
+    row.measured_gbps += g.cost.bytes;  // accumulate bytes; divide below
+    row.modeled_gbps += g.cost.bytes;
+  }
+  drift.orphan_spans += measured.size() - joined;
+  drift.orphan_model += model.trace.size() - joined;
+
+  for (auto& [kernel, row] : by_kernel) {
+    const double bytes = row.measured_gbps;
+    row.measured_gbps =
+        row.measured_seconds > 0.0 ? bytes / row.measured_seconds * 1e-9 : 0.0;
+    row.modeled_gbps =
+        row.modeled_seconds > 0.0 ? bytes / row.modeled_seconds * 1e-9 : 0.0;
+    drift.measured_total_seconds += row.measured_seconds;
+    drift.modeled_total_seconds += row.modeled_seconds;
+    drift.rows.push_back(std::move(row));
+  }
+  std::sort(drift.rows.begin(), drift.rows.end(),
+            [](const DriftRow& a, const DriftRow& b) {
+              return a.measured_seconds > b.measured_seconds;
+            });
+  return drift;
+}
+
+Table drift_table(const DriftReport& drift) {
+  Table t("Model vs. measured drift",
+          {"kernel", "gates", "measured_ms", "modeled_ms", "ratio",
+           "measured_GBs", "modeled_GBs"});
+  for (const DriftRow& r : drift.rows) {
+    t.add_row({r.kernel, static_cast<std::int64_t>(r.count),
+               r.measured_seconds * 1e3, r.modeled_seconds * 1e3,
+               r.time_ratio(), r.measured_gbps, r.modeled_gbps});
+  }
+  t.add_row({std::string("TOTAL"),
+             static_cast<std::int64_t>(drift.matched),
+             drift.measured_total_seconds * 1e3,
+             drift.modeled_total_seconds * 1e3, drift.time_ratio(),
+             0.0, 0.0});
   return t;
 }
 

@@ -6,9 +6,12 @@
 // comparison table.
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 #include "perf/perf_simulator.hpp"
 #include "perf/power_model.hpp"
 
@@ -30,5 +33,52 @@ Table comparison_table(
 /// Power summary for labeled runs.
 Table power_table(
     const std::vector<std::pair<std::string, PowerReport>>& runs);
+
+// ---- model-vs-measured drift ------------------------------------------
+//
+// The drift report is the runtime check of the repo's central claim
+// (model ≈ measurement): it joins the spans the tracer recorded during a
+// real run against the per-gate predictions of the same prepared circuit
+// and aggregates the comparison per kernel class.
+
+/// Per-kernel-class comparison row.
+struct DriftRow {
+  std::string kernel;           ///< kernel-class name (from the model)
+  std::size_t count = 0;        ///< gates joined into this row
+  double measured_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  double measured_gbps = 0.0;   ///< model traffic / measured time
+  double modeled_gbps = 0.0;    ///< model traffic / modeled time
+
+  /// measured / modeled time (>1 = slower than the model predicts).
+  double time_ratio() const noexcept {
+    return modeled_seconds > 0.0 ? measured_seconds / modeled_seconds : 0.0;
+  }
+};
+
+struct DriftReport {
+  std::vector<DriftRow> rows;   ///< sorted by measured time, descending
+  double measured_total_seconds = 0.0;
+  double modeled_total_seconds = 0.0;
+  std::size_t matched = 0;       ///< spans joined one-to-one with the model
+  std::size_t orphan_spans = 0;  ///< measured spans with no model partner
+  std::size_t orphan_model = 0;  ///< modeled gates with no measured span
+
+  double time_ratio() const noexcept {
+    return modeled_total_seconds > 0.0
+               ? measured_total_seconds / modeled_total_seconds
+               : 0.0;
+  }
+};
+
+/// Joins measured spans (Kernel/Measure categories, in record order)
+/// positionally against `model.trace` (requires record_trace). Both sides
+/// must come from the same prepared circuit — same fusion settings — or
+/// the mismatches surface as orphans.
+DriftReport drift_report(const PerfReport& model,
+                         const std::vector<obs::Span>& spans);
+
+/// Per-kernel modeled-vs-measured table plus a totals row.
+Table drift_table(const DriftReport& drift);
 
 }  // namespace svsim::perf

@@ -5,6 +5,8 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "qc/dense.hpp"
 
 namespace svsim::sv {
@@ -78,6 +80,18 @@ bool all_diagonal(const Group& group) {
                      [](const Gate& g) { return g.is_diagonal(); });
 }
 
+/// Publishes the width of one emitted multi-gate block (1..6 qubits).
+void observe_block_width(std::size_t width, std::size_t gates_merged) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Histogram& widths = registry.histogram(
+      "fusion.block_width", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  static obs::Counter& blocks = registry.counter("fusion.blocks");
+  static obs::Counter& merged = registry.counter("fusion.gates_merged");
+  widths.observe(static_cast<double>(width));
+  blocks.increment();
+  merged.add(gates_merged);
+}
+
 void flush(Group& group, Circuit& out, const FusionOptions& options) {
   if (group.empty()) return;
   if (group.gates.size() == 1) {
@@ -87,8 +101,10 @@ void flush(Group& group, Circuit& out, const FusionOptions& options) {
     std::vector<cplx> diag(u.dim());
     for (std::size_t i = 0; i < u.dim(); ++i) diag[i] = u(i, i);
     out.append(Gate::diag(group.support, std::move(diag)));
+    observe_block_width(group.support.size(), group.gates.size());
   } else {
     out.append(Gate::unitary(group.support, group_unitary(group)));
+    observe_block_width(group.support.size(), group.gates.size());
   }
   group = Group{};
 }
@@ -98,6 +114,7 @@ void flush(Group& group, Circuit& out, const FusionOptions& options) {
 Circuit fuse(const Circuit& circuit, const FusionOptions& options) {
   require(options.max_width >= 1 && options.max_width <= 6,
           "fusion max_width must be in 1..6");
+  obs::ScopedSpan span("fuse", obs::SpanCategory::Fusion);
   Circuit out(circuit.num_qubits(), circuit.num_clbits());
   Group group;
   for (const auto& g : circuit.gates()) {

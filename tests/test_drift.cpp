@@ -1,0 +1,115 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::perf {
+namespace {
+
+/// Mirrors the CLI --drift flow: model the circuit with a recorded trace,
+/// then run the real simulator under the global tracer with identical
+/// fusion settings so both sides execute the same prepared gate sequence.
+DriftReport drift_for(const qc::Circuit& circuit, bool fusion,
+                      unsigned fusion_width = 3) {
+  PerfOptions perf_opts;
+  perf_opts.fusion = fusion;
+  perf_opts.fusion_width = fusion_width;
+  perf_opts.record_trace = true;
+  const PerfReport model = simulate_circuit(
+      circuit, machine::MachineSpec::a64fx(), {}, perf_opts);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  sv::SimulatorOptions sim_opts;
+  sim_opts.fusion = fusion;
+  sim_opts.fusion_width = fusion_width;
+  sv::Simulator<double> sim(sim_opts);
+  sim.run(circuit);
+  tracer.disable();
+  const DriftReport drift = drift_report(model, tracer.collect());
+  tracer.clear();
+  return drift;
+}
+
+TEST(Drift, KnownCircuitJoinsWithoutOrphans) {
+  const qc::Circuit circuit = qc::qft(6);
+  const DriftReport drift = drift_for(circuit, /*fusion=*/false);
+  EXPECT_EQ(drift.orphan_spans, 0u);
+  EXPECT_EQ(drift.orphan_model, 0u);
+  EXPECT_EQ(drift.matched, circuit.size());
+  EXPECT_FALSE(drift.rows.empty());
+  EXPECT_GT(drift.measured_total_seconds, 0.0);
+  EXPECT_GT(drift.modeled_total_seconds, 0.0);
+}
+
+TEST(Drift, FusedCircuitAlsoJoins) {
+  const DriftReport drift = drift_for(qc::qft(6), /*fusion=*/true, 3);
+  EXPECT_EQ(drift.orphan_spans, 0u);
+  EXPECT_EQ(drift.orphan_model, 0u);
+  EXPECT_GT(drift.matched, 0u);
+  EXPECT_LT(drift.matched, qc::qft(6).size());  // fusion shrank the sequence
+}
+
+TEST(Drift, RowCountsSumToMatched) {
+  const DriftReport drift = drift_for(qc::ghz(6), /*fusion=*/false);
+  std::size_t total = 0;
+  for (const DriftRow& r : drift.rows) total += r.count;
+  EXPECT_EQ(total, drift.matched);
+}
+
+TEST(Drift, RowsSortedByMeasuredTime) {
+  const DriftReport drift = drift_for(qc::qft(7), /*fusion=*/false);
+  for (std::size_t i = 1; i < drift.rows.size(); ++i)
+    EXPECT_GE(drift.rows[i - 1].measured_seconds,
+              drift.rows[i].measured_seconds);
+}
+
+TEST(Drift, MismatchedCircuitsReportOrphans) {
+  PerfOptions perf_opts;
+  perf_opts.record_trace = true;
+  const PerfReport model = simulate_circuit(
+      qc::qft(5), machine::MachineSpec::a64fx(), {}, perf_opts);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  sv::Simulator<double> sim;
+  sim.run(qc::ghz(5));
+  tracer.disable();
+  const DriftReport drift = drift_report(model, tracer.collect());
+  tracer.clear();
+  EXPECT_GT(drift.orphan_spans + drift.orphan_model, 0u);
+}
+
+TEST(Drift, EmptySpanListIsAllModelOrphans) {
+  PerfOptions perf_opts;
+  perf_opts.record_trace = true;
+  const PerfReport model = simulate_circuit(
+      qc::qft(4), machine::MachineSpec::a64fx(), {}, perf_opts);
+  const DriftReport drift = drift_report(model, {});
+  EXPECT_EQ(drift.matched, 0u);
+  EXPECT_EQ(drift.orphan_spans, 0u);
+  EXPECT_EQ(drift.orphan_model, model.trace.size());
+  EXPECT_TRUE(drift.rows.empty());
+}
+
+TEST(Drift, TableHasRowPerKernelPlusTotal) {
+  const DriftReport drift = drift_for(qc::qft(6), /*fusion=*/false);
+  const Table t = drift_table(drift);
+  EXPECT_EQ(t.num_rows(), drift.rows.size() + 1);
+  const auto& total_row = t.row(t.num_rows() - 1);
+  EXPECT_EQ(std::get<std::string>(total_row[0]), "TOTAL");
+  EXPECT_EQ(std::get<std::int64_t>(total_row[1]),
+            static_cast<std::int64_t>(drift.matched));
+  EXPECT_NE(t.to_text().find("ratio"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace svsim::perf

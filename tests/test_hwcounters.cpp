@@ -1,0 +1,69 @@
+#include "obs/hwcounters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace svsim::obs {
+namespace {
+
+// Burn enough work that, when counters are available, every event count is
+// comfortably nonzero.
+std::uint64_t busy_work() {
+  volatile std::uint64_t acc = 1;
+  for (std::uint64_t i = 0; i < 200000; ++i) acc = acc * 6364136223846793005ULL + i;
+  return acc;
+}
+
+TEST(HwCounters, ScopeIsValidIffCountersAvailable) {
+  HwCounterScope scope;
+  busy_work();
+  const HwCounterValues values = scope.stop();
+  EXPECT_EQ(values.valid, HwCounterScope::available());
+  if (values.valid) {
+    EXPECT_GT(values.cycles, 0u);
+    EXPECT_GT(values.instructions, 0u);
+    EXPECT_GT(values.ipc(), 0.0);
+  } else {
+    // Graceful fallback: all-zero sample, no crash.
+    EXPECT_EQ(values.cycles, 0u);
+    EXPECT_EQ(values.instructions, 0u);
+    EXPECT_EQ(values.cache_misses, 0u);
+    EXPECT_EQ(values.ipc(), 0.0);
+  }
+}
+
+TEST(HwCounters, StopIsIdempotent) {
+  HwCounterScope scope;
+  busy_work();
+  const HwCounterValues first = scope.stop();
+  busy_work();
+  const HwCounterValues second = scope.stop();
+  EXPECT_EQ(first.valid, second.valid);
+  EXPECT_EQ(first.cycles, second.cycles);
+  EXPECT_EQ(first.instructions, second.instructions);
+  EXPECT_EQ(first.cache_misses, second.cache_misses);
+}
+
+TEST(HwCounters, TableRendersEitherWay) {
+  HwCounterScope scope;
+  const Table t = hw_counter_table(scope.stop());
+  ASSERT_EQ(t.num_rows(), 1u);
+  const auto& row = t.row(0);
+  if (HwCounterScope::available()) {
+    EXPECT_EQ(std::get<std::string>(row[0]), "yes");
+    EXPECT_TRUE(std::holds_alternative<std::int64_t>(row[1]));
+  } else {
+    EXPECT_EQ(std::get<std::string>(row[0]), "no");
+    EXPECT_EQ(std::get<std::string>(row[1]), "-");
+  }
+}
+
+TEST(HwCounters, InvalidSampleIpcIsZero) {
+  HwCounterValues v;
+  EXPECT_FALSE(v.valid);
+  EXPECT_EQ(v.ipc(), 0.0);
+}
+
+}  // namespace
+}  // namespace svsim::obs

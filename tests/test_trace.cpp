@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/threading.hpp"
+#include "qc/library.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::obs {
+namespace {
+
+Span make_span(const char* name, std::uint64_t start_ns,
+               std::uint64_t dur_ns = 10) {
+  Span s;
+  std::snprintf(s.name.data(), s.name.size(), "%s", name);
+  s.category = SpanCategory::Kernel;
+  s.start_ns = start_ns;
+  s.duration_ns = dur_ns;
+  return s;
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tracer;
+  tracer.record(make_span("x", 1));
+  tracer.record_span("h", SpanCategory::Kernel, nullptr, 0, 0, 0, 0);
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+}
+
+TEST(Tracer, CollectOrdersByStartTime) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(make_span("c", 300));
+  tracer.record(make_span("a", 100));
+  tracer.record(make_span("b", 200));
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_STREQ(spans[0].name.data(), "a");
+  EXPECT_STREQ(spans[1].name.data(), "b");
+  EXPECT_STREQ(spans[2].name.data(), "c");
+}
+
+TEST(Tracer, EqualStartTimesKeepRecordOrder) {
+  Tracer tracer;
+  tracer.enable();
+  for (int i = 0; i < 5; ++i) tracer.record(make_span("same", 42));
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 5u);
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_GT(spans[i].seq, spans[i - 1].seq);
+}
+
+TEST(Tracer, RingWraparoundKeepsMostRecent) {
+  Tracer tracer(/*capacity_per_thread=*/8);
+  tracer.enable();
+  for (std::uint64_t i = 0; i < 20; ++i)
+    tracer.record(make_span("s", /*start_ns=*/i));
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 8u);
+  // The survivors are the last 8 recorded: start times 12..19.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    EXPECT_EQ(spans[i].start_ns, 12 + i);
+  EXPECT_EQ(tracer.total_recorded(), 20u);
+  EXPECT_EQ(tracer.dropped(), 12u);
+}
+
+TEST(Tracer, ClearDropsSpans) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(make_span("s", 1));
+  tracer.clear();
+  EXPECT_TRUE(tracer.collect().empty());
+  EXPECT_EQ(tracer.total_recorded(), 0u);
+  tracer.record(make_span("t", 2));
+  EXPECT_EQ(tracer.collect().size(), 1u);
+}
+
+TEST(Tracer, MultiThreadMerge) {
+  Tracer tracer;
+  tracer.enable();
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (unsigned i = 0; i < kPerThread; ++i)
+        tracer.record_span("w", SpanCategory::Kernel, nullptr, 0, 0, 64,
+                           tracer.now_ns());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), kThreads * kPerThread);
+  // Merged output is globally ordered by start time...
+  for (std::size_t i = 1; i < spans.size(); ++i)
+    EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+  // ...and every recording thread got its own ring (distinct ids).
+  std::set<std::uint16_t> tids;
+  for (const auto& s : spans) tids.insert(s.thread);
+  EXPECT_EQ(tids.size(), kThreads);
+}
+
+TEST(Tracer, RecordSpanCapturesOperandsAndBytes) {
+  Tracer tracer;
+  tracer.enable();
+  const unsigned qubits[3] = {7, 2, 5};
+  const std::uint64_t t0 = tracer.now_ns();
+  tracer.record_span("cx", SpanCategory::Kernel, qubits, 3, /*stride=*/32,
+                     /*bytes=*/4096, t0);
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name.data(), "cx");
+  EXPECT_EQ(spans[0].num_qubits, 3u);
+  EXPECT_EQ(spans[0].q0, 7u);
+  EXPECT_EQ(spans[0].q1, 2u);
+  EXPECT_EQ(spans[0].stride, 32u);
+  EXPECT_EQ(spans[0].bytes, 4096u);
+}
+
+TEST(Tracer, SimulatorEmitsOneSpanPerGate) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  const qc::Circuit circuit = qc::qft(6);
+  sv::Simulator<double> sim;
+  sim.run(circuit);
+  tracer.disable();
+  const auto spans = tracer.collect();
+  std::size_t kernel_spans = 0;
+  for (const auto& s : spans)
+    if (s.category == SpanCategory::Kernel) ++kernel_spans;
+  EXPECT_EQ(kernel_spans, circuit.size());
+  tracer.clear();
+}
+
+TEST(Tracer, FusedRunEmitsFusionSpanAndFewerKernels) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  const qc::Circuit circuit = qc::qft(6);
+  sv::SimulatorOptions opts;
+  opts.fusion = true;
+  opts.fusion_width = 3;
+  sv::Simulator<double> sim(opts);
+  sim.run(circuit);
+  tracer.disable();
+  std::size_t kernel_spans = 0, fusion_spans = 0;
+  for (const auto& s : tracer.collect()) {
+    kernel_spans += s.category == SpanCategory::Kernel;
+    fusion_spans += s.category == SpanCategory::Fusion;
+  }
+  EXPECT_EQ(fusion_spans, 1u);
+  EXPECT_LT(kernel_spans, circuit.size());
+  EXPECT_GT(kernel_spans, 0u);
+  tracer.clear();
+}
+
+TEST(Tracer, ChromeJsonShapeIsValid) {
+  Tracer tracer;
+  tracer.enable();
+  const unsigned q[2] = {0, 1};
+  tracer.record_span("h", SpanCategory::Kernel, q, 1, 1, 256, tracer.now_ns());
+  tracer.record_span("cx", SpanCategory::Kernel, q, 2, 2, 512, tracer.now_ns());
+  std::ostringstream os;
+  tracer.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.find("{\"displayTimeUnit\""), 0u);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cx\""), std::string::npos);
+  EXPECT_NE(json.find("\"qubits\":[0,1]"), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Tracer, SpanAndBandwidthTables) {
+  Tracer tracer;
+  tracer.enable();
+  for (int i = 0; i < 5; ++i) {
+    Span s = make_span("h", static_cast<std::uint64_t>(i) * 100, 50);
+    s.bytes = 1000;
+    tracer.record(s);
+  }
+  const auto spans = tracer.collect();
+  EXPECT_EQ(span_table(spans, 3).num_rows(), 3u);
+  const Table bw = kernel_bandwidth_table(spans);
+  ASSERT_EQ(bw.num_rows(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(bw.row(0)[1]), 5);  // count
+  // 5000 bytes over 250 ns = 20 GB/s.
+  EXPECT_NEAR(std::get<double>(bw.row(0)[4]), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace svsim::obs

@@ -1,20 +1,24 @@
 // svsim — command-line front-end.
 //
 //   svsim run <circuit.qasm> [--shots N] [--backend sv|sv32|stab]
-//             [--fusion W] [--seed S]
+//             [--fusion W] [--seed S] [--trace-json FILE] [--trace]
+//             [--metrics] [--counters]
 //   svsim project <circuit.qasm | --qft N | --qv N D>
 //             [--machine a64fx|a64fx-boost|a64fx-eco|xeon|tx2]
 //             [--threads T] [--affinity compact|scatter] [--fusion W]
-//             [--trace]
+//             [--trace] [--drift]
 //   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
 //             [--route-linear]
 //   svsim machines
 //
 // `run` executes the circuit and prints measurement counts; `project`
-// prints the modeled performance/power report for the chosen machine;
-// `transpile` prints the rewritten circuit as OpenQASM.
+// prints the modeled performance/power report for the chosen machine
+// (`--drift` also runs the circuit for real and prints the modeled-vs-
+// measured comparison); `transpile` prints the rewritten circuit as
+// OpenQASM.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -22,6 +26,9 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "obs/hwcounters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/power_model.hpp"
 #include "perf/report.hpp"
 #include "qc/library.hpp"
@@ -34,6 +41,44 @@
 using namespace svsim;
 
 namespace {
+
+/// Declarative option table: every flag the CLI accepts, whether it
+/// consumes the next token, and its help line. parse_args() rejects
+/// anything not listed here, so a new flag that is added to a command but
+/// not declared fails loudly instead of silently mis-parsing.
+struct OptionSpec {
+  const char* name;
+  bool takes_value;
+  /// `--qv N [D]`: may consume a second, numeric token (circuit depth).
+  bool optional_second_numeric;
+  const char* help;
+};
+
+constexpr OptionSpec kOptionSpecs[] = {
+    {"shots", true, false, "number of measurement shots (run)"},
+    {"backend", true, false, "sv | sv32 | stab (run)"},
+    {"fusion", true, false, "enable gate fusion with max width W"},
+    {"seed", true, false, "RNG seed"},
+    {"machine", true, false, "machine model name (project)"},
+    {"threads", true, false, "modeled thread count (project)"},
+    {"affinity", true, false, "compact | scatter (project)"},
+    {"qft", true, false, "use a QFT circuit of N qubits"},
+    {"qv", true, true, "use a quantum-volume circuit of N qubits [depth D]"},
+    {"trace", false, false, "print the per-gate trace table"},
+    {"trace-json", true, false, "write Chrome trace-event JSON to FILE (run)"},
+    {"metrics", false, false, "print the runtime metrics registry (run)"},
+    {"counters", false, false, "sample hardware counters around the run"},
+    {"drift", false, false, "print modeled-vs-measured drift (project)"},
+    {"optimize", false, false, "run the gate-level optimizer (transpile)"},
+    {"basis-cx", false, false, "decompose to the CX basis (transpile)"},
+    {"route-linear", false, false, "route for linear connectivity (transpile)"},
+};
+
+const OptionSpec* find_option(const std::string& name) {
+  for (const OptionSpec& spec : kOptionSpecs)
+    if (name == spec.name) return &spec;
+  return nullptr;
+}
 
 struct Args {
   std::vector<std::string> positional;
@@ -48,25 +93,24 @@ struct Args {
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) {
-    std::string a = argv[i];
-    if (a.rfind("--", 0) == 0) {
-      const std::string name = a.substr(2);
-      // Flags with known values take the next token; bare flags don't.
-      const bool takes_value =
-          name == "shots" || name == "backend" || name == "fusion" ||
-          name == "seed" || name == "machine" || name == "threads" ||
-          name == "affinity" || name == "qft" || name == "qv";
-      if (takes_value && i + 1 < argc) {
-        args.options[name] = argv[++i];
-        if (name == "qv" && i + 1 < argc &&
-            std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
-          args.options["qv_depth"] = argv[++i];
-        }
-      } else {
-        args.options[name] = "";
-      }
-    } else {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
       args.positional.push_back(a);
+      continue;
+    }
+    const std::string name = a.substr(2);
+    const OptionSpec* spec = find_option(name);
+    require(spec != nullptr, "unknown option '--" + name + "'");
+    if (!spec->takes_value) {
+      args.options[name] = "";
+      continue;
+    }
+    require(i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0,
+            "option '--" + name + "' requires a value");
+    args.options[name] = argv[++i];
+    if (spec->optional_second_numeric && i + 1 < argc &&
+        std::isdigit(static_cast<unsigned char>(argv[i + 1][0]))) {
+      args.options[name + "_depth"] = argv[++i];
     }
   }
   return args;
@@ -139,6 +183,21 @@ int cmd_run(const Args& args) {
       std::cout << label << " : " << count << "\n";
     }
   };
+
+  const bool want_trace =
+      args.flag("trace") || args.flag("trace-json");
+  obs::Tracer& tracer = obs::Tracer::global();
+  if (want_trace) {
+    tracer.clear();
+    tracer.enable();
+  }
+  if (args.flag("metrics")) {
+    obs::MetricsRegistry::global().reset();
+    ThreadPool::global().reset_stats();
+  }
+  std::optional<obs::HwCounterScope> counters;
+  if (args.flag("counters")) counters.emplace();
+
   if (backend == "sv32") {
     sv::Simulator<float> sim(opts);
     print_counts(sim.sample_counts(circuit, shots));
@@ -147,6 +206,36 @@ int cmd_run(const Args& args) {
     print_counts(sim.sample_counts(circuit, shots));
   } else {
     throw Error("unknown backend '" + backend + "' (sv, sv32, stab)");
+  }
+
+  if (counters) obs::hw_counter_table(counters->stop()).print(std::cout);
+  if (want_trace) {
+    tracer.disable();
+    if (args.flag("trace")) obs::span_table(tracer.collect()).print(std::cout);
+    if (args.flag("trace-json")) {
+      const std::string path = args.get("trace-json", "trace.json");
+      std::ofstream out(path);
+      require(out.good(), "cannot open '" + path + "' for writing");
+      tracer.write_chrome_json(out);
+      std::cerr << "wrote " << tracer.collect().size() << " spans to " << path
+                << (tracer.dropped() > 0
+                        ? " (" + std::to_string(tracer.dropped()) +
+                              " dropped to ring wraparound)"
+                        : "")
+                << "\n";
+    }
+  }
+  if (args.flag("metrics")) {
+    const PoolStats pool = ThreadPool::global().stats();
+    auto& registry = obs::MetricsRegistry::global();
+    registry.gauge("pool.parallel_regions")
+        .set(static_cast<double>(pool.parallel_regions));
+    registry.gauge("pool.inline_regions")
+        .set(static_cast<double>(pool.inline_regions));
+    registry.gauge("pool.items").set(static_cast<double>(pool.items));
+    registry.table().print(std::cout);
+    if (want_trace)
+      obs::kernel_bandwidth_table(tracer.collect()).print(std::cout);
   }
   return 0;
 }
@@ -165,14 +254,35 @@ int cmd_project(const Args& args) {
     opts.fusion_width =
         static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
   }
-  opts.record_trace = args.flag("trace");
+  opts.record_trace = args.flag("trace") || args.flag("drift");
 
   const auto report = perf::simulate_circuit(circuit, m, cfg, opts);
   perf::summary_table(report).print(std::cout);
   perf::kernel_breakdown_table(report).print(std::cout);
-  if (opts.record_trace) perf::trace_table(report).print(std::cout);
+  if (args.flag("trace")) perf::trace_table(report).print(std::cout);
   const auto power = perf::estimate_power(circuit, m, cfg, opts);
   perf::power_table({{m.name, power}}).print(std::cout);
+
+  if (args.flag("drift")) {
+    // Execute the circuit for real under the tracer and join the measured
+    // spans against the prediction. The comparison is honest only when the
+    // modeled machine resembles the host; the ratio column quantifies it.
+    sv::SimulatorOptions sopts;
+    sopts.fusion = opts.fusion;
+    sopts.fusion_width = opts.fusion_width;
+    obs::Tracer& tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable();
+    sv::Simulator<double> sim(sopts);
+    sim.run(circuit);
+    tracer.disable();
+    const auto drift = perf::drift_report(report, tracer.collect());
+    perf::drift_table(drift).print(std::cout);
+    if (drift.orphan_spans > 0 || drift.orphan_model > 0)
+      std::cerr << "warning: " << drift.orphan_spans << " measured / "
+                << drift.orphan_model
+                << " modeled gates had no join partner\n";
+  }
   return 0;
 }
 
@@ -210,9 +320,10 @@ void usage() {
   std::cerr <<
       "usage: svsim <command> [args]\n"
       "  run <file.qasm|--qft N|--qv N D> [--shots N] [--backend sv|sv32|stab]\n"
-      "      [--fusion W] [--seed S]\n"
+      "      [--fusion W] [--seed S] [--trace-json FILE] [--trace] [--metrics]\n"
+      "      [--counters]\n"
       "  project <file.qasm|--qft N|--qv N D> [--machine NAME] [--threads T]\n"
-      "      [--affinity compact|scatter] [--fusion W] [--trace]\n"
+      "      [--affinity compact|scatter] [--fusion W] [--trace] [--drift]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  machines\n";
 }
