@@ -8,6 +8,7 @@
 //     instead of dense UNITARY matrices: model and host-measured effect.
 //  C. Communication scheduler — naive vs. Belady remap exchange volume on
 //     workloads with different node-qubit pressure.
+//  D. 1q kernel iteration scheme — run-blocked vs. per-pair, host-measured.
 #include "bench_util.hpp"
 
 #include "common/rng.hpp"
@@ -21,7 +22,7 @@ using namespace svsim;
 
 namespace {
 
-void ablation_line_size() {
+void ablation_line_size(bench::BenchContext& ctx) {
   auto m256 = machine::MachineSpec::a64fx();
   auto m64 = m256;
   m64.name = "A64FX (hypothetical 64B lines)";
@@ -30,23 +31,24 @@ void ablation_line_size() {
   Table t("A: traffic vs. cache-line size (n=26, model bytes per gate)",
           {"gate", "256B_lines_MB", "64B_lines_MB", "waste_factor"});
   const std::vector<std::pair<std::string, qc::Gate>> gates = {
-      {"cx ctrl@0", qc::Gate::cx(0, 13)},
-      {"cx ctrl@3", qc::Gate::cx(3, 13)},
-      {"cx ctrl@25", qc::Gate::cx(25, 13)},
-      {"t @2", qc::Gate::t(2)},
-      {"t @25", qc::Gate::t(25)},
-      {"ccz 0,1,2", qc::Gate::ccz(0, 1, 2)},
-      {"ccz 23,24,25", qc::Gate::ccz(23, 24, 25)},
+      {"cx_ctrl0", qc::Gate::cx(0, 13)},
+      {"cx_ctrl3", qc::Gate::cx(3, 13)},
+      {"cx_ctrl25", qc::Gate::cx(25, 13)},
+      {"t_2", qc::Gate::t(2)},
+      {"t_25", qc::Gate::t(25)},
+      {"ccz_0_1_2", qc::Gate::ccz(0, 1, 2)},
+      {"ccz_23_24_25", qc::Gate::ccz(23, 24, 25)},
   };
   for (const auto& [name, g] : gates) {
     const double b256 = perf::gate_cost(g, 26, m256, {}).bytes;
     const double b64 = perf::gate_cost(g, 26, m64, {}).bytes;
     t.add_row({name, b256 * 1e-6, b64 * 1e-6, b256 / b64});
+    ctx.model("lines." + name + ".waste", b256 / b64, "ratio", m256.name);
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
-void ablation_diagonal_fusion() {
+void ablation_diagonal_fusion(bench::BenchContext& ctx) {
   // A circuit with long diagonal runs (QAOA cost layers).
   const unsigned n_model = 26;
   const qc::Circuit c_model = qc::qaoa_maxcut(
@@ -63,40 +65,51 @@ void ablation_diagonal_fusion() {
     const auto r = perf::simulate_circuit(fused, m, {});
     t.add_row({std::string(prefer ? "DIAG kernels" : "dense UNITARY"),
                static_cast<std::int64_t>(fused.size()), r.total_seconds});
+    ctx.model(std::string("diagfuse.") + (prefer ? "diag" : "dense") + ".s",
+              r.total_seconds, "s", m.name);
   }
-  t.print(std::cout);
+  ctx.table(t);
 
   // Host-measured.
-  const unsigned n_host = 18;
+  const unsigned n_host = ctx.smoke() ? 14 : 18;
   const qc::Circuit c_host = qc::qaoa_maxcut(
       n_host, qc::ring_graph(n_host), {0.8, 0.7, 0.6}, {0.4, 0.3, 0.2});
-  Table th("B: diagonal-fusion preference (host measured, n=18)",
+  const auto host = bench::host_spec();
+  Table th("B: diagonal-fusion preference (host measured, n=" +
+               std::to_string(n_host) + ")",
            {"variant", "gates", "seconds"});
   for (const bool prefer : {true, false}) {
     sv::FusionOptions fo;
     fo.max_width = 4;
     fo.prefer_diagonal = prefer;
     const qc::Circuit fused = sv::fuse(c_host, fo);
-    sv::Simulator<double> sim;
-    Timer timer;
-    sim.run(fused);
+    BenchContext::MeasureOpts mo;
+    mo.model_seconds = perf::simulate_circuit(fused, host, {}).total_seconds;
+    mo.model_machine = host.name;
+    const auto st = ctx.measure(
+        std::string("host.diagfuse.") + (prefer ? "diag" : "dense"),
+        [&] {
+          sv::Simulator<double> sim;
+          sim.run(fused);
+        },
+        mo);
     th.add_row({std::string(prefer ? "DIAG kernels" : "dense UNITARY"),
-                static_cast<std::int64_t>(fused.size()), timer.seconds()});
+                static_cast<std::int64_t>(fused.size()), st.median});
   }
-  th.print(std::cout);
+  ctx.table(th);
 }
 
-void ablation_scheduler() {
+void ablation_scheduler(bench::BenchContext& ctx) {
   const auto m = machine::MachineSpec::a64fx();
   const auto net = dist::InterconnectSpec::tofu_d();
   Table t("C: communication scheduler (16 nodes, per-node GB exchanged)",
           {"workload", "naive_GB", "remap_GB", "naive_s", "remap_s"});
   const std::vector<std::pair<std::string, qc::Circuit>> workloads = {
-      {"qft(24)", qc::qft(24)},
-      {"qv(24,8)", qc::random_quantum_volume(24, 8, 5)},
-      {"ghz(24)", qc::ghz(24)},
-      {"qaoa(24,p2)", qc::qaoa_maxcut(24, qc::ring_graph(24), {0.8, 0.6},
-                                      {0.4, 0.3})},
+      {"qft24", qc::qft(24)},
+      {"qv24_8", qc::random_quantum_volume(24, 8, 5)},
+      {"ghz24", qc::ghz(24)},
+      {"qaoa24_p2", qc::qaoa_maxcut(24, qc::ring_graph(24), {0.8, 0.6},
+                                    {0.4, 0.3})},
   };
   for (const auto& [name, c] : workloads) {
     const auto naive =
@@ -107,40 +120,54 @@ void ablation_scheduler() {
     const auto tr = dist::time_plan(remap, m, {}, net);
     t.add_row({name, tn.exchange_bytes * 1e-9, tr.exchange_bytes * 1e-9,
                tn.total_seconds, tr.total_seconds});
+    ctx.model("sched." + name + ".naive_gb", tn.exchange_bytes * 1e-9, "GB",
+              m.name);
+    ctx.model("sched." + name + ".remap_gb", tr.exchange_bytes * 1e-9, "GB",
+              m.name);
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
-void ablation_kernel_variant() {
+void ablation_kernel_variant(bench::BenchContext& ctx) {
   // Run-blocked 1q kernel (contiguous inner loops the vectorizer can chew)
   // vs. the per-pair insert_zero_bit variant. Host-measured.
-  const unsigned n = 20;
+  const unsigned n = ctx.smoke() ? 16 : 20;
   Xoshiro256 rng(2);
   const qc::Matrix u = qc::Matrix::random_unitary(2, rng);
   sv::StateVector<double> state(n);
-  sv::apply_gate(state, qc::Gate::h(0));
-  Table t("D: 1q kernel iteration scheme (host measured, n=20)",
+  bench::spread_amplitudes(state);
+  Table t("D: 1q kernel iteration scheme (host measured, n=" +
+              std::to_string(n) + ")",
           {"target", "run_blocked_us", "per_pair_us", "speedup"});
-  for (unsigned target : {0u, 4u, 10u, 18u}) {
-    const double tb = time_mean_seconds([&] {
-      sv::apply_matrix1(state.data(), n, target, u, state.pool());
-    });
-    const double tp = time_mean_seconds([&] {
-      sv::apply_matrix1_pairwise(state.data(), n, target, u, state.pool());
-    });
-    t.add_row({static_cast<std::int64_t>(target), tb * 1e6, tp * 1e6,
-               tp / tb});
+  const std::vector<unsigned> targets =
+      ctx.smoke() ? std::vector<unsigned>{0u, n - 2}
+                  : std::vector<unsigned>{0u, 4u, 10u, n - 2};
+  const double bytes = static_cast<double>(pow2(n)) * 2 * 16;
+  for (unsigned target : targets) {
+    BenchContext::MeasureOpts mo;
+    mo.model_bytes = bytes;
+    const auto tb = ctx.measure(
+        bench::sub("kernel.blocked.t", target),
+        [&] { sv::apply_matrix1(state.data(), n, target, u, state.pool()); },
+        mo);
+    const auto tp = ctx.measure(
+        bench::sub("kernel.pairwise.t", target),
+        [&] {
+          sv::apply_matrix1_pairwise(state.data(), n, target, u,
+                                     state.pool());
+        },
+        mo);
+    t.add_row({static_cast<std::int64_t>(target), tb.median * 1e6,
+               tp.median * 1e6, tp.median / tb.median});
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Ablations", "design-choice quantification");
-  ablation_line_size();
-  ablation_diagonal_fusion();
-  ablation_scheduler();
-  ablation_kernel_variant();
-  return 0;
+SVSIM_BENCH(abl_design, "Ablations", "design-choice quantification") {
+  ablation_line_size(ctx);
+  ablation_diagonal_fusion(ctx);
+  ablation_scheduler(ctx);
+  ablation_kernel_variant(ctx);
 }

@@ -3,17 +3,15 @@
 //
 // Model series (A64FX, n=30): flat HBM-limited bandwidth for high targets,
 // SIMD-penalty dip for targets below log2(vector lanes). Measured series
-// (host, n=22): the same qualitative dip at low targets.
+// (host): the same qualitative dip at low targets.
 #include "bench_util.hpp"
 
 #include "perf/perf_simulator.hpp"
 
 using namespace svsim;
 
-int main() {
-  bench::print_header("Fig. 1",
-                      "H-gate effective bandwidth vs. target qubit");
-
+SVSIM_BENCH(fig1_target_qubit, "Fig. 1",
+            "H-gate effective bandwidth vs. target qubit") {
   // ---- model: A64FX, 30 qubits, 48 threads ------------------------------
   {
     const auto m = machine::MachineSpec::a64fx();
@@ -22,13 +20,15 @@ int main() {
             {"target", "GB/s", "GFLOP/s", "simd_eff", "bound"});
     for (unsigned target = 0; target < 30; target += 1) {
       const auto gt = perf::time_gate(qc::Gate::h(target), 30, m, cfg);
-      t.add_row({static_cast<std::int64_t>(target),
-                 gt.cost.bytes / gt.seconds * 1e-9,
-                 gt.cost.flops / gt.seconds * 1e-9,
-                 gt.cost.simd_efficiency,
+      const double gbps = gt.cost.bytes / gt.seconds * 1e-9;
+      t.add_row({static_cast<std::int64_t>(target), gbps,
+                 gt.cost.flops / gt.seconds * 1e-9, gt.cost.simd_efficiency,
                  std::string(gt.memory_bound ? "mem" : "fp")});
+      if (target % 4 == 0 || target == 29)
+        ctx.model(bench::sub("a64fx.n30.h.t", target) + ".gbps", gbps, "GB/s",
+                  m.name);
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   // ---- model: cache-regime contrast (n=14, L1/L2-resident) ---------------
@@ -40,30 +40,41 @@ int main() {
             {"target", "GB/s", "GFLOP/s", "simd_eff"});
     for (unsigned target = 0; target < 14; ++target) {
       const auto gt = perf::time_gate(qc::Gate::h(target), 14, m, cfg);
-      t.add_row({static_cast<std::int64_t>(target),
-                 gt.cost.bytes / gt.seconds * 1e-9,
-                 gt.cost.flops / gt.seconds * 1e-9,
-                 gt.cost.simd_efficiency});
+      const double gbps = gt.cost.bytes / gt.seconds * 1e-9;
+      t.add_row({static_cast<std::int64_t>(target), gbps,
+                 gt.cost.flops / gt.seconds * 1e-9, gt.cost.simd_efficiency});
+      if (target == 0 || target == 13)
+        ctx.model(bench::sub("a64fx.n14.1c.h.t", target) + ".gbps", gbps,
+                  "GB/s", m.name);
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   // ---- measured on the build host ----------------------------------------
   {
-    const unsigned n = 20;
+    const unsigned n = ctx.smoke() ? 16 : 20;
+    const unsigned step = ctx.smoke() ? 7 : 2;
     const auto host = bench::host_spec();
     machine::ExecConfig cfg;
-    cfg.threads = 1;
-    Table t("Host measured, n=20 (absolute numbers machine-dependent)",
+    sv::StateVector<double> state(n);
+    bench::spread_amplitudes(state);
+    Table t("Host measured, n=" + std::to_string(n) +
+                " (absolute numbers machine-dependent)",
             {"target", "ms/gate", "GB/s"});
-    for (unsigned target = 0; target < n; target += 2) {
-      const double s = bench::measure_gate_seconds(qc::Gate::h(target), n);
-      const double bytes =
-          perf::gate_cost(qc::Gate::h(target), n, host, cfg).bytes;
-      t.add_row({static_cast<std::int64_t>(target), s * 1e3,
-                 bench::measured_bandwidth_gbps(bytes, s)});
+    for (unsigned target = 0; target < n; target += step) {
+      const qc::Gate gate = qc::Gate::h(target);
+      const auto predicted = perf::time_gate(gate, n, host, cfg);
+      BenchContext::MeasureOpts mo;
+      mo.model_seconds = predicted.seconds;
+      mo.model_bytes = predicted.cost.bytes;
+      mo.model_machine = host.name;
+      const auto st = ctx.measure(
+          bench::sub("host.h.t", target),
+          [&] { sv::apply_gate(state, gate); }, mo);
+      t.add_row({static_cast<std::int64_t>(target), st.median * 1e3,
+                 bench::measured_bandwidth_gbps(predicted.cost.bytes,
+                                                st.median)});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

@@ -29,9 +29,7 @@ std::vector<std::pair<std::string, qc::Gate>> kernel_set(unsigned n) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("Fig. 2", "time per gate vs. register size");
-
+SVSIM_BENCH(fig2_gate_kernels, "Fig. 2", "time per gate vs. register size") {
   {
     const auto m = machine::MachineSpec::a64fx();
     machine::ExecConfig cfg;
@@ -44,6 +42,8 @@ int main() {
       for (const auto& [name, gate] : kernel_set(n)) {
         const auto gt = perf::time_gate(gate, n, m, cfg);
         row.push_back(gt.seconds * 1e6);
+        ctx.model(bench::sub("a64fx." + name + ".n", n) + ".s", gt.seconds,
+                  "s", m.name);
         if (name == "h")
           regime = gt.serving_level < 0
                        ? "HBM"
@@ -53,21 +53,33 @@ int main() {
       row.push_back(regime);
       t.add_row(std::move(row));
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
+    const unsigned n_lo = 14;
+    const unsigned n_hi = ctx.smoke() ? 14 : 20;
+    const auto host = bench::host_spec();
     Table t("Host measured: microseconds per gate",
             {"n", "h", "x", "rz", "cx", "fused4"});
-    for (unsigned n = 14; n <= 21; n += 1) {
+    for (unsigned n = n_lo; n <= n_hi; n += 2) {
       std::vector<Cell> row;
       row.push_back(static_cast<std::int64_t>(n));
+      sv::StateVector<double> state(n);
+      bench::spread_amplitudes(state);
       for (const auto& [name, gate] : kernel_set(n)) {
-        row.push_back(bench::measure_gate_seconds(gate, n, 0.02) * 1e6);
+        const auto predicted = perf::time_gate(gate, n, host, {});
+        BenchContext::MeasureOpts mo;
+        mo.model_seconds = predicted.seconds;
+        mo.model_bytes = predicted.cost.bytes;
+        mo.model_machine = host.name;
+        const auto st = ctx.measure(
+            bench::sub("host." + name + ".n", n),
+            [&] { sv::apply_gate(state, gate); }, mo);
+        row.push_back(st.median * 1e6);
       }
       t.add_row(std::move(row));
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

@@ -13,7 +13,7 @@ using namespace svsim;
 
 namespace {
 
-void scaling_table(unsigned n, const char* title) {
+void scaling_table(bench::BenchContext& ctx, unsigned n, const char* title) {
   const auto m = machine::MachineSpec::a64fx();
   Table t(title, {"threads", "compact_us", "scatter_us", "compact_speedup",
                   "scatter_speedup"});
@@ -29,33 +29,44 @@ void scaling_table(unsigned n, const char* title) {
     if (threads == 1) base = tc;
     t.add_row({static_cast<std::int64_t>(threads), tc * 1e6, ts * 1e6,
                base / tc, base / ts});
+    if (threads == 1 || threads == 12 || threads == 48) {
+      const std::string prefix =
+          bench::sub(bench::sub("a64fx.n", n) + ".th", threads);
+      ctx.model(prefix + ".compact.s", tc, "s", m.name);
+      ctx.model(prefix + ".scatter.s", ts, "s", m.name);
+    }
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Fig. 3", "thread scaling and CMG affinity (model)");
-  scaling_table(28, "A64FX model, n=28 (HBM-bound): compact vs. scatter");
-  scaling_table(16, "A64FX model, n=16 (cache-resident, overhead-limited)");
+SVSIM_BENCH(fig3_thread_scaling, "Fig. 3",
+            "thread scaling and CMG affinity") {
+  scaling_table(ctx, 28, "A64FX model, n=28 (HBM-bound): compact vs. scatter");
+  scaling_table(ctx, 16, "A64FX model, n=16 (cache-resident, overhead-limited)");
 
   // Host measurement: whatever parallelism this machine has.
   {
-    const unsigned n = 20;
+    const unsigned n = ctx.smoke() ? 16 : 20;
     const unsigned max_threads = ThreadPool::global().num_threads();
-    Table t("Host measured, n=20", {"threads", "us/gate", "speedup"});
+    Table t("Host measured, n=" + std::to_string(n),
+            {"threads", "us/gate", "speedup"});
     double base = 0.0;
     for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      if (ctx.smoke() && threads != 1 && threads * 2 <= max_threads)
+        continue;  // smoke: endpoints only
       ThreadPool pool(threads);
       sv::StateVector<double> state(n, &pool);
-      sv::apply_gate(state, qc::Gate::h(0));
-      const double s = time_mean_seconds(
-          [&] { sv::apply_gate(state, qc::Gate::h(n - 2)); }, 0.05);
-      if (threads == 1) base = s;
-      t.add_row({static_cast<std::int64_t>(threads), s * 1e6, base / s});
+      bench::spread_amplitudes(state);
+      const qc::Gate gate = qc::Gate::h(n - 2);
+      const auto st = ctx.measure(
+          bench::sub("host.h.th", threads),
+          [&] { sv::apply_gate(state, gate); });
+      if (threads == 1 || base == 0.0) base = st.median;
+      t.add_row({static_cast<std::int64_t>(threads), st.median * 1e6,
+                 base / st.median});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

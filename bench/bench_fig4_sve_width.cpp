@@ -13,7 +13,8 @@ using namespace svsim;
 
 namespace {
 
-void vl_table(unsigned n, unsigned threads, const char* title) {
+void vl_table(bench::BenchContext& ctx, unsigned n, unsigned threads,
+              const char* title) {
   const auto m = machine::MachineSpec::a64fx();
   Table t(title, {"target", "VL128_us", "VL256_us", "VL512_us",
                   "VL512_vs_128"});
@@ -33,17 +34,19 @@ void vl_table(unsigned n, unsigned threads, const char* title) {
     }
     row.push_back(t128 / t512);
     t.add_row(std::move(row));
+    ctx.model(bench::sub(bench::sub("a64fx.n", n) + ".rx.t", target) +
+                  ".vl512_vs_128",
+              t128 / t512, "ratio", m.name);
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Fig. 4", "SVE vector-length sweep (model)");
-  vl_table(14, 1, "A64FX model, n=14, 1 core (L2-resident: VL matters)");
-  vl_table(20, 12, "A64FX model, n=20, one CMG (L2/HBM boundary)");
-  vl_table(28, 48, "A64FX model, n=28, 48 cores (HBM-bound: VL irrelevant)");
+SVSIM_BENCH(fig4_sve_width, "Fig. 4", "SVE vector-length sweep (model)") {
+  vl_table(ctx, 14, 1, "A64FX model, n=14, 1 core (L2-resident: VL matters)");
+  vl_table(ctx, 20, 12, "A64FX model, n=20, one CMG (L2/HBM boundary)");
+  vl_table(ctx, 28, 48, "A64FX model, n=28, 48 cores (HBM-bound: VL irrelevant)");
 
   // Whole-circuit view: a cache-resident circuit (VL visible) vs. an
   // HBM-resident one (VL hidden by bandwidth).
@@ -51,10 +54,11 @@ int main() {
     const auto m = machine::MachineSpec::a64fx();
     Table t("A64FX model: circuit wall time vs. vector length",
             {"workload", "VL_bits", "ms", "GFLOP/s"});
-    const std::vector<std::tuple<std::string, qc::Circuit, unsigned>> cases =
-        {{"QFT(14), 1 core, fused4", qc::qft(14), 1u},
-         {"QFT(24), 48 cores", qc::qft(24), 0u}};
-    for (const auto& [name, c, threads] : cases) {
+    const std::vector<std::tuple<std::string, std::string, qc::Circuit,
+                                 unsigned>>
+        cases = {{"QFT(14), 1 core, fused4", "qft14_1c", qc::qft(14), 1u},
+                 {"QFT(24), 48 cores", "qft24_48c", qc::qft(24), 0u}};
+    for (const auto& [name, key, c, threads] : cases) {
       for (unsigned vl : {128u, 256u, 512u}) {
         machine::ExecConfig cfg;
         cfg.vector_bits = vl;
@@ -65,9 +69,10 @@ int main() {
         const auto r = perf::simulate_circuit(c, m, cfg, po);
         t.add_row({name, static_cast<std::int64_t>(vl),
                    r.total_seconds * 1e3, r.achieved_gflops()});
+        ctx.model(bench::sub("a64fx." + key + ".vl", vl) + ".s",
+                  r.total_seconds, "s", m.name);
       }
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

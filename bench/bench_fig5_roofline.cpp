@@ -15,28 +15,35 @@
 
 using namespace svsim;
 
-int main() {
-  bench::print_header("Fig. 5", "roofline placement of kernels (A64FX, n=30)");
-
+SVSIM_BENCH(fig5_roofline, "Fig. 5",
+            "roofline placement of kernels (A64FX, n=30)") {
   const auto m = machine::MachineSpec::a64fx();
   machine::ExecConfig cfg;
   const auto placement = machine::place_threads(m, cfg);
   const unsigned n = 30;
 
-  std::cout << "compute roof: " << m.peak_gflops() << " GFLOP/s, "
-            << "STREAM ceiling: " << m.stream_bandwidth_gbps() << " GB/s, "
-            << "ridge: "
-            << machine::ridge_intensity(m, placement, cfg, 1.0, 1ull << 34)
-            << " flop/byte\n\n";
+  ctx.model("a64fx.peak_gflops", m.peak_gflops(), "GFLOP/s", m.name);
+  ctx.model("a64fx.stream_gbps", m.stream_bandwidth_gbps(), "GB/s", m.name);
+  const double ridge =
+      machine::ridge_intensity(m, placement, cfg, 1.0, 1ull << 34);
+  ctx.model("a64fx.ridge_intensity", ridge, "flop/byte", m.name);
+
+  {
+    Table t("Roofs", {"quantity", "value"});
+    t.add_row({std::string("compute roof GFLOP/s"), m.peak_gflops()});
+    t.add_row({std::string("STREAM ceiling GB/s"), m.stream_bandwidth_gbps()});
+    t.add_row({std::string("ridge flop/byte"), ridge});
+    ctx.table(t);
+  }
 
   Xoshiro256 rng(5);
   std::vector<std::pair<std::string, qc::Gate>> kernels = {
       {"x", qc::Gate::x(20)},
       {"h", qc::Gate::h(20)},
-      {"rz (diag)", qc::Gate::rz(20, 0.3)},
-      {"rx (gen1q)", qc::Gate::rx(20, 0.3)},
+      {"rz", qc::Gate::rz(20, 0.3)},
+      {"rx", qc::Gate::rx(20, 0.3)},
       {"cx", qc::Gate::cx(28, 20)},
-      {"u2q (gen2q)", qc::Gate::u2q(10, 20, qc::Matrix::random_unitary(4, rng))},
+      {"u2q", qc::Gate::u2q(10, 20, qc::Matrix::random_unitary(4, rng))},
   };
   for (unsigned k = 3; k <= 6; ++k) {
     std::vector<unsigned> qs;
@@ -56,10 +63,12 @@ int main() {
                                       cost.simd_efficiency,
                                       cost.footprint_bytes);
     const auto gt = perf::time_gate(gate, n, m, cfg);
+    const double model_gflops = gt.cost.flops / gt.seconds * 1e-9;
     t.add_row({name, cost.arithmetic_intensity(), pt.attainable_gflops,
-               gt.cost.flops / gt.seconds * 1e-9,
-               std::string(pt.memory_bound ? "mem" : "fp")});
+               model_gflops, std::string(pt.memory_bound ? "mem" : "fp")});
+    ctx.model("a64fx." + name + ".ai", cost.arithmetic_intensity(),
+              "flop/byte", m.name);
+    ctx.model("a64fx." + name + ".gflops", model_gflops, "GFLOP/s", m.name);
   }
-  t.print(std::cout);
-  return 0;
+  ctx.table(t);
 }

@@ -15,14 +15,14 @@ using namespace svsim;
 
 namespace {
 
-void weak_scaling(const dist::InterconnectSpec& net) {
+void weak_scaling(bench::BenchContext& ctx, const dist::InterconnectSpec& net,
+                  unsigned max_d) {
   const auto m = machine::MachineSpec::a64fx();
   const unsigned local = 24;
-  std::cout << "interconnect: " << net.name << "\n";
-  Table t("Weak scaling, QFT, 2^24 amplitudes per node",
+  Table t("Weak scaling, QFT, 2^24 amplitudes per node (" + net.name + ")",
           {"nodes", "n", "sched", "exchanges", "GB/node", "compute_s",
            "comm_s", "total_s", "comm_share"});
-  for (unsigned d = 0; d <= 9; d += 3) {
+  for (unsigned d = 0; d <= max_d; d += 3) {
     const unsigned n = local + d;
     const qc::Circuit c = qc::qft(n);
     if (d == 0) {
@@ -30,6 +30,7 @@ void weak_scaling(const dist::InterconnectSpec& net) {
       t.add_row({std::int64_t{1}, static_cast<std::int64_t>(n),
                  std::string("-"), std::int64_t{0}, 0.0, r.total_seconds, 0.0,
                  r.total_seconds, 0.0});
+      ctx.model(net.name + ".nodes1.total_s", r.total_seconds, "s", m.name);
       continue;
     }
     for (auto sched :
@@ -43,17 +44,20 @@ void weak_scaling(const dist::InterconnectSpec& net) {
                  dt.exchange_bytes * 1e-9, dt.compute_seconds,
                  dt.comm_seconds, dt.total_seconds,
                  dt.comm_seconds / dt.total_seconds});
+      ctx.model(bench::sub(net.name + ".nodes", plan.num_nodes()) + "." +
+                    dist::scheduler_name(sched) + ".total_s",
+                dt.total_seconds, "s", m.name);
     }
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Fig. 6", "distributed weak scaling (model)");
-  weak_scaling(dist::InterconnectSpec::tofu_d());
-  weak_scaling(dist::InterconnectSpec::infiniband_edr());
+SVSIM_BENCH(fig6_distributed, "Fig. 6", "distributed weak scaling (model)") {
+  const unsigned max_d = ctx.smoke() ? 6 : 9;
+  weak_scaling(ctx, dist::InterconnectSpec::tofu_d(), max_d);
+  weak_scaling(ctx, dist::InterconnectSpec::infiniband_edr(), max_d);
 
   // Straggler propagation: the event-driven simulator's contribution.
   {
@@ -63,16 +67,17 @@ int main() {
     const auto plan = dist::plan_distribution(c, 4, dist::CommScheduler::Naive);
     Table t("Straggler propagation (16 nodes, one slow node, QFT(22))",
             {"slowdown", "makespan_ms", "vs_clean"});
-    const double clean =
-        dist::event_driven_makespan(plan, m, {}, net);
+    const double clean = dist::event_driven_makespan(plan, m, {}, net);
     for (double slow : {1.0, 1.5, 2.0, 4.0}) {
       dist::StragglerConfig s;
       s.node = 3;
       s.slowdown = slow;
       const double ms = dist::event_driven_makespan(plan, m, {}, net, s);
       t.add_row({slow, ms * 1e3, ms / clean});
+      ctx.model(bench::sub("straggler.x", static_cast<unsigned>(slow * 10)) +
+                    ".vs_clean",
+                ms / clean, "ratio", m.name);
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

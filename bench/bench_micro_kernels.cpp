@@ -1,106 +1,91 @@
-// Google-benchmark microkernels: real host measurements of the hot kernels.
+// Microkernels: real host measurements of the hot kernels.
 //
 // These complement the model tables with statistically solid wall-clock
 // numbers on whatever machine builds the repo (used to validate that the
 // kernels genuinely stream at memory speed and that fusion raises per-byte
-// work).
-#include <benchmark/benchmark.h>
+// work). The achieved-GB/s column comes from the harness' attribution join.
+#include "bench_util.hpp"
 
 #include "common/rng.hpp"
 #include "qc/matrix.hpp"
 #include "sv/kernels.hpp"
-#include "sv/simulator.hpp"
-#include "sv/state_vector.hpp"
 
 using namespace svsim;
 
-namespace {
+SVSIM_BENCH(micro_kernels, "Micro", "hot-kernel wall-clock on the host") {
+  const unsigned n = ctx.smoke() ? 16 : 18;  // 4 MiB state: out of L2
+  sv::StateVector<double> state(n);
+  bench::spread_amplitudes(state);
+  const double bytes = static_cast<double>(pow2(n)) * 32;  // rd+wr complex
 
-constexpr unsigned kN = 18;  // 4 MiB state: out of L2 on most hosts
+  Table t("Hot kernels, n=" + std::to_string(n),
+          {"kernel", "median_us", "rel_ci95", "GB/s"});
+  auto row = [&](const std::string& name, const obs::bench::SampleStats& st,
+                 double b) {
+    t.add_row({name, st.median * 1e6, st.rel_ci95,
+               bench::measured_bandwidth_gbps(b, st.median)});
+  };
 
-sv::StateVector<double>& shared_state() {
-  static sv::StateVector<double> state(kN);
-  return state;
-}
-
-void BM_ApplyH(benchmark::State& st) {
-  auto& sv = shared_state();
-  const unsigned target = static_cast<unsigned>(st.range(0));
-  for (auto _ : st) {
-    sv::apply_h(sv.data(), kN, target, sv.pool());
-    benchmark::ClobberMemory();
+  {
+    const std::vector<unsigned> targets =
+        ctx.smoke() ? std::vector<unsigned>{0u, n - 1}
+                    : std::vector<unsigned>{0u, 4u, n - 1};
+    for (unsigned target : targets) {
+      BenchContext::MeasureOpts mo;
+      mo.model_bytes = bytes;
+      const auto st = ctx.measure(
+          bench::sub("h.t", target),
+          [&] { sv::apply_h(state.data(), n, target, state.pool()); }, mo);
+      row(bench::sub("h t=", target), st, bytes);
+    }
   }
-  st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
-                       static_cast<std::int64_t>(pow2(kN)) * 32);
-}
-BENCHMARK(BM_ApplyH)->Arg(0)->Arg(4)->Arg(kN - 1);
-
-void BM_ApplyX(benchmark::State& st) {
-  auto& sv = shared_state();
-  for (auto _ : st) {
-    sv::apply_x(sv.data(), kN, 9, sv.pool());
-    benchmark::ClobberMemory();
+  {
+    BenchContext::MeasureOpts mo;
+    mo.model_bytes = bytes;
+    const auto st = ctx.measure(
+        "x.t9", [&] { sv::apply_x(state.data(), n, 9, state.pool()); }, mo);
+    row("x t=9", st, bytes);
   }
-  st.SetBytesProcessed(static_cast<std::int64_t>(st.iterations()) *
-                       static_cast<std::int64_t>(pow2(kN)) * 32);
-}
-BENCHMARK(BM_ApplyX);
-
-void BM_ApplyDiag(benchmark::State& st) {
-  auto& sv = shared_state();
-  for (auto _ : st) {
-    sv::apply_diag1(sv.data(), kN, 9, {1.0, 0.0}, {0.0, 1.0}, sv.pool());
-    benchmark::ClobberMemory();
+  {
+    const auto st = ctx.measure("diag.t9", [&] {
+      sv::apply_diag1(state.data(), n, 9, {1.0, 0.0}, {0.0, 1.0},
+                      state.pool());
+    });
+    row("diag t=9", st, bytes);
   }
-}
-BENCHMARK(BM_ApplyDiag);
-
-void BM_ApplyCX(benchmark::State& st) {
-  auto& sv = shared_state();
-  for (auto _ : st) {
-    sv::apply_mcx(sv.data(), kN, {3}, 11, sv.pool());
-    benchmark::ClobberMemory();
+  {
+    const auto st = ctx.measure("cx.c3.t11", [&] {
+      sv::apply_mcx(state.data(), n, {3}, 11, state.pool());
+    });
+    row("cx 3->11", st, bytes / 2);
   }
-}
-BENCHMARK(BM_ApplyCX);
-
-void BM_ApplyMatrix2(benchmark::State& st) {
-  auto& sv = shared_state();
-  Xoshiro256 rng(1);
-  const qc::Matrix u = qc::Matrix::random_unitary(4, rng);
-  for (auto _ : st) {
-    sv::apply_matrix2(sv.data(), kN, 3, 11, u, sv.pool());
-    benchmark::ClobberMemory();
+  {
+    Xoshiro256 rng(1);
+    const qc::Matrix u = qc::Matrix::random_unitary(4, rng);
+    BenchContext::MeasureOpts mo;
+    mo.model_bytes = bytes;
+    const auto st = ctx.measure("matrix2.t3.t11", [&] {
+      sv::apply_matrix2(state.data(), n, 3, 11, u, state.pool());
+    }, mo);
+    row("matrix2 3,11", st, bytes);
   }
-}
-BENCHMARK(BM_ApplyMatrix2);
-
-void BM_ApplyFusedK(benchmark::State& st) {
-  auto& sv = shared_state();
-  const unsigned k = static_cast<unsigned>(st.range(0));
-  Xoshiro256 rng(k);
-  std::vector<unsigned> qs;
-  for (unsigned i = 0; i < k; ++i) qs.push_back(2 * i + 1);
-  const qc::Matrix u = qc::Matrix::random_unitary(pow2(k), rng);
-  for (auto _ : st) {
-    sv::apply_matrix_k(sv.data(), kN, qs, u, sv.pool());
-    benchmark::ClobberMemory();
+  for (unsigned k = 2; k <= 5; ++k) {
+    if (ctx.smoke() && k != 2 && k != 4) continue;
+    Xoshiro256 rng(k);
+    std::vector<unsigned> qs;
+    for (unsigned i = 0; i < k; ++i) qs.push_back(2 * i + 1);
+    const qc::Matrix u = qc::Matrix::random_unitary(pow2(k), rng);
+    BenchContext::MeasureOpts mo;
+    mo.model_bytes = bytes;
+    const auto st = ctx.measure(bench::sub("fused.k", k), [&] {
+      sv::apply_matrix_k(state.data(), n, qs, u, state.pool());
+    }, mo);
+    row(bench::sub("fused k=", k), st, bytes);
   }
-  // flops per group x groups, for the counters report.
-  const double sub = static_cast<double>(pow2(k));
-  st.counters["flops_per_iter"] =
-      sub * (6.0 * sub + 2.0 * (sub - 1.0)) * (static_cast<double>(pow2(kN)) / sub);
-}
-BENCHMARK(BM_ApplyFusedK)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
-
-void BM_NormSquared(benchmark::State& st) {
-  auto& sv = shared_state();
-  for (auto _ : st) {
-    benchmark::DoNotOptimize(sv.norm_squared());
+  {
+    const auto st =
+        ctx.measure("norm_squared", [&] { (void)state.norm_squared(); });
+    row("norm_squared", st, bytes / 2);
   }
+  ctx.table(t);
 }
-BENCHMARK(BM_NormSquared);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -12,9 +12,7 @@
 
 using namespace svsim;
 
-int main() {
-  bench::print_header("Tab. 1", "circuit suite across processors");
-
+SVSIM_BENCH(tab1_circuits, "Tab. 1", "circuit suite across processors") {
   const unsigned n = 26;
   const std::vector<std::pair<std::string, qc::Circuit>> suite = {
       {"qft", qc::qft(n)},
@@ -23,10 +21,10 @@ int main() {
       {"qaoa_p2", qc::qaoa_maxcut(n, qc::ring_graph(n), {0.8, 0.6},
                                   {0.4, 0.3})},
   };
-  const std::vector<machine::MachineSpec> machines = {
-      machine::MachineSpec::a64fx(),
-      machine::MachineSpec::xeon_6148_dual(),
-      machine::MachineSpec::thunderx2_dual(),
+  const std::vector<std::pair<std::string, machine::MachineSpec>> machines = {
+      {"a64fx", machine::MachineSpec::a64fx()},
+      {"xeon", machine::MachineSpec::xeon_6148_dual()},
+      {"tx2", machine::MachineSpec::thunderx2_dual()},
   };
 
   Table t("Model wall time (seconds), n=26, all cores, no fusion",
@@ -34,12 +32,14 @@ int main() {
            "xeon/a64fx", "tx2/a64fx"});
   for (const auto& [name, c] : suite) {
     std::vector<double> secs;
-    for (const auto& m : machines)
+    for (const auto& [key, m] : machines) {
       secs.push_back(perf::simulate_circuit(c, m, {}).total_seconds);
+      ctx.model(key + "." + name + ".s", secs.back(), "s", m.name);
+    }
     t.add_row({name, static_cast<std::int64_t>(c.size()), secs[0], secs[1],
                secs[2], secs[1] / secs[0], secs[2] / secs[0]});
   }
-  t.print(std::cout);
+  ctx.table(t);
 
   Table tf("Model wall time (seconds), n=26, fusion width 4",
            {"circuit", "A64FX", "2xXeon6148", "2xTX2"});
@@ -48,36 +48,56 @@ int main() {
   fo.fusion_width = 4;
   for (const auto& [name, c] : suite) {
     std::vector<Cell> row{name};
-    for (const auto& m : machines)
-      row.push_back(perf::simulate_circuit(c, m, {}, fo).total_seconds);
+    for (const auto& [key, m] : machines) {
+      const double s = perf::simulate_circuit(c, m, {}, fo).total_seconds;
+      row.push_back(s);
+      ctx.model(key + "." + name + ".fused4.s", s, "s", m.name);
+    }
     tf.add_row(std::move(row));
   }
-  tf.print(std::cout);
+  ctx.table(tf);
 
   // Host-measured small instances: real end-to-end runs.
   {
-    const unsigned hn = 18;
-    const std::vector<std::pair<std::string, qc::Circuit>> small = {
+    const unsigned hn = ctx.smoke() ? 14 : 18;
+    std::vector<std::pair<std::string, qc::Circuit>> small = {
         {"qft", qc::qft(hn)},
         {"ghz", qc::ghz(hn)},
-        {"qv_d10", qc::random_quantum_volume(hn, 10, 11)},
     };
-    Table th("Host measured (seconds), n=18", {"circuit", "plain", "fused4"});
+    if (!ctx.smoke())
+      small.emplace_back("qv_d10", qc::random_quantum_volume(hn, 10, 11));
+    const auto host = bench::host_spec();
+    Table th("Host measured (seconds), n=" + std::to_string(hn),
+             {"circuit", "plain", "fused4"});
     for (const auto& [name, c] : small) {
-      sv::Simulator<double> plain;
+      BenchContext::MeasureOpts mo;
+      mo.model_seconds = perf::simulate_circuit(c, host, {}).total_seconds;
+      mo.model_machine = host.name;
+      const auto plain = ctx.measure(
+          "host." + name + ".plain",
+          [&] {
+            sv::Simulator<double> sim;
+            sim.run(c);
+          },
+          mo);
+
       sv::SimulatorOptions fopts;
       fopts.fusion = true;
       fopts.fusion_width = 4;
-      sv::Simulator<double> fused(fopts);
-      Timer t0;
-      plain.run(c);
-      const double tp = t0.seconds();
-      Timer t1;
-      fused.run(c);
-      const double tfused = t1.seconds();
-      th.add_row({name, tp, tfused});
+      perf::PerfOptions fpo;
+      fpo.fusion = true;
+      fpo.fusion_width = 4;
+      mo.model_seconds =
+          perf::simulate_circuit(c, host, {}, fpo).total_seconds;
+      const auto fused = ctx.measure(
+          "host." + name + ".fused4",
+          [&] {
+            sv::Simulator<double> sim(fopts);
+            sim.run(c);
+          },
+          mo);
+      th.add_row({name, plain.median, fused.median});
     }
-    th.print(std::cout);
+    ctx.table(th);
   }
-  return 0;
 }

@@ -15,9 +15,7 @@
 
 using namespace svsim;
 
-int main() {
-  bench::print_header("Tab. 2", "gate-fusion impact (QV circuit)");
-
+SVSIM_BENCH(tab2_fusion, "Tab. 2", "gate-fusion impact (QV circuit)") {
   {
     const unsigned n = 26;
     const qc::Circuit c = qc::random_quantum_volume(n, 10, 3);
@@ -36,40 +34,48 @@ int main() {
                  static_cast<std::int64_t>(fused.size()),
                  r.total_flops / r.total_bytes, r.total_seconds,
                  base / r.total_seconds});
+      ctx.model(bench::sub("a64fx.qv26.w", width) + ".s", r.total_seconds,
+                "s", m.name);
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
-    const unsigned n = 19;
-    const qc::Circuit c = qc::random_quantum_volume(n, 8, 3);
+    const unsigned n = ctx.smoke() ? 14 : 19;
+    const unsigned depth = ctx.smoke() ? 4 : 8;
+    const qc::Circuit c = qc::random_quantum_volume(n, depth, 3);
     const auto host = bench::host_spec();
     machine::ExecConfig host_cfg;
-    Table t("Host: measured vs. host-model prediction, QV n=19 depth=8",
+    Table t("Host: measured vs. host-model prediction, QV n=" +
+                std::to_string(n) + " depth=" + std::to_string(depth),
             {"fusion_width", "gates", "measured_s", "measured_speedup",
              "model_speedup"});
     double base = 0.0, model_base = 0.0;
-    // Warm-up run so the first measured width is not penalized by faults.
-    { sv::Simulator<double> warm; warm.run(c); }
     for (unsigned width = 1; width <= 5; ++width) {
+      if (ctx.smoke() && width != 1 && width != 4) continue;
       sv::FusionOptions fo;
       fo.max_width = width;
       const qc::Circuit fused = sv::fuse(c, fo);
-      sv::Simulator<double> sim;
-      Timer timer;
-      sim.run(fused);
-      const double s = timer.seconds();
       const double model_s =
           perf::simulate_circuit(fused, host, host_cfg).total_seconds;
-      if (width == 1) {
-        base = s;
+      BenchContext::MeasureOpts mo;
+      mo.model_seconds = model_s;
+      mo.model_machine = host.name;
+      const auto st = ctx.measure(
+          bench::sub("host.qv.w", width),
+          [&] {
+            sv::Simulator<double> sim;
+            sim.run(fused);
+          },
+          mo);
+      if (base == 0.0) {
+        base = st.median;
         model_base = model_s;
       }
       t.add_row({static_cast<std::int64_t>(width),
-                 static_cast<std::int64_t>(fused.size()), s, base / s,
-                 model_base / model_s});
+                 static_cast<std::int64_t>(fused.size()), st.median,
+                 base / st.median, model_base / model_s});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

@@ -13,7 +13,8 @@ using namespace svsim;
 
 namespace {
 
-void mode_table(const qc::Circuit& c, const perf::PerfOptions& opts,
+void mode_table(bench::BenchContext& ctx, const std::string& key,
+                const qc::Circuit& c, const perf::PerfOptions& opts,
                 const char* title) {
   const std::vector<std::pair<std::string, machine::MachineSpec>> modes = {
       {"normal", machine::MachineSpec::a64fx()},
@@ -32,21 +33,22 @@ void mode_table(const qc::Circuit& c, const perf::PerfOptions& opts,
     t.add_row({name, p.seconds, p.average_watts, p.joules,
                p.energy_delay_product(), p.seconds / t0,
                p.average_watts / w0});
+    ctx.model(key + "." + name + ".s", p.seconds, "s", m.name);
+    ctx.model(key + "." + name + ".watts", p.average_watts, "W", m.name);
+    ctx.model(key + "." + name + ".joules", p.joules, "J", m.name);
   }
-  t.print(std::cout);
+  ctx.table(t);
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header("Tab. 3", "A64FX power modes (model)");
-
-  mode_table(qc::qft(27), {}, "Memory-bound: QFT(27), no fusion");
+SVSIM_BENCH(tab3_power, "Tab. 3", "A64FX power modes (model)") {
+  mode_table(ctx, "qft27", qc::qft(27), {},
+             "Memory-bound: QFT(27), no fusion");
 
   perf::PerfOptions fused;
   fused.fusion = true;
   fused.fusion_width = 5;
-  mode_table(qc::random_quantum_volume(20, 20, 3), fused,
+  mode_table(ctx, "qv20f5", qc::random_quantum_volume(20, 20, 3), fused,
              "Compute-bound: QV(20) depth 20, fusion width 5");
-  return 0;
 }

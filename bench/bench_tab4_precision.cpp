@@ -2,24 +2,25 @@
 //
 // Halving the amplitude size halves the streamed bytes; for a bandwidth-
 // bound simulator that is a ~2x speedup on the model, and measurably faster
-// on the host. The accuracy column reports the float-vs-double state error
-// after the full circuit — the trade the precision study quantifies.
+// on the host. The accuracy records report the float-vs-double state error
+// after a full circuit — the trade the precision study quantifies.
 #include "bench_util.hpp"
 
 #include <cmath>
+#include <complex>
+
+#include "common/bits.hpp"
 
 #include "perf/perf_simulator.hpp"
 #include "qc/library.hpp"
 
 using namespace svsim;
 
-int main() {
-  bench::print_header("Tab. 4", "double vs. single precision");
-
+SVSIM_BENCH(tab4_precision, "Tab. 4", "double vs. single precision") {
   {
     const auto m = machine::MachineSpec::a64fx();
-    Table t("A64FX model, H-gate sweep", {"n", "double_us", "float_us",
-                                          "speedup"});
+    Table t("A64FX model, H-gate sweep",
+            {"n", "double_us", "float_us", "speedup"});
     for (unsigned n = 20; n <= 30; n += 2) {
       machine::ExecConfig dp;
       machine::ExecConfig sp;
@@ -27,32 +28,57 @@ int main() {
       const double td = perf::time_gate(qc::Gate::h(n - 2), n, m, dp).seconds;
       const double ts = perf::time_gate(qc::Gate::h(n - 2), n, m, sp).seconds;
       t.add_row({static_cast<std::int64_t>(n), td * 1e6, ts * 1e6, td / ts});
+      ctx.model(bench::sub("a64fx.h.n", n) + ".speedup", td / ts, "ratio",
+                m.name);
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
-    const unsigned n = 20;
-    Table t("Host measured, n=20", {"kernel", "double_us", "float_us",
-                                    "speedup"});
+    const unsigned n = ctx.smoke() ? 16 : 20;
+    const auto host = bench::host_spec();
+    Table t("Host measured, n=" + std::to_string(n),
+            {"kernel", "double_us", "float_us", "speedup"});
     const std::vector<std::pair<std::string, qc::Gate>> kernels = {
         {"h", qc::Gate::h(n - 2)},
         {"x", qc::Gate::x(n - 2)},
         {"cx", qc::Gate::cx(n - 1, 2)},
     };
+    const double bytes_d = static_cast<double>(pow2(n)) * 2 * 16;
     for (const auto& [name, g] : kernels) {
-      const double td = bench::measure_gate_seconds<double>(g, n);
-      const double ts = bench::measure_gate_seconds<float>(g, n);
-      t.add_row({name, td * 1e6, ts * 1e6, td / ts});
+      sv::StateVector<double> sd(n);
+      bench::spread_amplitudes(sd);
+      BenchContext::MeasureOpts mo;
+      mo.model_seconds =
+          perf::time_gate(g, n, host, {}).seconds;
+      mo.model_bytes = bytes_d;
+      mo.model_machine = host.name;
+      const auto rd = ctx.measure("host." + name + ".double",
+                                  [&] { sv::apply_gate(sd, g); }, mo);
+
+      sv::StateVector<float> sf(n);
+      bench::spread_amplitudes(sf);
+      machine::ExecConfig sp;
+      sp.element_bytes = 4;
+      mo.model_seconds = perf::time_gate(g, n, host, sp).seconds;
+      mo.model_bytes = bytes_d / 2;
+      const auto rf = ctx.measure("host." + name + ".float",
+                                  [&] { sv::apply_gate(sf, g); }, mo);
+      t.add_row({name, rd.median * 1e6, rf.median * 1e6,
+                 rd.median / rf.median});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
     // Accuracy: float-vs-double final-state error for a deep circuit.
+    // Deterministic (seeded circuit, exact arithmetic comparison), so these
+    // are "value" records: no sampling, but baselined like everything else.
     Table t("Accuracy: QV circuit float-vs-double state error",
             {"n", "depth", "max_amp_error", "fidelity_loss"});
-    for (unsigned n : {12u, 16u}) {
+    std::vector<unsigned> sizes = {12u};
+    if (!ctx.smoke()) sizes.push_back(16u);
+    for (unsigned n : sizes) {
       const qc::Circuit c = qc::random_quantum_volume(n, 12, 9);
       sv::Simulator<double> sd;
       sv::Simulator<float> sf;
@@ -66,10 +92,22 @@ int main() {
         max_err = std::max(max_err, std::abs(a[i] - b[i]));
         ip += std::conj(a[i]) * b[i];
       }
+      const double fid_loss = 1.0 - std::abs(ip);
       t.add_row({static_cast<std::int64_t>(n), std::int64_t{12}, max_err,
-                 1.0 - std::abs(ip)});
+                 fid_loss});
+      obs::bench::BenchRecord r;
+      r.id = bench::sub("accuracy.qv", n) + ".max_amp_error";
+      r.kind = "value";
+      r.unit = "abs";
+      r.value = max_err;
+      ctx.record(std::move(r));
+      obs::bench::BenchRecord r2;
+      r2.id = bench::sub("accuracy.qv", n) + ".fidelity_loss";
+      r2.kind = "value";
+      r2.unit = "abs";
+      r2.value = fid_loss;
+      ctx.record(std::move(r2));
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

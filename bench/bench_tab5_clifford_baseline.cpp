@@ -37,51 +37,71 @@ qc::Circuit random_clifford(unsigned n, std::size_t length,
 
 }  // namespace
 
-int main() {
-  bench::print_header("Tab. 5",
-                      "stabilizer baseline vs. state vector (host measured)");
-
+SVSIM_BENCH(tab5_clifford_baseline, "Tab. 5",
+            "stabilizer baseline vs. state vector (host measured)") {
   {
+    const unsigned sv_cap = ctx.smoke() ? 14 : 18;
+    const std::vector<unsigned> sizes =
+        ctx.smoke() ? std::vector<unsigned>{8u, 14u}
+                    : std::vector<unsigned>{8u, 12u, 16u, 18u, 20u, 22u};
     Table t("Random Clifford circuit, 20n gates",
             {"n", "stabilizer_ms", "state_vector_ms", "sv/stab"});
-    for (unsigned n : {8u, 12u, 16u, 18u, 20u, 22u}) {
+    for (unsigned n : sizes) {
       const qc::Circuit c = random_clifford(n, 20ull * n, 7);
-      Timer ts;
-      stab::StabilizerState stab_state = stab::run_clifford(c);
-      const double t_stab = ts.seconds();
-      double t_sv = -1.0;
-      if (n <= 22) {
-        sv::Simulator<double> sim;
-        Timer tv;
-        sim.run(c);
-        t_sv = tv.seconds();
+      const auto t_stab = ctx.measure(bench::sub("stab.n", n), [&] {
+        stab::StabilizerState s = stab::run_clifford(c);
+        (void)s;
+      });
+      double sv_ms = -1.0, ratio = -1.0;
+      if (n <= sv_cap) {
+        BenchContext::MeasureOpts mo;
+        mo.max_seconds = 1.0;
+        const auto t_sv = ctx.measure(bench::sub("sv.n", n),
+                                      [&] {
+                                        sv::Simulator<double> sim;
+                                        sim.run(c);
+                                      },
+                                      mo);
+        sv_ms = t_sv.median * 1e3;
+        ratio = t_sv.median / t_stab.median;
       }
-      t.add_row({static_cast<std::int64_t>(n), t_stab * 1e3, t_sv * 1e3,
-                 t_sv / t_stab});
+      t.add_row({static_cast<std::int64_t>(n), t_stab.median * 1e3, sv_ms,
+                 ratio});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
+    const std::vector<unsigned> sizes =
+        ctx.smoke() ? std::vector<unsigned>{64u, 256u}
+                    : std::vector<unsigned>{64u, 128u, 256u, 512u, 1024u};
     Table t("Stabilizer-only scale (GHZ ladder + measurement)",
             {"n", "build_ms", "measure_all_ms"});
-    Xoshiro256 rng(3);
-    for (unsigned n : {64u, 128u, 256u, 512u, 1024u}) {
-      Timer tb;
-      stab::StabilizerState s(n);
-      s.h(0);
-      for (unsigned q = 0; q + 1 < n; ++q) s.cx(q, q + 1);
-      const double build = tb.seconds();
-      Timer tm;
-      for (unsigned q = 0; q < n; ++q) s.measure(q, rng);
-      t.add_row({static_cast<std::int64_t>(n), build * 1e3,
-                 tm.seconds() * 1e3});
+    for (unsigned n : sizes) {
+      const auto build = ctx.measure(bench::sub("ghz.build.n", n), [&] {
+        stab::StabilizerState s(n);
+        s.h(0);
+        for (unsigned q = 0; q + 1 < n; ++q) s.cx(q, q + 1);
+      });
+      // Measurement collapses the state, so each rep rebuilds then measures;
+      // the reported number is the delta from the build-only median.
+      Xoshiro256 rng(3);
+      const auto both = ctx.measure(bench::sub("ghz.measure.n", n), [&] {
+        stab::StabilizerState s(n);
+        s.h(0);
+        for (unsigned q = 0; q + 1 < n; ++q) s.cx(q, q + 1);
+        for (unsigned q = 0; q < n; ++q) s.measure(q, rng);
+      });
+      t.add_row({static_cast<std::int64_t>(n), build.median * 1e3,
+                 (both.median - build.median) * 1e3});
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
 
   {
     // Cross-check column: expectations agree exactly where both run.
+    // Deterministic, so recorded as "value" — a nonzero baseline delta here
+    // is a correctness bug, not noise.
     Table t("Cross-validation on random Clifford circuits (n=8)",
             {"seed", "paulis_checked", "max_disagreement"});
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
@@ -95,14 +115,18 @@ int main() {
       for (int i = 0; i < checks; ++i) {
         const qc::PauliString p(8, prng.uniform_int(256),
                                 prng.uniform_int(256));
-        worst = std::max(worst,
-                         std::abs(svec.expectation(p) -
-                                  stab_state.expectation(p)));
+        worst = std::max(worst, std::abs(svec.expectation(p) -
+                                         stab_state.expectation(p)));
       }
       t.add_row({static_cast<std::int64_t>(seed), std::int64_t{checks},
                  worst});
+      obs::bench::BenchRecord r;
+      r.id = bench::sub("crosscheck.seed", seed) + ".max_disagreement";
+      r.kind = "value";
+      r.unit = "abs";
+      r.value = worst;
+      ctx.record(std::move(r));
     }
-    t.print(std::cout);
+    ctx.table(t);
   }
-  return 0;
 }

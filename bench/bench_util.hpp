@@ -1,55 +1,61 @@
-// Shared helpers for the bench harness.
+// Shared helpers for benchmark cases.
 //
-// Each bench binary regenerates one table or figure of the reconstructed
-// evaluation (see DESIGN.md). Two kinds of numbers appear side by side:
-//   measured  — real kernel executions on the build host;
+// Each translation unit in bench/ registers one or more benchmark cases
+// (SVSIM_BENCH) reproducing a table or figure of the reconstructed
+// evaluation (see DESIGN.md); the unified `svsim_bench` runner executes
+// them. Two kinds of numbers appear side by side:
+//   measured  — real kernel executions on the build host, sampled by the
+//               statistical engine (obs/bench/stats.hpp);
 //   model     — the analytical A64FX/Xeon/ThunderX2 performance simulator.
 // Absolute host numbers depend on the machine running this; the model
 // columns are the paper-facing result.
 #pragma once
 
-#include <cstdio>
-#include <iostream>
 #include <string>
 
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "machine/machine_spec.hpp"
+#include "obs/bench/env.hpp"
+#include "obs/bench/registry.hpp"
 #include "qc/gate.hpp"
 #include "sv/simulator.hpp"
 #include "sv/state_vector.hpp"
 
+namespace svsim {
+
+// Case bodies live inside `using namespace svsim;` translation units; hoist
+// the context type so `BenchContext::MeasureOpts` reads naturally there.
+using obs::bench::BenchContext;
+
+}  // namespace svsim
+
 namespace svsim::bench {
 
-/// Mean seconds per application of `gate` to an n-qubit host register.
-/// The state is reused across repetitions (steady-state cache behaviour).
-template <typename T = double>
-double measure_gate_seconds(const qc::Gate& gate, unsigned n,
-                            double min_seconds = 0.05) {
-  sv::StateVector<T> state(n);
-  // Spread amplitude mass so kernels do representative work.
+using obs::bench::BenchContext;
+
+/// Spreads amplitude mass (H on qubit 0) so kernels do representative work
+/// instead of streaming a delta state.
+template <typename T>
+void spread_amplitudes(sv::StateVector<T>& state) {
   sv::apply_gate(state, qc::Gate::h(0));
-  return time_mean_seconds([&] { sv::apply_gate(state, gate); }, min_seconds);
 }
 
 /// Effective memory bandwidth of a measured gate application, given the
 /// model's byte count for the gate (bytes moved / measured seconds).
 inline double measured_bandwidth_gbps(double model_bytes, double seconds) {
-  return model_bytes / seconds * 1e-9;
+  return seconds > 0.0 ? model_bytes / seconds * 1e-9 : 0.0;
 }
 
-/// A rough description of the build host for model cross-checks: core count
-/// from the thread pool, clock and STREAM guessed conservatively. Only the
-/// *shape* of host-model comparisons is meaningful.
-inline machine::MachineSpec host_spec() {
-  const unsigned cores = ThreadPool::global().num_threads();
-  return machine::MachineSpec::generic_host(cores, 2.1, 8.0 * cores);
-}
+/// The build host's machine description for model cross-checks. The clock
+/// is probed from /proc/cpuinfo and `SVSIM_HOST_SPEC` overrides any of
+/// cores/ghz/gbps (see obs/bench/env.hpp); only the *shape* of host-model
+/// comparisons is meaningful on an uncontrolled machine.
+inline machine::MachineSpec host_spec() { return obs::bench::host_spec(); }
 
-/// Prints a standard bench header naming the experiment.
-inline void print_header(const std::string& experiment,
-                         const std::string& description) {
-  std::cout << "\n##### " << experiment << " — " << description << " #####\n\n";
+/// Stable record sub-ID fragment: "<prefix><number>", e.g. sub("host.h.t", 4).
+inline std::string sub(const std::string& prefix, unsigned long long v) {
+  return prefix + std::to_string(v);
 }
 
 }  // namespace svsim::bench

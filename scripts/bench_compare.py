@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Noise-aware regression gate over svsim_bench results documents.
+
+Compares a new `BENCH_results.json` (svsim_bench --json) against a stored
+baseline and exits nonzero when a measured record regressed beyond what the
+noise of BOTH runs can explain:
+
+    new_median - base_median  >  margin * base_median + (base_ci + new_ci)
+
+where each ci is that run's 95% confidence half-width. A record flags only
+when the medians are far apart relative to the baseline AND the gap exceeds
+the combined statistical noise — so a wobbly record needs a proportionally
+bigger jump to flag, and a rock-steady record is gated tightly.
+
+Model/value records are deterministic: they must match to --model-rtol
+(relative) or the model itself changed, which is a different kind of drift
+the gate also refuses to ignore silently.
+
+Records present in only one of the two documents are reported (the stable
+IDs are the contract) but only fail the run with --strict-ids, so the gate
+stays usable while benches are being added.
+
+Self test (encodes the gate's own acceptance criterion):
+    bench_compare.py --self-test results.json
+verifies that a document passes against itself and that a synthetic 2x
+slowdown fails, flagging exactly the records whose noise permits detecting
+a doubling (a record whose CI half-width rivals its median *cannot*
+distinguish 2x — the gate skipping it is correct behaviour, not a miss).
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        doc = json.load(f)
+    records = doc.get("records")
+    if not isinstance(records, dict):
+        raise SystemExit(f"error: {path}: not a svsim_bench results document")
+    return doc, records
+
+
+def ci_of(rec):
+    stats = rec.get("stats") or {}
+    return float(stats.get("ci95", 0.0))
+
+
+def compare(base_records, new_records, margin, model_rtol, strict_ids):
+    """Returns (regressions, improvements, mismatches, missing, extra)."""
+    regressions = []
+    improvements = []
+    mismatches = []
+    missing = sorted(set(base_records) - set(new_records))
+    extra = sorted(set(new_records) - set(base_records))
+
+    for rid in sorted(set(base_records) & set(new_records)):
+        base, new = base_records[rid], new_records[rid]
+        if base.get("kind") != new.get("kind"):
+            mismatches.append((rid, f"kind changed: {base.get('kind')} -> "
+                                    f"{new.get('kind')}"))
+            continue
+        b, n = float(base["value"]), float(new["value"])
+        if base.get("kind") == "measured":
+            threshold = margin * b + ci_of(base) + ci_of(new)
+            if n - b > threshold:
+                regressions.append((rid, b, n, threshold))
+            elif b - n > threshold:
+                improvements.append((rid, b, n, threshold))
+        else:
+            scale = max(abs(b), abs(n))
+            # Absolute floor so near-zero values (e.g. accuracy records of
+            # ~1e-7) do not flag on representation noise.
+            if abs(n - b) > model_rtol * scale + 1e-12:
+                mismatches.append((rid, f"{base.get('kind')} value changed: "
+                                        f"{b:g} -> {n:g}"))
+
+    failed = bool(regressions or mismatches)
+    if strict_ids and (missing or extra):
+        failed = True
+    return failed, regressions, improvements, mismatches, missing, extra
+
+
+def report(failed, regressions, improvements, mismatches, missing, extra,
+           strict_ids):
+    for rid, b, n, thr in regressions:
+        print(f"REGRESSION  {rid}: {b:g} -> {n:g} "
+              f"(+{(n - b) / b * 100 if b else float('inf'):.1f}%, "
+              f"threshold {thr:g})")
+    for rid, why in mismatches:
+        print(f"MISMATCH    {rid}: {why}")
+    for rid, b, n, thr in improvements:
+        print(f"improvement {rid}: {b:g} -> {n:g} "
+              f"({(n - b) / b * 100 if b else 0:.1f}%)")
+    for rid in missing:
+        print(f"{'MISSING' if strict_ids else 'missing'}     {rid} "
+              f"(in baseline, not in new)")
+    for rid in extra:
+        print(f"{'EXTRA' if strict_ids else 'extra'}       {rid} "
+              f"(in new, not in baseline)")
+    print(f"summary: {len(regressions)} regression(s), "
+          f"{len(mismatches)} mismatch(es), "
+          f"{len(improvements)} improvement(s), "
+          f"{len(missing)} missing, {len(extra)} extra")
+    print("RESULT: " + ("FAIL" if failed else "PASS"))
+
+
+def self_test(path, margin, model_rtol):
+    _, records = load_records(path)
+    measured = [r for r in records.values() if r.get("kind") == "measured"]
+    if not measured:
+        print("self-test: document has no measured records", file=sys.stderr)
+        return 1
+
+    failed, *_ = compare(records, records, margin, model_rtol, True)
+    if failed:
+        print("self-test FAIL: document does not pass against itself",
+              file=sys.stderr)
+        return 1
+
+    # Double every measured record's distribution wholesale (location AND
+    # dispersion), then predict which records the gate's own threshold can
+    # flag: base + base_ci + 2*base_ci noise against a gap of base.
+    slowed = copy.deepcopy(records)
+    for rec in slowed.values():
+        if rec.get("kind") == "measured":
+            rec["value"] = float(rec["value"]) * 2.0
+            stats = rec.get("stats")
+            if stats:
+                for key in ("mean", "median", "min", "max", "stddev", "mad",
+                            "ci95"):
+                    if key in stats:
+                        stats[key] = float(stats[key]) * 2.0
+    detectable = {
+        rid for rid, rec in records.items()
+        if rec.get("kind") == "measured"
+        and float(rec["value"]) > margin * float(rec["value"]) + 3 * ci_of(rec)
+    }
+    failed, regressions, *_ = compare(records, slowed, margin, model_rtol,
+                                      False)
+    flagged = {rid for rid, *_ in regressions}
+    if not detectable:
+        print("self-test FAIL: no measured record is steady enough for a 2x "
+              "slowdown to be detectable", file=sys.stderr)
+        return 1
+    if not failed or flagged != detectable:
+        print(f"self-test FAIL: 2x slowdown flagged {len(flagged)} records, "
+              f"expected exactly the {len(detectable)} detectable ones "
+              f"(diff: {sorted(flagged ^ detectable)})", file=sys.stderr)
+        return 1
+    skipped = len(measured) - len(detectable)
+    note = (f" ({skipped} too noisy for 2x to clear the noise gate)"
+            if skipped else "")
+    print(f"self-test PASS: identity comparison clean, 2x slowdown flags "
+          f"{len(detectable)} of {len(measured)} measured records{note}")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="baseline results document")
+    ap.add_argument("new", nargs="?", help="new results document to gate")
+    ap.add_argument("--margin", type=float, default=0.10,
+                    help="allowed relative slowdown before noise "
+                         "(default 0.10)")
+    ap.add_argument("--model-rtol", type=float, default=1e-6,
+                    help="relative tolerance for model/value records")
+    ap.add_argument("--strict-ids", action="store_true",
+                    help="missing/extra record IDs fail the run")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the gate itself against BASELINE "
+                         "(no NEW needed)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline, args.margin, args.model_rtol)
+    if not args.new:
+        ap.error("NEW results document required (or use --self-test)")
+
+    _, base_records = load_records(args.baseline)
+    _, new_records = load_records(args.new)
+    failed, *rest = compare(base_records, new_records, args.margin,
+                            args.model_rtol, args.strict_ids)
+    report(failed, *rest, args.strict_ids)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Validates the structured output of the svsim_bench telemetry harness.
+
+Checks the aggregate results document (--json) and/or the per-case JSONL
+stream (--jsonl) produced by `svsim_bench --json/--jsonl`:
+
+  * schema_version is 1 and the envelope fields are present;
+  * the environment stamp carries the required provenance keys;
+  * every expected benchmark case (the reconstructed figures/tables of the
+    paper evaluation) is present and did not fail;
+  * every record has a stable ID prefixed by its case, a known kind, a
+    unit, and a finite value;
+  * "measured" records retain their per-rep samples and the summary
+    statistics are internally consistent (median within [min, max], value
+    equals the median);
+  * record IDs are unique across the whole document.
+
+With --emit-with BINARY the script first runs the harness itself (smoke
+tier) so ctest can validate the end-to-end pipeline with one test.
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+
+EXPECTED_CASES = [
+    "abl_design",
+    "fig1_target_qubit",
+    "fig2_gate_kernels",
+    "fig3_thread_scaling",
+    "fig4_sve_width",
+    "fig5_roofline",
+    "fig6_distributed",
+    "micro_kernels",
+    "tab1_circuits",
+    "tab2_fusion",
+    "tab3_power",
+    "tab4_precision",
+    "tab5_clifford_baseline",
+]
+
+ENV_KEYS = [
+    "hostname",
+    "hw_concurrency",
+    "threads",
+    "compiler",
+    "build_type",
+    "clock_ghz",
+    "clock_source",
+    "stream_gbps",
+    "timestamp_utc",
+]
+
+KINDS = {"measured", "model", "value"}
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_env(env, where):
+    if not isinstance(env, dict):
+        err(f"{where}: env is not an object")
+        return
+    for key in ENV_KEYS:
+        if key not in env:
+            err(f"{where}: env missing key '{key}'")
+
+
+def check_record(rec, case_id, where):
+    for key in ("id", "kind", "unit", "value"):
+        if key not in rec:
+            err(f"{where}: record missing '{key}': {rec}")
+            return
+    rid = rec["id"]
+    if not rid.startswith(case_id + "."):
+        err(f"{where}: record id '{rid}' not prefixed by case '{case_id}'")
+    if rec["kind"] not in KINDS:
+        err(f"{where}: record '{rid}' has unknown kind '{rec['kind']}'")
+    value = rec["value"]
+    if not isinstance(value, (int, float)) or not math.isfinite(value):
+        err(f"{where}: record '{rid}' has non-finite value {value!r}")
+    if rec["kind"] == "measured":
+        stats = rec.get("stats")
+        if not isinstance(stats, dict):
+            err(f"{where}: measured record '{rid}' lacks stats")
+            return
+        samples = stats.get("samples")
+        if not isinstance(samples, list) or not samples:
+            err(f"{where}: measured record '{rid}' retains no samples")
+            return
+        lo, hi = stats.get("min"), stats.get("max")
+        med = stats.get("median")
+        if not (lo is not None and hi is not None and med is not None):
+            err(f"{where}: measured record '{rid}' stats incomplete")
+            return
+        if not (lo - 1e-12 <= med <= hi + 1e-12):
+            err(f"{where}: record '{rid}' median {med} outside [{lo}, {hi}]")
+        if abs(value - med) > max(1e-12, 1e-9 * abs(med)):
+            err(f"{where}: record '{rid}' value {value} != median {med}")
+        if len(samples) != stats.get("reps"):
+            err(f"{where}: record '{rid}' reps {stats.get('reps')} != "
+                f"len(samples) {len(samples)}")
+
+
+def check_results_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    where = path
+    if doc.get("schema_version") != 1:
+        err(f"{where}: schema_version != 1")
+    if doc.get("mode") not in ("smoke", "full"):
+        err(f"{where}: mode '{doc.get('mode')}' not smoke/full")
+    check_env(doc.get("env"), where)
+
+    cases = doc.get("cases", {})
+    for case in EXPECTED_CASES:
+        if case not in cases:
+            err(f"{where}: expected case '{case}' missing")
+        elif cases[case].get("failed"):
+            err(f"{where}: case '{case}' failed")
+
+    records = doc.get("records", {})
+    if not isinstance(records, dict) or not records:
+        err(f"{where}: no records")
+        return
+    for rid, rec in records.items():
+        if rec.get("id") != rid:
+            err(f"{where}: key '{rid}' != embedded id '{rec.get('id')}'")
+        case_id = rec.get("case", "")
+        check_record(rec, case_id, where)
+    counted = {c: 0 for c in cases}
+    for rec in records.values():
+        counted[rec.get("case")] = counted.get(rec.get("case"), 0) + 1
+    for case, meta in cases.items():
+        if not meta.get("failed") and meta.get("records") != counted.get(case, 0):
+            err(f"{where}: case '{case}' advertises {meta.get('records')} "
+                f"records, found {counted.get(case, 0)}")
+    print(f"{path}: {len(records)} records across {len(cases)} cases OK")
+
+
+def check_results_jsonl(path):
+    seen_ids = set()
+    seen_cases = set()
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            where = f"{path}:{lineno}"
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                err(f"{where}: invalid JSON: {e}")
+                continue
+            case_id = doc.get("case")
+            if not case_id:
+                err(f"{where}: line missing 'case'")
+                continue
+            seen_cases.add(case_id)
+            check_env(doc.get("env"), where)
+            if doc.get("failed"):
+                err(f"{where}: case '{case_id}' failed")
+            for rec in doc.get("records", []):
+                check_record(rec, case_id, where)
+                rid = rec.get("id")
+                if rid in seen_ids:
+                    err(f"{where}: duplicate record id '{rid}'")
+                seen_ids.add(rid)
+    for case in EXPECTED_CASES:
+        if case not in seen_cases:
+            err(f"{path}: expected case '{case}' missing")
+    print(f"{path}: {len(seen_ids)} records across {len(seen_cases)} cases OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", help="aggregate results document to validate")
+    ap.add_argument("--jsonl", help="per-case JSONL stream to validate")
+    ap.add_argument("--emit-with", metavar="BINARY",
+                    help="run this svsim_bench binary (smoke tier) first to "
+                         "produce the files being validated")
+    args = ap.parse_args()
+    if not args.json and not args.jsonl:
+        ap.error("nothing to validate: pass --json and/or --jsonl")
+
+    if args.emit_with:
+        cmd = [args.emit_with, "--smoke", "--no-tables"]
+        if args.json:
+            cmd += ["--json", args.json]
+        if args.jsonl:
+            cmd += ["--jsonl", args.jsonl]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+
+    if args.json:
+        check_results_json(args.json)
+    if args.jsonl:
+        check_results_jsonl(args.jsonl)
+
+    if errors:
+        for e in errors:
+            print(f"SCHEMA ERROR: {e}", file=sys.stderr)
+        print(f"{len(errors)} schema error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

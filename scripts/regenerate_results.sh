@@ -1,22 +1,43 @@
 #!/usr/bin/env bash
 # Regenerates the recorded evaluation artifacts:
-#   test_output.txt  — full ctest log
-#   bench_output.txt — every table/figure bench, in order
+#   test_output.txt     — full ctest log
+#   BENCH_results.json  — structured benchmark records (svsim_bench --all)
+#   BENCH_results.jsonl — the same records as one JSONL line per case
+#   bench_output.txt    — rendered tables (the human-readable view)
+# and refreshes the smoke-tier baseline in bench/baselines/ for this host.
 # Usage: scripts/regenerate_results.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD"
+cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j
 
 ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
 
-: > bench_output.txt
-for b in "$BUILD"/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  echo "################################################################" >> bench_output.txt
-  echo "# $(basename "$b")" >> bench_output.txt
-  "$b" >> bench_output.txt 2>&1
-done
-echo "wrote test_output.txt and bench_output.txt"
+# Full-tier structured results + rendered tables in one pass.
+"$BUILD"/tools/svsim_bench --all \
+  --json BENCH_results.json \
+  --jsonl BENCH_results.jsonl \
+  > bench_output.txt
+
+# Validate what we just wrote, then refresh the smoke baseline used by
+# scripts/bench_compare.py on this machine.
+python3 scripts/check_bench_schema.py \
+  --json BENCH_results.json --jsonl BENCH_results.jsonl
+python3 scripts/bench_compare.py --self-test BENCH_results.json
+
+mkdir -p bench/baselines
+"$BUILD"/tools/svsim_bench --smoke --no-tables --json bench/baselines/smoke.json
+python3 scripts/check_bench_schema.py --json bench/baselines/smoke.json
+
+# Gate an unmodified re-run against the baseline we just wrote. The margin is
+# wide because run-to-run drift on shared/virtualized hosts reaches tens of
+# percent for microsecond-scale records (see bench/baselines/README.md);
+# 10% (the default) is for dedicated hardware.
+"$BUILD"/tools/svsim_bench --smoke --no-tables --json "$BUILD"/bench_rerun.json
+python3 scripts/bench_compare.py --margin 0.75 \
+  bench/baselines/smoke.json "$BUILD"/bench_rerun.json
+
+echo "wrote test_output.txt, BENCH_results.json(.jsonl), bench_output.txt,"
+echo "and bench/baselines/smoke.json"

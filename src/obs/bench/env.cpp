@@ -1,0 +1,169 @@
+#include "obs/bench/env.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/threading.hpp"
+
+#ifndef SVSIM_BENCH_BUILD_TYPE
+#define SVSIM_BENCH_BUILD_TYPE "unknown"
+#endif
+#ifndef SVSIM_BENCH_CXX_FLAGS
+#define SVSIM_BENCH_CXX_FLAGS ""
+#endif
+
+namespace svsim::obs::bench {
+
+namespace {
+
+std::string read_first_line(const char* path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in && std::getline(in, line)) return line;
+  return {};
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return "Clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "GNU " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+double probe_clock_ghz() {
+  std::ifstream in("/proc/cpuinfo");
+  if (!in) return 0.0;
+  double best_mhz = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu MHz", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    const double mhz = std::strtod(line.c_str() + colon + 1, nullptr);
+    if (mhz > best_mhz) best_mhz = mhz;
+  }
+  return best_mhz * 1e-3;
+}
+
+bool parse_host_spec_override(const std::string& text, unsigned& cores,
+                              double& ghz, double& gbps) {
+  if (text.empty()) return false;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = item.substr(0, eq);
+    char* end = nullptr;
+    const double value = std::strtod(item.c_str() + eq + 1, &end);
+    if (end == item.c_str() + eq + 1 || value <= 0.0) return false;
+    if (key == "cores")
+      cores = static_cast<unsigned>(value);
+    else if (key == "ghz")
+      ghz = value;
+    else if (key == "gbps")
+      gbps = value;
+    else
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct HostSpecParams {
+  unsigned cores;
+  double ghz;
+  double gbps;
+  std::string clock_source;
+  std::string spec_source;
+};
+
+HostSpecParams resolve_host_spec() {
+  HostSpecParams p;
+  p.cores = ThreadPool::global().num_threads();
+  p.ghz = 0.0;
+  p.gbps = 0.0;
+  p.spec_source = "default";
+
+  const double probed = probe_clock_ghz();
+  if (probed > 0.0) {
+    p.ghz = probed;
+    p.clock_source = "cpuinfo";
+  } else {
+    p.ghz = 2.1;  // the historical conservative guess
+    p.clock_source = "fallback";
+  }
+
+  unsigned env_cores = 0;
+  double env_ghz = 0.0, env_gbps = 0.0;
+  if (const char* spec = std::getenv("SVSIM_HOST_SPEC")) {
+    if (parse_host_spec_override(spec, env_cores, env_ghz, env_gbps)) {
+      if (env_cores > 0) p.cores = env_cores;
+      if (env_ghz > 0.0) {
+        p.ghz = env_ghz;
+        p.clock_source = "env";
+      }
+      if (env_gbps > 0.0) p.gbps = env_gbps;
+      if (env_cores > 0 || env_ghz > 0.0 || env_gbps > 0.0)
+        p.spec_source = "env";
+    }
+  }
+  if (p.gbps <= 0.0) p.gbps = 8.0 * p.cores;
+  return p;
+}
+
+}  // namespace
+
+machine::MachineSpec host_spec() {
+  const HostSpecParams p = resolve_host_spec();
+  return machine::MachineSpec::generic_host(p.cores, p.ghz, p.gbps);
+}
+
+BenchEnv capture_env() {
+  BenchEnv env;
+
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0) env.hostname = host;
+
+  env.hw_concurrency = std::thread::hardware_concurrency();
+  env.threads = ThreadPool::global().num_threads();
+  env.compiler = compiler_id();
+  env.build_type = SVSIM_BENCH_BUILD_TYPE;
+  env.flags = SVSIM_BENCH_CXX_FLAGS;
+
+  env.governor = read_first_line(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (env.governor.empty()) env.governor = "unknown";
+
+  const HostSpecParams p = resolve_host_spec();
+  env.clock_ghz = p.ghz;
+  env.clock_source = p.clock_source;
+  env.stream_gbps = p.gbps;
+  env.spec_source = p.spec_source;
+
+  std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  env.timestamp_utc = buf;
+  return env;
+}
+
+}  // namespace svsim::obs::bench

@@ -1,0 +1,57 @@
+// Build-host environment capture for benchmark records.
+//
+// A measured number is only comparable to a baseline taken under the same
+// conditions, so every emitted record set is stamped with where and how it
+// was produced: core counts, compiler and flags, build type, the cpufreq
+// governor when readable, and the host machine description the model
+// columns were computed against. The host description itself is probed
+// (`/proc/cpuinfo` clock) instead of hardcoded, and can be pinned exactly
+// via the `SVSIM_HOST_SPEC` environment variable for reproducible runs:
+//
+//   SVSIM_HOST_SPEC="cores=16,ghz=2.5,gbps=64"   (any subset of keys)
+#pragma once
+
+#include <string>
+
+#include "machine/machine_spec.hpp"
+
+namespace svsim::obs::bench {
+
+/// Everything we can cheaply learn about the machine and build that
+/// produced a set of benchmark records.
+struct BenchEnv {
+  std::string hostname;
+  unsigned hw_concurrency = 0;  ///< std::thread::hardware_concurrency()
+  unsigned threads = 0;         ///< global ThreadPool size actually used
+  std::string compiler;         ///< e.g. "GNU 12.2.0"
+  std::string build_type;       ///< CMake build type baked in at compile time
+  std::string flags;            ///< optimization-relevant compile flags
+  std::string governor;         ///< cpufreq governor, "unknown" if unreadable
+  double clock_ghz = 0;         ///< clock used for the host machine spec
+  std::string clock_source;     ///< "env" | "cpuinfo" | "fallback"
+  double stream_gbps = 0;       ///< STREAM estimate used for the host spec
+  std::string spec_source;      ///< "env" if SVSIM_HOST_SPEC overrode anything
+  std::string timestamp_utc;    ///< ISO-8601, time of capture
+};
+
+/// Captures the environment now (cheap; reads two /proc//sys files).
+BenchEnv capture_env();
+
+/// Highest "cpu MHz" in /proc/cpuinfo as GHz, or 0 when unreadable
+/// (non-Linux, masked /proc). Exposed for tests.
+double probe_clock_ghz();
+
+/// The machine description benchmarks compare the host against. Cores
+/// default to the global thread pool, the clock to the probed value, and
+/// STREAM to a conservative 8 GB/s per core; `SVSIM_HOST_SPEC` overrides
+/// any subset (see header comment). Falls back to 2.1 GHz when nothing is
+/// known — the pre-harness hardcoded guess.
+machine::MachineSpec host_spec();
+
+/// Parses a "cores=..,ghz=..,gbps=.." override string into the given
+/// fields (unmentioned keys untouched). Returns false on malformed input.
+/// Exposed for tests.
+bool parse_host_spec_override(const std::string& text, unsigned& cores,
+                              double& ghz, double& gbps);
+
+}  // namespace svsim::obs::bench

@@ -1,0 +1,213 @@
+#include "obs/bench/record.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace svsim::obs::bench {
+
+namespace {
+
+/// JSON has no NaN/Inf; clamp to 0 so emitted files always parse.
+double finite(double v) { return std::isfinite(v) ? v : 0.0; }
+
+/// Shortest round-trippable rendering ("%.17g" is exact but ugly; %.9g
+/// keeps files readable and is far below measurement noise).
+void put_number(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", finite(v));
+  os << buf;
+}
+
+void put_kv(std::ostream& os, const char* key, const std::string& value,
+            bool trailing_comma = true) {
+  os << '"' << key << "\":\"" << json_escape(value) << '"';
+  if (trailing_comma) os << ',';
+}
+
+void put_kv(std::ostream& os, const char* key, double value,
+            bool trailing_comma = true) {
+  os << '"' << key << "\":";
+  put_number(os, value);
+  if (trailing_comma) os << ',';
+}
+
+void put_kv(std::ostream& os, const char* key, std::uint64_t value,
+            bool trailing_comma = true) {
+  os << '"' << key << "\":" << value;
+  if (trailing_comma) os << ',';
+}
+
+void put_kv(std::ostream& os, const char* key, int value,
+            bool trailing_comma = true) {
+  os << '"' << key << "\":" << value;
+  if (trailing_comma) os << ',';
+}
+
+void put_kv(std::ostream& os, const char* key, bool value,
+            bool trailing_comma = true) {
+  os << '"' << key << "\":" << (value ? "true" : "false");
+  if (trailing_comma) os << ',';
+}
+
+void write_stats_json(std::ostream& os, const SampleStats& st) {
+  os << '{';
+  put_kv(os, "reps", st.reps());
+  put_kv(os, "warmup_reps", st.warmup_reps);
+  put_kv(os, "outliers_rejected", st.outliers_rejected);
+  put_kv(os, "converged", st.converged);
+  put_kv(os, "mean", st.mean);
+  put_kv(os, "median", st.median);
+  put_kv(os, "min", st.min);
+  put_kv(os, "max", st.max);
+  put_kv(os, "stddev", st.stddev);
+  put_kv(os, "mad", st.mad);
+  put_kv(os, "ci95", st.ci95_half);
+  put_kv(os, "rel_ci95", st.rel_ci95);
+  put_kv(os, "total_seconds", st.total_seconds);
+  os << "\"samples\":[";
+  for (std::size_t i = 0; i < st.samples.size(); ++i) {
+    if (i > 0) os << ',';
+    put_number(os, st.samples[i]);
+  }
+  os << "]}";
+}
+
+void write_attr_json(std::ostream& os, const BenchAttribution& a) {
+  os << '{';
+  put_kv(os, "bytes_per_rep", a.bytes_per_rep);
+  put_kv(os, "kernel_spans_per_rep", a.kernel_spans_per_rep);
+  put_kv(os, "span_bytes_per_rep", a.span_bytes_per_rep);
+  put_kv(os, "trace_partial", a.trace_partial);
+  put_kv(os, "dropped_spans", a.dropped_spans);
+  put_kv(os, "hw_valid", a.hw_valid);
+  put_kv(os, "cycles_per_rep", a.cycles_per_rep);
+  put_kv(os, "instructions_per_rep", a.instructions_per_rep);
+  put_kv(os, "llc_misses_per_rep", a.llc_misses_per_rep);
+  put_kv(os, "achieved_gbps", a.achieved_gbps);
+  put_kv(os, "model_gbps", a.model_gbps, /*trailing_comma=*/false);
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_record_json(std::ostream& os, const BenchRecord& r) {
+  os << '{';
+  put_kv(os, "id", r.id);
+  put_kv(os, "case", r.case_id);
+  put_kv(os, "kind", r.kind);
+  put_kv(os, "unit", r.unit);
+  put_kv(os, "value", r.value, /*trailing_comma=*/false);
+  if (r.has_stats) {
+    os << ",\"stats\":";
+    write_stats_json(os, r.stats);
+  }
+  if (r.has_model) {
+    os << ",\"model\":{";
+    put_kv(os, "value", r.model_value);
+    put_kv(os, "machine", r.model_machine, /*trailing_comma=*/false);
+    os << '}';
+  }
+  if (r.attr.present) {
+    os << ",\"attr\":";
+    write_attr_json(os, r.attr);
+  }
+  os << '}';
+}
+
+void write_env_json(std::ostream& os, const BenchEnv& env) {
+  os << '{';
+  put_kv(os, "hostname", env.hostname);
+  put_kv(os, "hw_concurrency", static_cast<std::uint64_t>(env.hw_concurrency));
+  put_kv(os, "threads", static_cast<std::uint64_t>(env.threads));
+  put_kv(os, "compiler", env.compiler);
+  put_kv(os, "build_type", env.build_type);
+  put_kv(os, "flags", env.flags);
+  put_kv(os, "governor", env.governor);
+  put_kv(os, "clock_ghz", env.clock_ghz);
+  put_kv(os, "clock_source", env.clock_source);
+  put_kv(os, "stream_gbps", env.stream_gbps);
+  put_kv(os, "spec_source", env.spec_source);
+  put_kv(os, "timestamp_utc", env.timestamp_utc, /*trailing_comma=*/false);
+  os << '}';
+}
+
+void write_results_json(std::ostream& os, const BenchEnv& env,
+                        const std::string& mode,
+                        const std::vector<CaseResult>& cases) {
+  os << "{\"schema_version\":1,";
+  put_kv(os, "generated_by", std::string("svsim_bench"));
+  put_kv(os, "mode", mode);
+  os << "\"env\":";
+  write_env_json(os, env);
+  os << ",\"cases\":{";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const CaseResult& c = cases[i];
+    if (i > 0) os << ',';
+    os << '"' << json_escape(c.id) << "\":{";
+    put_kv(os, "title", c.title);
+    put_kv(os, "failed", c.failed);
+    put_kv(os, "wall_seconds", c.wall_seconds);
+    put_kv(os, "records", static_cast<std::uint64_t>(c.records.size()),
+           /*trailing_comma=*/false);
+    os << '}';
+  }
+  os << "},\"records\":{";
+  bool first = true;
+  for (const CaseResult& c : cases) {
+    for (const BenchRecord& r : c.records) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n\"" << json_escape(r.id) << "\":";
+      write_record_json(os, r);
+    }
+  }
+  os << "\n}}\n";
+}
+
+void write_results_jsonl(std::ostream& os, const BenchEnv& env,
+                         const std::string& mode,
+                         const std::vector<CaseResult>& cases) {
+  for (const CaseResult& c : cases) {
+    os << '{';
+    put_kv(os, "case", c.id);
+    put_kv(os, "title", c.title);
+    put_kv(os, "mode", mode);
+    put_kv(os, "failed", c.failed);
+    put_kv(os, "wall_seconds", c.wall_seconds);
+    os << "\"env\":";
+    write_env_json(os, env);
+    os << ",\"records\":[";
+    for (std::size_t i = 0; i < c.records.size(); ++i) {
+      if (i > 0) os << ',';
+      write_record_json(os, c.records[i]);
+    }
+    os << "]}\n";
+  }
+}
+
+}  // namespace svsim::obs::bench

@@ -1,0 +1,183 @@
+#include "obs/bench/registry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/timer.hpp"
+#include "machine/bandwidth_model.hpp"
+#include "machine/exec_config.hpp"
+#include "obs/hwcounters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace svsim::obs::bench {
+
+namespace {
+
+std::vector<BenchCase>& registry() {
+  static std::vector<BenchCase> cases;
+  return cases;
+}
+
+/// `case_id` + '.' + `sub` without operator+ chains (GCC 12's -Wrestrict
+/// false-positives on those under -O3).
+std::string joined_id(const std::string& case_id, const std::string& sub) {
+  std::string id;
+  id.reserve(case_id.size() + 1 + sub.size());
+  id.append(case_id);
+  id.push_back('.');
+  id.append(sub);
+  return id;
+}
+
+}  // namespace
+
+bool register_case(BenchCase c) {
+  registry().push_back(std::move(c));
+  return true;
+}
+
+std::vector<BenchCase> all_cases() {
+  std::vector<BenchCase> cases = registry();
+  std::sort(cases.begin(), cases.end(),
+            [](const BenchCase& a, const BenchCase& b) { return a.id < b.id; });
+  return cases;
+}
+
+BenchContext::BenchContext(const BenchCase& c, StatConfig config, bool smoke,
+                           bool attribute, std::ostream* table_out)
+    : case_(c),
+      config_(config),
+      smoke_(smoke),
+      attribute_(attribute),
+      table_out_(table_out) {}
+
+SampleStats BenchContext::measure(const std::string& sub_id,
+                                  const std::function<void()>& fn,
+                                  const MeasureOpts& opts) {
+  StatConfig cfg = config_;
+  if (opts.min_reps > 0) cfg.min_reps = opts.min_reps;
+  if (opts.max_reps > 0) cfg.max_reps = opts.max_reps;
+  if (opts.max_seconds > 0) cfg.max_seconds = opts.max_seconds;
+  SampleStats stats = bench::measure(fn, cfg);
+
+  BenchRecord r;
+  r.id = joined_id(case_.id, sub_id);
+  r.case_id = case_.id;
+  r.kind = "measured";
+  r.unit = "s";
+  r.value = stats.median;
+  r.has_stats = true;
+  r.stats = stats;
+  if (opts.model_seconds > 0.0) {
+    r.has_model = true;
+    r.model_value = opts.model_seconds;
+    r.model_machine = opts.model_machine;
+  }
+
+  if (attribute_ && opts.attribute) {
+    // One extra instrumented repetition, outside the timed samples so the
+    // instrumentation itself never contaminates the statistics.
+    auto& registry_ = MetricsRegistry::global();
+    const std::uint64_t bytes_before =
+        registry_.counter("sv.bytes_streamed").value();
+    Tracer& tracer = Tracer::global();
+    const bool was_enabled = tracer.enabled();
+    tracer.clear();
+    tracer.enable();
+    HwCounterScope counters;
+    fn();
+    const HwCounterValues hw = counters.stop();
+    tracer.disable();
+    const std::uint64_t bytes_after =
+        registry_.counter("sv.bytes_streamed").value();
+
+    BenchAttribution& a = r.attr;
+    a.present = true;
+    a.bytes_per_rep = static_cast<double>(bytes_after - bytes_before);
+    for (const Span& s : tracer.collect()) {
+      if (s.category == SpanCategory::Kernel ||
+          s.category == SpanCategory::Measure) {
+        a.kernel_spans_per_rep += 1.0;
+        a.span_bytes_per_rep += static_cast<double>(s.bytes);
+      }
+    }
+    a.dropped_spans = tracer.dropped();
+    a.trace_partial = a.dropped_spans > 0;
+    a.hw_valid = hw.valid;
+    if (hw.valid) {
+      a.cycles_per_rep = static_cast<double>(hw.cycles);
+      a.instructions_per_rep = static_cast<double>(hw.instructions);
+      a.llc_misses_per_rep = static_cast<double>(hw.cache_misses);
+    }
+    const double bytes =
+        a.bytes_per_rep > 0.0 ? a.bytes_per_rep : opts.model_bytes;
+    if (bytes > 0.0 && stats.median > 0.0)
+      a.achieved_gbps = bytes / stats.median * 1e-9;
+    if (opts.model_bytes > 0.0 && opts.model_seconds > 0.0) {
+      a.model_gbps = opts.model_bytes / opts.model_seconds * 1e-9;
+    } else {
+      // No per-gate model supplied: fall back to the host bandwidth
+      // model's memory-regime asymptote as the reference line.
+      const machine::MachineSpec spec = host_spec();
+      const machine::Placement placement =
+          machine::place_threads(spec, machine::ExecConfig{});
+      a.model_gbps = machine::memory_bandwidth_gbps(spec, placement);
+    }
+    tracer.clear();
+    if (was_enabled) tracer.enable();
+  }
+
+  records_.push_back(std::move(r));
+  return stats;
+}
+
+void BenchContext::model(const std::string& sub_id, double value,
+                         const std::string& unit,
+                         const std::string& machine) {
+  BenchRecord r;
+  r.id = joined_id(case_.id, sub_id);
+  r.case_id = case_.id;
+  r.kind = "model";
+  r.unit = unit;
+  r.value = value;
+  r.model_machine = machine;
+  records_.push_back(std::move(r));
+}
+
+void BenchContext::record(BenchRecord r) {
+  r.id = joined_id(case_.id, r.id);
+  r.case_id = case_.id;
+  records_.push_back(std::move(r));
+}
+
+void BenchContext::table(const Table& t) {
+  std::string text = t.to_text();
+  if (table_out_ != nullptr) *table_out_ << text << "\n";
+  tables_.push_back(std::move(text));
+}
+
+CaseResult run_case(const BenchCase& c, const StatConfig& config, bool smoke,
+                    bool attribute, std::ostream* table_out) {
+  CaseResult result;
+  result.id = c.id;
+  result.title = c.title;
+  result.description = c.description;
+  BenchContext ctx(c, config, smoke, attribute, table_out);
+  Timer timer;
+  try {
+    c.fn(ctx);
+  } catch (const std::exception& e) {
+    result.failed = true;
+    result.error = e.what();
+  } catch (...) {
+    result.failed = true;
+    result.error = "unknown exception";
+  }
+  result.wall_seconds = timer.seconds();
+  result.records = ctx.records();
+  result.rendered_tables = ctx.rendered_tables();
+  return result;
+}
+
+}  // namespace svsim::obs::bench

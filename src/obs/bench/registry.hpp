@@ -1,0 +1,132 @@
+// Benchmark case registry and execution context.
+//
+// A benchmark case is a function that reproduces one figure/table of the
+// evaluation. Cases self-register at static-initialization time via the
+// SVSIM_BENCH macro, so adding a benchmark is adding one translation unit;
+// the unified `svsim_bench` runner discovers, filters, and runs them, and
+// owns output policy (tables to stdout, records to JSON/JSONL).
+//
+// Inside a case, `BenchContext` is the only API:
+//   ctx.smoke()              — scale the workload down for the ctest tier
+//   ctx.measure(id, fn, o)   — adaptive-repetition measurement -> record
+//   ctx.model(id, v, unit)   — record an analytical prediction
+//   ctx.table(t)             — emit a rendered table (human view)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/bench/record.hpp"
+#include "obs/bench/stats.hpp"
+
+namespace svsim::obs::bench {
+
+class BenchContext;
+
+using BenchFn = void (*)(BenchContext&);
+
+/// Registry entry: stable ID (doubles as the record-ID prefix), the
+/// paper-facing title, and the case body.
+struct BenchCase {
+  std::string id;
+  std::string title;
+  std::string description;
+  BenchFn fn = nullptr;
+};
+
+/// Registers `c` (called from SVSIM_BENCH macro expansions). Returns true
+/// so it can initialize a static flag.
+bool register_case(BenchCase c);
+
+/// All registered cases, sorted by ID (registration order is link order,
+/// which is not stable across builds).
+std::vector<BenchCase> all_cases();
+
+/// Execution context handed to a case body. Collects records and rendered
+/// tables; measurement knobs and attribution policy come from the runner.
+class BenchContext {
+ public:
+  /// Per-measurement options supplied by the case.
+  struct MeasureOpts {
+    double model_seconds = 0;    ///< model-predicted seconds per rep (0 = none)
+    double model_bytes = 0;      ///< model-estimated bytes streamed per rep
+    std::string model_machine;   ///< spec the model numbers are for
+    bool attribute = true;       ///< join obs substrate when runner asks
+    // Per-measurement StatConfig overrides (0 = inherit from runner). Used
+    // by macro-scale measurements (whole-circuit runs) where the default
+    // repetition floor would cost minutes.
+    int min_reps = 0;
+    int max_reps = 0;
+    double max_seconds = 0;
+  };
+
+  BenchContext(const BenchCase& c, StatConfig config, bool smoke,
+               bool attribute, std::ostream* table_out);
+
+  /// True in the fast ctest tier: cases should shrink register sizes and
+  /// sweep points (the stats budget is already reduced).
+  bool smoke() const noexcept { return smoke_; }
+
+  const StatConfig& config() const noexcept { return config_; }
+
+  /// Measures `fn` with the statistical engine and appends a "measured"
+  /// record `<case>.<sub_id>` (unit: seconds, value: median). When the
+  /// runner enabled attribution and `opts.attribute`, one extra
+  /// instrumented repetition joins tracer spans, metrics deltas, and
+  /// hardware counters into the record.
+  SampleStats measure(const std::string& sub_id,
+                      const std::function<void()>& fn,
+                      const MeasureOpts& opts);
+  SampleStats measure(const std::string& sub_id,
+                      const std::function<void()>& fn) {
+    return measure(sub_id, fn, MeasureOpts{});
+  }
+
+  /// Appends a "model" record `<case>.<sub_id>` with an analytical value.
+  void model(const std::string& sub_id, double value, const std::string& unit,
+             const std::string& machine = "");
+
+  /// Appends a fully-custom record (id is prefixed with the case ID).
+  void record(BenchRecord r);
+
+  /// Emits a rendered table: printed immediately (when the runner wants
+  /// table output) and retained for bench_output.txt.
+  void table(const Table& t);
+
+  const std::vector<BenchRecord>& records() const noexcept {
+    return records_;
+  }
+  const std::vector<std::string>& rendered_tables() const noexcept {
+    return tables_;
+  }
+
+ private:
+  const BenchCase& case_;
+  StatConfig config_;
+  bool smoke_;
+  bool attribute_;
+  std::ostream* table_out_;  ///< null = quiet
+  std::vector<BenchRecord> records_;
+  std::vector<std::string> tables_;
+};
+
+/// Runs one case under the given policy, capturing failure instead of
+/// propagating (one broken case must not kill the whole run).
+CaseResult run_case(const BenchCase& c, const StatConfig& config, bool smoke,
+                    bool attribute, std::ostream* table_out);
+
+}  // namespace svsim::obs::bench
+
+/// Defines and registers a benchmark case:
+///   SVSIM_BENCH(fig1_target_qubit, "Fig. 1", "H bandwidth vs. target") {
+///     ctx.measure(...);
+///   }
+#define SVSIM_BENCH(ident, title_, desc_)                                  \
+  static void svsim_bench_body_##ident(::svsim::obs::bench::BenchContext&); \
+  [[maybe_unused]] static const bool svsim_bench_reg_##ident =             \
+      ::svsim::obs::bench::register_case(                                  \
+          {#ident, title_, desc_, &svsim_bench_body_##ident});             \
+  static void svsim_bench_body_##ident(                                    \
+      [[maybe_unused]] ::svsim::obs::bench::BenchContext& ctx)

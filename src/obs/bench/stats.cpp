@@ -1,0 +1,118 @@
+#include "obs/bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/timer.hpp"
+
+namespace svsim::obs::bench {
+
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+/// Leading samples still warming caches/predictors run slow; strip them
+/// while the front sample clearly exceeds the median of what follows.
+/// At most a quarter of the samples may be classified as warmup, so a
+/// genuinely noisy series is not eaten from the front.
+std::size_t detect_warmup(const std::vector<double>& s, double tolerance) {
+  const std::size_t budget = s.size() / 4;
+  std::size_t w = 0;
+  while (w < budget) {
+    const std::vector<double> tail(s.begin() + static_cast<std::ptrdiff_t>(w) + 1,
+                                   s.end());
+    const double med = median_of(tail);
+    if (med <= 0.0 || s[w] <= med * (1.0 + tolerance)) break;
+    ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+SampleStats summarize(std::vector<double> raw, const StatConfig& config) {
+  SampleStats st;
+  if (raw.empty()) return st;
+
+  const std::size_t warmup = detect_warmup(raw, config.warmup_tolerance);
+  st.warmup_reps = static_cast<int>(warmup);
+  std::vector<double> kept(raw.begin() + static_cast<std::ptrdiff_t>(warmup),
+                           raw.end());
+
+  // MAD fence: 1.4826 x MAD estimates sigma for normal noise, so the fence
+  // is roughly k-sigma but immune to the outliers it is hunting.
+  const double med0 = median_of(kept);
+  std::vector<double> dev;
+  dev.reserve(kept.size());
+  for (double x : kept) dev.push_back(std::abs(x - med0));
+  const double mad0 = median_of(dev);
+  if (mad0 > 0.0 && kept.size() >= 4) {
+    const double fence = config.outlier_mad_k * 1.4826 * mad0;
+    std::vector<double> in;
+    in.reserve(kept.size());
+    for (double x : kept)
+      if (std::abs(x - med0) <= fence) in.push_back(x);
+    st.outliers_rejected = static_cast<int>(kept.size() - in.size());
+    kept = std::move(in);
+  }
+
+  st.samples = std::move(kept);
+  const auto n = static_cast<double>(st.samples.size());
+  if (st.samples.empty()) return st;
+
+  st.min = *std::min_element(st.samples.begin(), st.samples.end());
+  st.max = *std::max_element(st.samples.begin(), st.samples.end());
+  double sum = 0.0;
+  for (double x : st.samples) sum += x;
+  st.mean = sum / n;
+  double ss = 0.0;
+  for (double x : st.samples) ss += (x - st.mean) * (x - st.mean);
+  st.stddev = n > 1.0 ? std::sqrt(ss / (n - 1.0)) : 0.0;
+  st.median = median_of(st.samples);
+  dev.clear();
+  for (double x : st.samples) dev.push_back(std::abs(x - st.median));
+  st.mad = median_of(dev);
+  st.ci95_half = n > 0.0 ? 1.96 * st.stddev / std::sqrt(n) : 0.0;
+  st.rel_ci95 = st.median > 0.0 ? st.ci95_half / st.median : 0.0;
+  st.converged = st.rel_ci95 <= config.target_rel_ci;
+  return st;
+}
+
+SampleStats measure(const std::function<void()>& fn,
+                    const StatConfig& config) {
+  fn();  // priming rep: touches memory, faults pages; never recorded
+
+  std::vector<double> raw;
+  raw.reserve(static_cast<std::size_t>(std::max(config.min_reps, 0)) + 8);
+  Timer budget;
+  while (true) {
+    Timer rep;
+    fn();
+    raw.push_back(rep.seconds());
+    const int n = static_cast<int>(raw.size());
+    if (n >= config.max_reps) break;
+    if (n >= config.min_reps) {
+      if (budget.seconds() >= config.max_seconds) break;
+      // Cheap convergence probe on the raw series; the final verdict uses
+      // the cleaned series in summarize().
+      const SampleStats probe = summarize(raw, config);
+      if (probe.converged && probe.reps() >= config.min_reps) break;
+    }
+  }
+  const double spent = budget.seconds();
+  SampleStats st = summarize(std::move(raw), config);
+  st.total_seconds = spent;
+  return st;
+}
+
+}  // namespace svsim::obs::bench

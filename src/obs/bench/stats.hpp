@@ -1,0 +1,75 @@
+// Statistical engine for the benchmark telemetry harness.
+//
+// `time_mean_seconds` (common/timer.hpp) reports a bare mean with no
+// variance, so a regression gate cannot tell signal from noise. This engine
+// measures with adaptive repetition — repeat until the 95% confidence
+// interval is tight relative to the median or the time budget runs out —
+// and summarizes with noise-robust statistics: median and MAD, post-hoc
+// warmup detection (leading repetitions still priming caches/branch
+// predictors are excluded), and MAD-based outlier rejection. Per-rep
+// samples are retained so downstream tools (bench_compare.py) can apply
+// their own thresholds.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace svsim::obs::bench {
+
+/// Knobs of the adaptive measurement loop. `smoke()` trades precision for
+/// speed (ctest tier); `full()` is the default for recorded results.
+struct StatConfig {
+  int min_reps = 5;             ///< never stop before this many samples
+  int max_reps = 200;           ///< hard repetition cap
+  double target_rel_ci = 0.03;  ///< stop when ci95_half/median <= this
+  double max_seconds = 0.5;     ///< sampling time budget (excl. priming rep)
+  double warmup_tolerance = 0.25;  ///< leading rep is warmup if it exceeds
+                                   ///< (1+tol) x median of the remainder
+  double outlier_mad_k = 8.0;   ///< reject |x-median| > k x scaled MAD
+
+  static StatConfig full() { return {}; }
+  static StatConfig smoke() {
+    StatConfig c;
+    c.min_reps = 5;
+    c.max_reps = 25;
+    c.target_rel_ci = 0.10;
+    c.max_seconds = 0.05;
+    return c;
+  }
+};
+
+/// Summary of one measurement. `samples` holds the retained (post-warmup,
+/// non-outlier) per-rep seconds; every derived statistic is over those.
+struct SampleStats {
+  std::vector<double> samples;
+  int warmup_reps = 0;        ///< leading reps classified as warmup
+  int outliers_rejected = 0;  ///< samples beyond the MAD fence
+  bool converged = false;     ///< hit target_rel_ci within the budget
+  double total_seconds = 0;   ///< wall time spent sampling
+
+  double mean = 0;
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;    ///< sample standard deviation
+  double mad = 0;       ///< median absolute deviation (unscaled)
+  double ci95_half = 0; ///< 95% CI half-width of the mean (normal approx.)
+  double rel_ci95 = 0;  ///< ci95_half / median (0 when median is 0)
+
+  int reps() const noexcept { return static_cast<int>(samples.size()); }
+};
+
+/// Median of `v` (by copy; empty input yields 0).
+double median_of(std::vector<double> v);
+
+/// Classifies warmup and outliers in raw per-rep seconds and computes the
+/// summary statistics. Exposed separately from `measure` for testability.
+SampleStats summarize(std::vector<double> raw_samples,
+                      const StatConfig& config);
+
+/// Runs `fn` once to prime memory, then samples it adaptively under
+/// `config` and returns the summary.
+SampleStats measure(const std::function<void()>& fn,
+                    const StatConfig& config);
+
+}  // namespace svsim::obs::bench

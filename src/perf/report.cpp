@@ -70,7 +70,8 @@ Table power_table(
 }
 
 DriftReport drift_report(const PerfReport& model,
-                         const std::vector<obs::Span>& spans) {
+                         const std::vector<obs::Span>& spans,
+                         std::size_t dropped_spans) {
   // Only per-gate spans participate; fusion/collective spans are passes,
   // not gates, and have no model-side partner.
   std::vector<const obs::Span*> measured;
@@ -81,6 +82,7 @@ DriftReport drift_report(const PerfReport& model,
       measured.push_back(&s);
 
   DriftReport drift;
+  drift.dropped_spans = dropped_spans;
   std::map<std::string, DriftRow> by_kernel;
   const std::size_t joined = std::min(measured.size(), model.trace.size());
   for (std::size_t i = 0; i < joined; ++i) {
@@ -124,7 +126,11 @@ DriftReport drift_report(const PerfReport& model,
 }
 
 Table drift_table(const DriftReport& drift) {
-  Table t("Model vs. measured drift",
+  std::string title = "Model vs. measured drift";
+  if (drift.partial())
+    title += " (PARTIAL: " + std::to_string(drift.dropped_spans) +
+             " spans dropped)";
+  Table t(title,
           {"kernel", "gates", "measured_ms", "modeled_ms", "ratio",
            "measured_GBs", "modeled_GBs"});
   for (const DriftRow& r : drift.rows) {

@@ -63,6 +63,13 @@ struct DriftReport {
   std::size_t matched = 0;       ///< spans joined one-to-one with the model
   std::size_t orphan_spans = 0;  ///< measured spans with no model partner
   std::size_t orphan_model = 0;  ///< modeled gates with no measured span
+  /// Spans the tracer lost to ring wraparound before the join. When
+  /// nonzero the positional join is unreliable: the surviving spans no
+  /// longer line up with the model trace one-to-one.
+  std::size_t dropped_spans = 0;
+
+  /// True when the join ran on an incomplete span stream.
+  bool partial() const noexcept { return dropped_spans > 0; }
 
   double time_ratio() const noexcept {
     return modeled_total_seconds > 0.0
@@ -74,9 +81,12 @@ struct DriftReport {
 /// Joins measured spans (Kernel/Measure categories, in record order)
 /// positionally against `model.trace` (requires record_trace). Both sides
 /// must come from the same prepared circuit — same fusion settings — or
-/// the mismatches surface as orphans.
+/// the mismatches surface as orphans. Pass the tracer's `dropped()` count
+/// so a wrapped ring marks the report partial instead of silently joining
+/// a truncated stream.
 DriftReport drift_report(const PerfReport& model,
-                         const std::vector<obs::Span>& spans);
+                         const std::vector<obs::Span>& spans,
+                         std::size_t dropped_spans = 0);
 
 /// Per-kernel modeled-vs-measured table plus a totals row.
 Table drift_table(const DriftReport& drift);

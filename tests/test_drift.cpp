@@ -100,6 +100,23 @@ TEST(Drift, EmptySpanListIsAllModelOrphans) {
   EXPECT_TRUE(drift.rows.empty());
 }
 
+TEST(Drift, DroppedSpansMarkReportPartial) {
+  PerfOptions perf_opts;
+  perf_opts.record_trace = true;
+  const PerfReport model = simulate_circuit(
+      qc::qft(4), machine::MachineSpec::a64fx(), {}, perf_opts);
+
+  const DriftReport clean = drift_report(model, {});
+  EXPECT_FALSE(clean.partial());
+  EXPECT_EQ(drift_table(clean).to_text().find("PARTIAL"), std::string::npos);
+
+  const DriftReport partial = drift_report(model, {}, /*dropped_spans=*/17);
+  EXPECT_TRUE(partial.partial());
+  EXPECT_EQ(partial.dropped_spans, 17u);
+  const std::string rendered = drift_table(partial).to_text();
+  EXPECT_NE(rendered.find("PARTIAL: 17 spans dropped"), std::string::npos);
+}
+
 TEST(Drift, TableHasRowPerKernelPlusTotal) {
   const DriftReport drift = drift_for(qc::qft(6), /*fusion=*/false);
   const Table t = drift_table(drift);

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/threading.hpp"
@@ -158,6 +159,58 @@ TEST(Tracer, FusedRunEmitsFusionSpanAndFewerKernels) {
   EXPECT_EQ(fusion_spans, 1u);
   EXPECT_LT(kernel_spans, circuit.size());
   EXPECT_GT(kernel_spans, 0u);
+  tracer.clear();
+}
+
+TEST(ScopedSpan, RecordsOnNormalExit) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  {
+    ScopedSpan span("region", SpanCategory::Region);
+    EXPECT_TRUE(span.active());
+    span.set_bytes(512);
+  }
+  tracer.disable();
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name.data(), "region");
+  EXPECT_EQ(spans[0].bytes, 512u);
+  tracer.clear();
+}
+
+TEST(ScopedSpan, RecordsWhenExceptionUnwinds) {
+  // The destructor must record even on the unwind path: a span that
+  // vanishes when the traced region throws would hide exactly the
+  // interesting runs.
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  tracer.enable();
+  try {
+    ScopedSpan span("throwing", SpanCategory::Region);
+    throw std::runtime_error("mid-span failure");
+  } catch (const std::runtime_error&) {
+  }
+  tracer.disable();
+  const auto spans = tracer.collect();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name.data(), "throwing");
+  tracer.clear();
+}
+
+TEST(ScopedSpan, InactiveWhileTracerDisabled) {
+  Tracer& tracer = Tracer::global();
+  tracer.clear();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    ScopedSpan span("quiet", SpanCategory::Region);
+    EXPECT_FALSE(span.active());
+    // Enabling mid-scope must not retroactively record this span: the
+    // enabled check is captured at entry.
+    tracer.enable();
+  }
+  tracer.disable();
+  EXPECT_TRUE(tracer.collect().empty());
   tracer.clear();
 }
 

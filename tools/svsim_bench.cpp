@@ -1,0 +1,192 @@
+// svsim_bench — unified benchmark runner for the telemetry harness.
+//
+//   svsim_bench --list
+//   svsim_bench --all  [--json FILE] [--jsonl FILE] [--attr] [--no-tables]
+//   svsim_bench --smoke [...]              # fast ctest tier (scaled-down)
+//   svsim_bench --filter fig [...]         # substring case selection
+//   svsim_bench fig1_target_qubit [...]    # exact case selection
+//
+// Every run prints the rendered tables (the human-readable view formerly
+// produced by the per-figure binaries) and can additionally emit the
+// structured records: one JSONL line per case (--jsonl) and an aggregate
+// results document keyed by stable record IDs (--json) that
+// scripts/bench_compare.py gates against a checked-in baseline.
+//
+// Measurement knobs (full tier defaults in parentheses):
+//   --target-ci X     stop at this relative 95% CI          (0.03)
+//   --max-seconds X   sampling budget per measurement       (0.5)
+//   --max-reps N      repetition cap per measurement        (200)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/bench/env.hpp"
+#include "obs/bench/record.hpp"
+#include "obs/bench/registry.hpp"
+
+using namespace svsim;
+using obs::bench::BenchCase;
+using obs::bench::BenchEnv;
+using obs::bench::CaseResult;
+using obs::bench::StatConfig;
+
+namespace {
+
+struct Options {
+  bool list = false;
+  bool all = false;
+  bool smoke = false;
+  bool attr = false;
+  bool tables = true;
+  std::vector<std::string> filters;
+  std::vector<std::string> cases;
+  std::string json_path;
+  std::string jsonl_path;
+  double target_ci = -1.0;
+  double max_seconds = -1.0;
+  int max_reps = -1;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: svsim_bench (--list | --all | --smoke | --filter S | CASE...)\n"
+        "                   [--json FILE] [--jsonl FILE] [--attr]\n"
+        "                   [--no-tables] [--target-ci X] [--max-seconds X]\n"
+        "                   [--max-reps N]\n";
+}
+
+std::string next_value(int argc, char** argv, int& i, const char* flag) {
+  require(i + 1 < argc, std::string("option '") + flag + "' requires a value");
+  return argv[++i];
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--list") o.list = true;
+    else if (a == "--all") o.all = true;
+    else if (a == "--smoke") o.smoke = true;
+    else if (a == "--attr") o.attr = true;
+    else if (a == "--no-tables") o.tables = false;
+    else if (a == "--filter") o.filters.push_back(next_value(argc, argv, i, "--filter"));
+    else if (a == "--json") o.json_path = next_value(argc, argv, i, "--json");
+    else if (a == "--jsonl") o.jsonl_path = next_value(argc, argv, i, "--jsonl");
+    else if (a == "--target-ci") o.target_ci = std::stod(next_value(argc, argv, i, "--target-ci"));
+    else if (a == "--max-seconds") o.max_seconds = std::stod(next_value(argc, argv, i, "--max-seconds"));
+    else if (a == "--max-reps") o.max_reps = std::stoi(next_value(argc, argv, i, "--max-reps"));
+    else if (a.rfind("--", 0) == 0) throw Error("unknown option '" + a + "'");
+    else o.cases.push_back(a);
+  }
+  return o;
+}
+
+bool selected(const BenchCase& c, const Options& o) {
+  if (!o.cases.empty()) {
+    for (const std::string& id : o.cases)
+      if (c.id == id) return true;
+    return false;
+  }
+  if (!o.filters.empty()) {
+    for (const std::string& f : o.filters)
+      if (c.id.find(f) != std::string::npos) return true;
+    return false;
+  }
+  return o.all || o.smoke;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  try {
+    o = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  const std::vector<BenchCase> cases = obs::bench::all_cases();
+
+  if (o.list || (!o.all && !o.smoke && o.cases.empty() && o.filters.empty())) {
+    std::cout << "registered benchmark cases:\n";
+    for (const BenchCase& c : cases)
+      std::cout << "  " << c.id << "  —  " << c.title << ": " << c.description
+                << "\n";
+    if (!o.list) {
+      usage(std::cout);
+      return 2;
+    }
+    return 0;
+  }
+
+  // Unknown explicit case names are an error, not a silent no-op.
+  for (const std::string& id : o.cases) {
+    bool known = false;
+    for (const BenchCase& c : cases) known = known || c.id == id;
+    if (!known) {
+      std::cerr << "error: unknown case '" << id << "' (see --list)\n";
+      return 2;
+    }
+  }
+
+  StatConfig config = o.smoke ? StatConfig::smoke() : StatConfig::full();
+  if (o.target_ci > 0) config.target_rel_ci = o.target_ci;
+  if (o.max_seconds > 0) config.max_seconds = o.max_seconds;
+  if (o.max_reps > 0) config.max_reps = o.max_reps;
+
+  const BenchEnv env = obs::bench::capture_env();
+  std::cerr << "svsim_bench: host=" << env.hostname << " threads="
+            << env.threads << " clock=" << env.clock_ghz << " GHz ("
+            << env.clock_source << ") governor=" << env.governor
+            << (o.smoke ? " [smoke tier]" : "") << "\n";
+
+  std::vector<CaseResult> results;
+  bool any_failed = false;
+  for (const BenchCase& c : cases) {
+    if (!selected(c, o)) continue;
+    if (o.tables)
+      std::cout << "\n##### " << c.title << " — " << c.description << " ["
+                << c.id << "] #####\n\n";
+    CaseResult r = obs::bench::run_case(c, config, o.smoke, o.attr,
+                                        o.tables ? &std::cout : nullptr);
+    if (r.failed) {
+      any_failed = true;
+      std::cerr << "svsim_bench: case '" << c.id << "' FAILED: " << r.error
+                << "\n";
+    } else {
+      std::cerr << "svsim_bench: " << c.id << ": " << r.records.size()
+                << " records in " << r.wall_seconds << " s\n";
+    }
+    results.push_back(std::move(r));
+  }
+
+  if (results.empty()) {
+    std::cerr << "error: no cases matched the selection\n";
+    return 2;
+  }
+
+  const std::string mode = o.smoke ? "smoke" : "full";
+  if (!o.json_path.empty()) {
+    std::ofstream out(o.json_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << o.json_path << "' for writing\n";
+      return 1;
+    }
+    obs::bench::write_results_json(out, env, mode, results);
+    std::cerr << "svsim_bench: wrote " << o.json_path << "\n";
+  }
+  if (!o.jsonl_path.empty()) {
+    std::ofstream out(o.jsonl_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << o.jsonl_path << "' for writing\n";
+      return 1;
+    }
+    obs::bench::write_results_jsonl(out, env, mode, results);
+    std::cerr << "svsim_bench: wrote " << o.jsonl_path << "\n";
+  }
+  return any_failed ? 1 : 0;
+}

@@ -211,6 +211,9 @@ int cmd_run(const Args& args) {
   if (counters) obs::hw_counter_table(counters->stop()).print(std::cout);
   if (want_trace) {
     tracer.disable();
+    if (tracer.dropped() > 0)
+      std::cerr << "warning: tracer dropped " << tracer.dropped()
+                << " spans to ring wraparound; the trace is incomplete\n";
     if (args.flag("trace")) obs::span_table(tracer.collect()).print(std::cout);
     if (args.flag("trace-json")) {
       const std::string path = args.get("trace-json", "trace.json");
@@ -276,8 +279,12 @@ int cmd_project(const Args& args) {
     sv::Simulator<double> sim(sopts);
     sim.run(circuit);
     tracer.disable();
-    const auto drift = perf::drift_report(report, tracer.collect());
+    const auto drift =
+        perf::drift_report(report, tracer.collect(), tracer.dropped());
     perf::drift_table(drift).print(std::cout);
+    if (drift.partial())
+      std::cerr << "warning: tracer dropped " << drift.dropped_spans
+                << " spans to ring wraparound; the drift join is partial\n";
     if (drift.orphan_spans > 0 || drift.orphan_model > 0)
       std::cerr << "warning: " << drift.orphan_spans << " measured / "
                 << drift.orphan_model
