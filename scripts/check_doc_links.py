@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Scans the given markdown files (default: README.md, EXPERIMENTS.md,
+DESIGN.md, and docs/*.md) for inline links and [[wiki]]-free reference
+links, and verifies that every *relative* target resolves to a file or
+directory in the repository. Absolute URLs (http/https/mailto) are not
+fetched — docs must stay checkable offline — but a malformed scheme-less
+`//` target is still an error. Anchors (`file.md#section`) are checked
+against the target file's headings.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link). Runs in CI as the docs-lint step and locally via
+
+    python3 scripts/check_doc_links.py [FILES...]
+"""
+import argparse
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) — target may carry a "title".
+INLINE_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.M)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
+FENCE_RE = re.compile(r"```.*?```", re.S)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+DEFAULT_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md"]
+
+
+def slugify(heading):
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop others."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug)
+    return re.sub(r"[\s]+", "-", slug)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8") as f:
+            text = FENCE_RE.sub("", f.read())
+        cache[path] = {slugify(h) for h in HEADING_RE.findall(text)}
+    return cache[path]
+
+
+def check_file(md_path, repo_root):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        raw = f.read()
+    text = FENCE_RE.sub("", raw)  # links inside code fences are examples
+    targets = INLINE_RE.findall(text) + REFDEF_RE.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("//"):
+            errors.append(f"{md_path}: malformed scheme-less target '{target}'")
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # pure in-page anchor
+            if anchor and slugify(anchor) not in anchors_of(md_path):
+                errors.append(f"{md_path}: missing anchor '#{anchor}'")
+            continue
+        base = repo_root if path_part.startswith("/") else os.path.dirname(md_path)
+        resolved = os.path.normpath(os.path.join(base, path_part.lstrip("/")))
+        if not os.path.exists(resolved):
+            errors.append(f"{md_path}: broken link '{target}' -> {resolved}")
+            continue
+        if anchor and resolved.endswith(".md"):
+            if slugify(anchor) not in anchors_of(resolved):
+                errors.append(
+                    f"{md_path}: '{target}' anchor '#{anchor}' not found")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="markdown files to check")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = args.files
+    if not files:
+        files = [os.path.join(repo_root, f) for f in DEFAULT_FILES]
+        docs = os.path.join(repo_root, "docs")
+        if os.path.isdir(docs):
+            files += [os.path.join(docs, f) for f in sorted(os.listdir(docs))
+                      if f.endswith(".md")]
+
+    errors = []
+    checked = 0
+    for f in files:
+        if not os.path.exists(f):
+            errors.append(f"{f}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(f, repo_root))
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_doc_links: {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,14 @@ python3 scripts/check_bench_schema.py \
   --json BENCH_results.json --jsonl BENCH_results.jsonl
 python3 scripts/bench_compare.py --self-test BENCH_results.json
 
+# The blocked-engine comparison (EXPERIMENTS.md "Fig. 1 (blocked)" /
+# "Tab. 2 (blocked)") must be present in the refreshed records.
+for id in fig1_blocked.k4.blocked.s fig1_blocked.k4.unblocked.s \
+          fig1_blocked.k4.gates_per_traversal tab2_blocked.qv.blocked.s; do
+  grep -q "\"$id\"" BENCH_results.json || {
+    echo "missing blocked-engine record: $id" >&2; exit 1; }
+done
+
 mkdir -p bench/baselines
 "$BUILD"/tools/svsim_bench --smoke --no-tables --json bench/baselines/smoke.json
 python3 scripts/check_bench_schema.py --json bench/baselines/smoke.json

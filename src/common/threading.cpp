@@ -1,8 +1,88 @@
 #include "common/threading.hpp"
 
+#include <cstdlib>
 #include <numeric>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace svsim {
+
+unsigned pin_cpu_for_worker(const PinPolicy& policy, unsigned w,
+                            unsigned num_workers) noexcept {
+  unsigned cores = policy.num_cores;
+  if (cores == 0) cores = std::thread::hardware_concurrency();
+  if (cores == 0) cores = num_workers > 0 ? num_workers : 1;
+  if (policy.mode == PinPolicy::Mode::Scatter && policy.num_domains > 1 &&
+      cores >= policy.num_domains) {
+    const unsigned domains = policy.num_domains;
+    const unsigned per_domain = cores / domains;
+    const unsigned domain = w % domains;
+    const unsigned slot = w / domains;
+    return (domain * per_domain + slot % per_domain) % cores;
+  }
+  // Compact (and degenerate scatter): fill cores in order.
+  return w % cores;
+}
+
+PinPolicy pin_policy_from_env() {
+  PinPolicy policy;
+  const char* env = std::getenv("SVSIM_PIN");
+  if (env == nullptr) return policy;
+  std::string v(env);
+  if (v == "compact") {
+    policy.mode = PinPolicy::Mode::Compact;
+  } else if (v.rfind("scatter", 0) == 0) {
+    policy.mode = PinPolicy::Mode::Scatter;
+    policy.num_domains = 2;
+    const auto colon = v.find(':');
+    if (colon != std::string::npos) {
+      const unsigned long d = std::strtoul(v.c_str() + colon + 1, nullptr, 10);
+      if (d >= 1 && d <= 1024) policy.num_domains = static_cast<unsigned>(d);
+    }
+  }
+  return policy;
+}
+
+namespace {
+
+/// Pins `handle` (or the calling thread when null) to `cpu`. Returns false
+/// when the platform has no affinity API.
+bool pin_native_thread(std::thread::native_handle_type handle, unsigned cpu,
+                       bool self) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % CPU_SETSIZE, &set);
+  const pthread_t target = self ? pthread_self() : handle;
+  return pthread_setaffinity_np(target, sizeof(set), &set) == 0;
+#else
+  (void)handle;
+  (void)cpu;
+  (void)self;
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool ThreadPool::pin_threads(const PinPolicy& policy) {
+  if (policy.mode == PinPolicy::Mode::None) return false;
+  const unsigned n = num_threads();
+  bool ok = pin_native_thread({}, pin_cpu_for_worker(policy, 0, n),
+                              /*self=*/true);
+  for (unsigned w = 1; w < n; ++w) {
+    ok = pin_native_thread(threads_[w - 1].native_handle(),
+                           pin_cpu_for_worker(policy, w, n),
+                           /*self=*/false) &&
+         ok;
+  }
+  pinned_ = ok;
+  return ok;
+}
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   unsigned n = num_threads;
@@ -119,7 +199,12 @@ double ThreadPool::parallel_reduce(
 }
 
 ThreadPool& ThreadPool::global() {
+  // First-touch NUMA placement only pays off if workers stay on the cores
+  // whose memory they touched, so the shared pool honours SVSIM_PIN once at
+  // creation (no-op when unset).
   static ThreadPool pool;
+  static const bool pinned [[maybe_unused]] =
+      pool.pin_threads(pin_policy_from_env());
   return pool;
 }
 

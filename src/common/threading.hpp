@@ -41,6 +41,36 @@ inline Partition static_partition(std::uint64_t count, unsigned num_workers,
   return {begin, begin + len};
 }
 
+/// NUMA/CMG-aware thread-pinning policy.
+///
+/// State-vector kernels and the first-touch page placement both use the
+/// same static partition of the amplitude space, so once a worker is pinned
+/// to a core it keeps streaming pages homed on that core's memory domain.
+/// `Compact` fills domain 0 first (one memory controller active at low
+/// thread counts — the paper's compact-affinity curve); `Scatter`
+/// round-robins workers across domains so every HBM stack / memory
+/// controller is active from `num_domains` threads up.
+struct PinPolicy {
+  enum class Mode { None, Compact, Scatter };
+  Mode mode = Mode::None;
+  /// NUMA domains (CMGs / sockets) to spread across; >= 1.
+  unsigned num_domains = 1;
+  /// Total cores to place onto (0 = hardware_concurrency).
+  unsigned num_cores = 0;
+};
+
+/// CPU id worker `w` of `num_workers` lands on under `policy` (pure, so the
+/// placement function is unit-testable without touching the OS). Compact:
+/// cpu = w. Scatter: domain d = w mod D, slot = w div D, cpu = d *
+/// (cores/D) + slot. CPUs wrap modulo the core count when oversubscribed.
+unsigned pin_cpu_for_worker(const PinPolicy& policy, unsigned w,
+                            unsigned num_workers) noexcept;
+
+/// Policy from the environment: SVSIM_PIN = "none" | "compact" |
+/// "scatter[:domains]" (e.g. "scatter:4" for an A64FX-like 4-CMG spread).
+/// Unset/unrecognized -> Mode::None.
+PinPolicy pin_policy_from_env();
+
 /// Cumulative counters of what a pool has executed. Observability hook for
 /// the obs layer (which mirrors these into its metrics registry); kept here
 /// as plain atomics so `common` stays dependency-free.
@@ -82,6 +112,15 @@ class ThreadPool {
                                                     std::uint64_t)>& body,
                          std::uint64_t serial_cutoff = 1u << 12);
 
+  /// Pins every worker (including the caller, which acts as worker 0) to
+  /// the CPU pin_cpu_for_worker assigns it. Returns false — and pins
+  /// nothing — when the policy is Mode::None or the platform has no
+  /// affinity support; pinning is best-effort and idempotent.
+  bool pin_threads(const PinPolicy& policy);
+
+  /// True after a successful pin_threads call.
+  bool pinned() const noexcept { return pinned_; }
+
   /// Deterministic per-worker RNG substream derived from `seed`.
   /// Re-seeds all streams; call once per stochastic run.
   void seed_rngs(std::uint64_t seed);
@@ -114,6 +153,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::vector<Xoshiro256> rngs_;
+  bool pinned_ = false;
 
   std::atomic<std::uint64_t> stat_parallel_{0};
   std::atomic<std::uint64_t> stat_inline_{0};

@@ -292,4 +292,30 @@ KernelCost gate_cost(const Gate& g, unsigned n, const MachineSpec& m,
   throw Error("gate_cost: unhandled gate kind");
 }
 
+SweepCost blocked_sweep_cost(const std::vector<Gate>& gates, unsigned n,
+                             unsigned block_qubits, const MachineSpec& m,
+                             const ExecConfig& config) {
+  require(block_qubits >= 1 && block_qubits <= n,
+          "blocked_sweep_cost: block_qubits out of range");
+  SweepCost sweep;
+  sweep.gates = gates.size();
+  const std::uint64_t N = pow2(n);
+  const double amp_bytes = 2.0 * config.element_bytes;
+  sweep.block_bytes =
+      pow2(block_qubits) * static_cast<std::uint64_t>(amp_bytes);
+  for (const auto& g : gates) {
+    for (unsigned q : g.qubits)
+      require(q < block_qubits,
+              "blocked_sweep_cost: gate operand crosses the block boundary");
+    const KernelCost kc = gate_cost(g, n, m, config);
+    sweep.flops += kc.flops;
+    sweep.unblocked_bytes += kc.bytes;
+  }
+  // One read + one write of the state serves the whole sweep; gates whose
+  // touched set is a subset (diagonal/controlled) cannot reduce this, since
+  // the sweep's first full-coverage gate already streams every line.
+  sweep.dram_bytes = 2.0 * static_cast<double>(N) * amp_bytes;
+  return sweep;
+}
+
 }  // namespace svsim::perf

@@ -50,4 +50,35 @@ KernelCost gate_cost(const qc::Gate& gate, unsigned num_qubits,
                      const machine::MachineSpec& m,
                      const machine::ExecConfig& config);
 
+/// Cost profile of a cache-blocked sweep: `k` gates applied per 2^b-sized
+/// block in one traversal of the state (sv/engine.hpp). DRAM traffic for
+/// the whole sweep is one read + one write of the state — in-block gate
+/// traffic is served from cache — so effective bytes per gate fall as 1/k
+/// while flops are unchanged and arithmetic intensity rises k-fold.
+struct SweepCost {
+  std::size_t gates = 0;        ///< gates in the sweep
+  double flops = 0.0;           ///< summed over the gates
+  double dram_bytes = 0.0;      ///< one read+write traversal of the state
+  double unblocked_bytes = 0.0; ///< Σ per-gate line-granular traffic
+  std::uint64_t block_bytes = 0;///< working-set bytes of one block
+
+  double bytes_per_gate() const noexcept {
+    return gates > 0 ? dram_bytes / static_cast<double>(gates) : 0.0;
+  }
+  double arithmetic_intensity() const noexcept {
+    return dram_bytes > 0.0 ? flops / dram_bytes : 0.0;
+  }
+  /// Traffic ratio vs. applying the same gates unblocked (< 1 is a win).
+  double traffic_ratio() const noexcept {
+    return unblocked_bytes > 0.0 ? dram_bytes / unblocked_bytes : 0.0;
+  }
+};
+
+/// Costs a blocked sweep of `gates` (each block-local for `block_qubits`)
+/// on an n-qubit register. Throws if a gate's operands reach the boundary.
+SweepCost blocked_sweep_cost(const std::vector<qc::Gate>& gates,
+                             unsigned num_qubits, unsigned block_qubits,
+                             const machine::MachineSpec& m,
+                             const machine::ExecConfig& config);
+
 }  // namespace svsim::perf

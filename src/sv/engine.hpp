@@ -1,0 +1,60 @@
+// Cache-blocked execution engine.
+//
+// Executes a SweepPlan against a StateVector. A blocked step's gates are
+// prepared once (coefficients pre-cast, kernels resolved through the
+// dispatch table in kernels.hpp) and then applied block-by-block: each
+// worker takes a contiguous range of aligned 2^block_qubits blocks — the
+// same static partition the state's first-touch initialization used, so on
+// NUMA machines every worker streams pages it owns — and runs the whole
+// sweep over one block while it is cache-resident before advancing. k gates
+// therefore cost ~1 traversal of the state instead of k.
+//
+// Pass-through steps (operands at or above the block boundary) fall back to
+// the whole-state kernels via apply_gate. MEASURE/RESET are rejected here;
+// the Simulator front-end keeps them on its own stochastic path.
+#pragma once
+
+#include <cstddef>
+
+#include "qc/gate.hpp"
+#include "sv/state_vector.hpp"
+#include "sv/sweep.hpp"
+
+namespace svsim::sv {
+
+/// What an execution of a plan (or sweep) actually did.
+struct EngineStats {
+  std::size_t sweeps = 0;             ///< blocked steps executed
+  std::size_t blocked_gates = 0;      ///< gates applied on the blocked path
+  std::size_t passthrough_gates = 0;  ///< gates applied by whole-state kernels
+  std::size_t traversals = 0;         ///< state traversals performed
+
+  double gates_per_traversal() const noexcept {
+    return traversals == 0 ? 0.0
+                           : static_cast<double>(blocked_gates +
+                                                 passthrough_gates) /
+                                 static_cast<double>(traversals);
+  }
+};
+
+/// Applies `count` gates — all block-local for `block_qubits` — to the state
+/// in one blocked traversal. Records one "sweep" tracer span when tracing.
+template <typename T>
+void run_sweep(StateVector<T>& state, const qc::Gate* gates, std::size_t count,
+               unsigned block_qubits);
+
+/// Executes a whole plan (unitary steps only; throws on MEASURE/RESET).
+/// Equivalent to applying the plan's gates in order with apply_gate.
+template <typename T>
+EngineStats run_plan(StateVector<T>& state, const SweepPlan& plan);
+
+extern template void run_sweep<float>(StateVector<float>&, const qc::Gate*,
+                                      std::size_t, unsigned);
+extern template void run_sweep<double>(StateVector<double>&, const qc::Gate*,
+                                       std::size_t, unsigned);
+extern template EngineStats run_plan<float>(StateVector<float>&,
+                                            const SweepPlan&);
+extern template EngineStats run_plan<double>(StateVector<double>&,
+                                             const SweepPlan&);
+
+}  // namespace svsim::sv

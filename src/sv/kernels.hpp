@@ -19,6 +19,7 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "common/threading.hpp"
+#include "qc/gate.hpp"
 #include "qc/matrix.hpp"
 
 namespace svsim::sv {
@@ -408,6 +409,330 @@ void apply_diag_k(std::complex<T>* psi, unsigned n,
                                           std::uint64_t e) {
     for (std::uint64_t i = b; i < e; ++i) psi[i] *= f[gather_bits(i, qs)];
   });
+}
+
+// ---- block-local kernels and the dispatch table -----------------------------
+//
+// The cache-blocked engine (sv/engine.hpp) applies a *sweep* of gates to one
+// aligned block of 2^b amplitudes at a time while the block is L2-resident.
+// The kernel contract for this path (documented in docs/ARCHITECTURE.md):
+//
+//  * Operands: every operand qubit of the gate is < b, so the gate acts
+//    identically and independently on each aligned block — the block kernel
+//    is the same math as the whole-state kernel with n replaced by b.
+//  * Threading: block kernels are SERIAL. The engine owns parallelism (one
+//    parallel_for over blocks, statically partitioned so each worker streams
+//    the pages it first-touched); a block kernel must never re-enter the
+//    pool.
+//  * Coefficients: pre-cast once per sweep into PreparedGate<T> — the
+//    per-block loop does no matrix conversion or allocation (MatrixK uses a
+//    fixed stack scratch, hence its k <= 8 limit).
+//  * Dispatch: one indirect call per (gate, block) through
+//    block_kernel_table<T>(), indexed by KernelClass.
+
+/// Kernel specialization classes the dispatcher distinguishes. Order is the
+/// dispatch-table index; keep kernel_class_name and block_kernel_table in
+/// sync.
+enum class KernelClass : std::uint8_t {
+  Nop = 0,      ///< I / BARRIER
+  PermX,        ///< X: pure pair swap, no arithmetic
+  PermY,        ///< Y: pair swap with ±i phases
+  PermSwap,     ///< SWAP: (01)<->(10) amplitude exchange
+  Mcx,          ///< CX/CCX/MCX: controlled pair swap
+  Hadamard,     ///< H: add/sub + scale
+  Diag1,        ///< Z/S/T/P/RZ: diag(d0, d1)
+  CtrlDiag1,    ///< CRZ (controlled diagonal with d0 != 1)
+  McPhase,      ///< CZ/CP/CCZ/MCP: one phased amplitude subset
+  Diag2,        ///< RZZ: 4-entry diagonal
+  DiagK,        ///< DIAG: 2^k-entry diagonal
+  Matrix1,      ///< general 2x2
+  CtrlMatrix1,  ///< CY/CH/CRX/CRY: controlled 2x2
+  Matrix2,      ///< general (fused) 4x4
+  MatrixK,      ///< dense 2^k x 2^k (fusion output, CSWAP)
+  Unsupported,  ///< MEASURE / RESET: not a unitary kernel
+};
+
+inline constexpr std::size_t kNumKernelClasses = 16;
+
+const char* kernel_class_name(KernelClass c);
+
+/// Maps a gate to its kernel class. Total: every GateKind classifies
+/// (MEASURE/RESET as Unsupported). This is the single source of truth for
+/// which specialized kernel serves a gate on the blocked path.
+KernelClass classify_gate(const qc::Gate& g);
+
+/// A gate resolved for block-local application: kernel class plus every
+/// coefficient pre-cast to the state precision, so applying it to a block
+/// touches only the block's amplitudes.
+template <typename T>
+struct PreparedGate {
+  KernelClass cls = KernelClass::Nop;
+  std::vector<unsigned> qubits;   ///< operands, gate order (qubits[0] = LSB)
+  std::vector<unsigned> sorted;   ///< ascending operand bit positions
+  unsigned target = 0;            ///< target qubit (1-target kernels)
+  std::uint64_t cmask = 0;        ///< OR of control bits
+  std::uint64_t mask = 0;         ///< OR of all operand bits (McPhase)
+  /// Class-dependent payload: Diag1/CtrlDiag1 {d0,d1}; McPhase {phase};
+  /// Matrix1/CtrlMatrix1 4; Diag2 4; Matrix2 16; DiagK 2^k; MatrixK 4^k.
+  std::vector<std::complex<T>> coeff;
+  std::vector<std::uint64_t> offs;  ///< MatrixK sub-index scatter offsets
+};
+
+namespace detail::blk {
+
+/// Highest operand qubit + 1 (0 for operand-free gates): the minimum block
+/// exponent this prepared gate is valid for.
+template <typename T>
+unsigned min_block_qubits(const PreparedGate<T>& pg) {
+  unsigned m = 0;
+  for (unsigned q : pg.qubits) m = std::max(m, q + 1);
+  return m;
+}
+
+template <typename T>
+void bk_nop(std::complex<T>*, unsigned, const PreparedGate<T>&) {}
+
+template <typename T>
+void bk_perm_x(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const unsigned t = pg.target;
+  const std::uint64_t stride = pow2(t);
+  for_pair_runs(0, pow2(nb - 1), t, [&](std::uint64_t base, std::uint64_t run) {
+    std::complex<T>* lo = psi + base;
+    std::complex<T>* hi = psi + base + stride;
+    for (std::uint64_t j = 0; j < run; ++j) std::swap(lo[j], hi[j]);
+  });
+}
+
+template <typename T>
+void bk_perm_y(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const unsigned t = pg.target;
+  const std::uint64_t stride = pow2(t);
+  for_pair_runs(0, pow2(nb - 1), t, [&](std::uint64_t base, std::uint64_t run) {
+    std::complex<T>* lo = psi + base;
+    std::complex<T>* hi = psi + base + stride;
+    for (std::uint64_t j = 0; j < run; ++j) {
+      const std::complex<T> a0 = lo[j];
+      const std::complex<T> a1 = hi[j];
+      lo[j] = std::complex<T>{a1.imag(), -a1.real()};
+      hi[j] = std::complex<T>{-a0.imag(), a0.real()};
+    }
+  });
+}
+
+template <typename T>
+void bk_hadamard(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const T inv_sqrt2 = static_cast<T>(0.70710678118654752440);
+  const unsigned t = pg.target;
+  const std::uint64_t stride = pow2(t);
+  for_pair_runs(0, pow2(nb - 1), t, [&](std::uint64_t base, std::uint64_t run) {
+    std::complex<T>* lo = psi + base;
+    std::complex<T>* hi = psi + base + stride;
+    for (std::uint64_t j = 0; j < run; ++j) {
+      const std::complex<T> a0 = lo[j];
+      const std::complex<T> a1 = hi[j];
+      lo[j] = (a0 + a1) * inv_sqrt2;
+      hi[j] = (a0 - a1) * inv_sqrt2;
+    }
+  });
+}
+
+template <typename T>
+void bk_diag1(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::complex<T> f0 = pg.coeff[0];
+  const std::complex<T> f1 = pg.coeff[1];
+  const bool skip_lower = (f0 == std::complex<T>{T{1}, T{0}});
+  const unsigned t = pg.target;
+  const std::uint64_t stride = pow2(t);
+  for_pair_runs(0, pow2(nb - 1), t, [&](std::uint64_t base, std::uint64_t run) {
+    std::complex<T>* lo = psi + base;
+    std::complex<T>* hi = psi + base + stride;
+    if (skip_lower) {
+      for (std::uint64_t j = 0; j < run; ++j) hi[j] *= f1;
+    } else {
+      for (std::uint64_t j = 0; j < run; ++j) {
+        lo[j] *= f0;
+        hi[j] *= f1;
+      }
+    }
+  });
+}
+
+template <typename T>
+void bk_matrix1(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::complex<T> m00 = pg.coeff[0], m01 = pg.coeff[1];
+  const std::complex<T> m10 = pg.coeff[2], m11 = pg.coeff[3];
+  const unsigned t = pg.target;
+  const std::uint64_t stride = pow2(t);
+  for_pair_runs(0, pow2(nb - 1), t, [&](std::uint64_t base, std::uint64_t run) {
+    std::complex<T>* lo = psi + base;
+    std::complex<T>* hi = psi + base + stride;
+    for (std::uint64_t j = 0; j < run; ++j) {
+      const std::complex<T> a0 = lo[j];
+      const std::complex<T> a1 = hi[j];
+      lo[j] = m00 * a0 + m01 * a1;
+      hi[j] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+template <typename T>
+void bk_mcx(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::uint64_t tbit = pow2(pg.target);
+  const unsigned free_bits = nb - static_cast<unsigned>(pg.sorted.size());
+  for (std::uint64_t c = 0; c < pow2(free_bits); ++c) {
+    const std::uint64_t i0 = insert_zero_bits(c, pg.sorted) | pg.cmask;
+    std::swap(psi[i0], psi[i0 | tbit]);
+  }
+}
+
+template <typename T>
+void bk_ctrl_matrix1(std::complex<T>* psi, unsigned nb,
+                     const PreparedGate<T>& pg) {
+  const std::complex<T> m00 = pg.coeff[0], m01 = pg.coeff[1];
+  const std::complex<T> m10 = pg.coeff[2], m11 = pg.coeff[3];
+  const std::uint64_t tbit = pow2(pg.target);
+  const unsigned free_bits = nb - static_cast<unsigned>(pg.sorted.size());
+  for (std::uint64_t c = 0; c < pow2(free_bits); ++c) {
+    const std::uint64_t i0 = insert_zero_bits(c, pg.sorted) | pg.cmask;
+    const std::uint64_t i1 = i0 | tbit;
+    const std::complex<T> a0 = psi[i0];
+    const std::complex<T> a1 = psi[i1];
+    psi[i0] = m00 * a0 + m01 * a1;
+    psi[i1] = m10 * a0 + m11 * a1;
+  }
+}
+
+template <typename T>
+void bk_ctrl_diag1(std::complex<T>* psi, unsigned nb,
+                   const PreparedGate<T>& pg) {
+  const std::complex<T> f0 = pg.coeff[0];
+  const std::complex<T> f1 = pg.coeff[1];
+  const std::uint64_t tbit = pow2(pg.target);
+  const unsigned free_bits = nb - static_cast<unsigned>(pg.sorted.size());
+  for (std::uint64_t c = 0; c < pow2(free_bits); ++c) {
+    const std::uint64_t i0 = insert_zero_bits(c, pg.sorted) | pg.cmask;
+    psi[i0] *= f0;
+    psi[i0 | tbit] *= f1;
+  }
+}
+
+template <typename T>
+void bk_mc_phase(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::complex<T> f = pg.coeff[0];
+  const unsigned free_bits = nb - static_cast<unsigned>(pg.sorted.size());
+  for (std::uint64_t c = 0; c < pow2(free_bits); ++c)
+    psi[insert_zero_bits(c, pg.sorted) | pg.mask] *= f;
+}
+
+template <typename T>
+void bk_perm_swap(std::complex<T>* psi, unsigned nb,
+                  const PreparedGate<T>& pg) {
+  const std::uint64_t b0 = pow2(pg.qubits[0]), b1 = pow2(pg.qubits[1]);
+  for (std::uint64_t c = 0; c < pow2(nb - 2); ++c) {
+    const std::uint64_t base = insert_zero_bits(c, pg.sorted);
+    std::swap(psi[base | b0], psi[base | b1]);
+  }
+}
+
+template <typename T>
+void bk_matrix2(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::complex<T>* m = pg.coeff.data();
+  const std::uint64_t b0 = pow2(pg.qubits[0]), b1 = pow2(pg.qubits[1]);
+  for (std::uint64_t c = 0; c < pow2(nb - 2); ++c) {
+    const std::uint64_t base = insert_zero_bits(c, pg.sorted);
+    const std::uint64_t i[4] = {base, base | b0, base | b1, base | b0 | b1};
+    const std::complex<T> a0 = psi[i[0]], a1 = psi[i[1]], a2 = psi[i[2]],
+                          a3 = psi[i[3]];
+    psi[i[0]] = m[0] * a0 + m[1] * a1 + m[2] * a2 + m[3] * a3;
+    psi[i[1]] = m[4] * a0 + m[5] * a1 + m[6] * a2 + m[7] * a3;
+    psi[i[2]] = m[8] * a0 + m[9] * a1 + m[10] * a2 + m[11] * a3;
+    psi[i[3]] = m[12] * a0 + m[13] * a1 + m[14] * a2 + m[15] * a3;
+  }
+}
+
+template <typename T>
+void bk_diag2(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const std::uint64_t m0 = pow2(pg.qubits[0]), m1 = pow2(pg.qubits[1]);
+  for (std::uint64_t i = 0; i < pow2(nb); ++i) {
+    const unsigned s =
+        static_cast<unsigned>(((i & m1) != 0) * 2 + ((i & m0) != 0));
+    psi[i] *= pg.coeff[s];
+  }
+}
+
+template <typename T>
+void bk_diag_k(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  for (std::uint64_t i = 0; i < pow2(nb); ++i)
+    psi[i] *= pg.coeff[gather_bits(i, pg.qubits)];
+}
+
+/// MatrixK block limit: fixed stack scratch of 2^8 amplitudes.
+inline constexpr unsigned kMaxBlockMatrixK = 8;
+
+template <typename T>
+void bk_matrix_k(std::complex<T>* psi, unsigned nb, const PreparedGate<T>& pg) {
+  const unsigned k = static_cast<unsigned>(pg.qubits.size());
+  const std::uint64_t sub = pow2(k);
+  std::array<std::complex<T>, pow2(kMaxBlockMatrixK)> in;
+  const unsigned free_bits = nb - k;
+  for (std::uint64_t c = 0; c < pow2(free_bits); ++c) {
+    const std::uint64_t base = insert_zero_bits(c, pg.sorted);
+    for (std::uint64_t s = 0; s < sub; ++s) in[s] = psi[base | pg.offs[s]];
+    for (std::uint64_t r = 0; r < sub; ++r) {
+      std::complex<T> acc{};
+      const std::complex<T>* row = pg.coeff.data() + r * sub;
+      for (std::uint64_t s = 0; s < sub; ++s) acc += row[s] * in[s];
+      psi[base | pg.offs[r]] = acc;
+    }
+  }
+}
+
+template <typename T>
+void bk_unsupported(std::complex<T>*, unsigned, const PreparedGate<T>&) {
+  throw Error("block kernel: MEASURE/RESET are not block-local");
+}
+
+}  // namespace detail::blk
+
+/// Serial block-kernel signature: apply to block[0 .. 2^nb).
+template <typename T>
+using BlockKernelFn = void (*)(std::complex<T>*, unsigned nb,
+                               const PreparedGate<T>&);
+
+/// The dispatch table, indexed by KernelClass.
+template <typename T>
+inline const std::array<BlockKernelFn<T>, kNumKernelClasses>&
+block_kernel_table() {
+  namespace blk = detail::blk;
+  static const std::array<BlockKernelFn<T>, kNumKernelClasses> table = {
+      &blk::bk_nop<T>,          &blk::bk_perm_x<T>,
+      &blk::bk_perm_y<T>,       &blk::bk_perm_swap<T>,
+      &blk::bk_mcx<T>,          &blk::bk_hadamard<T>,
+      &blk::bk_diag1<T>,        &blk::bk_ctrl_diag1<T>,
+      &blk::bk_mc_phase<T>,     &blk::bk_diag2<T>,
+      &blk::bk_diag_k<T>,       &blk::bk_matrix1<T>,
+      &blk::bk_ctrl_matrix1<T>, &blk::bk_matrix2<T>,
+      &blk::bk_matrix_k<T>,     &blk::bk_unsupported<T>,
+  };
+  return table;
+}
+
+/// Resolves `g` for block-local application: classifies it and pre-casts
+/// every coefficient to precision T. Throws for MEASURE/RESET and for dense
+/// payloads wider than the block path supports.
+template <typename T>
+PreparedGate<T> prepare_gate(const qc::Gate& g);
+
+extern template PreparedGate<float> prepare_gate<float>(const qc::Gate&);
+extern template PreparedGate<double> prepare_gate<double>(const qc::Gate&);
+
+/// Applies a prepared gate serially to one aligned block of 2^nb amplitudes.
+/// Precondition (the kernel contract): every operand qubit < nb.
+template <typename T>
+inline void apply_gate_in_block(std::complex<T>* block, unsigned nb,
+                                const PreparedGate<T>& pg) {
+  SVSIM_ASSERT(detail::blk::min_block_qubits(pg) <= nb);
+  block_kernel_table<T>()[static_cast<std::size_t>(pg.cls)](block, nb, pg);
 }
 
 }  // namespace svsim::sv

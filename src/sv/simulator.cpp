@@ -6,7 +6,9 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sv/engine.hpp"
 #include "sv/kernels.hpp"
+#include "sv/sweep.hpp"
 
 namespace svsim::sv {
 
@@ -208,7 +210,10 @@ void Simulator<T>::run_in_place(StateVector<T>& state,
   std::uint64_t bytes_streamed = 0;
   std::uint64_t measure_ops = 0;
 
-  for (const auto& g : prepared.gates()) {
+  // Applies one gate on the per-gate (whole-state) path, including the
+  // stochastic ops and trajectory noise. Shared by the unblocked loop and
+  // the blocked plan's pass-through steps.
+  auto execute_gate = [&](const Gate& g) {
     const std::uint64_t gate_bytes =
         approx_streamed_bytes<T>(g, state.num_qubits());
     bytes_streamed += gate_bytes;
@@ -238,6 +243,28 @@ void Simulator<T>::run_in_place(StateVector<T>& state,
       tracer.record_span(g.name(), category, g.qubits.data(), g.qubits.size(),
                          pair_stride(g), gate_bytes, start_ns);
     }
+  };
+
+  // Noise channels must sample after every individual gate, so the blocked
+  // path only serves noiseless execution.
+  const bool blocked = options_.blocking && options_.noise.empty();
+  if (blocked) {
+    SweepOptions so;
+    so.block_qubits = options_.block_qubits;
+    so.amp_bytes = 2 * sizeof(T);
+    const SweepPlan plan = plan_sweeps(prepared, so);
+    for (const auto& step : plan.steps) {
+      if (step.blocked) {
+        run_sweep(state, step.gates.data(), step.gates.size(),
+                  plan.block_qubits);
+        // One read+write traversal serves the whole sweep.
+        bytes_streamed += 2 * state.size() * std::uint64_t{2 * sizeof(T)};
+      } else {
+        for (const auto& g : step.gates) execute_gate(g);
+      }
+    }
+  } else {
+    for (const auto& g : prepared.gates()) execute_gate(g);
   }
 
   // One registry flush per run, not per gate: counters stay observable even

@@ -32,6 +32,16 @@ struct SimulatorOptions {
   bool fusion = false;
   /// Maximum fused-gate width when fusion is on.
   unsigned fusion_width = 3;
+  /// Cache-blocked sweep execution: consecutive gates whose operands all lie
+  /// below the block boundary are applied per L2-sized block in one state
+  /// traversal (see sv/sweep.hpp and docs/ARCHITECTURE.md). Amplitude-exact:
+  /// the same kernel math as the unblocked path (agreement to FP rounding).
+  /// Ignored (falls back to per-gate execution) when the noise model is
+  /// non-empty, since channels sample after every gate.
+  bool blocking = false;
+  /// Block size in qubits for the blocked engine; 0 = auto from the cache
+  /// budget (see SweepOptions).
+  unsigned block_qubits = 0;
   /// Seed for measurement sampling and noise trajectories.
   std::uint64_t seed = 0x5eed;
   /// Noise model; empty = ideal simulation.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/bits.hpp"
+#include "common/error.hpp"
 #include "qc/gate.hpp"
 
 namespace svsim::perf {
@@ -153,6 +156,44 @@ TEST(KernelModel, MeasureCostsSweeps) {
   const KernelCost c = gate_cost(Gate::measure(3, 0), kN, kA64fx, kCfg);
   EXPECT_GT(c.bytes, kAmps * kAmpBytes);
   EXPECT_GT(c.flops, 0.0);
+}
+
+TEST(BlockedSweepCost, BytesPerGateFallAsOneOverK) {
+  // k Hadamards on low targets: unblocked each streams the state; blocked
+  // the whole sweep costs one read+write traversal.
+  for (std::size_t k : {1u, 4u, 16u}) {
+    std::vector<Gate> gates;
+    for (std::size_t i = 0; i < k; ++i)
+      gates.push_back(Gate::h(static_cast<unsigned>(i % 8)));
+    const SweepCost c = blocked_sweep_cost(gates, kN, 14, kA64fx, kCfg);
+    EXPECT_EQ(c.gates, k);
+    EXPECT_DOUBLE_EQ(c.dram_bytes, 2.0 * kAmps * kAmpBytes);
+    EXPECT_DOUBLE_EQ(c.bytes_per_gate(),
+                     2.0 * kAmps * kAmpBytes / static_cast<double>(k));
+    EXPECT_DOUBLE_EQ(c.unblocked_bytes,
+                     static_cast<double>(k) * 2.0 * kAmps * kAmpBytes);
+    EXPECT_NEAR(c.traffic_ratio(), 1.0 / static_cast<double>(k), 1e-12);
+  }
+}
+
+TEST(BlockedSweepCost, FlopsMatchPerGateSum) {
+  const std::vector<Gate> gates = {Gate::rx(0, 0.3), Gate::h(1),
+                                   Gate::cz(2, 3)};
+  const SweepCost c = blocked_sweep_cost(gates, kN, 10, kA64fx, kCfg);
+  double flops = 0.0;
+  for (const auto& g : gates) flops += gate_cost(g, kN, kA64fx, kCfg).flops;
+  EXPECT_DOUBLE_EQ(c.flops, flops);
+  // Blocking multiplies arithmetic intensity by the sweep's traffic win.
+  EXPECT_GT(c.arithmetic_intensity(),
+            gate_cost(gates[0], kN, kA64fx, kCfg).arithmetic_intensity());
+  EXPECT_EQ(c.block_bytes, std::uint64_t{1} << 10 << 4);  // 2^10 amps * 16 B
+}
+
+TEST(BlockedSweepCost, RejectsBoundaryCrossingOperands) {
+  const std::vector<Gate> gates = {Gate::h(10)};
+  EXPECT_THROW(blocked_sweep_cost(gates, kN, 10, kA64fx, kCfg),
+               svsim::Error);
+  EXPECT_THROW(blocked_sweep_cost({}, kN, 0, kA64fx, kCfg), svsim::Error);
 }
 
 TEST(KernelModel, SmallerLineMachineLosesLessOnLowControls) {

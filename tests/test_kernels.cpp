@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "common/bits.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "qc/dense.hpp"
 #include "sv/simulator.hpp"
@@ -263,6 +264,127 @@ TEST(KernelInvariants, MultithreadedMatchesSingleThreaded) {
   const auto vb = b.to_vector();
   for (std::uint64_t i = 0; i < va.size(); ++i)
     EXPECT_EQ(va[i], vb[i]) << "thread count must not change results at all";
+}
+
+// ---- block-local kernel dispatch (sv/kernels.hpp, blocked engine) --------
+
+TEST(BlockKernels, ClassifyGateCoversEveryKind) {
+  const struct {
+    Gate g;
+    KernelClass want;
+  } cases[] = {
+      {Gate::i(0), KernelClass::Nop},
+      {Gate::barrier(), KernelClass::Nop},
+      {Gate::x(1), KernelClass::PermX},
+      {Gate::y(0), KernelClass::PermY},
+      {Gate::h(0), KernelClass::Hadamard},
+      {Gate::z(0), KernelClass::Diag1},
+      {Gate::s(0), KernelClass::Diag1},
+      {Gate::tdg(0), KernelClass::Diag1},
+      {Gate::p(0, 0.2), KernelClass::Diag1},
+      {Gate::rz(0, 0.3), KernelClass::Diag1},
+      {Gate::sx(0), KernelClass::Matrix1},
+      {Gate::rx(0, 0.2), KernelClass::Matrix1},
+      {Gate::u(0, 0.1, 0.2, 0.3), KernelClass::Matrix1},
+      {Gate::cx(0, 1), KernelClass::Mcx},
+      {Gate::ccx(0, 1, 2), KernelClass::Mcx},
+      {Gate::mcx({0, 1, 2}, 3), KernelClass::Mcx},
+      {Gate::cz(0, 1), KernelClass::McPhase},
+      {Gate::cp(0, 1, 0.2), KernelClass::McPhase},
+      {Gate::ccz(0, 1, 2), KernelClass::McPhase},
+      {Gate::mcp({0, 1}, 2, 0.4), KernelClass::McPhase},
+      {Gate::crz(0, 1, 0.3), KernelClass::CtrlDiag1},
+      {Gate::cy(0, 1), KernelClass::CtrlMatrix1},
+      {Gate::ch(0, 1), KernelClass::CtrlMatrix1},
+      {Gate::crx(0, 1, 0.3), KernelClass::CtrlMatrix1},
+      {Gate::cry(0, 1, 0.3), KernelClass::CtrlMatrix1},
+      {Gate::swap(0, 1), KernelClass::PermSwap},
+      {Gate::rzz(0, 1, 0.4), KernelClass::Diag2},
+      {Gate::iswap(0, 1), KernelClass::Matrix2},
+      {Gate::rxx(0, 1, 0.4), KernelClass::Matrix2},
+      {Gate::cswap(0, 1, 2), KernelClass::MatrixK},
+      {Gate::diag({0, 1}, {1.0, 1.0, 1.0, qc::cplx(0.0, 1.0)}),
+       KernelClass::DiagK},
+      {Gate::unitary({0}, Gate::h(0).matrix()), KernelClass::Matrix1},
+      {Gate::unitary({0, 1}, Gate::cx(0, 1).matrix()), KernelClass::Matrix2},
+      {Gate::unitary({0, 1, 2}, Gate::ccx(0, 1, 2).matrix()),
+       KernelClass::MatrixK},
+      {Gate::measure(0, 0), KernelClass::Unsupported},
+      {Gate::reset(0), KernelClass::Unsupported},
+  };
+  for (const auto& c : cases)
+    EXPECT_EQ(classify_gate(c.g), c.want) << c.g.to_string();
+}
+
+TEST(BlockKernels, DispatchTableIsFullyPopulated) {
+  const auto& table = block_kernel_table<double>();
+  ASSERT_EQ(table.size(), kNumKernelClasses);
+  for (std::size_t i = 0; i < kNumKernelClasses; ++i) {
+    EXPECT_NE(table[i], nullptr) << "class index " << i;
+    EXPECT_STRNE(kernel_class_name(static_cast<KernelClass>(i)), "?");
+  }
+}
+
+TEST(BlockKernels, PrepareGateRejectsNonUnitary) {
+  EXPECT_THROW(prepare_gate<double>(Gate::measure(0, 0)), Error);
+}
+
+TEST(BlockKernels, BlockApplicationMatchesWholeStateKernels) {
+  // With block_qubits == n the register is one block, so every specialized
+  // block kernel must reproduce the whole-state dispatcher bit-for-bit.
+  const unsigned n = 5;
+  const Gate gates[] = {
+      Gate::x(2),        Gate::y(1),
+      Gate::h(0),        Gate::z(3),
+      Gate::t(4),        Gate::rz(2, 0.7),
+      Gate::sx(1),       Gate::u(3, 0.1, 0.2, 0.3),
+      Gate::cx(0, 4),    Gate::ccx(1, 3, 0),
+      Gate::cz(2, 4),    Gate::cp(0, 3, 0.5),
+      Gate::ccz(0, 1, 2), Gate::crz(4, 1, 0.6),
+      Gate::cy(3, 0),    Gate::ch(1, 4),
+      Gate::crx(2, 0, 0.4), Gate::swap(1, 3),
+      Gate::rzz(0, 2, 0.8), Gate::iswap(2, 4),
+      Gate::rxx(0, 1, 0.3), Gate::cswap(4, 0, 2),
+      Gate::diag({1, 3}, {1.0, qc::cplx(0.0, 1.0), -1.0, 1.0}),
+      Gate::unitary({0, 2, 4}, Gate::ccx(0, 1, 2).matrix()),
+  };
+  for (const Gate& g : gates) {
+    StateVector<double> via_block(n), via_dispatch(n);
+    std::vector<qc::cplx> init;
+    random_state(n, via_block, init, 0xb10c + g.qubits.size());
+    via_dispatch.set_state(init);
+
+    const PreparedGate<double> pg = prepare_gate<double>(g);
+    apply_gate_in_block(via_block.data(), n, pg);
+    apply_gate(via_dispatch, g);
+
+    const auto got = via_block.to_vector();
+    const auto want = via_dispatch.to_vector();
+    double dist = 0.0;
+    for (std::uint64_t i = 0; i < want.size(); ++i)
+      dist = std::max(dist, std::abs(got[i] - want[i]));
+    EXPECT_LT(dist, 1e-12) << g.to_string();
+  }
+}
+
+TEST(BlockKernels, SubBlockApplicationActsIndependentlyPerBlock) {
+  // Applying a prepared gate to each aligned 2^b block must equal the
+  // whole-state gate when all operands are below b.
+  const unsigned n = 6, b = 3;
+  const Gate g = Gate::cx(0, 2);
+  StateVector<double> blocked(n), whole(n);
+  std::vector<qc::cplx> init;
+  random_state(n, blocked, init, 99);
+  whole.set_state(init);
+
+  const PreparedGate<double> pg = prepare_gate<double>(g);
+  for (std::uint64_t blk = 0; blk < pow2(n - b); ++blk)
+    apply_gate_in_block(blocked.data() + (blk << b), b, pg);
+  apply_gate(whole, g);
+
+  const auto got = blocked.to_vector();
+  const auto want = whole.to_vector();
+  for (std::uint64_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+// Sweep planner and blocked execution engine.
+//
+// The planner must be exactly equivalent to the circuit (no reordering, no
+// dropped gates), and the engine must produce bit-identical kernel math to
+// the per-gate path. Equivalence tests deliberately straddle the block
+// boundary: targets below, at, and above block_qubits in one circuit.
+#include "sv/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "qc/dense.hpp"
+#include "qc/library.hpp"
+#include "sv/engine.hpp"
+#include "sv/simulator.hpp"
+
+namespace svsim::sv {
+namespace {
+
+using qc::Circuit;
+using qc::Gate;
+
+TEST(AutoBlockQubits, FitsCacheBudget) {
+  // 512 KiB of complex<double>: 2^15 amplitudes.
+  EXPECT_EQ(auto_block_qubits(24, 512u * 1024u, 16, 3), 15u);
+  // Halving the amplitude size buys one more qubit.
+  EXPECT_EQ(auto_block_qubits(24, 512u * 1024u, 8, 3), 16u);
+  // Tiny budget still yields a valid block.
+  EXPECT_EQ(auto_block_qubits(24, 1, 16, 3), 1u);
+}
+
+TEST(AutoBlockQubits, KeepsFreeQubitsForParallelism) {
+  // n=10 clamps b to n - min_free = 7 despite the large budget.
+  EXPECT_EQ(auto_block_qubits(10, 512u * 1024u, 16, 3), 7u);
+  // Registers at or below min_free fall back to [1, n].
+  EXPECT_EQ(auto_block_qubits(2, 512u * 1024u, 16, 3), 2u);
+  EXPECT_EQ(auto_block_qubits(1, 512u * 1024u, 16, 3), 1u);
+}
+
+TEST(PlanSweeps, GroupsConsecutiveLowGates) {
+  Circuit c(8);
+  c.h(0).rz(1, 0.3).x(2);   // sweep of 3
+  c.h(6);                   // pass-through (>= b)
+  c.h(1).cz(0, 2);          // sweep of 2
+  SweepOptions so;
+  so.block_qubits = 4;
+  const SweepPlan plan = plan_sweeps(c, so);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_TRUE(plan.steps[0].blocked);
+  EXPECT_EQ(plan.steps[0].gates.size(), 3u);
+  EXPECT_FALSE(plan.steps[1].blocked);
+  EXPECT_TRUE(plan.steps[2].blocked);
+  EXPECT_EQ(plan.blocked_gates, 5u);
+  EXPECT_EQ(plan.passthrough_gates, 1u);
+  EXPECT_EQ(plan.traversals(), 3u);
+  EXPECT_NEAR(plan.gates_per_traversal(), 6.0 / 3.0, 1e-12);
+}
+
+TEST(PlanSweeps, PreservesGateOrderAndCount) {
+  const Circuit c = qc::random_clifford_t(8, 120, 7);
+  SweepOptions so;
+  so.block_qubits = 4;
+  const SweepPlan plan = plan_sweeps(c, so);
+  std::vector<Gate> flattened;
+  for (const auto& step : plan.steps)
+    for (const auto& g : step.gates) flattened.push_back(g);
+  ASSERT_EQ(flattened.size(), c.size());
+  for (std::size_t i = 0; i < flattened.size(); ++i) {
+    EXPECT_EQ(flattened[i].kind, c.gate(i).kind);
+    EXPECT_EQ(flattened[i].qubits, c.gate(i).qubits);
+  }
+}
+
+TEST(PlanSweeps, SplitsAtMaxSweepGates) {
+  Circuit c(6);
+  for (int i = 0; i < 10; ++i) c.h(0);
+  SweepOptions so;
+  so.block_qubits = 3;
+  so.max_sweep_gates = 4;
+  const SweepPlan plan = plan_sweeps(c, so);
+  ASSERT_EQ(plan.steps.size(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(plan.steps[0].gates.size(), 4u);
+  EXPECT_EQ(plan.steps[2].gates.size(), 2u);
+  EXPECT_EQ(plan.traversals(), 3u);
+}
+
+TEST(PlanSweeps, BarriersAndMeasureArePassThrough) {
+  Circuit c(6);
+  c.h(0).barrier().h(1).measure(0, 0);
+  SweepOptions so;
+  so.block_qubits = 3;
+  const SweepPlan plan = plan_sweeps(c, so);
+  EXPECT_EQ(plan.blocked_gates, 2u);
+  EXPECT_EQ(plan.passthrough_gates, 1u);  // barrier is free, measure is not
+  EXPECT_EQ(plan.traversals(), 3u);       // two sweeps split by the barrier
+}
+
+TEST(RunSweep, MatchesPerGateKernels) {
+  const unsigned n = 8, b = 4;
+  Circuit c(n);
+  // Mixed kernel classes, all operands < b, including the boundary bit b-1.
+  c.h(0).x(3).z(1).s(2).rz(3, 0.7).cx(0, 3).cz(1, 2).swap(0, 2);
+  c.ccx(0, 1, 3).cp(2, 3, 0.4).rzz(1, 3, 0.9).u(2, 0.1, 0.2, 0.3);
+
+  StateVector<double> blocked(n), naive(n);
+  apply_gate(blocked, Gate::h(n - 1));  // spread mass beyond block 0
+  apply_gate(naive, Gate::h(n - 1));
+  run_sweep(blocked, c.gates().data(), c.gates().size(), b);
+  for (const auto& g : c.gates()) apply_gate(naive, g);
+
+  const auto got = blocked.to_vector();
+  const auto want = naive.to_vector();
+  // Same kernel math, but instruction selection (FMA contraction) may
+  // differ between the block and whole-state loops: allow a few ulps.
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-13);
+}
+
+TEST(RunSweep, RejectsOutOfBlockOperands) {
+  StateVector<double> state(6);
+  const Gate g = Gate::h(4);
+  EXPECT_THROW(run_sweep(state, &g, 1, 4), Error);
+}
+
+TEST(RunPlan, RandomCircuitsStraddlingTheBoundary) {
+  // Random circuits on 8 qubits executed with block_qubits=4: targets land
+  // below, at, and above the boundary, exercising sweeps, pass-throughs,
+  // and the transitions between them.
+  for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
+    const Circuit c = qc::random_clifford_t(8, 100, seed);
+    SweepOptions so;
+    so.block_qubits = 4;
+    const SweepPlan plan = plan_sweeps(c, so);
+
+    StateVector<double> blocked(8);
+    const EngineStats stats = run_plan(blocked, plan);
+    EXPECT_EQ(stats.blocked_gates + stats.passthrough_gates, c.size());
+    EXPECT_EQ(stats.traversals, plan.traversals());
+
+    const auto got = blocked.to_vector();
+    const auto want = qc::dense::run(c);
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(RunPlan, FusedCircuitMatchesDense) {
+  const Circuit c = qc::random_quantum_volume(7, 5, 21);
+  FusionOptions fo;
+  fo.max_width = 3;
+  const Circuit fused = fuse(c, fo);
+  SweepOptions so;
+  so.block_qubits = 4;
+  StateVector<double> state(7);
+  run_plan(state, plan_sweeps(fused, so));
+  const auto got = state.to_vector();
+  const auto want = qc::dense::run(c);
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9);
+}
+
+TEST(RunPlan, RejectsMeasure) {
+  Circuit c(4);
+  c.h(0).measure(0, 0);
+  SweepOptions so;
+  so.block_qubits = 2;
+  StateVector<double> state(4);
+  EXPECT_THROW(run_plan(state, plan_sweeps(c, so)), Error);
+}
+
+TEST(EngineStats, GatesPerTraversalCountsBothPaths) {
+  EngineStats s;
+  s.blocked_gates = 6;
+  s.passthrough_gates = 2;
+  s.traversals = 3;
+  EXPECT_NEAR(s.gates_per_traversal(), 8.0 / 3.0, 1e-12);
+  EXPECT_EQ(EngineStats{}.gates_per_traversal(), 0.0);
+}
+
+}  // namespace
+}  // namespace svsim::sv

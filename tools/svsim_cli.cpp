@@ -1,8 +1,8 @@
 // svsim — command-line front-end.
 //
 //   svsim run <circuit.qasm> [--shots N] [--backend sv|sv32|stab]
-//             [--fusion W] [--seed S] [--trace-json FILE] [--trace]
-//             [--metrics] [--counters]
+//             [--fusion W] [--blocked] [--block-qubits B] [--seed S]
+//             [--trace-json FILE] [--trace] [--metrics] [--counters]
 //   svsim project <circuit.qasm | --qft N | --qv N D>
 //             [--machine a64fx|a64fx-boost|a64fx-eco|xeon|tx2]
 //             [--threads T] [--affinity compact|scatter] [--fusion W]
@@ -58,6 +58,8 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"shots", true, false, "number of measurement shots (run)"},
     {"backend", true, false, "sv | sv32 | stab (run)"},
     {"fusion", true, false, "enable gate fusion with max width W"},
+    {"blocked", false, false, "cache-blocked sweep execution (run)"},
+    {"block-qubits", true, false, "block size in qubits, 0 = auto (run)"},
     {"seed", true, false, "RNG seed"},
     {"machine", true, false, "machine model name (project)"},
     {"threads", true, false, "modeled thread count (project)"},
@@ -173,6 +175,11 @@ int cmd_run(const Args& args) {
     opts.fusion = true;
     opts.fusion_width =
         static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
+  }
+  if (args.flag("blocked") || args.flag("block-qubits")) {
+    opts.blocking = true;
+    opts.block_qubits =
+        static_cast<unsigned>(std::stoul(args.get("block-qubits", "0")));
   }
   if (circuit.is_unitary()) circuit.measure_all();
   auto print_counts = [&](const auto& counts) {
@@ -327,8 +334,8 @@ void usage() {
   std::cerr <<
       "usage: svsim <command> [args]\n"
       "  run <file.qasm|--qft N|--qv N D> [--shots N] [--backend sv|sv32|stab]\n"
-      "      [--fusion W] [--seed S] [--trace-json FILE] [--trace] [--metrics]\n"
-      "      [--counters]\n"
+      "      [--fusion W] [--blocked] [--block-qubits B] [--seed S]\n"
+      "      [--trace-json FILE] [--trace] [--metrics] [--counters]\n"
       "  project <file.qasm|--qft N|--qv N D> [--machine NAME] [--threads T]\n"
       "      [--affinity compact|scatter] [--fusion W] [--trace] [--drift]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
