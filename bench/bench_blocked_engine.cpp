@@ -81,11 +81,11 @@ SVSIM_BENCH(fig1_blocked, "Fig. 1 (blocked)",
         bench::measured_bandwidth_gbps(cost.dram_bytes, bs.median) / k;
     const double unblk_gbps_per_gate =
         bench::measured_bandwidth_gbps(cost.unblocked_bytes, us.median) / k;
-    ctx.model(bench::sub("k", k) + ".blocked.gbps_per_gate",
-              blk_gbps_per_gate, "GB/s");
-    ctx.model(bench::sub("k", k) + ".unblocked.gbps_per_gate",
-              unblk_gbps_per_gate, "GB/s");
-    ctx.model(bench::sub("k", k) + ".speedup", us.median / bs.median, "x");
+    ctx.derived(bench::sub("k", k) + ".blocked.gbps_per_gate",
+                blk_gbps_per_gate, "GB/s");
+    ctx.derived(bench::sub("k", k) + ".unblocked.gbps_per_gate",
+                unblk_gbps_per_gate, "GB/s");
+    ctx.derived(bench::sub("k", k) + ".speedup", us.median / bs.median, "x");
 
     t.add_row({static_cast<std::int64_t>(k), plan.gates_per_traversal(),
                bs.median, us.median, us.median / bs.median, blk_gbps_per_gate,

@@ -69,6 +69,14 @@ def compare(base_records, new_records, margin, model_rtol, strict_ids):
                 regressions.append((rid, b, n, threshold))
             elif b - n > threshold:
                 improvements.append((rid, b, n, threshold))
+        elif base.get("kind") == "derived":
+            # Computed from measured values (speedups, per-gate rates): give
+            # them the measured noise margin, direction-agnostic — whether
+            # higher is better depends on the unit.
+            threshold = margin * abs(b)
+            if abs(n - b) > threshold:
+                mismatches.append((rid, f"derived value moved beyond the "
+                                        f"noise margin: {b:g} -> {n:g}"))
         else:
             scale = max(abs(b), abs(n))
             # Absolute floor so near-zero values (e.g. accuracy records of

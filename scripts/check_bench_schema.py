@@ -53,7 +53,7 @@ ENV_KEYS = [
     "timestamp_utc",
 ]
 
-KINDS = {"measured", "model", "value"}
+KINDS = {"measured", "model", "derived", "value"}
 
 errors = []
 

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate an ExecutionPlan JSON document emitted by `svsim plan --dump-plan`.
+
+Usage:
+  check_plan_schema.py PLAN.json
+  check_plan_schema.py --emit-with PATH/TO/svsim [--output PLAN.json]
+
+With --emit-with, the tool is run first (`plan --qft 10 --ranks 4 --blocked
+--dump-plan OUTPUT`) and the emitted file is then validated, so the check
+exercises the full compile-and-dump path. Beyond key/type checks, the
+structural invariants every executor relies on are enforced: no two
+adjacent exchange phases (windows must be maximal), local-sweep operands
+strictly below the block boundary, the block boundary at or below the rank
+boundary, measure/reset only inside measure_flush phases, and data-moving
+hops straddling the rank boundary with a consistent rank bit. Exits nonzero
+with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+KNOWN_KINDS = {"local_sweep", "dense_gate", "exchange", "measure_flush"}
+MEASURE_NAMES = {"measure", "reset"}
+
+
+def fail(msg):
+    print(f"check_plan_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_gate(where, gate, num_qubits):
+    if not isinstance(gate, dict):
+        fail(f"{where} is not an object")
+    name = gate.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{where}: 'name' must be a non-empty string")
+    qubits = gate.get("qubits")
+    if not isinstance(qubits, list):
+        fail(f"{where}: 'qubits' must be a list")
+    for q in qubits:
+        if not isinstance(q, int) or not 0 <= q < num_qubits:
+            fail(f"{where}: qubit {q!r} out of range [0, {num_qubits})")
+    return name, qubits
+
+
+def check_phase(i, phase, doc):
+    where = f"phases[{i}]"
+    if not isinstance(phase, dict):
+        fail(f"{where} is not an object")
+    kind = phase.get("kind")
+    if kind not in KNOWN_KINDS:
+        fail(f"{where}: unknown kind {kind!r}")
+    num_qubits = doc["num_qubits"]
+    local_qubits = doc["local_qubits"]
+    block_qubits = doc["block_qubits"]
+
+    if kind == "exchange":
+        if "moves_data" not in phase or not isinstance(phase["moves_data"], bool):
+            fail(f"{where}: exchange needs a boolean 'moves_data'")
+        hops = phase.get("hops")
+        if not isinstance(hops, list) or not hops:
+            fail(f"{where}: exchange needs a non-empty 'hops' list")
+        total = 0.0
+        for j, hop in enumerate(hops):
+            hw = f"{where}.hops[{j}]"
+            for key in ("local_slot", "node_slot", "rank_bit", "bytes"):
+                if key not in hop:
+                    fail(f"{hw} missing required key '{key}'")
+            if not isinstance(hop["bytes"], (int, float)) or hop["bytes"] < 0:
+                fail(f"{hw}: 'bytes' must be a non-negative number")
+            total += hop["bytes"]
+            if phase["moves_data"]:
+                ls, ns = hop["local_slot"], hop["node_slot"]
+                if not 0 <= ls < local_qubits:
+                    fail(f"{hw}: local_slot {ls} not below the rank boundary")
+                if not local_qubits <= ns < num_qubits:
+                    fail(f"{hw}: node_slot {ns} not a node slot")
+                if hop["rank_bit"] != ns - local_qubits:
+                    fail(f"{hw}: rank_bit {hop['rank_bit']} inconsistent "
+                         f"with node_slot {ns}")
+        if abs(total - phase.get("bytes_per_rank", -1)) > 1e-6 * max(total, 1):
+            fail(f"{where}: bytes_per_rank does not equal the hop sum")
+        return
+
+    gates = phase.get("gates")
+    if not isinstance(gates, list) or not gates:
+        fail(f"{where}: '{kind}' needs a non-empty 'gates' list")
+    if kind == "dense_gate" and len(gates) != 1:
+        fail(f"{where}: dense_gate must hold exactly one gate")
+    for j, gate in enumerate(gates):
+        name, qubits = check_gate(f"{where}.gates[{j}]", gate, num_qubits)
+        is_measure = name in MEASURE_NAMES
+        if kind == "measure_flush" and not is_measure:
+            fail(f"{where}.gates[{j}]: unitary gate '{name}' inside a "
+                 f"measure_flush phase")
+        if kind != "measure_flush" and is_measure:
+            fail(f"{where}.gates[{j}]: '{name}' outside a measure_flush phase")
+        if kind == "local_sweep":
+            for q in qubits:
+                if q >= block_qubits:
+                    fail(f"{where}.gates[{j}]: sweep operand {q} at or above "
+                         f"the block boundary {block_qubits}")
+
+
+def check_plan(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("version") != 1:
+        fail("missing or unsupported 'version'")
+    for key in ("num_qubits", "node_qubits", "local_qubits", "block_qubits",
+                "num_clbits", "ranks"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            fail(f"'{key}' must be a non-negative integer")
+    if doc["local_qubits"] != doc["num_qubits"] - doc["node_qubits"]:
+        fail("local_qubits != num_qubits - node_qubits")
+    if doc["block_qubits"] > doc["local_qubits"]:
+        fail("block boundary above the rank boundary "
+             f"({doc['block_qubits']} > {doc['local_qubits']})")
+    if doc["ranks"] != 1 << doc["node_qubits"]:
+        fail("ranks != 2^node_qubits")
+
+    slots = doc.get("final_slot_of")
+    if (not isinstance(slots, list) or len(slots) != doc["num_qubits"]
+            or sorted(slots) != list(range(doc["num_qubits"]))):
+        fail("'final_slot_of' must be a permutation of the qubit indices")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list):
+        fail("'phases' must be an array")
+    prev_exchange = False
+    counted = {"sweep_gates": 0, "dense_gates": 0, "free_gates": 0,
+               "measure_gates": 0, "num_exchanges": 0}
+    for i, phase in enumerate(phases):
+        check_phase(i, phase, doc)
+        is_exchange = phase.get("kind") == "exchange"
+        if is_exchange and prev_exchange:
+            fail(f"phases[{i}]: two adjacent exchange phases "
+                 f"(windows not coalesced)")
+        prev_exchange = is_exchange
+        kind = phase["kind"]
+        if kind == "local_sweep":
+            counted["sweep_gates"] += len(phase["gates"])
+        elif kind == "dense_gate":
+            free = phase["gates"][0]["name"] in ("id", "barrier")
+            counted["free_gates" if free else "dense_gates"] += 1
+        elif kind == "measure_flush":
+            counted["measure_gates"] += len(phase["gates"])
+        else:
+            counted["num_exchanges"] += len(phase["hops"])
+
+    stats = doc.get("stats")
+    if not isinstance(stats, dict):
+        fail("'stats' must be an object")
+    for key, value in counted.items():
+        if stats.get(key) != value:
+            fail(f"stats.{key} = {stats.get(key)!r} but the phases "
+                 f"contain {value}")
+    print(f"check_plan_schema: OK: {len(phases)} phases, "
+          f"{counted['num_exchanges']} exchange hops, "
+          f"{stats.get('traversals')} traversals")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("plan", nargs="?", help="existing plan JSON to check")
+    parser.add_argument("--emit-with", metavar="SVSIM",
+                        help="svsim binary; run it first to emit the plan")
+    parser.add_argument("--output", default="plan_schema_check.json",
+                        help="where --emit-with writes the plan")
+    args = parser.parse_args()
+
+    if args.emit_with:
+        path = args.output
+        cmd = [args.emit_with, "plan", "--qft", "10", "--ranks", "4",
+               "--blocked", "--dump-plan", path]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(f"'{' '.join(cmd)}' exited {result.returncode}:\n"
+                 f"{result.stderr}")
+    elif args.plan:
+        path = args.plan
+    else:
+        parser.error("need a plan file or --emit-with")
+    check_plan(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,19 @@ for id in fig1_blocked.k4.blocked.s fig1_blocked.k4.unblocked.s \
     echo "missing blocked-engine record: $id" >&2; exit 1; }
 done
 
+# The plan-compiler weak-scaling comparison (EXPERIMENTS.md "Fig. 6
+# (blocked)") must be present too, both in the .json and the .jsonl view.
+for id in fig6_blocked_dist.d3.naive.exchanges \
+          fig6_blocked_dist.d3.remap_blocked.windows \
+          fig6_blocked_dist.d3.window_ratio \
+          fig6_blocked_dist.d3.traversal_ratio \
+          fig6_blocked_dist.d0.gates_per_traversal; do
+  grep -q "\"$id\"" BENCH_results.json || {
+    echo "missing plan-compiler record: $id" >&2; exit 1; }
+  grep -q "\"$id\"" BENCH_results.jsonl || {
+    echo "missing plan-compiler record in jsonl: $id" >&2; exit 1; }
+done
+
 mkdir -p bench/baselines
 "$BUILD"/tools/svsim_bench --smoke --no-tables --json bench/baselines/smoke.json
 python3 scripts/check_bench_schema.py --json bench/baselines/smoke.json

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "qc/circuit.hpp"
+#include "sv/plan.hpp"
 
 namespace svsim::dist {
 
@@ -64,5 +65,35 @@ struct DistPlan {
 DistPlan plan_distribution(const qc::Circuit& circuit, unsigned node_qubits,
                            CommScheduler scheduler,
                            unsigned element_bytes = 8);
+
+struct DistExecOptions {
+  CommScheduler scheduler = CommScheduler::Remap;
+  /// Scalar precision (8 = double; an amplitude is 2 * element_bytes).
+  unsigned element_bytes = 8;
+  /// Emit restore exchanges so the plan ends — and every MeasureFlush runs —
+  /// under the identity qubit->slot layout. Required for amplitude
+  /// execution; model-only studies may disable it.
+  bool restore_layout = true;
+  /// Fusion / sweep-blocking knobs forwarded to the window compiler. The
+  /// block size is clamped to the local partition (block_qubits <=
+  /// local_qubits), and auto sizing budgets against `plan.machine`.
+  sv::PlanOptions plan;
+};
+
+/// Compiles `circuit` into the shared ExecutionPlan IR for 2^node_qubits
+/// ranks: fusion -> Belady-style exchange placement (the same remapper
+/// plan_distribution uses) -> sweep grouping per exchange window. Gates in
+/// the result are in slot space; with the Remap scheduler, Exchange phases
+/// carry the data-moving slot swaps, with Naive they are cost-only markers.
+/// MEASURE/RESET compile into MeasureFlush phases behind a layout restore.
+sv::ExecutionPlan compile_distributed(const qc::Circuit& circuit,
+                                      unsigned node_qubits,
+                                      const DistExecOptions& options = {});
+
+/// Adapts a legacy per-gate DistPlan to the shared IR: each step becomes a
+/// cost-only Exchange phase (adjacent ones coalesced) and/or a DenseGate
+/// phase. For timing models only — the result carries the DistPlan's final
+/// layout but no data-moving hops, so it is not amplitude-executable.
+sv::ExecutionPlan to_execution_plan(const DistPlan& plan);
 
 }  // namespace svsim::dist

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <vector>
 
-#include "common/bits.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -13,17 +12,6 @@ namespace svsim::dist {
 
 using machine::ExecConfig;
 using machine::MachineSpec;
-
-namespace {
-
-double step_compute_seconds(const DistStep& step, const DistPlan& plan,
-                            const MachineSpec& m, const ExecConfig& config) {
-  if (!step.local_gate) return 0.0;
-  return perf::time_gate(*step.local_gate, plan.local_qubits, m, config)
-      .seconds;
-}
-
-}  // namespace
 
 namespace {
 
@@ -40,16 +28,19 @@ void record_plan_metrics(std::size_t exchanges, double exchange_bytes) {
 
 }  // namespace
 
-DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
+DistTiming time_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
                      const ExecConfig& config, const InterconnectSpec& net) {
   obs::ScopedSpan span("time_plan", obs::SpanCategory::Collective);
+  const perf::PlanCost cost = perf::cost_plan(plan, m, config);
+
   DistTiming t;
-  for (const auto& step : plan.steps) {
-    t.compute_seconds += step_compute_seconds(step, plan, m, config);
-    if (step.exchange_bytes > 0.0) {
-      t.comm_seconds += net.pairwise_exchange_seconds(step.exchange_bytes);
+  t.compute_seconds = cost.compute_seconds;
+  for (const auto& phase : plan.phases) {
+    if (phase.kind != sv::PhaseKind::Exchange) continue;
+    for (const auto& hop : phase.hops) {
+      t.comm_seconds += net.pairwise_exchange_seconds(hop.bytes);
       ++t.num_exchanges;
-      t.exchange_bytes += step.exchange_bytes;
+      t.exchange_bytes += hop.bytes;
     }
   }
   t.total_seconds = t.compute_seconds + t.comm_seconds;
@@ -59,32 +50,45 @@ DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
   return t;
 }
 
-double event_driven_makespan(const DistPlan& plan, const MachineSpec& m,
-                             const ExecConfig& config,
+DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
+                     const ExecConfig& config, const InterconnectSpec& net) {
+  return time_plan(to_execution_plan(plan), m, config, net);
+}
+
+double event_driven_makespan(const sv::ExecutionPlan& plan,
+                             const MachineSpec& m, const ExecConfig& config,
                              const InterconnectSpec& net,
                              const StragglerConfig& straggler) {
   obs::ScopedSpan span("makespan", obs::SpanCategory::Collective);
-  const std::uint64_t nodes = plan.num_nodes();
+  const std::uint64_t nodes = plan.num_ranks();
   require(nodes <= (std::uint64_t{1} << 22),
           "event_driven_makespan: too many nodes to simulate per-node");
+  const perf::PlanCost cost = perf::cost_plan(plan, m, config);
+  SVSIM_ASSERT(cost.phases.size() == plan.phases.size());
   std::vector<double> clock(nodes, 0.0);
 
-  for (const auto& step : plan.steps) {
-    const double base = step_compute_seconds(step, plan, m, config);
-    // Exchange first (data must arrive before the local kernel runs on it).
-    if (step.exchange_bytes > 0.0 && step.exchange_rank_bit >= 0) {
-      const double comm = net.pairwise_exchange_seconds(step.exchange_bytes);
-      const std::uint64_t mask = std::uint64_t{1}
-                                 << static_cast<unsigned>(
-                                        step.exchange_rank_bit);
-      for (std::uint64_t r = 0; r < nodes; ++r) {
-        const std::uint64_t partner = r ^ mask;
-        if (partner < r) continue;  // each pair once
-        const double ready = std::max(clock[r], clock[partner]) + comm;
-        clock[r] = ready;
-        clock[partner] = ready;
+  for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+    const sv::PlanPhase& phase = plan.phases[i];
+    if (phase.kind == sv::PhaseKind::Exchange) {
+      // Each hop is a rendezvous: both partners must arrive, then pay the
+      // wire time together (data must land before the next window runs).
+      for (const auto& hop : phase.hops) {
+        if (hop.rank_bit < 0) continue;
+        const double comm = net.pairwise_exchange_seconds(hop.bytes);
+        const std::uint64_t mask = std::uint64_t{1}
+                                   << static_cast<unsigned>(hop.rank_bit);
+        for (std::uint64_t r = 0; r < nodes; ++r) {
+          const std::uint64_t partner = r ^ mask;
+          if (partner < r) continue;  // each pair once
+          const double ready = std::max(clock[r], clock[partner]) + comm;
+          clock[r] = ready;
+          clock[partner] = ready;
+        }
       }
+      continue;
     }
+    const double base = cost.phases[i].seconds;
+    if (base == 0.0) continue;
     for (std::uint64_t r = 0; r < nodes; ++r) {
       double compute = base;
       if (r == straggler.node) compute *= straggler.slowdown;
@@ -92,6 +96,14 @@ double event_driven_makespan(const DistPlan& plan, const MachineSpec& m,
     }
   }
   return *std::max_element(clock.begin(), clock.end());
+}
+
+double event_driven_makespan(const DistPlan& plan, const MachineSpec& m,
+                             const ExecConfig& config,
+                             const InterconnectSpec& net,
+                             const StragglerConfig& straggler) {
+  return event_driven_makespan(to_execution_plan(plan), m, config, net,
+                               straggler);
 }
 
 }  // namespace svsim::dist

@@ -1,12 +1,19 @@
-// Timing a distribution plan: BSP aggregate and event-driven timelines.
+// Timing a distributed ExecutionPlan: BSP aggregate and event-driven
+// timelines.
 //
-// The BSP estimate sums per-step local compute time (from the single-node
-// performance model applied to the local partition) and exchange time (from
-// the interconnect model); the pipelined bound overlaps the two streams.
-// The event-driven simulator keeps one clock per node and synchronizes
-// partner pairs at each exchange (rendezvous semantics), which is what lets
-// a straggling node's delay propagate through the exchange pattern — the
-// effect large-machine studies care about and a mean-field BSP sum hides.
+// Both models walk the shared ExecutionPlan IR (sv/plan.hpp): per-phase
+// local compute comes from perf::cost_plan (the single-node performance
+// model applied to the rank partition, including the one-traversal pricing
+// of LocalSweep phases) and exchange time from the interconnect model
+// applied to each Exchange hop. The BSP estimate sums the two streams; the
+// pipelined bound overlaps them. The event-driven simulator keeps one clock
+// per node and synchronizes partner pairs at each hop (rendezvous
+// semantics), which is what lets a straggling node's delay propagate
+// through the exchange pattern — the effect large-machine studies care
+// about and a mean-field BSP sum hides.
+//
+// Legacy DistPlan overloads adapt through dist::to_execution_plan; there is
+// no separate per-step dispatch loop anymore.
 #pragma once
 
 #include <cstdint>
@@ -15,19 +22,26 @@
 #include "dist/interconnect.hpp"
 #include "machine/exec_config.hpp"
 #include "machine/machine_spec.hpp"
+#include "sv/plan.hpp"
 
 namespace svsim::dist {
 
 struct DistTiming {
-  double compute_seconds = 0.0;   ///< Σ per-step local kernel time
-  double comm_seconds = 0.0;      ///< Σ per-step exchange time
+  double compute_seconds = 0.0;   ///< Σ per-phase local kernel time
+  double comm_seconds = 0.0;      ///< Σ per-hop exchange time
   double total_seconds = 0.0;     ///< BSP: compute + comm (no overlap)
   double pipelined_seconds = 0.0; ///< max(compute, comm): full-overlap bound
-  std::size_t num_exchanges = 0;
+  std::size_t num_exchanges = 0;  ///< pairwise hops priced
   double exchange_bytes = 0.0;    ///< per node, total
 };
 
 /// Times `plan` with each node modeled as `m` under `config`.
+DistTiming time_plan(const sv::ExecutionPlan& plan,
+                     const machine::MachineSpec& m,
+                     const machine::ExecConfig& config,
+                     const InterconnectSpec& net);
+
+/// Legacy per-gate plan, adapted through to_execution_plan.
 DistTiming time_plan(const DistPlan& plan, const machine::MachineSpec& m,
                      const machine::ExecConfig& config,
                      const InterconnectSpec& net);
@@ -38,9 +52,16 @@ struct StragglerConfig {
   double slowdown = 1.0;
 };
 
-/// Event-driven makespan: per-node clocks, rendezvous at each exchange.
+/// Event-driven makespan: per-node clocks, rendezvous at each exchange hop.
 /// Without a straggler this equals the BSP total (all nodes identical);
 /// with one it shows how the delay spreads through the exchange pattern.
+double event_driven_makespan(const sv::ExecutionPlan& plan,
+                             const machine::MachineSpec& m,
+                             const machine::ExecConfig& config,
+                             const InterconnectSpec& net,
+                             const StragglerConfig& straggler = {});
+
+/// Legacy per-gate plan, adapted through to_execution_plan.
 double event_driven_makespan(const DistPlan& plan,
                              const machine::MachineSpec& m,
                              const machine::ExecConfig& config,

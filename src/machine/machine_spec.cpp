@@ -16,6 +16,13 @@ unsigned MachineSpec::mem_line_bytes() const noexcept {
   return caches.empty() ? 64u : caches.back().line_bytes;
 }
 
+std::uint64_t MachineSpec::cache_budget_per_core_bytes() const noexcept {
+  if (caches.empty()) return 0;
+  const CacheLevel& llc = caches.back();
+  const unsigned sharers = llc.shared_by_cores > 0 ? llc.shared_by_cores : 1;
+  return llc.size_bytes / sharers;
+}
+
 MachineSpec MachineSpec::a64fx() {
   MachineSpec m;
   m.name = "A64FX (2.0 GHz)";

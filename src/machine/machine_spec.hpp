@@ -71,6 +71,10 @@ struct MachineSpec {
   std::uint64_t llc_total_bytes() const noexcept;
   /// Memory-system cache line size (line of the last level).
   unsigned mem_line_bytes() const noexcept;
+  /// Per-core share of the last-level cache — the working-set budget a
+  /// cache-blocked sweep should target (A64FX: 8 MiB CMG L2 / 12 cores
+  /// ≈ 680 KiB). 0 when no cache levels are described.
+  std::uint64_t cache_budget_per_core_bytes() const noexcept;
 
   // ---- factory machine descriptions --------------------------------------
   /// Fujitsu A64FX at 2.0 GHz (normal mode), 4 CMGs x 12 cores, HBM2.

@@ -40,14 +40,17 @@ struct BenchAttribution {
 };
 
 /// One benchmark number. `kind` is "measured" (value = median seconds or a
-/// derived unit, with stats retained) or "model" (an analytical
-/// prediction). Measured records may carry the model's prediction of the
+/// derived unit, with stats retained), "model" (an analytical prediction,
+/// deterministic run to run), or "derived" (computed from measured values —
+/// e.g. a speedup ratio of two medians — so it inherits measurement noise
+/// and regression gates must give it the measured margin, not exact
+/// equality). Measured records may carry the model's prediction of the
 /// same quantity in `model_value`, making model-vs-measured drift
 /// queryable directly from the results file.
 struct BenchRecord {
   std::string id;       ///< stable: "<case>.<sub-id>"
   std::string case_id;
-  std::string kind;     ///< "measured" | "model"
+  std::string kind;     ///< "measured" | "model" | "derived"
   std::string unit;     ///< "s", "GB/s", "GFLOP/s", ...
   double value = 0;
 

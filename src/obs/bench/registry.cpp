@@ -145,6 +145,17 @@ void BenchContext::model(const std::string& sub_id, double value,
   records_.push_back(std::move(r));
 }
 
+void BenchContext::derived(const std::string& sub_id, double value,
+                           const std::string& unit) {
+  BenchRecord r;
+  r.id = joined_id(case_.id, sub_id);
+  r.case_id = case_.id;
+  r.kind = "derived";
+  r.unit = unit;
+  r.value = value;
+  records_.push_back(std::move(r));
+}
+
 void BenchContext::record(BenchRecord r) {
   r.id = joined_id(case_.id, r.id);
   r.case_id = case_.id;

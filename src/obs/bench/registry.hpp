@@ -88,6 +88,12 @@ class BenchContext {
   void model(const std::string& sub_id, double value, const std::string& unit,
              const std::string& machine = "");
 
+  /// Appends a "derived" record: a value computed from measured results
+  /// (ratios of medians, per-gate rates, ...). Regression gates compare it
+  /// with the measured noise margin rather than exact equality.
+  void derived(const std::string& sub_id, double value,
+               const std::string& unit);
+
   /// Appends a fully-custom record (id is prefixed with the case ID).
   void record(BenchRecord r);
 

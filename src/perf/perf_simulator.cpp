@@ -85,4 +85,103 @@ PerfReport simulate_circuit(const qc::Circuit& circuit, const MachineSpec& m,
   return report;
 }
 
+namespace {
+
+/// Slot-space gates may keep operands on node slots (free controls,
+/// diagonals): each rank still runs the kernel over its own partition, so
+/// cost it with node-slot operands replaced by scratch local slots.
+qc::Gate localized_proxy(const qc::Gate& g, unsigned local_qubits) {
+  bool local = true;
+  for (unsigned q : g.qubits) local = local && q < local_qubits;
+  if (local) return g;
+
+  qc::Gate proxy = g;
+  std::vector<unsigned> used;
+  for (unsigned q : g.qubits)
+    if (q < local_qubits) used.push_back(q);
+  for (auto& q : proxy.qubits) {
+    if (q < local_qubits) continue;
+    for (unsigned s = local_qubits; s-- > 0;) {
+      if (std::find(used.begin(), used.end(), s) == used.end()) {
+        used.push_back(s);
+        q = s;
+        break;
+      }
+    }
+  }
+  return proxy;
+}
+
+}  // namespace
+
+PlanCost cost_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
+                   const ExecConfig& config) {
+  const Placement p = machine::place_threads(m, config);
+  const unsigned ln = plan.local_qubits;
+  const double amp_bytes = 2.0 * config.element_bytes;
+  const double partition_bytes = static_cast<double>(pow2(ln)) * amp_bytes;
+  const double compute_roof_gflops =
+      machine::placement_peak_gflops(m, p, config);
+
+  PlanCost r;
+  r.machine_name = m.name;
+  r.local_qubits = ln;
+  r.block_qubits = plan.block_qubits;
+  r.threads = p.total_threads();
+  r.num_windows = plan.num_windows();
+  r.num_gates = plan.total_gates();
+  r.phases.reserve(plan.phases.size());
+
+  for (const auto& phase : plan.phases) {
+    PhaseCost pc;
+    pc.kind = phase.kind;
+    pc.gates = phase.gates.size();
+    switch (phase.kind) {
+      case sv::PhaseKind::LocalSweep: {
+        const SweepCost sc =
+            blocked_sweep_cost(phase.gates, ln, plan.block_qubits, m, config);
+        // Flop time per gate under its own SIMD derating; one traversal of
+        // DRAM traffic serves every gate in the sweep.
+        double compute_seconds = 0.0;
+        for (const auto& g : phase.gates) {
+          const KernelCost kc = gate_cost(g, ln, m, config);
+          const double roof = compute_roof_gflops * kc.simd_efficiency;
+          if (roof > 0.0) compute_seconds += kc.flops / (roof * 1e9);
+        }
+        const double bw =
+            machine::effective_bandwidth_gbps(m, p, partition_bytes);
+        const double memory_seconds = sc.dram_bytes / (bw * 1e9);
+        pc.seconds = std::max(compute_seconds, memory_seconds) +
+                     fork_join_seconds(p.total_threads());
+        pc.flops = sc.flops;
+        pc.bytes = sc.dram_bytes;
+        ++r.traversals;
+        break;
+      }
+      case sv::PhaseKind::DenseGate:
+      case sv::PhaseKind::MeasureFlush: {
+        for (const auto& g : phase.gates) {
+          const GateTiming t = time_gate(localized_proxy(g, ln), ln, m, config);
+          pc.seconds += t.seconds;
+          pc.flops += t.cost.flops;
+          pc.bytes += t.cost.bytes;
+          if (t.cost.flops > 0.0 || t.cost.bytes > 0.0) ++r.traversals;
+        }
+        break;
+      }
+      case sv::PhaseKind::Exchange: {
+        pc.exchange_bytes = phase.exchange_bytes();
+        r.num_exchanges += phase.hops.size();
+        r.exchange_bytes_per_rank += pc.exchange_bytes;
+        break;
+      }
+    }
+    r.compute_seconds += pc.seconds;
+    r.total_flops += pc.flops;
+    r.total_bytes += pc.bytes;
+    r.phases.push_back(pc);
+  }
+  return r;
+}
+
 }  // namespace svsim::perf

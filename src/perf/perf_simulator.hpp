@@ -21,6 +21,7 @@
 #include "machine/machine_spec.hpp"
 #include "perf/kernel_model.hpp"
 #include "qc/circuit.hpp"
+#include "sv/plan.hpp"
 
 namespace svsim::perf {
 
@@ -70,5 +71,52 @@ PerfReport simulate_circuit(const qc::Circuit& circuit,
                             const machine::MachineSpec& m,
                             const machine::ExecConfig& config,
                             const PerfOptions& options = {});
+
+/// Modeled cost of one ExecutionPlan phase. `seconds` is the local compute
+/// time on a single rank's 2^local_qubits partition (zero for Exchange
+/// phases, whose cost lives in `exchange_bytes` and is priced by the
+/// caller's interconnect model).
+struct PhaseCost {
+  sv::PhaseKind kind = sv::PhaseKind::DenseGate;
+  std::size_t gates = 0;
+  double seconds = 0.0;
+  double flops = 0.0;
+  double bytes = 0.0;           ///< modeled local DRAM/cache traffic
+  double exchange_bytes = 0.0;  ///< per rank, one direction (Exchange only)
+};
+
+/// Plan-level roll-up of the first-principles model: what one rank computes
+/// between exchanges. A LocalSweep phase is priced as one state traversal
+/// (blocked_sweep_cost) regardless of how many gates it carries — this is
+/// where the traversals-saved-between-exchanges payoff shows up against a
+/// per-gate plan.
+struct PlanCost {
+  std::string machine_name;
+  unsigned local_qubits = 0;
+  unsigned block_qubits = 0;
+  unsigned threads = 0;
+  double compute_seconds = 0.0;
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  std::size_t traversals = 0;
+  std::size_t num_windows = 0;
+  std::size_t num_exchanges = 0;
+  std::size_t num_gates = 0;
+  double exchange_bytes_per_rank = 0.0;
+  std::vector<PhaseCost> phases;  ///< one entry per plan phase, in order
+
+  double gates_per_traversal() const noexcept {
+    return traversals > 0
+               ? static_cast<double>(num_gates) /
+                     static_cast<double>(traversals)
+               : 0.0;
+  }
+};
+
+/// Costs every phase of `plan` on machine `m` under `config`. Gates with
+/// operands on node slots (free controls, diagonals) are priced via a
+/// localized proxy on the rank partition, matching what each rank executes.
+PlanCost cost_plan(const sv::ExecutionPlan& plan, const machine::MachineSpec& m,
+                   const machine::ExecConfig& config);
 
 }  // namespace svsim::perf

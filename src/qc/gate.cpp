@@ -249,6 +249,12 @@ unsigned Gate::num_controls() const noexcept {
   }
 }
 
+unsigned Gate::max_qubit() const noexcept {
+  unsigned hi = 0;
+  for (unsigned q : qubits) hi = q > hi ? q : hi;
+  return hi;
+}
+
 std::vector<unsigned> Gate::targets() const {
   return {qubits.begin() + num_controls(), qubits.end()};
 }

@@ -157,6 +157,11 @@ class Gate {
   /// Control qubits (leading operands).
   std::vector<unsigned> controls() const;
 
+  /// Highest operand qubit index, or 0 for operand-free gates (BARRIER).
+  /// `max_qubit() < b` is the block-locality test the plan compiler uses
+  /// to decide whether a gate can run inside a 2^b-amplitude block.
+  unsigned max_qubit() const noexcept;
+
   /// True for gates representable by a unitary (everything except
   /// MEASURE / RESET / BARRIER).
   bool is_unitary_op() const noexcept;

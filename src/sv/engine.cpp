@@ -27,6 +27,72 @@ void observe_sweep(std::size_t gates, std::uint64_t traversal_bytes) {
   bytes.add(traversal_bytes);
 }
 
+/// Estimated bytes a gate's kernel streams on a 2^n state (read + write of
+/// the touched amplitude subset). Deliberately simple — the line-granular
+/// traffic model lives in perf::gate_cost; this is the label attached to
+/// measured trace spans so per-kernel GB/s can be derived at runtime.
+template <typename T>
+std::uint64_t approx_streamed_bytes(const Gate& g, unsigned n) {
+  const std::uint64_t N = pow2(n);
+  const std::uint64_t amp = 2 * sizeof(T);
+  switch (g.kind) {
+    case GateKind::I:
+    case GateKind::BARRIER:
+      return 0;
+    // Diagonal phase on the |1> half of one qubit.
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::P:
+      return (N / 2) * amp * 2;
+    // Controlled single-target kernels touch the all-controls-one subspace.
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CH:
+    case GateKind::CRX:
+    case GateKind::CRY:
+    case GateKind::CRZ:
+    case GateKind::CCX:
+    case GateKind::MCX:
+      return 2 * (N >> g.num_controls()) * amp;
+    // Phase on the all-ones subspace of every operand.
+    case GateKind::CZ:
+    case GateKind::CP:
+    case GateKind::CCZ:
+    case GateKind::MCP:
+      return 2 * (N >> g.num_qubits()) * amp;
+    case GateKind::SWAP:
+      return 2 * (N / 2) * amp;
+    case GateKind::CSWAP:
+      return 2 * (N / 2) * amp;
+    // Probability reduction (read all) + collapse (write ~half).
+    case GateKind::MEASURE:
+    case GateKind::RESET:
+      return N * amp * 3 / 2;
+    default:
+      return 2 * N * amp;  // full-sweep kernels
+  }
+}
+
+/// Amplitude distance between paired elements in the innermost loop.
+std::uint64_t pair_stride(const Gate& g) {
+  const auto targets = g.targets();
+  if (targets.empty()) return 0;
+  return pow2(*std::min_element(targets.begin(), targets.end()));
+}
+
+void observe_plan_execution(const EngineStats& stats, std::size_t phases) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& execs = registry.counter("plan.executions");
+  static obs::Counter& executed = registry.counter("plan.phases_executed");
+  static obs::Counter& xchg = registry.counter("plan.exchanges_applied");
+  execs.increment();
+  executed.add(phases);
+  xchg.add(stats.exchanges);
+}
+
 }  // namespace
 
 template <typename T>
@@ -80,27 +146,85 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
 }
 
 template <typename T>
-EngineStats run_plan(StateVector<T>& state, const SweepPlan& plan) {
+EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
+                     const PlanHooks<T>& hooks) {
+  const unsigned n = state.num_qubits();
+  require(n == plan.num_qubits, "run_plan: state/plan width mismatch");
+
   EngineStats stats;
-  for (const auto& step : plan.steps) {
-    if (step.blocked) {
-      run_sweep(state, step.gates.data(), step.gates.size(),
-                plan.block_qubits);
-      ++stats.sweeps;
-      ++stats.traversals;
-      stats.blocked_gates += step.gates.size();
-      continue;
-    }
-    for (const auto& g : step.gates) {
-      require(g.kind != GateKind::MEASURE && g.kind != GateKind::RESET,
-              "run_plan: MEASURE/RESET need a Simulator");
-      apply_gate(state, g);
-      if (g.kind != GateKind::I && g.kind != GateKind::BARRIER) {
-        ++stats.passthrough_gates;
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+
+  for (const auto& phase : plan.phases) {
+    switch (phase.kind) {
+      case PhaseKind::LocalSweep: {
+        run_sweep(state, phase.gates.data(), phase.gates.size(),
+                  plan.block_qubits);
+        ++stats.sweeps;
         ++stats.traversals;
+        stats.blocked_gates += phase.gates.size();
+        stats.bytes_streamed += 2 * pow2(n) * std::uint64_t{2 * sizeof(T)};
+        break;
+      }
+      case PhaseKind::DenseGate: {
+        for (const auto& g : phase.gates) {
+          const std::uint64_t gate_bytes = approx_streamed_bytes<T>(g, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          apply_gate(state, g);
+          if (hooks.after_gate) hooks.after_gate(state, g);
+          if (tracing) {
+            tracer.record_span(g.name(), obs::SpanCategory::Kernel,
+                               g.qubits.data(), g.qubits.size(),
+                               pair_stride(g), gate_bytes, start_ns);
+          }
+          stats.bytes_streamed += gate_bytes;
+          if (g.kind != GateKind::I && g.kind != GateKind::BARRIER) {
+            ++stats.passthrough_gates;
+            ++stats.traversals;
+          }
+        }
+        break;
+      }
+      case PhaseKind::Exchange: {
+        if (!phase.moves_data) break;  // cost-only window marker
+        for (const auto& h : phase.hops) {
+          const Gate swap_gate = Gate::swap(h.local_slot, h.node_slot);
+          const std::uint64_t swap_bytes =
+              approx_streamed_bytes<T>(swap_gate, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          apply_gate(state, swap_gate);
+          if (tracing) {
+            tracer.record_span("exchange", obs::SpanCategory::Collective,
+                               swap_gate.qubits.data(), 2,
+                               pair_stride(swap_gate), swap_bytes, start_ns);
+          }
+          ++stats.exchanges;
+          stats.bytes_streamed += swap_bytes;
+        }
+        break;
+      }
+      case PhaseKind::MeasureFlush: {
+        require(static_cast<bool>(hooks.measure),
+                "run_plan: MEASURE/RESET need a Simulator (no measure hook)");
+        for (const auto& g : phase.gates) {
+          const std::uint64_t gate_bytes = approx_streamed_bytes<T>(g, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          hooks.measure(state, g);
+          if (tracing) {
+            tracer.record_span(g.name(), obs::SpanCategory::Measure,
+                               g.qubits.data(), g.qubits.size(),
+                               pair_stride(g), gate_bytes, start_ns);
+          }
+          ++stats.measure_ops;
+          ++stats.traversals;
+          stats.bytes_streamed += gate_bytes;
+        }
+        break;
       }
     }
   }
+
+  observe_plan_execution(stats, plan.phases.size());
   return stats;
 }
 
@@ -108,7 +232,10 @@ template void run_sweep<float>(StateVector<float>&, const Gate*, std::size_t,
                                unsigned);
 template void run_sweep<double>(StateVector<double>&, const Gate*, std::size_t,
                                 unsigned);
-template EngineStats run_plan<float>(StateVector<float>&, const SweepPlan&);
-template EngineStats run_plan<double>(StateVector<double>&, const SweepPlan&);
+template EngineStats run_plan<float>(StateVector<float>&, const ExecutionPlan&,
+                                     const PlanHooks<float>&);
+template EngineStats run_plan<double>(StateVector<double>&,
+                                      const ExecutionPlan&,
+                                      const PlanHooks<double>&);
 
 }  // namespace svsim::sv

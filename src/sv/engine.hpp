@@ -1,22 +1,30 @@
-// Cache-blocked execution engine.
+// Execution engine: runs an ExecutionPlan against a StateVector.
 //
-// Executes a SweepPlan against a StateVector. A blocked step's gates are
-// prepared once (coefficients pre-cast, kernels resolved through the
-// dispatch table in kernels.hpp) and then applied block-by-block: each
-// worker takes a contiguous range of aligned 2^block_qubits blocks — the
-// same static partition the state's first-touch initialization used, so on
-// NUMA machines every worker streams pages it owns — and runs the whole
-// sweep over one block while it is cache-resident before advancing. k gates
-// therefore cost ~1 traversal of the state instead of k.
+// The engine is a thin interpreter over the plan IR (sv/plan.hpp):
 //
-// Pass-through steps (operands at or above the block boundary) fall back to
-// the whole-state kernels via apply_gate. MEASURE/RESET are rejected here;
-// the Simulator front-end keeps them on its own stochastic path.
+//  * LocalSweep phases are applied block-by-block: gates are prepared once
+//    (coefficients pre-cast, kernels resolved through the dispatch table in
+//    kernels.hpp), then each worker takes a contiguous range of aligned
+//    2^block_qubits blocks — the same static partition the state's
+//    first-touch initialization used, so on NUMA machines every worker
+//    streams pages it owns — and runs the whole sweep over one block while
+//    it is cache-resident. k gates cost ~1 traversal instead of k.
+//  * DenseGate phases fall back to the whole-state kernels via apply_gate;
+//    every gate records its tracer span and counts toward the stats (so
+//    drift reports see blocked and unblocked runs alike).
+//  * Exchange phases with moves_data perform the slot swaps on the full
+//    state — exactly the data movement the pairwise rank exchange performs;
+//    cost-only exchanges are skipped.
+//  * MeasureFlush phases dispatch to the `measure` hook (the Simulator owns
+//    the RNG and classical bits); executing them without a hook throws.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 
 #include "qc/gate.hpp"
+#include "sv/plan.hpp"
 #include "sv/state_vector.hpp"
 #include "sv/sweep.hpp"
 
@@ -28,6 +36,9 @@ struct EngineStats {
   std::size_t blocked_gates = 0;      ///< gates applied on the blocked path
   std::size_t passthrough_gates = 0;  ///< gates applied by whole-state kernels
   std::size_t traversals = 0;         ///< state traversals performed
+  std::size_t exchanges = 0;          ///< slot swaps applied for Exchange phases
+  std::size_t measure_ops = 0;        ///< MEASURE/RESET dispatched to the hook
+  std::uint64_t bytes_streamed = 0;   ///< estimated bytes moved (span labels)
 
   double gates_per_traversal() const noexcept {
     return traversals == 0 ? 0.0
@@ -37,24 +48,41 @@ struct EngineStats {
   }
 };
 
+/// Executor callbacks a front-end may supply. The engine itself is purely
+/// unitary; anything stochastic (RNG, classical bits, noise channels) lives
+/// behind these hooks so one executor serves ideal, noisy, and distributed
+/// runs.
+template <typename T>
+struct PlanHooks {
+  /// Handles one MEASURE/RESET gate. Required when the plan has
+  /// MeasureFlush phases; run_plan throws otherwise.
+  std::function<void(StateVector<T>&, const qc::Gate&)> measure;
+  /// Called after each DenseGate application (noise channels). LocalSweep
+  /// phases are only compiled when this is absent.
+  std::function<void(StateVector<T>&, const qc::Gate&)> after_gate;
+};
+
 /// Applies `count` gates — all block-local for `block_qubits` — to the state
 /// in one blocked traversal. Records one "sweep" tracer span when tracing.
 template <typename T>
 void run_sweep(StateVector<T>& state, const qc::Gate* gates, std::size_t count,
                unsigned block_qubits);
 
-/// Executes a whole plan (unitary steps only; throws on MEASURE/RESET).
-/// Equivalent to applying the plan's gates in order with apply_gate.
+/// Executes a whole plan. Every phase kind records its tracer spans and
+/// metric counters; MeasureFlush needs hooks.measure.
 template <typename T>
-EngineStats run_plan(StateVector<T>& state, const SweepPlan& plan);
+EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
+                     const PlanHooks<T>& hooks = {});
 
 extern template void run_sweep<float>(StateVector<float>&, const qc::Gate*,
                                       std::size_t, unsigned);
 extern template void run_sweep<double>(StateVector<double>&, const qc::Gate*,
                                        std::size_t, unsigned);
 extern template EngineStats run_plan<float>(StateVector<float>&,
-                                            const SweepPlan&);
+                                            const ExecutionPlan&,
+                                            const PlanHooks<float>&);
 extern template EngineStats run_plan<double>(StateVector<double>&,
-                                             const SweepPlan&);
+                                             const ExecutionPlan&,
+                                             const PlanHooks<double>&);
 
 }  // namespace svsim::sv

@@ -5,10 +5,9 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "sv/engine.hpp"
 #include "sv/kernels.hpp"
-#include "sv/sweep.hpp"
+#include "sv/plan.hpp"
 
 namespace svsim::sv {
 
@@ -116,78 +115,10 @@ void apply_gate(StateVector<T>& state, const Gate& g) {
   throw Error("apply_gate: unhandled gate kind");
 }
 
-namespace {
-
-/// Estimated bytes a gate's kernel streams on a 2^n state (read + write of
-/// the touched amplitude subset). Deliberately simple — the line-granular
-/// traffic model lives in perf::gate_cost; this is the label attached to
-/// measured trace spans so per-kernel GB/s can be derived at runtime.
-template <typename T>
-std::uint64_t approx_streamed_bytes(const Gate& g, unsigned n) {
-  const std::uint64_t N = pow2(n);
-  const std::uint64_t amp = 2 * sizeof(T);
-  switch (g.kind) {
-    case GateKind::I:
-    case GateKind::BARRIER:
-      return 0;
-    // Diagonal phase on the |1> half of one qubit.
-    case GateKind::Z:
-    case GateKind::S:
-    case GateKind::Sdg:
-    case GateKind::T:
-    case GateKind::Tdg:
-    case GateKind::P:
-      return (N / 2) * amp * 2;
-    // Controlled single-target kernels touch the all-controls-one subspace.
-    case GateKind::CX:
-    case GateKind::CY:
-    case GateKind::CH:
-    case GateKind::CRX:
-    case GateKind::CRY:
-    case GateKind::CRZ:
-    case GateKind::CCX:
-    case GateKind::MCX:
-      return 2 * (N >> g.num_controls()) * amp;
-    // Phase on the all-ones subspace of every operand.
-    case GateKind::CZ:
-    case GateKind::CP:
-    case GateKind::CCZ:
-    case GateKind::MCP:
-      return 2 * (N >> g.num_qubits()) * amp;
-    case GateKind::SWAP:
-      return 2 * (N / 2) * amp;
-    case GateKind::CSWAP:
-      return 2 * (N / 2) * amp;
-    // Probability reduction (read all) + collapse (write ~half).
-    case GateKind::MEASURE:
-    case GateKind::RESET:
-      return N * amp * 3 / 2;
-    default:
-      return 2 * N * amp;  // full-sweep kernels
-  }
-}
-
-/// Amplitude distance between paired elements in the innermost loop.
-std::uint64_t pair_stride(const Gate& g) {
-  const auto targets = g.targets();
-  if (targets.empty()) return 0;
-  return pow2(*std::min_element(targets.begin(), targets.end()));
-}
-
-}  // namespace
-
 template <typename T>
 Simulator<T>::Simulator(SimulatorOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
   SVSIM_ASSERT(options_.pool != nullptr);
-}
-
-template <typename T>
-qc::Circuit Simulator<T>::prepare(const qc::Circuit& circuit) const {
-  if (!options_.fusion) return circuit;
-  FusionOptions fo;
-  fo.max_width = options_.fusion_width;
-  return fuse(circuit, fo);
 }
 
 template <typename T>
@@ -202,70 +133,44 @@ void Simulator<T>::run_in_place(StateVector<T>& state,
                                 const qc::Circuit& circuit) {
   require(state.num_qubits() == circuit.num_qubits(),
           "run_in_place: state/circuit width mismatch");
-  const qc::Circuit prepared = prepare(circuit);
-  classical_bits_.assign(circuit.num_clbits(), false);
-
-  obs::Tracer& tracer = obs::Tracer::global();
-  const bool tracing = tracer.enabled();
-  std::uint64_t bytes_streamed = 0;
-  std::uint64_t measure_ops = 0;
-
-  // Applies one gate on the per-gate (whole-state) path, including the
-  // stochastic ops and trajectory noise. Shared by the unblocked loop and
-  // the blocked plan's pass-through steps.
-  auto execute_gate = [&](const Gate& g) {
-    const std::uint64_t gate_bytes =
-        approx_streamed_bytes<T>(g, state.num_qubits());
-    bytes_streamed += gate_bytes;
-    const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
-    switch (g.kind) {
-      case GateKind::MEASURE:
-        // Readout error flips only the recorded bit, not the collapse.
-        classical_bits_[g.cbit] = options_.noise.flip_readout(
-            state.measure(g.qubits[0], rng_), rng_);
-        ++measure_ops;
-        break;
-      case GateKind::RESET:
-        state.reset_qubit(g.qubits[0], rng_);
-        ++measure_ops;
-        break;
-      default:
-        apply_gate(state, g);
-        if (!options_.noise.empty())
-          options_.noise.apply_after(state, g, rng_);
-        break;
-    }
-    if (tracing) {
-      const obs::SpanCategory category =
-          (g.kind == GateKind::MEASURE || g.kind == GateKind::RESET)
-              ? obs::SpanCategory::Measure
-              : obs::SpanCategory::Kernel;
-      tracer.record_span(g.name(), category, g.qubits.data(), g.qubits.size(),
-                         pair_stride(g), gate_bytes, start_ns);
-    }
-  };
-
+  PlanOptions po;
+  po.fusion = options_.fusion;
+  po.fusion_width = options_.fusion_width;
   // Noise channels must sample after every individual gate, so the blocked
   // path only serves noiseless execution.
-  const bool blocked = options_.blocking && options_.noise.empty();
-  if (blocked) {
-    SweepOptions so;
-    so.block_qubits = options_.block_qubits;
-    so.amp_bytes = 2 * sizeof(T);
-    const SweepPlan plan = plan_sweeps(prepared, so);
-    for (const auto& step : plan.steps) {
-      if (step.blocked) {
-        run_sweep(state, step.gates.data(), step.gates.size(),
-                  plan.block_qubits);
-        // One read+write traversal serves the whole sweep.
-        bytes_streamed += 2 * state.size() * std::uint64_t{2 * sizeof(T)};
-      } else {
-        for (const auto& g : step.gates) execute_gate(g);
-      }
+  po.blocking = options_.blocking && options_.noise.empty();
+  po.block_qubits = options_.block_qubits;
+  po.amp_bytes = 2 * sizeof(T);
+  po.machine = options_.machine;
+  run_plan(state, compile_plan(circuit, po));
+}
+
+template <typename T>
+void Simulator<T>::run_plan(StateVector<T>& state, const ExecutionPlan& plan) {
+  require(state.num_qubits() == plan.num_qubits,
+          "run_plan: state/plan width mismatch");
+  classical_bits_.assign(plan.num_clbits, false);
+
+  // The engine is purely unitary; the stochastic ops and trajectory noise
+  // come in through the hooks so measurement order (and thus RNG
+  // consumption) is identical across dense, blocked, and distributed plans.
+  PlanHooks<T> hooks;
+  hooks.measure = [this](StateVector<T>& s, const Gate& g) {
+    if (g.kind == GateKind::MEASURE) {
+      // Readout error flips only the recorded bit, not the collapse.
+      classical_bits_[g.cbit] =
+          options_.noise.flip_readout(s.measure(g.qubits[0], rng_), rng_);
+    } else {
+      s.reset_qubit(g.qubits[0], rng_);
     }
-  } else {
-    for (const auto& g : prepared.gates()) execute_gate(g);
+  };
+  if (!options_.noise.empty()) {
+    hooks.after_gate = [this](StateVector<T>& s, const Gate& g) {
+      options_.noise.apply_after(s, g, rng_);
+    };
   }
+
+  const EngineStats stats = svsim::sv::run_plan(state, plan, hooks);
 
   // One registry flush per run, not per gate: counters stay observable even
   // on hot trajectory loops without per-gate atomics.
@@ -275,9 +180,9 @@ void Simulator<T>::run_in_place(StateVector<T>& state,
   static obs::Counter& bytes_counter = registry.counter("sv.bytes_streamed");
   static obs::Counter& measure_counter = registry.counter("sv.measure_ops");
   runs_counter.increment();
-  gates_counter.add(prepared.size());
-  bytes_counter.add(bytes_streamed);
-  measure_counter.add(measure_ops);
+  gates_counter.add(plan.total_gates());
+  bytes_counter.add(stats.bytes_streamed);
+  measure_counter.add(stats.measure_ops);
 }
 
 namespace {

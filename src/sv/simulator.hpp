@@ -18,7 +18,13 @@
 #include "sv/noise.hpp"
 #include "sv/state_vector.hpp"
 
+namespace svsim::machine {
+struct MachineSpec;
+}
+
 namespace svsim::sv {
+
+struct ExecutionPlan;
 
 /// Applies one unitary gate to the state (kernel dispatch; no noise, no
 /// measurement). BARRIER and I are no-ops. Throws for MEASURE/RESET.
@@ -42,6 +48,9 @@ struct SimulatorOptions {
   /// Block size in qubits for the blocked engine; 0 = auto from the cache
   /// budget (see SweepOptions).
   unsigned block_qubits = 0;
+  /// Machine whose cache topology sizes auto blocks (borrowed; optional).
+  /// When unset the plan compiler falls back to the 512 KiB default.
+  const machine::MachineSpec* machine = nullptr;
   /// Seed for measurement sampling and noise trajectories.
   std::uint64_t seed = 0x5eed;
   /// Noise model; empty = ideal simulation.
@@ -62,8 +71,14 @@ class Simulator {
   StateVector<T> run(const qc::Circuit& circuit);
 
   /// Same, operating on an existing state (which must match the circuit
-  /// width). The state's own pool is used for kernels.
+  /// width). The state's own pool is used for kernels. Internally compiles
+  /// the circuit into an ExecutionPlan (sv/plan.hpp) and executes it.
   void run_in_place(StateVector<T>& state, const qc::Circuit& circuit);
+
+  /// Executes a pre-compiled plan (single-node or simulated-distributed) on
+  /// an existing state of matching width. Measurement and noise run through
+  /// this simulator's RNG and classical-bit buffer, exactly as run_in_place.
+  void run_plan(StateVector<T>& state, const ExecutionPlan& plan);
 
   /// Classical bits recorded by MEASURE gates in the most recent run.
   const std::vector<bool>& classical_bits() const noexcept {
@@ -83,8 +98,6 @@ class Simulator {
   double expectation(const qc::Circuit& circuit, const qc::PauliOperator& op);
 
  private:
-  qc::Circuit prepare(const qc::Circuit& circuit) const;
-
   SimulatorOptions options_;
   Xoshiro256 rng_;
   std::vector<bool> classical_bits_;

@@ -32,8 +32,7 @@ bool block_local(const Gate& g, unsigned b) {
       g.kind == GateKind::BARRIER) {
     return false;
   }
-  return std::all_of(g.qubits.begin(), g.qubits.end(),
-                     [b](unsigned q) { return q < b; });
+  return g.max_qubit() < b;
 }
 
 bool free_passthrough(const Gate& g) {
@@ -63,9 +62,14 @@ double SweepPlan::gates_per_traversal() const noexcept {
 }
 
 SweepPlan plan_sweeps(const qc::Circuit& circuit, const SweepOptions& options) {
+  return plan_sweeps(circuit.gates(), circuit.num_qubits(), options);
+}
+
+SweepPlan plan_sweeps(const std::vector<Gate>& gates, unsigned num_qubits,
+                      const SweepOptions& options) {
   require(options.max_sweep_gates >= 1,
           "plan_sweeps: max_sweep_gates must be >= 1");
-  const unsigned n = circuit.num_qubits();
+  const unsigned n = num_qubits;
   SweepPlan plan;
   plan.block_qubits =
       options.block_qubits != 0
@@ -83,7 +87,7 @@ SweepPlan plan_sweeps(const qc::Circuit& circuit, const SweepOptions& options) {
     current.blocked = true;
   };
 
-  for (const auto& g : circuit.gates()) {
+  for (const auto& g : gates) {
     if (block_local(g, plan.block_qubits)) {
       if (current.gates.size() >= options.max_sweep_gates) flush();
       current.gates.push_back(g);

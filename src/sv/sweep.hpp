@@ -80,4 +80,9 @@ struct SweepPlan {
 /// from the cache budget.
 SweepPlan plan_sweeps(const qc::Circuit& circuit, const SweepOptions& options);
 
+/// Same, over a bare gate sequence on an n-qubit register. This is the form
+/// the plan compiler calls once per exchange-free window.
+SweepPlan plan_sweeps(const std::vector<qc::Gate>& gates, unsigned num_qubits,
+                      const SweepOptions& options);
+
 }  // namespace svsim::sv

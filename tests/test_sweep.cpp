@@ -15,6 +15,7 @@
 #include "qc/dense.hpp"
 #include "qc/library.hpp"
 #include "sv/engine.hpp"
+#include "sv/plan.hpp"
 #include "sv/simulator.hpp"
 
 namespace svsim::sv {
@@ -131,9 +132,11 @@ TEST(RunPlan, RandomCircuitsStraddlingTheBoundary) {
   // and the transitions between them.
   for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
     const Circuit c = qc::random_clifford_t(8, 100, seed);
-    SweepOptions so;
-    so.block_qubits = 4;
-    const SweepPlan plan = plan_sweeps(c, so);
+    PlanOptions po;
+    po.blocking = true;
+    po.block_qubits = 4;
+    const ExecutionPlan plan = compile_plan(c, po);
+    plan.validate();
 
     StateVector<double> blocked(8);
     const EngineStats stats = run_plan(blocked, plan);
@@ -149,26 +152,29 @@ TEST(RunPlan, RandomCircuitsStraddlingTheBoundary) {
 
 TEST(RunPlan, FusedCircuitMatchesDense) {
   const Circuit c = qc::random_quantum_volume(7, 5, 21);
-  FusionOptions fo;
-  fo.max_width = 3;
-  const Circuit fused = fuse(c, fo);
-  SweepOptions so;
-  so.block_qubits = 4;
+  PlanOptions po;
+  po.fusion = true;
+  po.fusion_width = 3;
+  po.blocking = true;
+  po.block_qubits = 4;
   StateVector<double> state(7);
-  run_plan(state, plan_sweeps(fused, so));
+  run_plan(state, compile_plan(c, po));
   const auto got = state.to_vector();
   const auto want = qc::dense::run(c);
   for (std::size_t i = 0; i < want.size(); ++i)
     EXPECT_NEAR(std::abs(got[i] - want[i]), 0.0, 1e-9);
 }
 
-TEST(RunPlan, RejectsMeasure) {
-  Circuit c(4);
+TEST(RunPlan, RejectsMeasureWithoutHook) {
+  // The engine is purely unitary: a MeasureFlush phase needs the Simulator's
+  // measure hook (RNG + classical bits); the bare engine must refuse it.
+  Circuit c(4, 4);
   c.h(0).measure(0, 0);
-  SweepOptions so;
-  so.block_qubits = 2;
+  PlanOptions po;
+  po.blocking = true;
+  po.block_qubits = 2;
   StateVector<double> state(4);
-  EXPECT_THROW(run_plan(state, plan_sweeps(c, so)), Error);
+  EXPECT_THROW(run_plan(state, compile_plan(c, po)), Error);
 }
 
 TEST(EngineStats, GatesPerTraversalCountsBothPaths) {

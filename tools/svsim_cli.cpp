@@ -7,6 +7,9 @@
 //             [--machine a64fx|a64fx-boost|a64fx-eco|xeon|tx2]
 //             [--threads T] [--affinity compact|scatter] [--fusion W]
 //             [--trace] [--drift]
+//   svsim plan <circuit.qasm | --qft N | --qv N D>
+//             [--ranks R] [--sched naive|remap] [--fusion W] [--blocked]
+//             [--block-qubits B] [--machine NAME] [--dump-plan FILE]
 //   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
 //             [--route-linear]
 //   svsim machines
@@ -14,8 +17,10 @@
 // `run` executes the circuit and prints measurement counts; `project`
 // prints the modeled performance/power report for the chosen machine
 // (`--drift` also runs the circuit for real and prints the modeled-vs-
-// measured comparison); `transpile` prints the rewritten circuit as
-// OpenQASM.
+// measured comparison); `plan` compiles the circuit into the ExecutionPlan
+// IR (single-node, or distributed over --ranks R) and prints the phase
+// summary, optionally dumping the plan JSON for scripts/check_plan_schema.py;
+// `transpile` prints the rewritten circuit as OpenQASM.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -25,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "common/bits.hpp"
 #include "common/table.hpp"
+#include "dist/dist_plan.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -36,6 +43,7 @@
 #include "qc/routing.hpp"
 #include "qc/transpile.hpp"
 #include "stab/stabilizer.hpp"
+#include "sv/plan.hpp"
 #include "sv/simulator.hpp"
 
 using namespace svsim;
@@ -66,6 +74,9 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"affinity", true, false, "compact | scatter (project)"},
     {"qft", true, false, "use a QFT circuit of N qubits"},
     {"qv", true, true, "use a quantum-volume circuit of N qubits [depth D]"},
+    {"ranks", true, false, "rank count (power of two) for `plan`"},
+    {"sched", true, false, "naive | remap exchange scheduler (plan)"},
+    {"dump-plan", true, false, "write the plan JSON to FILE ('-' = stdout)"},
     {"trace", false, false, "print the per-gate trace table"},
     {"trace-json", true, false, "write Chrome trace-event JSON to FILE (run)"},
     {"metrics", false, false, "print the runtime metrics registry (run)"},
@@ -300,6 +311,88 @@ int cmd_project(const Args& args) {
   return 0;
 }
 
+int cmd_plan(const Args& args) {
+  const qc::Circuit circuit = load_circuit(args);
+  const auto ranks = std::stoull(args.get("ranks", "1"));
+  require(ranks >= 1 && (ranks & (ranks - 1)) == 0,
+          "--ranks must be a power of two");
+  const unsigned node_qubits = ranks > 1 ? ilog2(ranks) : 0;
+
+  sv::PlanOptions po;
+  if (args.flag("fusion")) {
+    po.fusion = true;
+    po.fusion_width =
+        static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
+  }
+  if (args.flag("blocked") || args.flag("block-qubits")) {
+    po.blocking = true;
+    po.block_qubits =
+        static_cast<unsigned>(std::stoul(args.get("block-qubits", "0")));
+  }
+  std::optional<machine::MachineSpec> m;
+  if (args.flag("machine")) {
+    m = machine_by_name(args.get("machine", "a64fx"));
+    po.machine = &*m;
+  }
+
+  sv::ExecutionPlan plan;
+  if (node_qubits == 0) {
+    plan = sv::compile_plan(circuit, po);
+  } else {
+    dist::DistExecOptions dopts;
+    const std::string sched = args.get("sched", "remap");
+    require(sched == "naive" || sched == "remap",
+            "--sched must be naive or remap");
+    dopts.scheduler = sched == "naive" ? dist::CommScheduler::Naive
+                                       : dist::CommScheduler::Remap;
+    dopts.plan = po;
+    plan = dist::compile_distributed(circuit, node_qubits, dopts);
+  }
+  plan.validate();
+
+  std::size_t kind_count[4] = {0, 0, 0, 0};
+  for (const auto& phase : plan.phases)
+    ++kind_count[static_cast<std::size_t>(phase.kind)];
+
+  Table t("Execution plan",
+          {"qubits", "ranks", "block_q", "phases", "windows", "sweeps",
+           "dense", "exchanges", "xGB/rank", "traversals", "gates/trav"});
+  t.add_row({static_cast<std::int64_t>(plan.num_qubits),
+             static_cast<std::int64_t>(plan.num_ranks()),
+             static_cast<std::int64_t>(plan.block_qubits),
+             static_cast<std::int64_t>(plan.phases.size()),
+             static_cast<std::int64_t>(plan.num_windows()),
+             static_cast<std::int64_t>(
+                 kind_count[static_cast<std::size_t>(sv::PhaseKind::LocalSweep)]),
+             static_cast<std::int64_t>(
+                 kind_count[static_cast<std::size_t>(sv::PhaseKind::DenseGate)]),
+             static_cast<std::int64_t>(plan.num_exchanges),
+             plan.exchange_bytes_per_rank * 1e-9,
+             static_cast<std::int64_t>(plan.traversals()),
+             plan.gates_per_traversal()});
+  t.print(std::cout);
+
+  Table g("Gate placement",
+          {"sweep_gates", "dense_gates", "free_gates", "measure_gates"});
+  g.add_row({static_cast<std::int64_t>(plan.sweep_gates),
+             static_cast<std::int64_t>(plan.dense_gates),
+             static_cast<std::int64_t>(plan.free_gates),
+             static_cast<std::int64_t>(plan.measure_gates)});
+  g.print(std::cout);
+
+  if (args.flag("dump-plan")) {
+    const std::string path = args.get("dump-plan", "-");
+    if (path == "-") {
+      sv::write_plan_json(plan, std::cout);
+    } else {
+      std::ofstream out(path);
+      require(out.good(), "cannot open '" + path + "' for writing");
+      sv::write_plan_json(plan, out);
+    }
+  }
+  return 0;
+}
+
 int cmd_transpile(const Args& args) {
   qc::Circuit circuit = load_circuit(args);
   if (args.flag("basis-cx")) circuit = qc::decompose_to_cx_basis(circuit);
@@ -338,6 +431,9 @@ void usage() {
       "      [--trace-json FILE] [--trace] [--metrics] [--counters]\n"
       "  project <file.qasm|--qft N|--qv N D> [--machine NAME] [--threads T]\n"
       "      [--affinity compact|scatter] [--fusion W] [--trace] [--drift]\n"
+      "  plan <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
+      "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
+      "      [--dump-plan FILE]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  machines\n";
 }
@@ -354,6 +450,7 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "project") return cmd_project(args);
+    if (cmd == "plan") return cmd_plan(args);
     if (cmd == "transpile") return cmd_transpile(args);
     if (cmd == "machines") return cmd_machines();
     usage();
