@@ -58,15 +58,17 @@ SVSIM_BENCH(fig5_roofline, "Fig. 5",
            "model_GFLOPs", "bound"});
   for (const auto& [name, gate] : kernels) {
     const auto cost = perf::gate_cost(gate, n, m, cfg);
-    const auto pt = machine::roofline(m, placement, cfg,
-                                      cost.arithmetic_intensity(),
-                                      cost.simd_efficiency,
-                                      cost.footprint_bytes);
+    // Placement API: hand it raw (flops, bytes) and let it derive the
+    // arithmetic intensity — the same path profile reports go through.
+    const machine::RooflinePlacement placed = machine::place_on_roofline(
+        m, placement, cfg, cost.flops, cost.bytes, cost.simd_efficiency,
+        cost.footprint_bytes);
     const auto gt = perf::time_gate(gate, n, m, cfg);
-    const double model_gflops = gt.cost.flops / gt.seconds * 1e-9;
-    t.add_row({name, cost.arithmetic_intensity(), pt.attainable_gflops,
-               model_gflops, std::string(pt.memory_bound ? "mem" : "fp")});
-    ctx.model("a64fx." + name + ".ai", cost.arithmetic_intensity(),
+    const double model_gflops = placed.achieved_gflops(gt.seconds);
+    t.add_row({name, placed.point.arithmetic_intensity,
+               placed.point.attainable_gflops, model_gflops,
+               std::string(placed.point.memory_bound ? "mem" : "fp")});
+    ctx.model("a64fx." + name + ".ai", placed.point.arithmetic_intensity,
               "flop/byte", m.name);
     ctx.model("a64fx." + name + ".gflops", model_gflops, "GFLOP/s", m.name);
   }

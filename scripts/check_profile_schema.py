@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Validate a ProfileReport JSON artifact emitted by `svsim profile --json`
+(or `svsim run --profile FILE`).
+
+Usage:
+  check_profile_schema.py PROFILE.json [PROFILE2.json ...]
+  check_profile_schema.py --emit-with PATH/TO/svsim [--output-dir DIR]
+
+With --emit-with, the tool is run twice — once on a blocked single-node QV
+circuit and once on a simulated-distributed one (--ranks 4) — and both
+emitted artifacts are validated, so the check exercises the full
+profile-join-dump path on the two plan shapes that matter. Beyond key/type
+checks, the cross-field invariants consumers rely on are enforced: phase
+indices dense and in order, phase kinds drawn from the plan IR vocabulary,
+per-phase shares summing to one, the attribution section sorted by
+measured time with a cumulative share that ends at ~1, drift ratios
+consistent with the measured/modeled pairs they summarize, and roofline
+placements zeroed exactly on exchange phases. Exits nonzero with a
+diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+KNOWN_KINDS = {"local_sweep", "dense_gate", "exchange", "measure_flush"}
+
+ENV_INT_KEYS = ("threads", "num_qubits", "node_qubits", "local_qubits",
+                "block_qubits", "ranks", "declared_cache_budget_bytes",
+                "probed_cache_budget_bytes")
+PHASE_NUM_KEYS = ("measured_seconds", "modeled_seconds", "drift_ratio",
+                  "measured_bytes", "modeled_bytes", "flops",
+                  "exchange_bytes", "sim_exchange_seconds", "measured_gbps",
+                  "modeled_gbps", "measured_gflops", "modeled_gflops",
+                  "share")
+ROOFLINE_NUM_KEYS = ("arithmetic_intensity", "attainable_gflops",
+                     "compute_roof_gflops", "bandwidth_gbps")
+
+
+def fail(msg):
+    print(f"check_profile_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_phase(i, phase):
+    where = f"phases[{i}]"
+    if not isinstance(phase, dict):
+        fail(f"{where} is not an object")
+    if phase.get("index") != i:
+        fail(f"{where}: index {phase.get('index')!r} breaks dense ordering")
+    kind = phase.get("kind")
+    if kind not in KNOWN_KINDS:
+        fail(f"{where}: unknown kind {kind!r}")
+    for key in ("gates", "hops", "threads", "dropped_spans"):
+        if not isinstance(phase.get(key), int) or phase[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative integer")
+    for key in PHASE_NUM_KEYS:
+        if not is_num(phase.get(key)) or phase[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative number")
+    m, mod, ratio = (phase["measured_seconds"], phase["modeled_seconds"],
+                     phase["drift_ratio"])
+    expect = m / mod if mod > 0 else 0.0
+    if not math.isclose(ratio, expect, rel_tol=1e-6, abs_tol=1e-12):
+        fail(f"{where}: drift_ratio {ratio} != measured/modeled {expect}")
+
+    roof = phase.get("roofline")
+    if not isinstance(roof, dict):
+        fail(f"{where}: missing 'roofline' object")
+    for key in ROOFLINE_NUM_KEYS:
+        if not is_num(roof.get(key)) or roof[key] < 0:
+            fail(f"{where}.roofline: '{key}' must be a non-negative number")
+    if not isinstance(roof.get("memory_bound"), bool):
+        fail(f"{where}.roofline: 'memory_bound' must be a boolean")
+    if kind == "exchange":
+        if roof["attainable_gflops"] != 0:
+            fail(f"{where}: exchange phase carries a roofline placement")
+    elif (phase["modeled_bytes"] > 0 and phase["flops"] > 0
+          and roof["attainable_gflops"] <= 0):
+        # Zero-flop phases (pure permutations) legitimately sit at AI = 0.
+        fail(f"{where}: compute phase missing its roofline placement")
+    if kind != "exchange" and phase["sim_exchange_seconds"] > 0:
+        fail(f"{where}: sim_exchange_seconds on a non-exchange phase")
+
+    hw = phase.get("hw")
+    if not isinstance(hw, dict) or not isinstance(hw.get("valid"), bool):
+        fail(f"{where}: missing 'hw' object with boolean 'valid'")
+    for key in ("cycles", "instructions", "cache_misses"):
+        if not isinstance(hw.get(key), int) or hw[key] < 0:
+            fail(f"{where}.hw: '{key}' must be a non-negative integer")
+    if not is_num(hw.get("ipc")):
+        fail(f"{where}.hw: 'ipc' must be a number")
+
+
+def check_profile(path, expect_ranks=None):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("version") != 1:
+        fail("missing or unsupported 'version'")
+    if not isinstance(doc.get("partial"), bool):
+        fail("'partial' must be a boolean")
+
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        fail("'env' must be an object")
+    if not isinstance(env.get("machine"), str) or not env["machine"]:
+        fail("env.machine must be a non-empty string")
+    for key in ENV_INT_KEYS:
+        if not isinstance(env.get(key), int) or env[key] < 0:
+            fail(f"env.{key} must be a non-negative integer")
+    for key in ("probe_valid", "cache_budget_warning"):
+        if not isinstance(env.get(key), bool):
+            fail(f"env.{key} must be a boolean")
+    if not is_num(env.get("cache_budget_disagreement")):
+        fail("env.cache_budget_disagreement must be a number")
+    if env["local_qubits"] != env["num_qubits"] - env["node_qubits"]:
+        fail("env: local_qubits != num_qubits - node_qubits")
+    if env["ranks"] != 1 << env["node_qubits"]:
+        fail("env: ranks != 2^node_qubits")
+    if expect_ranks is not None and env["ranks"] != expect_ranks:
+        fail(f"env: expected {expect_ranks} ranks, artifact has "
+             f"{env['ranks']}")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        fail("'totals' must be an object")
+    for key in ("measured_seconds", "modeled_seconds", "drift_ratio",
+                "measured_bytes", "modeled_bytes"):
+        if not is_num(totals.get(key)) or totals[key] < 0:
+            fail(f"totals.{key} must be a non-negative number")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail("'phases' must be a non-empty array")
+    if totals.get("phases") != len(phases):
+        fail(f"totals.phases = {totals.get('phases')!r} but the artifact "
+             f"holds {len(phases)}")
+    for i, phase in enumerate(phases):
+        check_phase(i, phase)
+    share_sum = sum(p["share"] for p in phases)
+    if not math.isclose(share_sum, 1.0, rel_tol=1e-6):
+        fail(f"phase shares sum to {share_sum}, expected 1")
+    if not any(p["modeled_seconds"] > 0 for p in phases):
+        fail("no phase carries a modeled cost — the cost join is empty")
+    m, mod = totals["measured_seconds"], totals["modeled_seconds"]
+    expect = m / mod if mod > 0 else 0.0
+    if not math.isclose(totals["drift_ratio"], expect, rel_tol=1e-6,
+                        abs_tol=1e-12):
+        fail(f"totals.drift_ratio {totals['drift_ratio']} != "
+             f"measured/modeled {expect}")
+
+    attribution = doc.get("attribution")
+    if not isinstance(attribution, list) or len(attribution) != len(phases):
+        fail("'attribution' must list every phase exactly once")
+    cumulative = 0.0
+    prev = math.inf
+    seen = set()
+    for j, row in enumerate(attribution):
+        where = f"attribution[{j}]"
+        if not isinstance(row, dict):
+            fail(f"{where} is not an object")
+        idx = row.get("index")
+        if not isinstance(idx, int) or not 0 <= idx < len(phases):
+            fail(f"{where}: index {idx!r} out of range")
+        if idx in seen:
+            fail(f"{where}: phase {idx} attributed twice")
+        seen.add(idx)
+        if row.get("kind") != phases[idx]["kind"]:
+            fail(f"{where}: kind disagrees with phases[{idx}]")
+        if not is_num(row.get("measured_seconds")):
+            fail(f"{where}: 'measured_seconds' must be a number")
+        if row["measured_seconds"] > prev * (1 + 1e-9):
+            fail(f"{where}: attribution not sorted by measured time")
+        prev = row["measured_seconds"]
+        cumulative += row.get("share", 0.0)
+        if not math.isclose(row.get("cumulative_share", -1), cumulative,
+                            rel_tol=1e-6, abs_tol=1e-12):
+            fail(f"{where}: cumulative_share does not accumulate the shares")
+    if not math.isclose(cumulative, 1.0, rel_tol=1e-6):
+        fail(f"attribution shares sum to {cumulative}, expected 1")
+
+    exchanges = sum(1 for p in phases if p["kind"] == "exchange")
+    print(f"check_profile_schema: OK: {path}: {len(phases)} phases "
+          f"({exchanges} exchange), ranks={env['ranks']}, "
+          f"drift x{totals['drift_ratio']:.3g}"
+          f"{' [PARTIAL]' if doc['partial'] else ''}")
+
+
+def emit(svsim, out_dir):
+    """Emit the two canonical artifacts: blocked and simulated-distributed."""
+    jobs = [
+        (os.path.join(out_dir, "profile_blocked.json"),
+         ["profile", "--qv", "12", "6", "--blocked"], 1),
+        (os.path.join(out_dir, "profile_dist.json"),
+         ["profile", "--qv", "12", "4", "--ranks", "4", "--blocked"], 4),
+    ]
+    for path, args, ranks in jobs:
+        cmd = [svsim] + args + ["--json", path]
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(f"'{' '.join(cmd)}' exited {result.returncode}:\n"
+                 f"{result.stderr}")
+        yield path, ranks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("profiles", nargs="*",
+                        help="existing profile JSON artifacts to check")
+    parser.add_argument("--emit-with", metavar="SVSIM",
+                        help="svsim binary; run it first to emit profiles")
+    parser.add_argument("--output-dir", default=".",
+                        help="where --emit-with writes its artifacts")
+    args = parser.parse_args()
+
+    if args.emit_with:
+        for path, ranks in emit(args.emit_with, args.output_dir):
+            check_profile(path, expect_ranks=ranks)
+    elif args.profiles:
+        for path in args.profiles:
+            check_profile(path)
+    else:
+        parser.error("need profile files or --emit-with")
+
+
+if __name__ == "__main__":
+    main()

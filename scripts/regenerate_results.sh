@@ -48,6 +48,15 @@ for id in fig6_blocked_dist.d3.naive.exchanges \
     echo "missing plan-compiler record in jsonl: $id" >&2; exit 1; }
 done
 
+# A profile report must come out of the plan-phase profiler: emit the
+# blocked + simulated-distributed artifacts and validate them.
+python3 scripts/check_profile_schema.py \
+  --emit-with "$BUILD"/tools/svsim --output-dir "$BUILD"
+for artifact in profile_blocked.json profile_dist.json; do
+  [ -s "$BUILD/$artifact" ] || {
+    echo "profiler produced no $artifact" >&2; exit 1; }
+done
+
 mkdir -p bench/baselines
 "$BUILD"/tools/svsim_bench --smoke --no-tables --json bench/baselines/smoke.json
 python3 scripts/check_bench_schema.py --json bench/baselines/smoke.json

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "perf/perf_simulator.hpp"
 
@@ -35,13 +36,24 @@ DistTiming time_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
 
   DistTiming t;
   t.compute_seconds = cost.compute_seconds;
-  for (const auto& phase : plan.phases) {
+  obs::Profiler* const prof = obs::Profiler::current();
+  for (std::size_t i = 0; i < plan.phases.size(); ++i) {
+    const auto& phase = plan.phases[i];
     if (phase.kind != sv::PhaseKind::Exchange) continue;
+    std::vector<double> hop_seconds;
+    hop_seconds.reserve(phase.hops.size());
     for (const auto& hop : phase.hops) {
-      t.comm_seconds += net.pairwise_exchange_seconds(hop.bytes);
+      const double comm = net.pairwise_exchange_seconds(hop.bytes);
+      hop_seconds.push_back(comm);
+      t.comm_seconds += comm;
       ++t.num_exchanges;
       t.exchange_bytes += hop.bytes;
     }
+    // Attach the modeled wire time to the profiler's matching Exchange
+    // sample (simulated runs move amplitudes locally; this is what the
+    // phase would cost on the real interconnect).
+    if (prof != nullptr && !hop_seconds.empty())
+      prof->annotate_exchange(static_cast<std::uint32_t>(i), hop_seconds);
   }
   t.total_seconds = t.compute_seconds + t.comm_seconds;
   t.pipelined_seconds = std::max(t.compute_seconds, t.comm_seconds);

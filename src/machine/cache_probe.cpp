@@ -1,0 +1,105 @@
+#include "machine/cache_probe.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace svsim::machine {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One timed pass: a strided streaming reduction over `data`. The stride
+/// visits every element once per pass but defeats a pure next-line
+/// prefetch pattern enough to expose the capacity knee; the running sum
+/// keeps the loads live.
+double timed_pass_seconds(const std::vector<double>& data, int passes,
+                          double& sink) {
+  const std::size_t n = data.size();
+  double acc = 0.0;
+  const auto t0 = Clock::now();
+  for (int p = 0; p < passes; ++p) {
+    // 8 doubles = one 64 B line; four interleaved line streams.
+    for (std::size_t base = 0; base < 32 && base < n; base += 8) {
+      for (std::size_t i = base; i < n; i += 32) acc += data[i];
+    }
+  }
+  const auto t1 = Clock::now();
+  sink += acc;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+CacheProbeResult run_cache_probe(std::size_t min_bytes, std::size_t max_bytes,
+                                 int reps) {
+  require(min_bytes >= 1024 && min_bytes < max_bytes,
+          "run_cache_probe: need 1 KiB <= min_bytes < max_bytes");
+  require(reps >= 1, "run_cache_probe: reps must be positive");
+
+  CacheProbeResult r;
+  double sink = 0.0;
+  // One allocation at the largest size, reused by every working set: the
+  // probe measures capacity, not allocator behaviour.
+  std::vector<double> data(max_bytes / sizeof(double), 1.0);
+
+  for (std::size_t bytes = min_bytes; bytes <= max_bytes; bytes *= 2) {
+    const std::size_t n = bytes / sizeof(double);
+    std::vector<double> window(data.begin(),
+                               data.begin() + static_cast<std::ptrdiff_t>(n));
+    // Equalize traffic per sample: small sets run more passes.
+    const int passes = static_cast<int>(
+        std::max<std::size_t>(1, (std::size_t{4} << 20) / bytes));
+    // Warm the working set into cache, then keep the fastest rep — the
+    // one least disturbed by interrupts/co-runners.
+    timed_pass_seconds(window, 1, sink);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < reps; ++rep)
+      best = std::min(best, timed_pass_seconds(window, passes, sink));
+    const double moved =
+        static_cast<double>(bytes) * static_cast<double>(passes);
+    r.points.push_back({bytes, best > 0.0 ? moved / best * 1e-9 : 0.0});
+  }
+  // Defeat dead-code elimination of the reduction.
+  if (!std::isfinite(sink)) r.points.clear();
+
+  if (r.points.size() < 3) return r;
+  r.cached_gbps = r.points.front().gbps;
+  r.beyond_gbps = r.points.back().gbps;
+  // A knee needs clear separation between the cached and beyond-cache
+  // plateaus; otherwise the curve is flat and the probe is inconclusive.
+  if (!(r.cached_gbps > 0.0) || !(r.beyond_gbps > 0.0) ||
+      r.cached_gbps < 1.3 * r.beyond_gbps)
+    return r;
+  // Effective budget: the largest working set still served above the
+  // geometric mean of the two plateaus.
+  const double threshold = std::sqrt(r.cached_gbps * r.beyond_gbps);
+  for (const CacheProbePoint& p : r.points)
+    if (p.gbps >= threshold) r.effective_bytes = p.bytes;
+  r.valid = r.effective_bytes > 0;
+  return r;
+}
+
+const CacheProbeResult& probed_cache_budget() {
+  static std::once_flag once;
+  static CacheProbeResult result;
+  std::call_once(once, [] { result = run_cache_probe(); });
+  return result;
+}
+
+double cache_budget_disagreement(const MachineSpec& m,
+                                 const CacheProbeResult& probe) {
+  if (!probe.valid) return 0.0;
+  const double declared =
+      static_cast<double>(m.cache_budget_per_core_bytes());
+  if (declared <= 0.0) return 0.0;
+  return std::abs(static_cast<double>(probe.effective_bytes) - declared) /
+         declared;
+}
+
+}  // namespace svsim::machine

@@ -1,0 +1,64 @@
+// Streaming-stride cache microprobe: measured per-core cache budget.
+//
+// The plan compiler sizes sweep blocks from MachineSpec's declared LLC
+// share (`cache_budget_per_core_bytes`), but on real machines the share a
+// core can actually keep resident differs — co-runners, way partitioning,
+// and prefetcher behaviour all eat into it. This probe measures it: a
+// single thread streams over working sets of increasing size and the
+// bandwidth knee — the largest working set still served at near-cache
+// speed — is the effective budget. The profiler records both the declared
+// and the probed figure in every report's env block and flags >25%
+// disagreement, closing the ROADMAP "probe effective cache budget" lever.
+//
+// The probe is deliberately cheap (tens of ms, run once per process via
+// probed_cache_budget()) and conservative: when the bandwidth curve is too
+// flat to locate a knee (e.g. under emulation or a saturated host) it
+// reports valid == false and callers fall back to the declared budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+
+namespace svsim::machine {
+
+struct CacheProbePoint {
+  std::uint64_t bytes = 0;  ///< working-set size
+  double gbps = 0.0;        ///< measured single-thread streaming bandwidth
+};
+
+struct CacheProbeResult {
+  /// False when no reliable knee was found (flat curve / timer too coarse);
+  /// the numeric fields are then best-effort and must not steer decisions.
+  bool valid = false;
+  /// Largest working set still served at near-cache bandwidth.
+  std::uint64_t effective_bytes = 0;
+  double cached_gbps = 0.0;  ///< bandwidth of the smallest working set
+  double beyond_gbps = 0.0;  ///< bandwidth of the largest working set
+  std::vector<CacheProbePoint> points;
+};
+
+/// Runs the microprobe: streaming reduction over power-of-two working sets
+/// in [min_bytes, max_bytes], best-of-`reps` timing per size.
+CacheProbeResult run_cache_probe(std::size_t min_bytes = std::size_t{32} << 10,
+                                 std::size_t max_bytes = std::size_t{16} << 20,
+                                 int reps = 3);
+
+/// The process-wide probe result, measured lazily on first call and cached
+/// (thread-safe). Everything that wants "the" probed budget — profiler env
+/// blocks, startup diagnostics — reads this one.
+const CacheProbeResult& probed_cache_budget();
+
+/// Relative disagreement |probed - declared| / declared between the probe
+/// and `m.cache_budget_per_core_bytes()`; 0 when the probe is invalid or
+/// the declared budget is zero.
+double cache_budget_disagreement(const MachineSpec& m,
+                                 const CacheProbeResult& probe);
+
+/// Disagreement above this fraction is worth a warning: the declared LLC
+/// share is steering block sizing away from what the hardware serves.
+inline constexpr double kCacheProbeWarnThreshold = 0.25;
+
+}  // namespace svsim::machine

@@ -31,6 +31,18 @@ RooflinePoint roofline(const MachineSpec& m, const Placement& p,
   return pt;
 }
 
+RooflinePlacement place_on_roofline(const MachineSpec& m, const Placement& p,
+                                    const ExecConfig& config, double flops,
+                                    double bytes, double simd_efficiency,
+                                    std::uint64_t footprint_bytes) {
+  RooflinePlacement placed;
+  placed.flops = flops;
+  placed.bytes = bytes;
+  const double ai = bytes > 0.0 ? flops / bytes : 0.0;
+  placed.point = roofline(m, p, config, ai, simd_efficiency, footprint_bytes);
+  return placed;
+}
+
 double ridge_intensity(const MachineSpec& m, const Placement& p,
                        const ExecConfig& config, double simd_efficiency,
                        std::uint64_t footprint_bytes) {

@@ -38,4 +38,33 @@ double ridge_intensity(const MachineSpec& m, const Placement& p,
                        const ExecConfig& config, double simd_efficiency,
                        std::uint64_t footprint_bytes);
 
+/// A workload placed on the roofline: its flop/byte totals plus the model
+/// evaluated at the resulting arithmetic intensity.
+struct RooflinePlacement {
+  double flops = 0.0;
+  double bytes = 0.0;
+  RooflinePoint point;
+
+  /// GFLOPS the workload achieves if it runs in `seconds`.
+  double achieved_gflops(double seconds) const noexcept {
+    return seconds > 0.0 ? flops / seconds * 1e-9 : 0.0;
+  }
+  /// Fraction of the attainable roof that `seconds` realizes.
+  double roof_fraction(double seconds) const noexcept {
+    return point.attainable_gflops > 0.0
+               ? achieved_gflops(seconds) / point.attainable_gflops
+               : 0.0;
+  }
+};
+
+/// Places a (flops, bytes) workload on the roofline: AI = flops / bytes
+/// (0 when no bytes move) evaluated under the usual roofs. This is the one
+/// placement computation — bench_fig5_roofline's points and the profiler's
+/// per-phase placement both go through it, so figure and profile reports
+/// cannot disagree.
+RooflinePlacement place_on_roofline(const MachineSpec& m, const Placement& p,
+                                    const ExecConfig& config, double flops,
+                                    double bytes, double simd_efficiency,
+                                    std::uint64_t footprint_bytes);
+
 }  // namespace svsim::machine

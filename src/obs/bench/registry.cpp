@@ -8,6 +8,7 @@
 #include "machine/exec_config.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace svsim::obs::bench {
@@ -85,9 +86,19 @@ SampleStats BenchContext::measure(const std::string& sub_id,
     const bool was_enabled = tracer.enabled();
     tracer.clear();
     tracer.enable();
+    // Aggregate-mode profiler: cases that drive sv::run_plan feed per-phase
+    // totals into ProfileRegistry::global() during the instrumented rep
+    // (retain_runs=false keeps it allocation-free). Skipped if the caller
+    // already installed one — a Profiler is process-global.
+    ProfilerOptions prof_opts;
+    prof_opts.retain_runs = false;
+    Profiler profiler(prof_opts);
+    const bool own_profiler = Profiler::current() == nullptr;
+    if (own_profiler) profiler.install();
     HwCounterScope counters;
     fn();
     const HwCounterValues hw = counters.stop();
+    if (own_profiler) profiler.uninstall();
     tracer.disable();
     const std::uint64_t bytes_after =
         registry_.counter("sv.bytes_streamed").value();

@@ -1,0 +1,265 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace svsim::obs {
+
+const char* profile_phase_name(std::uint8_t kind) {
+  switch (kind) {
+    case kProfilePhaseLocalSweep: return "local_sweep";
+    case kProfilePhaseDenseGate: return "dense_gate";
+    case kProfilePhaseExchange: return "exchange";
+    case kProfilePhaseMeasureFlush: return "measure_flush";
+    default: return "?";
+  }
+}
+
+std::atomic<Profiler*> Profiler::current_{nullptr};
+
+Profiler::Profiler(ProfilerOptions options) : options_(options) {
+  require(options_.max_runs > 0, "Profiler: max_runs must be positive");
+}
+
+Profiler::~Profiler() { uninstall(); }
+
+void Profiler::install() {
+  Profiler* expected = nullptr;
+  require(current_.compare_exchange_strong(expected, this,
+                                           std::memory_order_acq_rel),
+          "Profiler::install: another profiler is already installed");
+}
+
+void Profiler::uninstall() noexcept {
+  Profiler* expected = this;
+  current_.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel);
+}
+
+std::uint64_t Profiler::now_ns() const noexcept {
+  return Tracer::global().now_ns();
+}
+
+void Profiler::begin_run(const RunProfile& meta) {
+  std::lock_guard lock(mutex_);
+  if (run_open_)  // nested/unclosed runs: close with what we have
+    close_open_run_locked(now_ns() - open_run_.start_ns, false);
+  open_run_ = meta;
+  open_run_.phases.clear();
+  open_run_.duration_ns = 0;
+  open_run_.partial = false;
+  if (open_run_.start_ns == 0) open_run_.start_ns = now_ns();
+  run_open_ = true;
+}
+
+void Profiler::record_phase(PhaseSample sample) {
+  ProfileRegistry::global().note_phase(sample.kind, sample.seconds(),
+                                       sample.bytes, sample.gates);
+  std::lock_guard lock(mutex_);
+  if (!run_open_) return;  // stray sample (executor without begin_run)
+  if (sample.dropped_spans > 0) open_run_.partial = true;
+  open_run_.phases.push_back(std::move(sample));
+}
+
+void Profiler::end_run(std::uint64_t duration_ns, bool partial) {
+  std::lock_guard lock(mutex_);
+  if (!run_open_) return;
+  if (partial) open_run_.partial = true;
+  close_open_run_locked(duration_ns, open_run_.partial);
+}
+
+void Profiler::close_open_run_locked(std::uint64_t duration_ns, bool partial) {
+  open_run_.duration_ns = duration_ns;
+  open_run_.partial = partial;
+  ProfileRegistry::global().note_run(open_run_.seconds());
+  runs_recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.retain_runs) {
+    if (runs_.size() >= options_.max_runs)
+      runs_.erase(runs_.begin());  // keep the most recent max_runs
+    runs_.push_back(std::move(open_run_));
+  }
+  open_run_ = RunProfile{};
+  run_open_ = false;
+}
+
+void Profiler::annotate_exchange(std::uint32_t phase_index,
+                                 const std::vector<double>& hop_seconds) {
+  std::lock_guard lock(mutex_);
+  RunProfile* run = run_open_ ? &open_run_
+                   : runs_.empty() ? nullptr
+                                   : &runs_.back();
+  if (run == nullptr) return;
+  for (PhaseSample& s : run->phases) {
+    if (s.index == phase_index && s.kind == kProfilePhaseExchange) {
+      s.sim_hop_seconds = hop_seconds;
+      return;
+    }
+  }
+}
+
+std::vector<RunProfile> Profiler::runs() const {
+  std::lock_guard lock(mutex_);
+  return runs_;
+}
+
+void Profiler::clear() {
+  std::lock_guard lock(mutex_);
+  runs_.clear();
+  open_run_ = RunProfile{};
+  run_open_ = false;
+  runs_recorded_.store(0, std::memory_order_relaxed);
+}
+
+ProfileRegistry& ProfileRegistry::global() {
+  static ProfileRegistry registry;
+  return registry;
+}
+
+void ProfileRegistry::note_phase(std::uint8_t kind, double seconds,
+                                 std::uint64_t bytes, std::uint64_t gates) {
+  if (kind >= kProfilePhaseKinds) return;
+  std::lock_guard lock(mutex_);
+  KindTotals& t = kinds_[kind];
+  ++t.phases;
+  t.gates += gates;
+  t.bytes += bytes;
+  t.seconds += seconds;
+}
+
+void ProfileRegistry::note_run(double seconds) {
+  std::lock_guard lock(mutex_);
+  ++runs_;
+  run_seconds_ += seconds;
+}
+
+ProfileRegistry::KindTotals ProfileRegistry::kind_totals(
+    std::uint8_t kind) const {
+  std::lock_guard lock(mutex_);
+  return kind < kProfilePhaseKinds ? kinds_[kind] : KindTotals{};
+}
+
+std::uint64_t ProfileRegistry::runs() const {
+  std::lock_guard lock(mutex_);
+  return runs_;
+}
+
+double ProfileRegistry::run_seconds() const {
+  std::lock_guard lock(mutex_);
+  return run_seconds_;
+}
+
+Table ProfileRegistry::table() const {
+  KindTotals kinds[kProfilePhaseKinds];
+  std::uint64_t runs;
+  double run_seconds;
+  {
+    std::lock_guard lock(mutex_);
+    std::copy(std::begin(kinds_), std::end(kinds_), std::begin(kinds));
+    runs = runs_;
+    run_seconds = run_seconds_;
+  }
+  double total_seconds = 0.0;
+  for (const KindTotals& t : kinds) total_seconds += t.seconds;
+  Table t("Profile registry (cumulative)",
+          {"phase", "count", "gates", "ms", "share", "GB/s"});
+  for (std::uint8_t k = 0; k < kProfilePhaseKinds; ++k) {
+    const KindTotals& kt = kinds[k];
+    t.add_row({std::string(profile_phase_name(k)),
+               static_cast<std::int64_t>(kt.phases),
+               static_cast<std::int64_t>(kt.gates), kt.seconds * 1e3,
+               total_seconds > 0.0 ? kt.seconds / total_seconds : 0.0,
+               kt.seconds > 0.0
+                   ? static_cast<double>(kt.bytes) / kt.seconds * 1e-9
+                   : 0.0});
+  }
+  t.add_row({std::string("RUNS"), static_cast<std::int64_t>(runs),
+             std::int64_t{0}, run_seconds * 1e3, 1.0, 0.0});
+  return t;
+}
+
+void ProfileRegistry::write_openmetrics(std::ostream& os) const {
+  KindTotals kinds[kProfilePhaseKinds];
+  std::uint64_t runs;
+  double run_seconds;
+  {
+    std::lock_guard lock(mutex_);
+    std::copy(std::begin(kinds_), std::end(kinds_), std::begin(kinds));
+    runs = runs_;
+    run_seconds = run_seconds_;
+  }
+  os << "# TYPE svsim_profile_phases_total counter\n";
+  for (std::uint8_t k = 0; k < kProfilePhaseKinds; ++k)
+    os << "svsim_profile_phases_total{kind=\"" << profile_phase_name(k)
+       << "\"} " << kinds[k].phases << "\n";
+  os << "# TYPE svsim_profile_phase_seconds_total counter\n";
+  for (std::uint8_t k = 0; k < kProfilePhaseKinds; ++k)
+    os << "svsim_profile_phase_seconds_total{kind=\"" << profile_phase_name(k)
+       << "\"} " << kinds[k].seconds << "\n";
+  os << "# TYPE svsim_profile_phase_bytes_total counter\n";
+  for (std::uint8_t k = 0; k < kProfilePhaseKinds; ++k)
+    os << "svsim_profile_phase_bytes_total{kind=\"" << profile_phase_name(k)
+       << "\"} " << kinds[k].bytes << "\n";
+  os << "# TYPE svsim_profile_phase_gates_total counter\n";
+  for (std::uint8_t k = 0; k < kProfilePhaseKinds; ++k)
+    os << "svsim_profile_phase_gates_total{kind=\"" << profile_phase_name(k)
+       << "\"} " << kinds[k].gates << "\n";
+  os << "# TYPE svsim_profile_runs_total counter\n"
+     << "svsim_profile_runs_total " << runs << "\n"
+     << "# TYPE svsim_profile_run_seconds_total counter\n"
+     << "svsim_profile_run_seconds_total " << run_seconds << "\n"
+     << "# EOF\n";
+}
+
+void ProfileRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (KindTotals& t : kinds_) t = KindTotals{};
+  runs_ = 0;
+  run_seconds_ = 0.0;
+}
+
+void write_profile_chrome_json(std::ostream& os, const std::vector<Span>& spans,
+                               const std::vector<RunProfile>& runs) {
+  const auto saved_precision = os.precision(15);
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const char* name, const char* cat, int pid, int tid,
+                        std::uint64_t start_ns, std::uint64_t dur_ns,
+                        std::uint64_t bytes) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << name << "\",\"cat\":\"" << cat
+       << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":" << static_cast<double>(start_ns) * 1e-3
+       << ",\"dur\":" << static_cast<double>(dur_ns) * 1e-3
+       << ",\"args\":{\"bytes\":" << bytes << "}}";
+  };
+  // pid 0: the gate/measure spans the tracer recorded (one lane per thread).
+  for (const Span& s : spans)
+    emit(s.name.data(), span_category_name(s.category), 0, s.thread,
+         s.start_ns, s.duration_ns, s.bytes);
+  // pid 1: one lane of plan phases per profiled run.
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (const PhaseSample& p : runs[r].phases)
+      emit(profile_phase_name(p.kind), "phase", 1, static_cast<int>(r),
+           p.start_ns, p.duration_ns, p.bytes);
+  }
+  // pid 2: simulated Exchange hop timelines (wire time from the dist
+  // model), laid end to end from each exchange phase's start.
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    for (const PhaseSample& p : runs[r].phases) {
+      if (p.sim_hop_seconds.empty()) continue;
+      std::uint64_t t = p.start_ns;
+      for (double hop : p.sim_hop_seconds) {
+        const auto dur = static_cast<std::uint64_t>(hop * 1e9);
+        emit("sim_hop", "exchange_model", 2, static_cast<int>(r), t, dur, 0);
+        t += dur;
+      }
+    }
+  }
+  os << "\n]}\n";
+  os.precision(saved_precision);
+}
+
+}  // namespace svsim::obs

@@ -1,0 +1,227 @@
+// Plan-phase profiler: measured per-phase records for ExecutionPlan runs.
+//
+// The tracer (obs/trace.hpp) answers "what did each gate do"; this profiler
+// answers "where did the run's time go" at the granularity the rest of the
+// stack reasons in — the plan phases (LocalSweep / DenseGate / Exchange /
+// MeasureFlush) that sv::run_plan executes, perf::cost_plan prices, and
+// dist::time_plan wires. The executor records one PhaseSample per executed
+// phase (wall time, bytes, gate count, thread occupancy, optional
+// perf_event counters, tracer-drop delta); the perf layer joins those
+// samples against the model (perf/profile_report.hpp) — the join cannot
+// live here because obs sits below sv/perf/machine in the layering.
+//
+// Collection is opt-in and cheap when off: the executors check one relaxed
+// atomic pointer per run. A Profiler aggregates into the process-wide
+// ProfileRegistry as it records, so long-lived processes can dump
+// OpenMetrics-style totals without retaining per-run samples.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+#include "common/table.hpp"
+#include "obs/hwcounters.hpp"
+#include "obs/trace.hpp"
+
+namespace svsim::obs {
+
+/// Phase vocabulary mirror of sv::PhaseKind (obs cannot include sv). The
+/// numeric values and names are pinned by the plan IR; test_profile.cpp
+/// asserts the two tables agree.
+enum : std::uint8_t {
+  kProfilePhaseLocalSweep = 0,
+  kProfilePhaseDenseGate = 1,
+  kProfilePhaseExchange = 2,
+  kProfilePhaseMeasureFlush = 3,
+  kProfilePhaseKinds = 4,
+};
+
+/// Stable lowercase phase name ("local_sweep", ...); "?" for out-of-range.
+const char* profile_phase_name(std::uint8_t kind);
+
+/// One executed plan phase, as measured by the executor.
+struct PhaseSample {
+  std::uint32_t index = 0;        ///< position in ExecutionPlan::phases
+  std::uint8_t kind = 0;          ///< kProfilePhase* value
+  std::uint32_t gates = 0;        ///< gates applied (sweep depth k for sweeps)
+  std::uint32_t hops = 0;         ///< Exchange: pairwise hops in the window
+  std::uint32_t threads = 0;      ///< pool workers available to the phase
+  std::uint64_t bytes = 0;        ///< estimated bytes streamed locally
+  std::uint64_t start_ns = 0;     ///< tracer-epoch nanoseconds
+  std::uint64_t duration_ns = 0;
+  std::uint64_t dropped_spans = 0;  ///< tracer ring drops during this phase
+  HwCounterValues hw;               ///< valid only when sampling was on
+  /// Exchange: simulated per-hop wire seconds (dist::time_plan feeds this
+  /// via Profiler::annotate_exchange; empty until a timing model ran).
+  std::vector<double> sim_hop_seconds;
+
+  double seconds() const noexcept {
+    return static_cast<double>(duration_ns) * 1e-9;
+  }
+  /// Achieved local bandwidth, GB/s (0 if instantaneous).
+  double gbps() const noexcept {
+    return duration_ns > 0
+               ? static_cast<double>(bytes) / static_cast<double>(duration_ns)
+               : 0.0;
+  }
+  double sim_exchange_seconds() const noexcept {
+    double total = 0.0;
+    for (double s : sim_hop_seconds) total += s;
+    return total;
+  }
+};
+
+/// One profiled sv::run_plan execution.
+struct RunProfile {
+  unsigned num_qubits = 0;
+  unsigned node_qubits = 0;
+  unsigned local_qubits = 0;
+  unsigned block_qubits = 0;
+  unsigned threads = 0;           ///< worker-pool width for the run
+  std::size_t phases_planned = 0; ///< ExecutionPlan::phases.size()
+  std::uint64_t start_ns = 0;     ///< tracer-epoch nanoseconds
+  std::uint64_t duration_ns = 0;
+  /// True when any tracer ring overflowed mid-run: per-span data is
+  /// incomplete, though the phase samples themselves are exact.
+  bool partial = false;
+  std::vector<PhaseSample> phases;
+
+  double seconds() const noexcept {
+    return static_cast<double>(duration_ns) * 1e-9;
+  }
+};
+
+struct ProfilerOptions {
+  /// Keep per-run samples (up to max_runs). Aggregate-only profilers
+  /// (retain_runs = false) still feed ProfileRegistry::global().
+  bool retain_runs = true;
+  std::size_t max_runs = 64;
+  /// Sample perf_event hardware counters around every phase (when the
+  /// platform allows; see obs/hwcounters.hpp).
+  bool hw_counters = false;
+};
+
+/// Records plan-phase samples for every sv::run_plan executed while
+/// installed. Exactly one profiler can be installed at a time; executors
+/// check `Profiler::current()` (one relaxed load) and skip all bookkeeping
+/// when it is null.
+///
+/// Typical use:
+///   obs::Profiler profiler;
+///   profiler.install();
+///   sim.run_plan(state, plan);          // emits one RunProfile
+///   dist::time_plan(plan, m, cfg, net); // annotates Exchange wire time
+///   profiler.uninstall();
+///   use profiler.runs()...
+class Profiler {
+ public:
+  explicit Profiler(ProfilerOptions options = {});
+  ~Profiler();  ///< uninstalls if still installed
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The installed profiler, or nullptr. Relaxed: the hot-path guard.
+  static Profiler* current() noexcept {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Makes this profiler the process-current one; throws if another
+  /// profiler is already installed.
+  void install();
+  /// Removes this profiler if it is the current one (no-op otherwise).
+  void uninstall() noexcept;
+  bool installed() const noexcept { return current() == this; }
+
+  const ProfilerOptions& options() const noexcept { return options_; }
+  bool hw_counters() const noexcept { return options_.hw_counters; }
+
+  /// Nanoseconds on the global tracer's clock — phase samples share the
+  /// tracer epoch so the Chrome overlay's lanes line up with gate spans.
+  std::uint64_t now_ns() const noexcept;
+
+  // --- executor-facing API (sv::run_plan) ---------------------------------
+  /// Opens a run; `meta.phases` is ignored (samples arrive via
+  /// record_phase). Nested runs are not supported: a begin while a run is
+  /// open closes the open run first.
+  void begin_run(const RunProfile& meta);
+  void record_phase(PhaseSample sample);
+  /// Closes the open run. `partial` marks tracer-ring overflow mid-run.
+  void end_run(std::uint64_t duration_ns, bool partial);
+
+  // --- model-facing API (dist::time_plan) ---------------------------------
+  /// Attaches simulated wire seconds to Exchange phase `phase_index` of the
+  /// most recent run (open or closed). No-op when no run matches.
+  void annotate_exchange(std::uint32_t phase_index,
+                         const std::vector<double>& hop_seconds);
+
+  /// Completed runs, oldest first (empty when retain_runs is false).
+  std::vector<RunProfile> runs() const;
+  /// Completed runs observed, including ones dropped beyond max_runs.
+  std::uint64_t runs_recorded() const noexcept {
+    return runs_recorded_.load(std::memory_order_relaxed);
+  }
+  void clear();
+
+ private:
+  void close_open_run_locked(std::uint64_t duration_ns, bool partial);
+
+  static std::atomic<Profiler*> current_;
+
+  const ProfilerOptions options_;
+  std::atomic<std::uint64_t> runs_recorded_{0};
+
+  mutable std::mutex mutex_;
+  std::vector<RunProfile> runs_;
+  RunProfile open_run_;
+  bool run_open_ = false;
+};
+
+/// Process-wide phase aggregates: totals per phase kind plus run counts.
+/// Fed by every Profiler as it records; survives profiler teardown, so
+/// long-lived processes (serve mode, bench loops) can report cumulative
+/// attribution cheaply.
+class ProfileRegistry {
+ public:
+  struct KindTotals {
+    std::uint64_t phases = 0;
+    std::uint64_t gates = 0;
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+  };
+
+  static ProfileRegistry& global();
+
+  void note_phase(std::uint8_t kind, double seconds, std::uint64_t bytes,
+                  std::uint64_t gates);
+  void note_run(double seconds);
+
+  KindTotals kind_totals(std::uint8_t kind) const;
+  std::uint64_t runs() const;
+  double run_seconds() const;
+
+  /// Human table: one row per phase kind with counts, time, share.
+  Table table() const;
+  /// OpenMetrics-style text exposition (svsim_profile_* families).
+  void write_openmetrics(std::ostream& os) const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  KindTotals kinds_[kProfilePhaseKinds];
+  std::uint64_t runs_ = 0;
+  double run_seconds_ = 0.0;
+};
+
+/// Chrome trace-event overlay: gate/measure spans from the tracer (pid 0,
+/// one lane per recording thread), plan-phase lanes from the profiled runs
+/// (pid 1), and simulated Exchange hop timelines (pid 2) when the dist
+/// timing model annotated them. Loadable in chrome://tracing / Perfetto.
+void write_profile_chrome_json(std::ostream& os, const std::vector<Span>& spans,
+                               const std::vector<RunProfile>& runs);
+
+}  // namespace svsim::obs

@@ -22,12 +22,16 @@ const char* span_category_name(SpanCategory category) {
 
 /// One thread's ring. `head` counts every span ever stored; the slot is
 /// head % capacity, so the ring retains the most recent `capacity` spans.
+/// Only the owning thread writes `head`, but drop accounting (dropped(),
+/// total_recorded(), collect()) reads it from other threads mid-run — it
+/// must be atomic or a torn read at ring-wrap can over/under-count drops
+/// and miss marking a report partial.
 struct Tracer::ThreadRing {
   ThreadRing(std::size_t capacity, std::uint16_t index, std::thread::id owner)
       : spans(capacity), thread_index(index), tid(owner) {}
 
   std::vector<Span> spans;
-  std::uint64_t head = 0;
+  std::atomic<std::uint64_t> head{0};
   std::uint16_t thread_index = 0;
   std::thread::id tid;
 };
@@ -114,13 +118,16 @@ void Tracer::record(Span span) {
   ThreadRing& ring = ring_for_this_thread();
   span.thread = ring.thread_index;
   span.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-  ring.spans[ring.head % capacity_] = span;
-  ++ring.head;
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  ring.spans[head % capacity_] = span;
+  // Publish after the slot write so a concurrent collect() that observes
+  // the new head also observes the stored span.
+  ring.head.store(head + 1, std::memory_order_release);
 }
 
 void Tracer::clear() {
   std::lock_guard lock(mutex_);
-  for (auto& ring : rings_) ring->head = 0;
+  for (auto& ring : rings_) ring->head.store(0, std::memory_order_relaxed);
   seq_.store(0, std::memory_order_relaxed);
 }
 
@@ -129,9 +136,9 @@ std::vector<Span> Tracer::collect() const {
   {
     std::lock_guard lock(mutex_);
     for (const auto& ring : rings_) {
-      const std::uint64_t kept = std::min<std::uint64_t>(ring->head, capacity_);
-      const std::uint64_t first = ring->head - kept;
-      for (std::uint64_t i = first; i < ring->head; ++i)
+      const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+      const std::uint64_t kept = std::min<std::uint64_t>(head, capacity_);
+      for (std::uint64_t i = head - kept; i < head; ++i)
         all.push_back(ring->spans[i % capacity_]);
     }
   }
@@ -144,15 +151,18 @@ std::vector<Span> Tracer::collect() const {
 std::uint64_t Tracer::total_recorded() const {
   std::lock_guard lock(mutex_);
   std::uint64_t total = 0;
-  for (const auto& ring : rings_) total += ring->head;
+  for (const auto& ring : rings_)
+    total += ring->head.load(std::memory_order_acquire);
   return total;
 }
 
 std::uint64_t Tracer::dropped() const {
   std::lock_guard lock(mutex_);
   std::uint64_t lost = 0;
-  for (const auto& ring : rings_)
-    if (ring->head > capacity_) lost += ring->head - capacity_;
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    if (head > capacity_) lost += head - capacity_;
+  }
   return lost;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "perf/profile_report.hpp"
+
 namespace svsim::perf {
 
 Table summary_table(const PerfReport& report) {
@@ -143,6 +145,44 @@ Table drift_table(const DriftReport& drift) {
              drift.measured_total_seconds * 1e3,
              drift.modeled_total_seconds * 1e3, drift.time_ratio(),
              0.0, 0.0});
+  return t;
+}
+
+Table drift_phase_table(const ProfileReport& report) {
+  struct Agg {
+    std::size_t phases = 0;
+    std::size_t gates = 0;
+    double measured = 0.0;
+    double modeled = 0.0;
+    double bytes = 0.0;
+  };
+  std::map<sv::PhaseKind, Agg> by_kind;
+  for (const PhaseProfile& p : report.phases) {
+    Agg& a = by_kind[p.kind];
+    ++a.phases;
+    a.gates += p.gates;
+    a.measured += p.measured_seconds;
+    a.modeled += p.modeled_seconds;
+    a.bytes += p.measured_bytes;
+  }
+  std::string title = "Drift by plan phase";
+  if (report.partial) title += " (PARTIAL: tracer rings overflowed)";
+  Table t(title, {"phase", "count", "gates", "measured_ms", "modeled_ms",
+                  "ratio", "measured_GBs"});
+  for (const auto& [kind, a] : by_kind) {
+    t.add_row({std::string(sv::phase_kind_name(kind)),
+               static_cast<std::int64_t>(a.phases),
+               static_cast<std::int64_t>(a.gates), a.measured * 1e3,
+               a.modeled * 1e3, a.modeled > 0.0 ? a.measured / a.modeled : 0.0,
+               a.measured > 0.0 ? a.bytes / a.measured * 1e-9 : 0.0});
+  }
+  t.add_row({std::string("TOTAL"),
+             static_cast<std::int64_t>(report.phases.size()), std::int64_t{0},
+             report.measured_seconds * 1e3, report.modeled_seconds * 1e3,
+             report.drift_ratio(),
+             report.measured_seconds > 0.0
+                 ? report.measured_bytes / report.measured_seconds * 1e-9
+                 : 0.0});
   return t;
 }
 

@@ -91,4 +91,13 @@ DriftReport drift_report(const PerfReport& model,
 /// Per-kernel modeled-vs-measured table plus a totals row.
 Table drift_table(const DriftReport& drift);
 
+struct ProfileReport;  // perf/profile_report.hpp
+
+/// Per-phase drift section: the plan-phase counterpart of drift_table.
+/// Where the per-kernel join above compares gate classes across the whole
+/// run, this attributes the drift to the ExecutionPlan phases a profiled
+/// run actually executed (one row per phase kind, aggregated). Carries the
+/// same PARTIAL marker when the profiled run lost tracer spans.
+Table drift_phase_table(const ProfileReport& report);
+
 }  // namespace svsim::perf

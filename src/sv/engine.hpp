@@ -22,6 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <vector>
 
 #include "qc/gate.hpp"
 #include "sv/plan.hpp"
@@ -60,6 +62,32 @@ struct PlanHooks {
   /// Called after each DenseGate application (noise channels). LocalSweep
   /// phases are only compiled when this is absent.
   std::function<void(StateVector<T>&, const qc::Gate&)> after_gate;
+};
+
+/// Records a copy of every ExecutionPlan run_plan executes while the scope
+/// is alive (in execution order). The plan-phase profiler (obs/profile.hpp)
+/// records measured samples but cannot retain plans — obs sits below sv —
+/// so callers that need the measured<->modeled join (CLI `run --profile`)
+/// open this scope alongside the profiler and pair runs()[i] with plans()[i].
+/// One scope at a time; opening a second throws.
+class PlanCaptureScope {
+ public:
+  PlanCaptureScope();
+  ~PlanCaptureScope();
+
+  PlanCaptureScope(const PlanCaptureScope&) = delete;
+  PlanCaptureScope& operator=(const PlanCaptureScope&) = delete;
+
+  /// The open scope, or nullptr.
+  static PlanCaptureScope* current() noexcept;
+  /// Called by run_plan for every executed plan.
+  void add(const ExecutionPlan& plan);
+
+  std::vector<ExecutionPlan> plans() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ExecutionPlan> plans_;
 };
 
 /// Applies `count` gates — all block-local for `block_qubits` — to the state

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "machine/bandwidth_model.hpp"
+#include "machine/cache_probe.hpp"
 #include "machine/exec_config.hpp"
 #include "machine/machine_spec.hpp"
 #include "machine/roofline.hpp"
@@ -210,6 +211,69 @@ TEST(MachineSpec, GenericHostSanity) {
   EXPECT_EQ(h.total_cores(), 4u);
   EXPECT_NEAR(h.stream_bandwidth_gbps(), 20.0, 1e-9);
   EXPECT_THROW(MachineSpec::generic_host(0, 3.0, 20.0), Error);
+}
+
+TEST(Roofline, PlacementMatchesDirectRooflineCall) {
+  const MachineSpec m = MachineSpec::a64fx();
+  const Placement p = place_threads(m, {});
+  const ExecConfig cfg;
+  const double flops = 6.0e9;
+  const double bytes = 4.0e9;
+  const std::uint64_t footprint = 1ull << 30;
+  const RooflinePlacement placed =
+      place_on_roofline(m, p, cfg, flops, bytes, 1.0, footprint);
+  const RooflinePoint direct =
+      roofline(m, p, cfg, flops / bytes, 1.0, footprint);
+  EXPECT_DOUBLE_EQ(placed.point.arithmetic_intensity,
+                   direct.arithmetic_intensity);
+  EXPECT_DOUBLE_EQ(placed.point.attainable_gflops, direct.attainable_gflops);
+  EXPECT_EQ(placed.point.memory_bound, direct.memory_bound);
+  // Convenience accessors: flops at 1 GFLOP/s take flops * 1e-9 seconds.
+  EXPECT_NEAR(placed.achieved_gflops(flops * 1e-9), 1.0, 1e-12);
+  EXPECT_NEAR(placed.roof_fraction(flops * 1e-9),
+              1.0 / direct.attainable_gflops, 1e-12);
+  // Zero traffic: no intensity, no division by zero.
+  const RooflinePlacement degenerate =
+      place_on_roofline(m, p, cfg, flops, 0.0, 1.0, footprint);
+  EXPECT_DOUBLE_EQ(degenerate.point.arithmetic_intensity, 0.0);
+  EXPECT_DOUBLE_EQ(degenerate.achieved_gflops(0.0), 0.0);
+}
+
+TEST(CacheProbe, PointsCoverTheRequestedRange) {
+  const CacheProbeResult r =
+      run_cache_probe(/*min_bytes=*/32 << 10, /*max_bytes=*/256 << 10,
+                      /*reps=*/1);
+  ASSERT_GE(r.points.size(), 2u);
+  EXPECT_EQ(r.points.front().bytes, std::uint64_t{32} << 10);
+  EXPECT_EQ(r.points.back().bytes, std::uint64_t{256} << 10);
+  for (std::size_t i = 0; i < r.points.size(); ++i) {
+    EXPECT_GT(r.points[i].gbps, 0.0);
+    if (i > 0) EXPECT_EQ(r.points[i].bytes, r.points[i - 1].bytes * 2);
+  }
+  if (r.valid) {
+    EXPECT_GE(r.effective_bytes, r.points.front().bytes);
+    EXPECT_LE(r.effective_bytes, r.points.back().bytes);
+    EXPECT_GT(r.cached_gbps, r.beyond_gbps);
+  }
+}
+
+TEST(CacheProbe, ProcessWideResultIsCached) {
+  const CacheProbeResult& a = probed_cache_budget();
+  const CacheProbeResult& b = probed_cache_budget();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(CacheProbe, DisagreementIsRelativeToTheDeclaredBudget) {
+  const MachineSpec m = MachineSpec::a64fx();
+  CacheProbeResult probe;
+  probe.valid = true;
+  probe.effective_bytes = m.cache_budget_per_core_bytes();
+  EXPECT_DOUBLE_EQ(cache_budget_disagreement(m, probe), 0.0);
+  probe.effective_bytes = m.cache_budget_per_core_bytes() * 2;
+  EXPECT_DOUBLE_EQ(cache_budget_disagreement(m, probe), 1.0);
+  EXPECT_GT(1.0, kCacheProbeWarnThreshold);
+  probe.valid = false;
+  EXPECT_DOUBLE_EQ(cache_budget_disagreement(m, probe), 0.0);
 }
 
 }  // namespace

@@ -71,6 +71,29 @@ TEST(Tracer, RingWraparoundKeepsMostRecent) {
   EXPECT_EQ(tracer.dropped(), 12u);
 }
 
+TEST(Tracer, DropCountStaysExactAcrossManyWraps) {
+  // Regression: the drop count is derived from each ring's head counter,
+  // which must count every span ever stored — not clamp at capacity — or
+  // mid-phase overflow goes unreported and profiled runs silently lose
+  // their `partial` marker.
+  Tracer tracer(/*capacity_per_thread=*/4);
+  tracer.enable();
+  std::uint64_t dropped_before = 0;
+  for (std::uint64_t round = 1; round <= 5; ++round) {
+    for (std::uint64_t i = 0; i < 10; ++i)
+      tracer.record(make_span("s", i));
+    // Each 10-span round overflows the 4-slot ring by exactly 6 more.
+    EXPECT_EQ(tracer.total_recorded(), 10 * round);
+    EXPECT_EQ(tracer.dropped(), 10 * round - 4);
+    EXPECT_EQ(tracer.dropped() - dropped_before, round == 1 ? 6u : 10u);
+    dropped_before = tracer.dropped();
+  }
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  tracer.record(make_span("t", 1));
+  EXPECT_EQ(tracer.dropped(), 0u);  // below capacity again after clear
+}
+
 TEST(Tracer, ClearDropsSpans) {
   Tracer tracer;
   tracer.enable();

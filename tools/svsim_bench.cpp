@@ -5,6 +5,7 @@
 //   svsim_bench --smoke [...]              # fast ctest tier (scaled-down)
 //   svsim_bench --filter fig [...]         # substring case selection
 //   svsim_bench fig1_target_qubit [...]    # exact case selection
+//   svsim_bench --all --profile FILE       # + plan-phase OpenMetrics dump
 //
 // Every run prints the rendered tables (the human-readable view formerly
 // produced by the per-figure binaries) and can additionally emit the
@@ -26,6 +27,7 @@
 #include "obs/bench/env.hpp"
 #include "obs/bench/record.hpp"
 #include "obs/bench/registry.hpp"
+#include "obs/profile.hpp"
 
 using namespace svsim;
 using obs::bench::BenchCase;
@@ -45,6 +47,7 @@ struct Options {
   std::vector<std::string> cases;
   std::string json_path;
   std::string jsonl_path;
+  std::string profile_path;
   double target_ci = -1.0;
   double max_seconds = -1.0;
   int max_reps = -1;
@@ -53,8 +56,8 @@ struct Options {
 void usage(std::ostream& os) {
   os << "usage: svsim_bench (--list | --all | --smoke | --filter S | CASE...)\n"
         "                   [--json FILE] [--jsonl FILE] [--attr]\n"
-        "                   [--no-tables] [--target-ci X] [--max-seconds X]\n"
-        "                   [--max-reps N]\n";
+        "                   [--profile FILE] [--no-tables] [--target-ci X]\n"
+        "                   [--max-seconds X] [--max-reps N]\n";
 }
 
 std::string next_value(int argc, char** argv, int& i, const char* flag) {
@@ -74,6 +77,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--filter") o.filters.push_back(next_value(argc, argv, i, "--filter"));
     else if (a == "--json") o.json_path = next_value(argc, argv, i, "--json");
     else if (a == "--jsonl") o.jsonl_path = next_value(argc, argv, i, "--jsonl");
+    else if (a == "--profile") o.profile_path = next_value(argc, argv, i, "--profile");
     else if (a == "--target-ci") o.target_ci = std::stod(next_value(argc, argv, i, "--target-ci"));
     else if (a == "--max-seconds") o.max_seconds = std::stod(next_value(argc, argv, i, "--max-seconds"));
     else if (a == "--max-reps") o.max_reps = std::stoi(next_value(argc, argv, i, "--max-reps"));
@@ -133,6 +137,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --profile implies the instrumented attribution rep: that is the rep
+  // during which run_case installs an aggregate-mode profiler, and without
+  // it the registry would stay empty.
+  if (!o.profile_path.empty()) o.attr = true;
+
   StatConfig config = o.smoke ? StatConfig::smoke() : StatConfig::full();
   if (o.target_ci > 0) config.target_rel_ci = o.target_ci;
   if (o.max_seconds > 0) config.max_seconds = o.max_seconds;
@@ -187,6 +196,17 @@ int main(int argc, char** argv) {
     }
     obs::bench::write_results_jsonl(out, env, mode, results);
     std::cerr << "svsim_bench: wrote " << o.jsonl_path << "\n";
+  }
+  if (!o.profile_path.empty()) {
+    std::ofstream out(o.profile_path);
+    if (!out.good()) {
+      std::cerr << "error: cannot open '" << o.profile_path
+                << "' for writing\n";
+      return 1;
+    }
+    obs::ProfileRegistry::global().write_openmetrics(out);
+    std::cerr << "svsim_bench: wrote plan-phase OpenMetrics to "
+              << o.profile_path << "\n";
   }
   return any_failed ? 1 : 0;
 }

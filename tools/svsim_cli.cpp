@@ -3,6 +3,7 @@
 //   svsim run <circuit.qasm> [--shots N] [--backend sv|sv32|stab]
 //             [--fusion W] [--blocked] [--block-qubits B] [--seed S]
 //             [--trace-json FILE] [--trace] [--metrics] [--counters]
+//             [--profile FILE]
 //   svsim project <circuit.qasm | --qft N | --qv N D>
 //             [--machine a64fx|a64fx-boost|a64fx-eco|xeon|tx2]
 //             [--threads T] [--affinity compact|scatter] [--fusion W]
@@ -10,6 +11,11 @@
 //   svsim plan <circuit.qasm | --qft N | --qv N D>
 //             [--ranks R] [--sched naive|remap] [--fusion W] [--blocked]
 //             [--block-qubits B] [--machine NAME] [--dump-plan FILE]
+//   svsim profile <circuit.qasm | --qft N | --qv N D>
+//             [--ranks R] [--sched naive|remap] [--fusion W] [--blocked]
+//             [--block-qubits B] [--machine NAME] [--threads T] [--seed S]
+//             [--counters] [--json FILE] [--overlay FILE]
+//             [--openmetrics FILE]
 //   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
 //             [--route-linear]
 //   svsim machines
@@ -20,6 +26,9 @@
 // measured comparison); `plan` compiles the circuit into the ExecutionPlan
 // IR (single-node, or distributed over --ranks R) and prints the phase
 // summary, optionally dumping the plan JSON for scripts/check_plan_schema.py;
+// `profile` executes the compiled plan with the phase profiler riding
+// sv::run_plan and prints/writes the measured-vs-modeled ProfileReport
+// (scripts/check_profile_schema.py validates the --json artifact);
 // `transpile` prints the rewritten circuit as OpenQASM.
 #include <cstdlib>
 #include <cstring>
@@ -33,11 +42,16 @@
 #include "common/bits.hpp"
 #include "common/table.hpp"
 #include "dist/dist_plan.hpp"
+#include "dist/dist_sim.hpp"
+#include "machine/cache_probe.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "perf/power_model.hpp"
+#include "perf/profile_report.hpp"
 #include "perf/report.hpp"
+#include "sv/engine.hpp"
 #include "qc/library.hpp"
 #include "qc/qasm.hpp"
 #include "qc/routing.hpp"
@@ -82,6 +96,13 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"metrics", false, false, "print the runtime metrics registry (run)"},
     {"counters", false, false, "sample hardware counters around the run"},
     {"drift", false, false, "print modeled-vs-measured drift (project)"},
+    {"profile", true, false,
+     "profile the run's plan phases and write the report JSON to FILE (run)"},
+    {"json", true, false, "write the profile report JSON to FILE (profile)"},
+    {"overlay", true, false,
+     "write the Chrome-trace phase overlay to FILE (profile)"},
+    {"openmetrics", true, false,
+     "dump the cumulative profile registry to FILE (profile)"},
     {"optimize", false, false, "run the gate-level optimizer (transpile)"},
     {"basis-cx", false, false, "decompose to the CX basis (transpile)"},
     {"route-linear", false, false, "route for linear connectivity (transpile)"},
@@ -154,6 +175,65 @@ qc::Circuit load_circuit(const Args& args) {
   return qc::parse_qasm_file(args.positional.front());
 }
 
+/// Shared by `plan` and `profile`: compiles the circuit into an
+/// ExecutionPlan from the --ranks/--sched/--fusion/--blocked flags.
+/// `machine` (optional) sizes auto blocks.
+sv::ExecutionPlan compile_plan_from_args(const Args& args,
+                                         const qc::Circuit& circuit,
+                                         const machine::MachineSpec* machine) {
+  const auto ranks = std::stoull(args.get("ranks", "1"));
+  require(ranks >= 1 && (ranks & (ranks - 1)) == 0,
+          "--ranks must be a power of two");
+  const unsigned node_qubits = ranks > 1 ? ilog2(ranks) : 0;
+
+  sv::PlanOptions po;
+  if (args.flag("fusion")) {
+    po.fusion = true;
+    po.fusion_width =
+        static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
+  }
+  if (args.flag("blocked") || args.flag("block-qubits")) {
+    po.blocking = true;
+    po.block_qubits =
+        static_cast<unsigned>(std::stoul(args.get("block-qubits", "0")));
+  }
+  po.machine = machine;
+
+  sv::ExecutionPlan plan;
+  if (node_qubits == 0) {
+    plan = sv::compile_plan(circuit, po);
+  } else {
+    dist::DistExecOptions dopts;
+    const std::string sched = args.get("sched", "remap");
+    require(sched == "naive" || sched == "remap",
+            "--sched must be naive or remap");
+    dopts.scheduler = sched == "naive" ? dist::CommScheduler::Naive
+                                       : dist::CommScheduler::Remap;
+    dopts.plan = po;
+    plan = dist::compile_distributed(circuit, node_qubits, dopts);
+  }
+  plan.validate();
+  return plan;
+}
+
+/// Prints the profile report's tables and warnings, shared by `profile`
+/// and `run --profile`.
+void print_profile_report(const perf::ProfileReport& report) {
+  perf::profile_env_table(report).print(std::cout);
+  perf::profile_phase_table(report).print(std::cout);
+  perf::profile_attribution_table(report).print(std::cout);
+  perf::drift_phase_table(report).print(std::cout);
+  if (report.env.cache_budget_warning)
+    std::cerr << "warning: probed per-core cache budget ("
+              << (report.env.probed_cache_budget_bytes >> 10)
+              << " KiB) disagrees with the MachineSpec declaration ("
+              << (report.env.declared_cache_budget_bytes >> 10)
+              << " KiB) by more than 25%; block sizing may be off\n";
+  if (report.partial)
+    std::cerr << "warning: tracer rings overflowed mid-run; the report is "
+                 "marked partial\n";
+}
+
 int cmd_run(const Args& args) {
   qc::Circuit circuit = load_circuit(args);
   const auto shots =
@@ -216,6 +296,16 @@ int cmd_run(const Args& args) {
   std::optional<obs::HwCounterScope> counters;
   if (args.flag("counters")) counters.emplace();
 
+  // --profile: ride the plan executor with the phase profiler and capture
+  // the compiled plans so measured samples can be joined with the model.
+  std::optional<obs::Profiler> profiler;
+  std::optional<sv::PlanCaptureScope> capture;
+  if (args.flag("profile")) {
+    profiler.emplace();
+    profiler->install();
+    capture.emplace();
+  }
+
   if (backend == "sv32") {
     sv::Simulator<float> sim(opts);
     print_counts(sim.sample_counts(circuit, shots));
@@ -226,6 +316,34 @@ int cmd_run(const Args& args) {
     throw Error("unknown backend '" + backend + "' (sv, sv32, stab)");
   }
 
+  if (profiler) {
+    profiler->uninstall();
+    const std::vector<obs::RunProfile> runs = profiler->runs();
+    const std::vector<sv::ExecutionPlan> plans = capture->plans();
+    capture.reset();
+    require(!runs.empty() && !plans.empty(),
+            "--profile: the run executed no plans to profile");
+    // The most recent run and plan always correspond, whatever the shot
+    // strategy (single sampled run or per-shot trajectories) did.
+    const auto m = machine_by_name(args.get("machine", "a64fx"));
+    machine::ExecConfig cfg;
+    if (args.flag("threads"))
+      cfg.threads =
+          static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+    cfg.element_bytes = backend == "sv32" ? 4 : 8;
+    const perf::ProfileReport report =
+        perf::build_profile_report(runs.back(), plans.back(), m, cfg);
+    const std::string path = args.get("profile", "profile.json");
+    std::ofstream out(path);
+    require(out.good(), "cannot open '" + path + "' for writing");
+    perf::write_profile_json(report, out);
+    std::cerr << "svsim: wrote profile report (" << report.phases.size()
+              << " phases, drift x" << report.drift_ratio() << ") to " << path
+              << "\n";
+    if (report.partial)
+      std::cerr << "warning: tracer rings overflowed mid-run; the profile "
+                   "report is marked partial\n";
+  }
   if (counters) obs::hw_counter_table(counters->stop()).print(std::cout);
   if (want_trace) {
     tracer.disable();
@@ -294,12 +412,24 @@ int cmd_project(const Args& args) {
     obs::Tracer& tracer = obs::Tracer::global();
     tracer.clear();
     tracer.enable();
+    obs::Profiler profiler;
+    profiler.install();
+    sv::PlanCaptureScope capture;
     sv::Simulator<double> sim(sopts);
     sim.run(circuit);
+    profiler.uninstall();
     tracer.disable();
     const auto drift =
         perf::drift_report(report, tracer.collect(), tracer.dropped());
     perf::drift_table(drift).print(std::cout);
+    // Per-phase section: the same drift attributed to the ExecutionPlan
+    // phases the run actually executed.
+    const auto runs = profiler.runs();
+    const auto plans = capture.plans();
+    if (!runs.empty() && runs.size() == plans.size())
+      perf::drift_phase_table(
+          perf::build_profile_report(runs.back(), plans.back(), m, cfg))
+          .print(std::cout);
     if (drift.partial())
       std::cerr << "warning: tracer dropped " << drift.dropped_spans
                 << " spans to ring wraparound; the drift join is partial\n";
@@ -313,42 +443,10 @@ int cmd_project(const Args& args) {
 
 int cmd_plan(const Args& args) {
   const qc::Circuit circuit = load_circuit(args);
-  const auto ranks = std::stoull(args.get("ranks", "1"));
-  require(ranks >= 1 && (ranks & (ranks - 1)) == 0,
-          "--ranks must be a power of two");
-  const unsigned node_qubits = ranks > 1 ? ilog2(ranks) : 0;
-
-  sv::PlanOptions po;
-  if (args.flag("fusion")) {
-    po.fusion = true;
-    po.fusion_width =
-        static_cast<unsigned>(std::stoul(args.get("fusion", "3")));
-  }
-  if (args.flag("blocked") || args.flag("block-qubits")) {
-    po.blocking = true;
-    po.block_qubits =
-        static_cast<unsigned>(std::stoul(args.get("block-qubits", "0")));
-  }
   std::optional<machine::MachineSpec> m;
-  if (args.flag("machine")) {
-    m = machine_by_name(args.get("machine", "a64fx"));
-    po.machine = &*m;
-  }
-
-  sv::ExecutionPlan plan;
-  if (node_qubits == 0) {
-    plan = sv::compile_plan(circuit, po);
-  } else {
-    dist::DistExecOptions dopts;
-    const std::string sched = args.get("sched", "remap");
-    require(sched == "naive" || sched == "remap",
-            "--sched must be naive or remap");
-    dopts.scheduler = sched == "naive" ? dist::CommScheduler::Naive
-                                       : dist::CommScheduler::Remap;
-    dopts.plan = po;
-    plan = dist::compile_distributed(circuit, node_qubits, dopts);
-  }
-  plan.validate();
+  if (args.flag("machine")) m = machine_by_name(args.get("machine", "a64fx"));
+  const sv::ExecutionPlan plan =
+      compile_plan_from_args(args, circuit, m ? &*m : nullptr);
 
   std::size_t kind_count[4] = {0, 0, 0, 0};
   for (const auto& phase : plan.phases)
@@ -393,6 +491,77 @@ int cmd_plan(const Args& args) {
   return 0;
 }
 
+int cmd_profile(const Args& args) {
+  const qc::Circuit circuit = load_circuit(args);
+  const auto m = machine_by_name(args.get("machine", "a64fx"));
+  machine::ExecConfig cfg;
+  if (args.flag("threads"))
+    cfg.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+  const sv::ExecutionPlan plan = compile_plan_from_args(args, circuit, &m);
+
+  // Execute the plan for real with the profiler riding run_plan. The
+  // tracer runs too so the Chrome overlay has gate spans to align with.
+  obs::ProfilerOptions popts;
+  popts.hw_counters = args.flag("counters");
+  obs::Profiler profiler(popts);
+  profiler.install();
+  obs::Tracer& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.enable();
+
+  sv::SimulatorOptions sopts;
+  sopts.seed = std::stoull(args.get("seed", "1"));
+  sv::Simulator<double> sim(sopts);
+  sv::StateVector<double> state(circuit.num_qubits());
+  sim.run_plan(state, plan);
+
+  // Price the exchanges on the modeled interconnect while the profiler is
+  // still installed: time_plan annotates the Exchange samples with the
+  // simulated per-hop wire time.
+  if (plan.node_qubits > 0)
+    dist::time_plan(plan, m, cfg, dist::InterconnectSpec::tofu_d());
+
+  tracer.disable();
+  profiler.uninstall();
+  const std::vector<obs::RunProfile> runs = profiler.runs();
+  require(!runs.empty(), "profile: the run produced no profiled executions");
+  const perf::ProfileReport report =
+      perf::build_profile_report(runs.back(), plan, m, cfg);
+
+  print_profile_report(report);
+
+  if (args.flag("json")) {
+    const std::string path = args.get("json", "-");
+    if (path == "-") {
+      perf::write_profile_json(report, std::cout);
+    } else {
+      std::ofstream out(path);
+      require(out.good(), "cannot open '" + path + "' for writing");
+      perf::write_profile_json(report, out);
+      std::cerr << "wrote profile report to " << path << "\n";
+    }
+  }
+  if (args.flag("overlay")) {
+    const std::string path = args.get("overlay", "profile_trace.json");
+    std::ofstream out(path);
+    require(out.good(), "cannot open '" + path + "' for writing");
+    obs::write_profile_chrome_json(out, tracer.collect(), runs);
+    std::cerr << "wrote phase overlay to " << path << "\n";
+  }
+  if (args.flag("openmetrics")) {
+    const std::string path = args.get("openmetrics", "-");
+    if (path == "-") {
+      obs::ProfileRegistry::global().write_openmetrics(std::cout);
+    } else {
+      std::ofstream out(path);
+      require(out.good(), "cannot open '" + path + "' for writing");
+      obs::ProfileRegistry::global().write_openmetrics(out);
+    }
+  }
+  tracer.clear();
+  return 0;
+}
+
 int cmd_transpile(const Args& args) {
   qc::Circuit circuit = load_circuit(args);
   if (args.flag("basis-cx")) circuit = qc::decompose_to_cx_basis(circuit);
@@ -434,6 +603,10 @@ void usage() {
       "  plan <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
       "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
       "      [--dump-plan FILE]\n"
+      "  profile <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
+      "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
+      "      [--threads T] [--seed S] [--counters] [--json FILE]\n"
+      "      [--overlay FILE] [--openmetrics FILE]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  machines\n";
 }
@@ -451,6 +624,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "project") return cmd_project(args);
     if (cmd == "plan") return cmd_plan(args);
+    if (cmd == "profile") return cmd_profile(args);
     if (cmd == "transpile") return cmd_transpile(args);
     if (cmd == "machines") return cmd_machines();
     usage();
