@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""Validate a timeline JSON artifact emitted by `svsim timeline --json`
+(or `svsim plan/profile --timeline FILE`).
+
+Usage:
+  check_timeline_schema.py TIMELINE.json [TIMELINE2.json ...]
+  check_timeline_schema.py --emit-with PATH/TO/svsim [--output-dir DIR]
+
+With --emit-with, the tool is run twice — once on an 8-rank simulated-
+distributed QV circuit (with the Chrome trace alongside) and once on a
+single-node blocked QFT — and both artifacts are validated. Beyond key and
+type checks, the invariants the analysis layer guarantees are enforced:
+every rank's events tile its axis gap-free, compute + wire + wait + slack
+spans the makespan per rank, wire events pair symmetrically across ranks
+through 'partner_event', the critical path's chronological step sum equals
+the reported makespan within 1e-9 relative (the recorder is bit-exact; the
+tolerance only absorbs JSON round-tripping), no wait event appears on the
+path, the what-if baseline reproduces the makespan, and the Chrome trace
+carries one pid-3 lane per rank plus the pid-4 wire lane. Exits nonzero
+with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+EVENT_KINDS = {"compute", "wire", "wait"}
+PHASE_KINDS = {"local_sweep", "dense_gate", "exchange", "measure_flush"}
+PLAN_INT_KEYS = ("num_qubits", "node_qubits", "local_qubits", "block_qubits",
+                 "num_phases", "ranks")
+RANK_PID = 3
+WIRE_PID = 4
+
+REL_TOL = 1e-9
+
+
+def fail(msg):
+    print(f"check_timeline_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_event(where, e):
+    if not isinstance(e, dict):
+        fail(f"{where} is not an object")
+    kind = e.get("kind")
+    if kind not in EVENT_KINDS:
+        fail(f"{where}: unknown kind {kind!r}")
+    if e.get("phase_kind") not in PHASE_KINDS:
+        fail(f"{where}: unknown phase_kind {e.get('phase_kind')!r}")
+    if not isinstance(e.get("phase"), int) or e["phase"] < 0:
+        fail(f"{where}: 'phase' must be a non-negative integer")
+    for key in ("start_seconds", "duration_seconds"):
+        if not is_num(e.get(key)) or e[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative number")
+    if kind == "compute":
+        if not isinstance(e.get("gates"), int) or e["gates"] < 0:
+            fail(f"{where}: compute event missing 'gates'")
+        if e["phase_kind"] == "exchange":
+            fail(f"{where}: compute event inside an exchange phase")
+    else:
+        for key in ("hop", "partner", "rank_bit"):
+            if not isinstance(e.get(key), int):
+                fail(f"{where}: '{key}' must be an integer")
+        if e["phase_kind"] != "exchange":
+            fail(f"{where}: {kind} event outside an exchange phase")
+    if kind == "wire":
+        for key in ("bytes", "fixed_seconds", "transfer_seconds"):
+            if not is_num(e.get(key)) or e[key] < 0:
+                fail(f"{where}: '{key}' must be a non-negative number")
+        if not isinstance(e.get("partner_event"), int) or e["partner_event"] < 0:
+            fail(f"{where}: wire event missing 'partner_event'")
+        split = e["fixed_seconds"] + e["transfer_seconds"]
+        if not math.isclose(e["duration_seconds"], split, rel_tol=REL_TOL):
+            fail(f"{where}: duration {e['duration_seconds']} != "
+                 f"fixed + transfer {split}")
+
+
+def check_rank(r, rank, makespan):
+    where = f"ranks[{r}]"
+    if not isinstance(rank, dict):
+        fail(f"{where} is not an object")
+    if rank.get("rank") != r:
+        fail(f"{where}: rank id {rank.get('rank')!r} breaks dense ordering")
+    for key in ("end_seconds", "compute_seconds", "wire_seconds",
+                "wait_seconds"):
+        if not is_num(rank.get(key)) or rank[key] < 0:
+            fail(f"{where}: '{key}' must be a non-negative number")
+    events = rank.get("events")
+    if not isinstance(events, list):
+        fail(f"{where}: 'events' must be an array")
+
+    clock = 0.0
+    sums = {"compute": 0.0, "wire": 0.0, "wait": 0.0}
+    for i, e in enumerate(events):
+        check_event(f"{where}.events[{i}]", e)
+        if not math.isclose(e["start_seconds"], clock, rel_tol=REL_TOL,
+                            abs_tol=1e-15):
+            fail(f"{where}.events[{i}]: starts at {e['start_seconds']}, "
+                 f"previous event ended at {clock} — the lane has a gap")
+        clock = e["start_seconds"] + e["duration_seconds"]
+        sums[e["kind"]] += e["duration_seconds"]
+    if not math.isclose(rank["end_seconds"], clock, rel_tol=REL_TOL,
+                        abs_tol=1e-15):
+        fail(f"{where}: end_seconds {rank['end_seconds']} != last event "
+             f"end {clock}")
+    if rank["end_seconds"] > makespan * (1 + REL_TOL):
+        fail(f"{where}: rank ends after the makespan")
+    for kind, key in (("compute", "compute_seconds"), ("wire", "wire_seconds"),
+                      ("wait", "wait_seconds")):
+        if not math.isclose(rank[key], sums[kind], rel_tol=1e-6,
+                            abs_tol=1e-15):
+            fail(f"{where}: {key} {rank[key]} != event sum {sums[kind]}")
+
+
+def check_wire_pairing(ranks):
+    wires = 0
+    for r, rank in enumerate(ranks):
+        for i, e in enumerate(rank["events"]):
+            if e["kind"] != "wire":
+                continue
+            wires += 1
+            p = e["partner"]
+            if not 0 <= p < len(ranks):
+                fail(f"ranks[{r}].events[{i}]: partner {p} out of range")
+            partner_events = ranks[p]["events"]
+            if e["partner_event"] >= len(partner_events):
+                fail(f"ranks[{r}].events[{i}]: partner_event out of range")
+            pe = partner_events[e["partner_event"]]
+            if (pe["kind"] != "wire" or pe["partner"] != r
+                    or pe["partner_event"] != i):
+                fail(f"ranks[{r}].events[{i}]: wire pairing with rank {p} is "
+                     f"not symmetric")
+            for key in ("start_seconds", "duration_seconds", "bytes",
+                        "rank_bit"):
+                if pe[key] != e[key]:
+                    fail(f"ranks[{r}].events[{i}]: '{key}' disagrees with "
+                         f"the partner wire")
+    return wires
+
+
+def check_critical_path(doc):
+    cp = doc.get("critical_path")
+    if not isinstance(cp, dict):
+        fail("'critical_path' must be an object")
+    for key in ("path_seconds", "compute_seconds", "wire_seconds",
+                "wait_seconds"):
+        if not is_num(cp.get(key)) or cp[key] < 0:
+            fail(f"critical_path.{key} must be a non-negative number")
+    steps = cp.get("steps")
+    if not isinstance(steps, list) or not steps:
+        fail("critical_path.steps must be a non-empty array")
+
+    makespan = doc["makespan_seconds"]
+    ranks = doc["ranks"]
+    total = 0.0
+    clock = 0.0
+    for i, s in enumerate(steps):
+        where = f"critical_path.steps[{i}]"
+        if not isinstance(s, dict):
+            fail(f"{where} is not an object")
+        if s.get("kind") == "wait":
+            fail(f"{where}: a wait event on the critical path — waits are "
+                 f"symptoms, the path must cross to the late partner")
+        if s.get("kind") not in EVENT_KINDS:
+            fail(f"{where}: unknown kind {s.get('kind')!r}")
+        r = s.get("rank")
+        if not isinstance(r, int) or not 0 <= r < len(ranks):
+            fail(f"{where}: rank {r!r} out of range")
+        idx = s.get("event_index")
+        events = ranks[r]["events"]
+        if not isinstance(idx, int) or not 0 <= idx < len(events):
+            fail(f"{where}: event_index {idx!r} out of range")
+        e = events[idx]
+        for key, ekey in (("kind", "kind"), ("phase", "phase"),
+                          ("start_seconds", "start_seconds"),
+                          ("duration_seconds", "duration_seconds")):
+            if s.get(key) != e[ekey]:
+                fail(f"{where}: '{key}' disagrees with "
+                     f"ranks[{r}].events[{idx}]")
+        if s["start_seconds"] < clock * (1 - REL_TOL) - 1e-15:
+            fail(f"{where}: steps are not chronological")
+        clock = s["start_seconds"] + s["duration_seconds"]
+        total += s["duration_seconds"]
+
+    # The invariant of the whole artifact: the path sum is the makespan.
+    if not math.isclose(total, makespan, rel_tol=REL_TOL, abs_tol=1e-15):
+        fail(f"critical path sums to {total}, makespan is {makespan} "
+             f"(relative error {abs(total - makespan) / max(makespan, 1e-300)})")
+    if not math.isclose(cp["path_seconds"], makespan, rel_tol=REL_TOL,
+                        abs_tol=1e-15):
+        fail(f"critical_path.path_seconds {cp['path_seconds']} != makespan "
+             f"{makespan}")
+    kind_sum = cp["compute_seconds"] + cp["wire_seconds"] + cp["wait_seconds"]
+    if not math.isclose(kind_sum, total, rel_tol=1e-6, abs_tol=1e-15):
+        fail(f"critical path kind split sums to {kind_sum}, steps to {total}")
+    return len(steps)
+
+
+def check_attribution(doc):
+    attribution = doc.get("attribution")
+    ranks = doc["ranks"]
+    if not isinstance(attribution, list) or len(attribution) != len(ranks):
+        fail("'attribution' must list every rank exactly once")
+    makespan = doc["makespan_seconds"]
+    critical = 0.0
+    for r, row in enumerate(attribution):
+        where = f"attribution[{r}]"
+        if not isinstance(row, dict) or row.get("rank") != r:
+            fail(f"{where}: must be ordered by rank")
+        for key in ("compute_seconds", "wire_seconds", "wait_seconds",
+                    "slack_seconds", "critical_seconds"):
+            if not is_num(row.get(key)) or row[key] < 0:
+                fail(f"{where}: '{key}' must be a non-negative number")
+        span = (row["compute_seconds"] + row["wire_seconds"]
+                + row["wait_seconds"] + row["slack_seconds"])
+        if makespan > 0 and not math.isclose(span, makespan, rel_tol=1e-6):
+            fail(f"{where}: compute+wire+wait+slack {span} does not span the "
+                 f"makespan {makespan}")
+        critical += row["critical_seconds"]
+    if makespan > 0 and not math.isclose(critical, makespan, rel_tol=1e-6):
+        fail(f"attribution critical_seconds sum to {critical}, expected the "
+             f"makespan {makespan}")
+
+    histogram = doc.get("slack_histogram")
+    if not isinstance(histogram, list) or not histogram:
+        fail("'slack_histogram' must be a non-empty array")
+    if sum(histogram) != len(ranks):
+        fail(f"slack_histogram counts {sum(histogram)} ranks, artifact has "
+             f"{len(ranks)}")
+
+
+def check_whatif(doc):
+    whatif = doc.get("whatif")
+    if not isinstance(whatif, list) or not whatif:
+        fail("'whatif' must be a non-empty array")
+    makespan = doc["makespan_seconds"]
+    for i, w in enumerate(whatif):
+        where = f"whatif[{i}]"
+        if not isinstance(w, dict) or not isinstance(w.get("name"), str):
+            fail(f"{where}: must be an object with a 'name'")
+        for key in ("compute_scale", "link_bandwidth_scale", "latency_scale",
+                    "makespan_seconds", "baseline_seconds", "speedup"):
+            if not is_num(w.get(key)) or w[key] <= 0:
+                fail(f"{where}: '{key}' must be a positive number")
+        if w["baseline_seconds"] != makespan:
+            fail(f"{where}: baseline {w['baseline_seconds']} != recorded "
+                 f"makespan {makespan}")
+        expect = w["baseline_seconds"] / w["makespan_seconds"]
+        if not math.isclose(w["speedup"], expect, rel_tol=1e-6):
+            fail(f"{where}: speedup {w['speedup']} != baseline/makespan "
+                 f"{expect}")
+    first = whatif[0]
+    if (first["name"] != "baseline"
+            or not math.isclose(first["makespan_seconds"], makespan,
+                                rel_tol=REL_TOL)):
+        fail("whatif[0] must be the baseline replay reproducing the makespan")
+
+
+def check_timeline(path, expect_ranks=None):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    if doc.get("version") != 1:
+        fail("missing or unsupported 'version'")
+
+    plan = doc.get("plan")
+    if not isinstance(plan, dict):
+        fail("'plan' must be an object")
+    if not isinstance(plan.get("id"), str) or not plan["id"]:
+        fail("plan.id must be a non-empty string")
+    for key in PLAN_INT_KEYS:
+        if not isinstance(plan.get(key), int) or plan[key] < 0:
+            fail(f"plan.{key} must be a non-negative integer")
+    if plan["local_qubits"] != plan["num_qubits"] - plan["node_qubits"]:
+        fail("plan: local_qubits != num_qubits - node_qubits")
+    if plan["ranks"] != 1 << plan["node_qubits"]:
+        fail("plan: ranks != 2^node_qubits")
+    if expect_ranks is not None and plan["ranks"] != expect_ranks:
+        fail(f"plan: expected {expect_ranks} ranks, artifact has "
+             f"{plan['ranks']}")
+    for key in ("machine", "interconnect"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            fail(f"'{key}' must be a non-empty string")
+    for key in ("makespan_seconds", "imbalance", "wire_utilization"):
+        if not is_num(doc.get(key)) or doc[key] < 0:
+            fail(f"'{key}' must be a non-negative number")
+
+    ranks = doc.get("ranks")
+    if not isinstance(ranks, list) or len(ranks) != plan["ranks"]:
+        fail("'ranks' must hold one entry per rank")
+    makespan = doc["makespan_seconds"]
+    for r, rank in enumerate(ranks):
+        check_rank(r, rank, makespan)
+    if not any(rank["events"] for rank in ranks):
+        fail("no rank recorded any event — the timeline is empty")
+
+    wires = check_wire_pairing(ranks)
+    if plan["node_qubits"] > 0 and wires == 0:
+        fail("distributed plan recorded no wire events")
+    steps = check_critical_path(doc)
+    check_attribution(doc)
+    check_whatif(doc)
+
+    print(f"check_timeline_schema: OK: {path}: {plan['ranks']} ranks, "
+          f"{sum(len(r['events']) for r in ranks)} events ({wires} wire), "
+          f"{steps} path steps, makespan {makespan * 1e6:.3f} us")
+
+
+def check_chrome_trace(path, expect_ranks):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' must be a non-empty array")
+    rank_lanes = set()
+    wire_lane = 0
+    for e in events:
+        if e.get("pid") == RANK_PID and e.get("ph") == "X":
+            rank_lanes.add(e.get("tid"))
+        elif e.get("pid") == WIRE_PID and e.get("ph") == "X":
+            wire_lane += 1
+        elif e.get("pid") not in (RANK_PID, WIRE_PID):
+            fail(f"{path}: pid {e.get('pid')!r} collides with the profiler "
+                 f"overlay's reserved pids 0-2")
+    if rank_lanes != set(range(expect_ranks)):
+        fail(f"{path}: expected one lane per rank 0..{expect_ranks - 1}, "
+             f"got {sorted(rank_lanes)}")
+    if expect_ranks > 1 and wire_lane == 0:
+        fail(f"{path}: multi-rank trace has no wire-lane events")
+    print(f"check_timeline_schema: OK: {path}: {expect_ranks} rank lanes, "
+          f"{wire_lane} wire-lane slices")
+
+
+def emit(svsim, out_dir):
+    """Emit the two canonical artifacts: 8-rank distributed and single-node."""
+    dist_json = os.path.join(out_dir, "timeline_dist.json")
+    dist_trace = os.path.join(out_dir, "timeline_dist_trace.json")
+    single_json = os.path.join(out_dir, "timeline_single.json")
+    jobs = [
+        (["timeline", "--qv", "12", "4", "--ranks", "8", "--blocked",
+          "--machine", "a64fx", "--json", dist_json,
+          "--trace-json", dist_trace], dist_json, dist_trace, 8),
+        (["timeline", "--qft", "10", "--blocked", "--machine", "a64fx",
+          "--json", single_json], single_json, None, 1),
+    ]
+    for args, json_path, trace_path, ranks in jobs:
+        cmd = [svsim] + args
+        result = subprocess.run(cmd, capture_output=True, text=True)
+        if result.returncode != 0:
+            fail(f"'{' '.join(cmd)}' exited {result.returncode}:\n"
+                 f"{result.stderr}")
+        yield json_path, trace_path, ranks
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("timelines", nargs="*",
+                        help="existing timeline JSON artifacts to check")
+    parser.add_argument("--emit-with", metavar="SVSIM",
+                        help="svsim binary; run it first to emit timelines")
+    parser.add_argument("--output-dir", default=".",
+                        help="where --emit-with writes its artifacts")
+    args = parser.parse_args()
+
+    if args.emit_with:
+        for json_path, trace_path, ranks in emit(args.emit_with,
+                                                 args.output_dir):
+            check_timeline(json_path, expect_ranks=ranks)
+            if trace_path:
+                check_chrome_trace(trace_path, expect_ranks=ranks)
+    elif args.timelines:
+        for path in args.timelines:
+            check_timeline(path)
+    else:
+        parser.error("need timeline files or --emit-with")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,9 +1,11 @@
 #include "dist/dist_sim.hpp"
 
 #include <algorithm>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "dist/timeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -70,28 +72,42 @@ DistTiming time_plan(const DistPlan& plan, const MachineSpec& m,
 double event_driven_makespan(const sv::ExecutionPlan& plan,
                              const MachineSpec& m, const ExecConfig& config,
                              const InterconnectSpec& net,
-                             const StragglerConfig& straggler) {
+                             const StragglerConfig& straggler,
+                             TimelineBuilder* timeline) {
   obs::ScopedSpan span("makespan", obs::SpanCategory::Collective);
   const std::uint64_t nodes = plan.num_ranks();
-  require(nodes <= (std::uint64_t{1} << 22),
-          "event_driven_makespan: too many nodes to simulate per-node");
+  if (nodes > kMakespanMaxRanks)
+    throw Error("event_driven_makespan: plan " + plan.summary_id() +
+                " spans " + std::to_string(nodes) +
+                " ranks, above the per-rank simulation cap of " +
+                std::to_string(kMakespanMaxRanks));
   const perf::PlanCost cost = perf::cost_plan(plan, m, config);
   SVSIM_ASSERT(cost.phases.size() == plan.phases.size());
   std::vector<double> clock(nodes, 0.0);
 
   for (std::size_t i = 0; i < plan.phases.size(); ++i) {
     const sv::PlanPhase& phase = plan.phases[i];
+    const auto pidx = static_cast<std::uint32_t>(i);
     if (phase.kind == sv::PhaseKind::Exchange) {
       // Each hop is a rendezvous: both partners must arrive, then pay the
       // wire time together (data must land before the next window runs).
-      for (const auto& hop : phase.hops) {
+      for (std::size_t h = 0; h < phase.hops.size(); ++h) {
+        const sv::ExchangeHop& hop = phase.hops[h];
         if (hop.rank_bit < 0) continue;
-        const double comm = net.pairwise_exchange_seconds(hop.bytes);
+        double fixed = 0.0;
+        double transfer = 0.0;
+        net.pairwise_exchange_split(hop.bytes, fixed, transfer);
+        const double comm = fixed + transfer;
         const std::uint64_t mask = std::uint64_t{1}
                                    << static_cast<unsigned>(hop.rank_bit);
         for (std::uint64_t r = 0; r < nodes; ++r) {
           const std::uint64_t partner = r ^ mask;
           if (partner < r) continue;  // each pair once
+          if (timeline != nullptr)
+            timeline->on_exchange(r, partner, pidx,
+                                  static_cast<std::uint32_t>(h), hop.rank_bit,
+                                  hop.bytes, fixed, transfer, clock[r],
+                                  clock[partner]);
           const double ready = std::max(clock[r], clock[partner]) + comm;
           clock[r] = ready;
           clock[partner] = ready;
@@ -101,9 +117,12 @@ double event_driven_makespan(const sv::ExecutionPlan& plan,
     }
     const double base = cost.phases[i].seconds;
     if (base == 0.0) continue;
+    const auto gates = static_cast<std::uint32_t>(phase.gates.size());
     for (std::uint64_t r = 0; r < nodes; ++r) {
       double compute = base;
       if (r == straggler.node) compute *= straggler.slowdown;
+      if (timeline != nullptr)
+        timeline->on_compute(r, pidx, phase.kind, gates, clock[r], compute);
       clock[r] += compute;
     }
   }

@@ -52,14 +52,27 @@ struct StragglerConfig {
   double slowdown = 1.0;
 };
 
+/// Observer of the makespan simulation (dist/timeline.hpp). Forward
+/// declared so passing nullptr costs nothing and the header stays light.
+class TimelineBuilder;
+
+/// event_driven_makespan keeps one clock (and, with a recorder, an event
+/// list) per simulated rank; plans wider than this are refused with a
+/// structured Error naming the plan and its rank count.
+inline constexpr std::uint64_t kMakespanMaxRanks = std::uint64_t{1} << 22;
+
 /// Event-driven makespan: per-node clocks, rendezvous at each exchange hop.
 /// Without a straggler this equals the BSP total (all nodes identical);
 /// with one it shows how the delay spreads through the exchange pattern.
+/// A non-null `timeline` records every scheduled interval (the recorder
+/// does not perturb the result — clocks are computed identically with and
+/// without it); use dist::record_timeline for the packaged entry point.
 double event_driven_makespan(const sv::ExecutionPlan& plan,
                              const machine::MachineSpec& m,
                              const machine::ExecConfig& config,
                              const InterconnectSpec& net,
-                             const StragglerConfig& straggler = {});
+                             const StragglerConfig& straggler = {},
+                             TimelineBuilder* timeline = nullptr);
 
 /// Legacy per-gate plan, adapted through to_execution_plan.
 double event_driven_makespan(const DistPlan& plan,

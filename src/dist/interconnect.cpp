@@ -3,9 +3,19 @@
 namespace svsim::dist {
 
 double InterconnectSpec::pairwise_exchange_seconds(double bytes) const {
+  double fixed = 0.0;
+  double transfer = 0.0;
+  pairwise_exchange_split(bytes, fixed, transfer);
+  return fixed + transfer;
+}
+
+void InterconnectSpec::pairwise_exchange_split(double bytes,
+                                               double& fixed_seconds,
+                                               double& transfer_seconds) const {
   const double rate =
       link_bandwidth_gbps * 1e9 * static_cast<double>(concurrent_links);
-  return latency_seconds + software_overhead_seconds + bytes / rate;
+  fixed_seconds = latency_seconds + software_overhead_seconds;
+  transfer_seconds = bytes / rate;
 }
 
 InterconnectSpec InterconnectSpec::tofu_d() {

@@ -22,6 +22,14 @@ struct InterconnectSpec {
   /// Seconds for partner nodes to exchange `bytes` each way (full duplex).
   double pairwise_exchange_seconds(double bytes) const;
 
+  /// The same cost split into its two scaling regimes: `fixed_seconds` =
+  /// latency + software overhead (scales with message count), and
+  /// `transfer_seconds` = bytes / (links x rate) (scales with volume).
+  /// `pairwise_exchange_seconds(b)` equals `fixed + transfer` bit-exactly;
+  /// the timeline what-if replay relies on re-pricing the terms separately.
+  void pairwise_exchange_split(double bytes, double& fixed_seconds,
+                               double& transfer_seconds) const;
+
   /// Fugaku's Tofu Interconnect D: 6.8 GB/s per link, 4 usable TNIs,
   /// ~0.5 µs put latency.
   static InterconnectSpec tofu_d();

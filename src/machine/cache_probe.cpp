@@ -85,11 +85,29 @@ CacheProbeResult run_cache_probe(std::size_t min_bytes, std::size_t max_bytes,
   return r;
 }
 
+namespace {
+
+/// Test override slot for probed_cache_budget(); see the header.
+const CacheProbeResult* g_probe_override = nullptr;
+CacheProbeResult g_probe_override_storage;
+
+}  // namespace
+
 const CacheProbeResult& probed_cache_budget() {
+  if (g_probe_override != nullptr) return *g_probe_override;
   static std::once_flag once;
   static CacheProbeResult result;
   std::call_once(once, [] { result = run_cache_probe(); });
   return result;
+}
+
+void set_probed_cache_budget_for_testing(const CacheProbeResult* result) {
+  if (result == nullptr) {
+    g_probe_override = nullptr;
+    return;
+  }
+  g_probe_override_storage = *result;
+  g_probe_override = &g_probe_override_storage;
 }
 
 double cache_budget_disagreement(const MachineSpec& m,

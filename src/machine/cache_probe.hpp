@@ -48,8 +48,16 @@ CacheProbeResult run_cache_probe(std::size_t min_bytes = std::size_t{32} << 10,
 
 /// The process-wide probe result, measured lazily on first call and cached
 /// (thread-safe). Everything that wants "the" probed budget — profiler env
-/// blocks, startup diagnostics — reads this one.
+/// blocks, startup diagnostics, SVSIM_CACHE_BUDGET=probed block sizing —
+/// reads this one.
 const CacheProbeResult& probed_cache_budget();
+
+/// Test seam: makes probed_cache_budget() return a copy of `result` instead
+/// of measuring (the real probe is host-dependent and can be inconclusive
+/// under emulation). Pass nullptr to restore the measured result. Not
+/// thread-safe against concurrent probed_cache_budget() readers — test use
+/// only.
+void set_probed_cache_budget_for_testing(const CacheProbeResult* result);
 
 /// Relative disagreement |probed - declared| / declared between the probe
 /// and `m.cache_budget_per_core_bytes()`; 0 when the probe is invalid or

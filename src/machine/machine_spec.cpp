@@ -23,6 +23,23 @@ std::uint64_t MachineSpec::cache_budget_per_core_bytes() const noexcept {
   return llc.size_bytes / sharers;
 }
 
+MachineSpec MachineSpec::scaled(double compute_scale,
+                                double bandwidth_scale) const {
+  require(compute_scale > 0.0 && bandwidth_scale > 0.0,
+          "MachineSpec::scaled: scale factors must be positive");
+  MachineSpec m = *this;
+  m.name = name + " [x" + std::to_string(compute_scale) + " compute, x" +
+           std::to_string(bandwidth_scale) + " bandwidth]";
+  m.clock_ghz *= compute_scale;
+  for (CacheLevel& level : m.caches) {
+    level.core_bandwidth_gbps *= bandwidth_scale;
+    level.domain_bandwidth_gbps *= bandwidth_scale;
+  }
+  m.mem_bandwidth_gbps_per_domain *= bandwidth_scale;
+  m.core_mem_bandwidth_gbps *= bandwidth_scale;
+  return m;
+}
+
 MachineSpec MachineSpec::a64fx() {
   MachineSpec m;
   m.name = "A64FX (2.0 GHz)";

@@ -76,6 +76,12 @@ struct MachineSpec {
   /// ≈ 680 KiB). 0 when no cache levels are described.
   std::uint64_t cache_budget_per_core_bytes() const noexcept;
 
+  /// What-if knob override: this machine with every clock scaled by
+  /// `compute_scale` and every bandwidth figure (cache, memory, per-core)
+  /// scaled by `bandwidth_scale`. Capacities, core counts, and latencies
+  /// are unchanged; the name is annotated so artifacts show the scenario.
+  MachineSpec scaled(double compute_scale, double bandwidth_scale) const;
+
   // ---- factory machine descriptions --------------------------------------
   /// Fujitsu A64FX at 2.0 GHz (normal mode), 4 CMGs x 12 cores, HBM2.
   static MachineSpec a64fx();

@@ -1,0 +1,423 @@
+#include "perf/critical_path.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace svsim::perf {
+
+using dist::kNoPartnerEvent;
+using dist::RankTimeline;
+using dist::Timeline;
+using dist::TimelineEvent;
+using dist::TimelineEventKind;
+
+namespace {
+
+/// Last real (non-Wait) event of `rank` at or before `idx`; -1 if none.
+/// Waits are symptoms, not causes: the walk crosses them to the event
+/// whose end actually equals the dependent event's start clock.
+std::ptrdiff_t last_real_event(const RankTimeline& rank, std::ptrdiff_t idx) {
+  while (idx >= 0 &&
+         rank.events[static_cast<std::size_t>(idx)].kind ==
+             TimelineEventKind::Wait)
+    --idx;
+  return idx;
+}
+
+CriticalPathStep make_step(const Timeline& t, std::uint64_t rank,
+                           std::size_t idx) {
+  const TimelineEvent& e = t.ranks[rank].events[idx];
+  CriticalPathStep s;
+  s.rank = rank;
+  s.event_index = static_cast<std::uint32_t>(idx);
+  s.kind = e.kind;
+  s.phase_kind = e.phase_kind;
+  s.phase_index = e.phase_index;
+  s.start_seconds = e.start_seconds;
+  s.duration_seconds = e.duration_seconds;
+  return s;
+}
+
+}  // namespace
+
+CriticalPath extract_critical_path(const Timeline& t) {
+  CriticalPath cp;
+  cp.makespan_seconds = t.makespan_seconds;
+  cp.imbalance = t.imbalance();
+  cp.wire_utilization = t.wire_utilization();
+  cp.slack_histogram.assign(kSlackHistogramBuckets, 0);
+  cp.ranks.resize(t.ranks.size());
+
+  for (std::size_t r = 0; r < t.ranks.size(); ++r) {
+    const RankTimeline& rt = t.ranks[r];
+    RankAttribution& a = cp.ranks[r];
+    a.rank = rt.rank;
+    a.compute_seconds = rt.compute_seconds;
+    a.wire_seconds = rt.wire_seconds;
+    a.wait_seconds = rt.wait_seconds;
+    a.slack_seconds = t.makespan_seconds - rt.end_seconds;
+    if (t.makespan_seconds > 0.0) {
+      const double frac = a.slack_seconds / t.makespan_seconds;
+      auto bucket = static_cast<std::size_t>(
+          frac * static_cast<double>(kSlackHistogramBuckets));
+      if (bucket >= kSlackHistogramBuckets)
+        bucket = kSlackHistogramBuckets - 1;
+      ++cp.slack_histogram[bucket];
+    }
+  }
+
+  // The finishing event: the latest rank end (ties to the lowest rank,
+  // for determinism). An all-empty timeline has no path.
+  std::ptrdiff_t finish_rank = -1;
+  double finish_end = 0.0;
+  for (std::size_t r = 0; r < t.ranks.size(); ++r) {
+    if (t.ranks[r].events.empty()) continue;
+    if (finish_rank < 0 || t.ranks[r].end_seconds > finish_end) {
+      finish_rank = static_cast<std::ptrdiff_t>(r);
+      finish_end = t.ranks[r].end_seconds;
+    }
+  }
+  if (finish_rank < 0) return cp;
+
+  // Backward walk: from each event, the gating predecessor is whichever
+  // candidate chain ends exactly at this event's start — the same rank's
+  // previous real event, or (for a Wire) the partner's chain before its
+  // matching Wire. Rendezvous semantics guarantee the later arrival's
+  // chain end *is* the start clock, bit-exactly.
+  std::vector<CriticalPathStep> rev;
+  auto rank = static_cast<std::uint64_t>(finish_rank);
+  std::ptrdiff_t idx = last_real_event(
+      t.ranks[rank],
+      static_cast<std::ptrdiff_t>(t.ranks[rank].events.size()) - 1);
+  while (idx >= 0) {
+    const TimelineEvent& e = t.ranks[rank].events[static_cast<std::size_t>(idx)];
+    rev.push_back(make_step(t, rank, static_cast<std::size_t>(idx)));
+    cp.ranks[rank].critical_seconds += e.duration_seconds;
+    if (!(e.start_seconds > 0.0)) break;  // reached t = 0
+
+    const std::ptrdiff_t same = last_real_event(t.ranks[rank], idx - 1);
+    std::ptrdiff_t across = -1;
+    std::uint64_t across_rank = rank;
+    if (e.kind == TimelineEventKind::Wire && e.partner_event != kNoPartnerEvent) {
+      across_rank = e.partner;
+      across = last_real_event(
+          t.ranks[across_rank],
+          static_cast<std::ptrdiff_t>(e.partner_event) - 1);
+    }
+    const double same_end =
+        same >= 0
+            ? t.ranks[rank].events[static_cast<std::size_t>(same)].end_seconds()
+            : -1.0;
+    const double across_end =
+        across >= 0 ? t.ranks[across_rank]
+                          .events[static_cast<std::size_t>(across)]
+                          .end_seconds()
+                    : -1.0;
+    SVSIM_ASSERT(same >= 0 || across >= 0);
+    if (across >= 0 && across_end > same_end) {
+      rank = across_rank;
+      idx = across;
+    } else {
+      idx = same;
+    }
+  }
+  std::reverse(rev.begin(), rev.end());
+  cp.steps = std::move(rev);
+
+  // Chronological accumulation re-runs the exact FP addition chain the
+  // simulator's clocks performed, so path_seconds == makespan bit-exactly.
+  for (const CriticalPathStep& s : cp.steps) {
+    cp.path_seconds += s.duration_seconds;
+    switch (s.kind) {
+      case TimelineEventKind::Compute: cp.compute_seconds += s.duration_seconds; break;
+      case TimelineEventKind::Wire: cp.wire_seconds += s.duration_seconds; break;
+      case TimelineEventKind::Wait: cp.wait_seconds += s.duration_seconds; break;
+    }
+  }
+  return cp;
+}
+
+WhatIfResult replay_timeline(const Timeline& t, const WhatIfKnobs& knobs) {
+  require(knobs.compute_scale > 0.0 && knobs.link_bandwidth_scale > 0.0 &&
+              knobs.latency_scale > 0.0,
+          "replay_timeline: scale knobs must be positive");
+  WhatIfResult result;
+  result.knobs = knobs;
+  result.baseline_seconds = t.makespan_seconds;
+
+  const std::size_t nranks = t.ranks.size();
+  std::vector<double> clocks(nranks, 0.0);
+  std::vector<std::size_t> cursor(nranks, 0);
+
+  // Worklist replay: drain each rank until it blocks on a rendezvous whose
+  // partner has not yet reached the matching Wire. Waits are not replayed
+  // — they re-emerge implicitly from the rendezvous max().
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t r = 0; r < nranks; ++r) {
+      const auto& events = t.ranks[r].events;
+      while (cursor[r] < events.size()) {
+        const TimelineEvent& e = events[cursor[r]];
+        if (e.kind == TimelineEventKind::Wait) {
+          ++cursor[r];
+          progressed = true;
+          continue;
+        }
+        if (e.kind == TimelineEventKind::Compute) {
+          clocks[r] = clocks[r] + e.duration_seconds / knobs.compute_scale;
+          ++cursor[r];
+          progressed = true;
+          continue;
+        }
+        // Wire: both partners must sit at the matched pair.
+        require(e.partner < nranks && e.partner != r &&
+                    e.partner_event != kNoPartnerEvent,
+                "replay_timeline: wire event without a valid partner");
+        const auto p = static_cast<std::size_t>(e.partner);
+        const auto& pevents = t.ranks[p].events;
+        std::size_t pc = cursor[p];
+        while (pc < pevents.size() &&
+               pevents[pc].kind == TimelineEventKind::Wait)
+          ++pc;
+        if (pc != e.partner_event) break;  // partner still upstream
+        const TimelineEvent& pe = pevents[pc];
+        require(pe.kind == TimelineEventKind::Wire && pe.partner == r,
+                "replay_timeline: partner indices do not match");
+        const double comm = e.fixed_seconds * knobs.latency_scale +
+                            e.transfer_seconds / knobs.link_bandwidth_scale;
+        const double ready = std::max(clocks[r], clocks[p]) + comm;
+        clocks[r] = ready;
+        clocks[p] = ready;
+        ++cursor[r];
+        cursor[p] = pc + 1;
+        progressed = true;
+      }
+    }
+  }
+  for (std::size_t r = 0; r < nranks; ++r)
+    require(cursor[r] == t.ranks[r].events.size(),
+            "replay_timeline: deadlock — timeline partner indices are "
+            "inconsistent");
+  for (double c : clocks)
+    result.makespan_seconds = std::max(result.makespan_seconds, c);
+  return result;
+}
+
+std::vector<WhatIfKnobs> default_whatif_scenarios() {
+  std::vector<WhatIfKnobs> s(5);
+  s[0].name = "baseline";
+  s[1].name = "compute x2";
+  s[1].compute_scale = 2.0;
+  s[2].name = "link bandwidth x2";
+  s[2].link_bandwidth_scale = 2.0;
+  s[3].name = "link latency /2";
+  s[3].latency_scale = 0.5;
+  s[4].name = "everything x2";
+  s[4].compute_scale = 2.0;
+  s[4].link_bandwidth_scale = 2.0;
+  s[4].latency_scale = 0.5;
+  return s;
+}
+
+std::vector<WhatIfResult> whatif_sensitivity(
+    const Timeline& timeline, const std::vector<WhatIfKnobs>& scenarios) {
+  std::vector<WhatIfResult> results;
+  results.reserve(scenarios.size());
+  for (const WhatIfKnobs& k : scenarios)
+    results.push_back(replay_timeline(timeline, k));
+  return results;
+}
+
+Table timeline_summary_table(const Timeline& t, const CriticalPath& cp) {
+  Table table("timeline summary — " + t.plan_id + " on " + t.machine_name +
+                  " / " + t.interconnect_name,
+              {"metric", "value"});
+  table.add_row({std::string("ranks"),
+                 static_cast<std::int64_t>(t.num_ranks())});
+  table.add_row({std::string("events"),
+                 static_cast<std::int64_t>(t.total_events())});
+  table.add_row({std::string("makespan [us]"), t.makespan_seconds * 1e6});
+  table.add_row({std::string("critical path [us]"), cp.path_seconds * 1e6});
+  table.add_row({std::string("  compute [us]"), cp.compute_seconds * 1e6});
+  table.add_row({std::string("  wire [us]"), cp.wire_seconds * 1e6});
+  table.add_row({std::string("  wait [us]"), cp.wait_seconds * 1e6});
+  table.add_row({std::string("compute fraction"), cp.compute_fraction()});
+  table.add_row({std::string("wire fraction"), cp.wire_fraction()});
+  table.add_row({std::string("imbalance (max/mean busy)"), cp.imbalance});
+  table.add_row({std::string("wire utilization"), cp.wire_utilization});
+  return table;
+}
+
+Table rank_attribution_table(const CriticalPath& cp, std::size_t max_rows) {
+  Table table("per-rank attribution (compute/wire/wait/slack span the "
+              "makespan)",
+              {"rank", "compute [us]", "wire [us]", "wait [us]", "slack [us]",
+               "critical [us]"});
+  for (std::size_t i = 0; i < cp.ranks.size() && i < max_rows; ++i) {
+    const RankAttribution& a = cp.ranks[i];
+    table.add_row({static_cast<std::int64_t>(a.rank),
+                   a.compute_seconds * 1e6, a.wire_seconds * 1e6,
+                   a.wait_seconds * 1e6, a.slack_seconds * 1e6,
+                   a.critical_seconds * 1e6});
+  }
+  return table;
+}
+
+Table critical_path_table(const CriticalPath& cp, std::size_t top_n) {
+  std::vector<const CriticalPathStep*> by_duration;
+  by_duration.reserve(cp.steps.size());
+  for (const CriticalPathStep& s : cp.steps) by_duration.push_back(&s);
+  std::stable_sort(by_duration.begin(), by_duration.end(),
+                   [](const CriticalPathStep* a, const CriticalPathStep* b) {
+                     return a->duration_seconds > b->duration_seconds;
+                   });
+  Table table("critical path — longest steps",
+              {"start [us]", "duration [us]", "rank", "kind", "phase kind",
+               "phase"});
+  for (std::size_t i = 0; i < by_duration.size() && i < top_n; ++i) {
+    const CriticalPathStep& s = *by_duration[i];
+    table.add_row({s.start_seconds * 1e6, s.duration_seconds * 1e6,
+                   static_cast<std::int64_t>(s.rank),
+                   std::string(dist::timeline_event_kind_name(s.kind)),
+                   std::string(sv::phase_kind_name(s.phase_kind)),
+                   static_cast<std::int64_t>(s.phase_index)});
+  }
+  return table;
+}
+
+Table whatif_table(const std::vector<WhatIfResult>& results) {
+  Table table("what-if sensitivity (recorded schedule, re-priced)",
+              {"scenario", "compute x", "link bw x", "latency x",
+               "makespan [us]", "speedup"});
+  for (const WhatIfResult& r : results)
+    table.add_row({r.knobs.name, r.knobs.compute_scale,
+                   r.knobs.link_bandwidth_scale, r.knobs.latency_scale,
+                   r.makespan_seconds * 1e6, r.speedup()});
+  return table;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+void write_event_json(std::ostream& os, const TimelineEvent& e) {
+  os << "{\"kind\":\"" << dist::timeline_event_kind_name(e.kind)
+     << "\",\"phase_kind\":\"" << sv::phase_kind_name(e.phase_kind)
+     << "\",\"phase\":" << e.phase_index << ",\"start_seconds\":"
+     << e.start_seconds << ",\"duration_seconds\":" << e.duration_seconds;
+  if (e.kind == TimelineEventKind::Compute) {
+    os << ",\"gates\":" << e.gates;
+  } else {
+    os << ",\"hop\":" << e.hop_index << ",\"partner\":" << e.partner
+       << ",\"rank_bit\":" << e.rank_bit;
+    if (e.kind == TimelineEventKind::Wire)
+      os << ",\"bytes\":" << e.bytes << ",\"fixed_seconds\":"
+         << e.fixed_seconds << ",\"transfer_seconds\":" << e.transfer_seconds
+         << ",\"partner_event\":" << e.partner_event;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_timeline_json(const Timeline& t, const CriticalPath& cp,
+                         const std::vector<WhatIfResult>& whatif,
+                         std::ostream& os) {
+  os.precision(17);
+  os << "{\n";
+  os << "  \"version\": 1,\n";
+  os << "  \"plan\": {\"id\": ";
+  write_json_string(os, t.plan_id);
+  os << ", \"num_qubits\": " << t.num_qubits
+     << ", \"node_qubits\": " << t.node_qubits
+     << ", \"local_qubits\": " << t.local_qubits
+     << ", \"block_qubits\": " << t.block_qubits
+     << ", \"num_phases\": " << t.num_phases
+     << ", \"ranks\": " << t.num_ranks() << "},\n";
+  os << "  \"machine\": ";
+  write_json_string(os, t.machine_name);
+  os << ",\n  \"interconnect\": ";
+  write_json_string(os, t.interconnect_name);
+  os << ",\n";
+  os << "  \"makespan_seconds\": " << t.makespan_seconds << ",\n";
+  os << "  \"imbalance\": " << cp.imbalance << ",\n";
+  os << "  \"wire_utilization\": " << cp.wire_utilization << ",\n";
+
+  os << "  \"ranks\": [\n";
+  for (std::size_t r = 0; r < t.ranks.size(); ++r) {
+    const RankTimeline& rt = t.ranks[r];
+    os << "    {\"rank\": " << rt.rank
+       << ", \"end_seconds\": " << rt.end_seconds
+       << ", \"compute_seconds\": " << rt.compute_seconds
+       << ", \"wire_seconds\": " << rt.wire_seconds
+       << ", \"wait_seconds\": " << rt.wait_seconds << ", \"events\": [";
+    for (std::size_t i = 0; i < rt.events.size(); ++i) {
+      if (i) os << ",";
+      write_event_json(os, rt.events[i]);
+    }
+    os << "]}" << (r + 1 < t.ranks.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"critical_path\": {\"path_seconds\": " << cp.path_seconds
+     << ", \"compute_seconds\": " << cp.compute_seconds
+     << ", \"wire_seconds\": " << cp.wire_seconds
+     << ", \"wait_seconds\": " << cp.wait_seconds << ", \"steps\": [";
+  for (std::size_t i = 0; i < cp.steps.size(); ++i) {
+    const CriticalPathStep& s = cp.steps[i];
+    os << (i ? "," : "") << "\n    {\"rank\":" << s.rank
+       << ",\"event_index\":" << s.event_index << ",\"kind\":\""
+       << dist::timeline_event_kind_name(s.kind) << "\",\"phase_kind\":\""
+       << sv::phase_kind_name(s.phase_kind) << "\",\"phase\":" << s.phase_index
+       << ",\"start_seconds\":" << s.start_seconds
+       << ",\"duration_seconds\":" << s.duration_seconds << "}";
+  }
+  os << "\n  ]},\n";
+
+  os << "  \"attribution\": [\n";
+  for (std::size_t i = 0; i < cp.ranks.size(); ++i) {
+    const RankAttribution& a = cp.ranks[i];
+    os << "    {\"rank\": " << a.rank
+       << ", \"compute_seconds\": " << a.compute_seconds
+       << ", \"wire_seconds\": " << a.wire_seconds
+       << ", \"wait_seconds\": " << a.wait_seconds
+       << ", \"slack_seconds\": " << a.slack_seconds
+       << ", \"critical_seconds\": " << a.critical_seconds << "}"
+       << (i + 1 < cp.ranks.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+
+  os << "  \"slack_histogram\": [";
+  for (std::size_t i = 0; i < cp.slack_histogram.size(); ++i)
+    os << (i ? "," : "") << cp.slack_histogram[i];
+  os << "],\n";
+
+  os << "  \"whatif\": [\n";
+  for (std::size_t i = 0; i < whatif.size(); ++i) {
+    const WhatIfResult& w = whatif[i];
+    os << "    {\"name\": ";
+    write_json_string(os, w.knobs.name);
+    os << ", \"compute_scale\": " << w.knobs.compute_scale
+       << ", \"link_bandwidth_scale\": " << w.knobs.link_bandwidth_scale
+       << ", \"latency_scale\": " << w.knobs.latency_scale
+       << ", \"makespan_seconds\": " << w.makespan_seconds
+       << ", \"baseline_seconds\": " << w.baseline_seconds
+       << ", \"speedup\": " << w.speedup() << "}"
+       << (i + 1 < whatif.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace svsim::perf

@@ -1,10 +1,13 @@
 #include "sv/plan.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <ostream>
 
 #include "common/error.hpp"
+#include "machine/cache_probe.hpp"
 #include "machine/machine_spec.hpp"
 #include "obs/metrics.hpp"
 #include "sv/fusion.hpp"
@@ -35,6 +38,12 @@ bool measure_gate(const Gate& g) {
 }
 
 }  // namespace
+
+std::string ExecutionPlan::summary_id() const {
+  return "q" + std::to_string(num_qubits) + "r" + std::to_string(num_ranks()) +
+         "b" + std::to_string(block_qubits) + "p" +
+         std::to_string(phases.size()) + "g" + std::to_string(total_gates());
+}
 
 std::size_t ExecutionPlan::num_windows() const noexcept {
   std::size_t windows = 0;
@@ -182,8 +191,31 @@ void ExecutionPlan::validate() const {
             "plan: final_slot_of does not match the executed permutation");
 }
 
+namespace {
+
+/// SVSIM_CACHE_BUDGET selects where the auto-blocking budget comes from:
+/// "declared" (default) trusts the MachineSpec LLC share, "probed" uses
+/// the startup microprobe's measured knee when it found one.
+bool cache_budget_prefers_probe() {
+  const char* mode = std::getenv("SVSIM_CACHE_BUDGET");
+  if (mode == nullptr || *mode == '\0' ||
+      std::strcmp(mode, "declared") == 0)
+    return false;
+  if (std::strcmp(mode, "probed") == 0) return true;
+  throw Error(std::string("SVSIM_CACHE_BUDGET: unknown mode \"") + mode +
+              "\" (expected \"probed\" or \"declared\")");
+}
+
+}  // namespace
+
 std::uint64_t plan_cache_budget(const PlanOptions& options) {
   if (options.cache_bytes != 0) return options.cache_bytes;
+  if (cache_budget_prefers_probe()) {
+    const machine::CacheProbeResult& probe = machine::probed_cache_budget();
+    if (probe.valid && probe.effective_bytes != 0)
+      return probe.effective_bytes;
+    // Inconclusive probe: fall through to the declared description.
+  }
   if (options.machine != nullptr) {
     const std::uint64_t budget = options.machine->cache_budget_per_core_bytes();
     if (budget != 0) return budget;

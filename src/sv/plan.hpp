@@ -120,6 +120,10 @@ struct ExecutionPlan {
   /// Gates applied per traversal — the amortization the sweep engine buys.
   double gates_per_traversal() const noexcept;
 
+  /// Compact plan identifier for diagnostics and artifacts:
+  /// "q<num_qubits>r<ranks>b<block_qubits>p<phases>g<total_gates>".
+  std::string summary_id() const;
+
   /// Recomputes the aggregate fields from the phases and defaults
   /// final_slot_of to identity when unset.
   void finalize();
@@ -157,6 +161,12 @@ struct PlanOptions {
 
 /// The cache budget auto block sizing will use under `options` (explicit
 /// bytes > machine-derived per-core LLC share > 512 KiB fallback).
+///
+/// `SVSIM_CACHE_BUDGET=probed` swaps the machine-derived share for the
+/// startup microprobe's measured figure (machine/cache_probe.hpp) when the
+/// probe found a valid knee; `declared` (or unset) keeps the MachineSpec
+/// description. Explicit `options.cache_bytes` always wins. Any other
+/// value throws Error.
 std::uint64_t plan_cache_budget(const PlanOptions& options);
 
 /// Compiler building block shared with dist::compile_distributed: appends

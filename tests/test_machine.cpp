@@ -47,6 +47,25 @@ TEST(MachineSpec, Fx700Variant) {
                    MachineSpec::a64fx().stream_bandwidth_gbps());
 }
 
+TEST(MachineSpec, ScaledMultipliesComputeAndBandwidth) {
+  const MachineSpec base = MachineSpec::a64fx();
+  const MachineSpec fast = base.scaled(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(fast.clock_ghz, 2.0 * base.clock_ghz);
+  EXPECT_DOUBLE_EQ(fast.peak_gflops(), 2.0 * base.peak_gflops());
+  EXPECT_DOUBLE_EQ(fast.stream_bandwidth_gbps(),
+                   3.0 * base.stream_bandwidth_gbps());
+  ASSERT_EQ(fast.caches.size(), base.caches.size());
+  for (std::size_t i = 0; i < base.caches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fast.caches[i].core_bandwidth_gbps,
+                     3.0 * base.caches[i].core_bandwidth_gbps);
+    // Capacity is a property of the silicon, not of the what-if knob.
+    EXPECT_EQ(fast.caches[i].size_bytes, base.caches[i].size_bytes);
+  }
+  EXPECT_NE(fast.name, base.name);
+  EXPECT_THROW(base.scaled(0.0, 1.0), Error);
+  EXPECT_THROW(base.scaled(1.0, -2.0), Error);
+}
+
 TEST(MachineSpec, ComparatorMachines) {
   const MachineSpec xeon = MachineSpec::xeon_6148_dual();
   EXPECT_EQ(xeon.total_cores(), 40u);

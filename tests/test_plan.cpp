@@ -12,11 +12,13 @@
 
 #include <cmath>
 #include <complex>
+#include <cstdlib>
 #include <vector>
 
 #include "common/error.hpp"
 #include "dist/dist_plan.hpp"
 #include "dist/dist_sim.hpp"
+#include "machine/cache_probe.hpp"
 #include "machine/machine_spec.hpp"
 #include "obs/metrics.hpp"
 #include "perf/perf_simulator.hpp"
@@ -54,6 +56,89 @@ TEST(PlanCacheBudget, MachineDerivesPerCoreShare) {
 TEST(PlanCacheBudget, FallsBackToSweepDefault) {
   EXPECT_EQ(plan_cache_budget(PlanOptions{}), SweepOptions{}.cache_bytes);
   EXPECT_EQ(SweepOptions{}.cache_bytes, 512u * 1024u);
+}
+
+/// Pins SVSIM_CACHE_BUDGET and the probe override for one test, restoring
+/// the default (env unset, probe measured) on exit.
+struct ScopedCacheBudgetMode {
+  ScopedCacheBudgetMode(const char* mode,
+                        const machine::CacheProbeResult* probe) {
+    if (mode != nullptr) ::setenv("SVSIM_CACHE_BUDGET", mode, 1);
+    machine::set_probed_cache_budget_for_testing(probe);
+  }
+  ~ScopedCacheBudgetMode() {
+    ::unsetenv("SVSIM_CACHE_BUDGET");
+    machine::set_probed_cache_budget_for_testing(nullptr);
+  }
+};
+
+TEST(PlanCacheBudget, ProbedModeUsesTheMeasuredKnee) {
+  machine::CacheProbeResult probe;
+  probe.valid = true;
+  probe.effective_bytes = 128u * 1024u;
+  ScopedCacheBudgetMode scope("probed", &probe);
+
+  const auto m = machine::MachineSpec::a64fx();
+  PlanOptions po;
+  po.machine = &m;
+  EXPECT_EQ(plan_cache_budget(po), 128u * 1024u);
+
+  // Explicit bytes still beat the probe.
+  po.cache_bytes = 99999;
+  EXPECT_EQ(plan_cache_budget(po), 99999u);
+}
+
+TEST(PlanCacheBudget, ProbedAndDeclaredDisagreeOnBlockSize) {
+  // A probe knee well below the declared A64FX LLC share (>25%
+  // disagreement, the kCacheProbeWarnThreshold regime) must steer
+  // auto-blocking to a smaller sweep block than the declared budget picks.
+  const auto m = machine::MachineSpec::a64fx();
+  machine::CacheProbeResult probe;
+  probe.valid = true;
+  probe.effective_bytes = 128u * 1024u;
+  ASSERT_GT(machine::cache_budget_disagreement(m, probe),
+            machine::kCacheProbeWarnThreshold);
+
+  const Circuit c = qc::qft(24);
+  PlanOptions po;
+  po.blocking = true;
+  po.machine = &m;
+
+  unsigned probed_blocks = 0;
+  {
+    ScopedCacheBudgetMode scope("probed", &probe);
+    probed_blocks = compile_plan(c, po).block_qubits;
+  }
+  const unsigned declared_blocks = compile_plan(c, po).block_qubits;
+  EXPECT_LT(probed_blocks, declared_blocks);
+  EXPECT_EQ(probed_blocks,
+            auto_block_qubits(24, probe.effective_bytes, po.amp_bytes,
+                              po.min_free_qubits));
+}
+
+TEST(PlanCacheBudget, InconclusiveProbeFallsBackToDeclared) {
+  machine::CacheProbeResult probe;  // valid == false
+  ScopedCacheBudgetMode scope("probed", &probe);
+  const auto m = machine::MachineSpec::a64fx();
+  PlanOptions po;
+  po.machine = &m;
+  EXPECT_EQ(plan_cache_budget(po), m.cache_budget_per_core_bytes());
+}
+
+TEST(PlanCacheBudget, UnknownModeIsAnError) {
+  ScopedCacheBudgetMode scope("psychic", nullptr);
+  EXPECT_THROW(plan_cache_budget(PlanOptions{}), Error);
+}
+
+TEST(PlanCacheBudget, DeclaredModeIsTheDefaultSpelledOut) {
+  machine::CacheProbeResult probe;
+  probe.valid = true;
+  probe.effective_bytes = 128u * 1024u;
+  ScopedCacheBudgetMode scope("declared", &probe);
+  const auto m = machine::MachineSpec::a64fx();
+  PlanOptions po;
+  po.machine = &m;
+  EXPECT_EQ(plan_cache_budget(po), m.cache_budget_per_core_bytes());
 }
 
 // -------------------------------------------------------------- compiler --

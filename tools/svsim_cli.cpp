@@ -16,6 +16,11 @@
 //             [--block-qubits B] [--machine NAME] [--threads T] [--seed S]
 //             [--counters] [--json FILE] [--overlay FILE]
 //             [--openmetrics FILE]
+//   svsim timeline <circuit.qasm | --qft N | --qv N D>
+//             [--ranks R] [--sched naive|remap] [--fusion W] [--blocked]
+//             [--block-qubits B] [--machine NAME] [--threads T]
+//             [--net tofu|edr] [--straggler NODE] [--slowdown X]
+//             [--json FILE] [--trace-json FILE] [--metrics]
 //   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
 //             [--route-linear]
 //   svsim machines
@@ -25,11 +30,16 @@
 // (`--drift` also runs the circuit for real and prints the modeled-vs-
 // measured comparison); `plan` compiles the circuit into the ExecutionPlan
 // IR (single-node, or distributed over --ranks R) and prints the phase
-// summary, optionally dumping the plan JSON for scripts/check_plan_schema.py;
+// summary, optionally dumping the plan JSON for scripts/check_plan_schema.py
+// (`--timeline FILE` also records the makespan timeline artifact);
 // `profile` executes the compiled plan with the phase profiler riding
 // sv::run_plan and prints/writes the measured-vs-modeled ProfileReport
 // (scripts/check_profile_schema.py validates the --json artifact);
-// `transpile` prints the rewritten circuit as OpenQASM.
+// `timeline` records the event-driven makespan simulation per rank, prints
+// the critical-path attribution and what-if sensitivity, and writes the
+// timeline JSON artifact (scripts/check_timeline_schema.py validates it)
+// plus a multi-lane Chrome trace; `transpile` prints the rewritten circuit
+// as OpenQASM.
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -43,11 +53,13 @@
 #include "common/table.hpp"
 #include "dist/dist_plan.hpp"
 #include "dist/dist_sim.hpp"
+#include "dist/timeline.hpp"
 #include "machine/cache_probe.hpp"
 #include "obs/hwcounters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "perf/critical_path.hpp"
 #include "perf/power_model.hpp"
 #include "perf/profile_report.hpp"
 #include "perf/report.hpp"
@@ -103,6 +115,12 @@ constexpr OptionSpec kOptionSpecs[] = {
      "write the Chrome-trace phase overlay to FILE (profile)"},
     {"openmetrics", true, false,
      "dump the cumulative profile registry to FILE (profile)"},
+    {"net", true, false, "tofu | edr interconnect model (timeline)"},
+    {"straggler", true, false, "straggling node index (timeline)"},
+    {"slowdown", true, false, "straggler compute slowdown factor (timeline)"},
+    {"timeline", true, false,
+     "record the makespan timeline and write the artifact JSON to FILE "
+     "(plan/profile)"},
     {"optimize", false, false, "run the gate-level optimizer (transpile)"},
     {"basis-cx", false, false, "decompose to the CX basis (transpile)"},
     {"route-linear", false, false, "route for linear connectivity (transpile)"},
@@ -175,13 +193,17 @@ qc::Circuit load_circuit(const Args& args) {
   return qc::parse_qasm_file(args.positional.front());
 }
 
-/// Shared by `plan` and `profile`: compiles the circuit into an
-/// ExecutionPlan from the --ranks/--sched/--fusion/--blocked flags.
-/// `machine` (optional) sizes auto blocks.
+/// Shared by `plan`, `profile`, and `timeline`: compiles the circuit into
+/// an ExecutionPlan from the --ranks/--sched/--fusion/--blocked flags.
+/// `machine` (optional) sizes auto blocks. A nonzero `ranks_override`
+/// replaces --ranks (the timeline what-if recompiles at other widths).
 sv::ExecutionPlan compile_plan_from_args(const Args& args,
                                          const qc::Circuit& circuit,
-                                         const machine::MachineSpec* machine) {
-  const auto ranks = std::stoull(args.get("ranks", "1"));
+                                         const machine::MachineSpec* machine,
+                                         std::uint64_t ranks_override = 0) {
+  const auto ranks = ranks_override != 0
+                         ? ranks_override
+                         : std::stoull(args.get("ranks", "1"));
   require(ranks >= 1 && (ranks & (ranks - 1)) == 0,
           "--ranks must be a power of two");
   const unsigned node_qubits = ranks > 1 ? ilog2(ranks) : 0;
@@ -214,6 +236,45 @@ sv::ExecutionPlan compile_plan_from_args(const Args& args,
   }
   plan.validate();
   return plan;
+}
+
+dist::InterconnectSpec interconnect_by_name(const std::string& name) {
+  if (name == "tofu") return dist::InterconnectSpec::tofu_d();
+  if (name == "edr") return dist::InterconnectSpec::infiniband_edr();
+  throw Error("unknown interconnect '" + name + "' (try tofu, edr)");
+}
+
+dist::StragglerConfig straggler_from_args(const Args& args) {
+  dist::StragglerConfig s;
+  if (args.flag("straggler")) {
+    s.node = std::stoull(args.get("straggler", "0"));
+    s.slowdown = std::stod(args.get("slowdown", "2"));
+  }
+  return s;
+}
+
+/// Records `plan`'s makespan timeline and writes the versioned JSON
+/// artifact (per-rank events + critical path + what-if) to `path`
+/// ('-' = stdout). Shared by `timeline --json`, `plan --timeline`, and
+/// `profile --timeline`.
+void write_timeline_artifact(const sv::ExecutionPlan& plan,
+                             const machine::MachineSpec& m,
+                             const machine::ExecConfig& cfg,
+                             const dist::InterconnectSpec& net,
+                             const dist::StragglerConfig& straggler,
+                             const std::string& path) {
+  const dist::Timeline tl = dist::record_timeline(plan, m, cfg, net, straggler);
+  const perf::CriticalPath cp = perf::extract_critical_path(tl);
+  const auto whatif = perf::whatif_sensitivity(tl);
+  if (path == "-") {
+    perf::write_timeline_json(tl, cp, whatif, std::cout);
+    return;
+  }
+  std::ofstream out(path);
+  require(out.good(), "cannot open '" + path + "' for writing");
+  perf::write_timeline_json(tl, cp, whatif, out);
+  std::cerr << "wrote timeline artifact (" << tl.num_ranks() << " ranks, "
+            << tl.total_events() << " events) to " << path << "\n";
 }
 
 /// Prints the profile report's tables and warnings, shared by `profile`
@@ -488,6 +549,20 @@ int cmd_plan(const Args& args) {
       sv::write_plan_json(plan, out);
     }
   }
+  if (args.flag("timeline")) {
+    // The makespan model needs a concrete machine; default like the other
+    // modeled commands when --machine was omitted.
+    const machine::MachineSpec tm =
+        m ? *m : machine_by_name(args.get("machine", "a64fx"));
+    machine::ExecConfig cfg;
+    if (args.flag("threads"))
+      cfg.threads =
+          static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+    write_timeline_artifact(plan, tm, cfg,
+                            interconnect_by_name(args.get("net", "tofu")),
+                            straggler_from_args(args),
+                            args.get("timeline", "-"));
+  }
   return 0;
 }
 
@@ -558,7 +633,83 @@ int cmd_profile(const Args& args) {
       obs::ProfileRegistry::global().write_openmetrics(out);
     }
   }
+  if (args.flag("timeline"))
+    write_timeline_artifact(plan, m, cfg,
+                            interconnect_by_name(args.get("net", "tofu")),
+                            straggler_from_args(args),
+                            args.get("timeline", "-"));
   tracer.clear();
+  return 0;
+}
+
+int cmd_timeline(const Args& args) {
+  const qc::Circuit circuit = load_circuit(args);
+  const auto m = machine_by_name(args.get("machine", "a64fx"));
+  machine::ExecConfig cfg;
+  if (args.flag("threads"))
+    cfg.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+  const sv::ExecutionPlan plan = compile_plan_from_args(args, circuit, &m);
+  const dist::InterconnectSpec net =
+      interconnect_by_name(args.get("net", "tofu"));
+  const dist::StragglerConfig straggler = straggler_from_args(args);
+  if (args.flag("metrics")) obs::MetricsRegistry::global().reset();
+
+  const dist::Timeline tl = dist::record_timeline(plan, m, cfg, net, straggler);
+  const perf::CriticalPath cp = perf::extract_critical_path(tl);
+  const std::vector<perf::WhatIfResult> whatif = perf::whatif_sensitivity(tl);
+
+  perf::timeline_summary_table(tl, cp).print(std::cout);
+  perf::rank_attribution_table(cp).print(std::cout);
+  perf::critical_path_table(cp).print(std::cout);
+  perf::whatif_table(whatif).print(std::cout);
+
+  // Knobs the replay cannot price — they change the plan (rank count) or
+  // the whole cost model (node throughput) — are recompiled/re-recorded.
+  Table model("what-if (recompiled / remodeled)",
+              {"scenario", "makespan [us]", "speedup"});
+  auto add_scenario = [&](const std::string& name, double makespan) {
+    model.add_row({name, makespan * 1e6,
+                   makespan > 0.0 ? tl.makespan_seconds / makespan : 0.0});
+  };
+  const std::uint64_t ranks = plan.num_ranks();
+  if (ilog2(ranks * 2) + 2 <= circuit.num_qubits()) {
+    const sv::ExecutionPlan wide =
+        compile_plan_from_args(args, circuit, &m, ranks * 2);
+    add_scenario("ranks x2 (" + std::to_string(ranks * 2) + ", recompiled)",
+                 dist::event_driven_makespan(wide, m, cfg, net, straggler));
+  }
+  if (ranks >= 2) {
+    const sv::ExecutionPlan narrow =
+        compile_plan_from_args(args, circuit, &m, ranks / 2);
+    add_scenario("ranks /2 (" + std::to_string(ranks / 2) + ", recompiled)",
+                 dist::event_driven_makespan(narrow, m, cfg, net, straggler));
+  }
+  add_scenario(
+      "node x2 (clock+bandwidth, remodeled)",
+      dist::event_driven_makespan(plan, m.scaled(2.0, 2.0), cfg, net,
+                                  straggler));
+  model.print(std::cout);
+
+  if (args.flag("json")) {
+    const std::string path = args.get("json", "-");
+    if (path == "-") {
+      perf::write_timeline_json(tl, cp, whatif, std::cout);
+    } else {
+      std::ofstream out(path);
+      require(out.good(), "cannot open '" + path + "' for writing");
+      perf::write_timeline_json(tl, cp, whatif, out);
+      std::cerr << "wrote timeline artifact to " << path << "\n";
+    }
+  }
+  if (args.flag("trace-json")) {
+    const std::string path = args.get("trace-json", "timeline_trace.json");
+    std::ofstream out(path);
+    require(out.good(), "cannot open '" + path + "' for writing");
+    dist::write_timeline_chrome_json(out, tl);
+    std::cerr << "wrote timeline Chrome trace (" << tl.num_ranks()
+              << " rank lanes) to " << path << "\n";
+  }
+  if (args.flag("metrics")) obs::MetricsRegistry::global().table().print(std::cout);
   return 0;
 }
 
@@ -602,11 +753,15 @@ void usage() {
       "      [--affinity compact|scatter] [--fusion W] [--trace] [--drift]\n"
       "  plan <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
       "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
-      "      [--dump-plan FILE]\n"
+      "      [--dump-plan FILE] [--timeline FILE]\n"
       "  profile <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
       "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
       "      [--threads T] [--seed S] [--counters] [--json FILE]\n"
-      "      [--overlay FILE] [--openmetrics FILE]\n"
+      "      [--overlay FILE] [--openmetrics FILE] [--timeline FILE]\n"
+      "  timeline <file.qasm|--qft N|--qv N D> [--ranks R] [--sched naive|remap]\n"
+      "      [--fusion W] [--blocked] [--block-qubits B] [--machine NAME]\n"
+      "      [--threads T] [--net tofu|edr] [--straggler NODE] [--slowdown X]\n"
+      "      [--json FILE] [--trace-json FILE] [--metrics]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  machines\n";
 }
@@ -625,6 +780,7 @@ int main(int argc, char** argv) {
     if (cmd == "project") return cmd_project(args);
     if (cmd == "plan") return cmd_plan(args);
     if (cmd == "profile") return cmd_profile(args);
+    if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "transpile") return cmd_transpile(args);
     if (cmd == "machines") return cmd_machines();
     usage();
