@@ -1,0 +1,108 @@
+// Service throughput: compile-once serve-many amortization.
+//
+// svc_throughput — the plan cache's value proposition measured end to end:
+// the same small fused quantum-volume job submitted through svc::Service
+// cache-cold (fresh cache, every submission compiles) vs. cache-warm (one
+// compile, every later submission reuses the cached plan). Reported as
+// jobs/sec and shots/sec; the warm/cold ratio is the per-job compile cost
+// the cache amortizes away. A second table row runs the same circuit as a
+// noisy trajectory job, where the cached plan is walked once per batch via
+// sv::run_plan_batch, so the warm path also amortizes plan traversal
+// across trajectories.
+#include "bench_util.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "qc/library.hpp"
+#include "svc/service.hpp"
+
+using namespace svsim;
+
+namespace {
+
+svc::JobRequest qv_job(unsigned n, unsigned depth, std::size_t shots) {
+  svc::JobRequest req;
+  req.id = "bench";
+  qc::Circuit c = qc::random_quantum_volume(n, depth, 3);
+  c.measure_all();
+  req.circuit = c;
+  req.shots = shots;
+  req.fusion = true;
+  req.fusion_width = 3;
+  req.seed = 11;
+  return req;
+}
+
+}  // namespace
+
+SVSIM_BENCH(svc_throughput, "Service throughput",
+            "plan-cache amortization: jobs/sec cache-cold vs cache-warm") {
+  const unsigned n = ctx.smoke() ? 8 : 12;
+  const unsigned depth = ctx.smoke() ? 3 : 6;
+  const std::size_t shots = ctx.smoke() ? 128 : 1024;
+  const std::size_t noisy_shots = ctx.smoke() ? 32 : 256;
+
+  Table t("Service n=" + std::to_string(n) + " depth=" +
+              std::to_string(depth) + " QV: cold vs warm submissions",
+          {"job", "cold_s", "warm_s", "speedup", "warm_jobs_per_s",
+           "warm_shots_per_s"});
+
+  BenchContext::MeasureOpts mo;
+  mo.min_reps = 3;
+  mo.max_seconds = 2.0;
+
+  // --- Sampled (noiseless) job: compile cost dominates the cold path. ---
+  const svc::JobRequest sampled = qv_job(n, depth, shots);
+  {
+    // Cold: clear the cache before each submission so run_job recompiles.
+    svc::Service service{svc::ServiceOptions{}};
+    const auto cold = ctx.measure(
+        "sampled.cold.s",
+        [&] {
+          service.cache().clear();
+          service.run_job(sampled);
+        },
+        mo);
+
+    service.run_job(sampled);  // prime
+    const auto warm = ctx.measure(
+        "sampled.warm.s", [&] { service.run_job(sampled); }, mo);
+
+    const double jobs_per_s = warm.median > 0 ? 1.0 / warm.median : 0.0;
+    const double shots_per_s = jobs_per_s * static_cast<double>(shots);
+    ctx.derived("sampled.speedup", cold.median / warm.median, "x");
+    ctx.derived("sampled.warm.jobs_per_s", jobs_per_s, "jobs/s");
+    ctx.derived("sampled.warm.shots_per_s", shots_per_s, "shots/s");
+    t.add_row({std::string("sampled"), cold.median, warm.median,
+               cold.median / warm.median, jobs_per_s, shots_per_s});
+  }
+
+  // --- Trajectory job: warm path amortizes the plan walk per batch. ---
+  svc::JobRequest noisy = qv_job(n, depth, noisy_shots);
+  noisy.noise.add_depolarizing(0.01, 1);
+  {
+    svc::Service service{svc::ServiceOptions{}};
+    const auto cold = ctx.measure(
+        "trajectory.cold.s",
+        [&] {
+          service.cache().clear();
+          service.run_job(noisy);
+        },
+        mo);
+
+    service.run_job(noisy);  // prime
+    const auto warm = ctx.measure(
+        "trajectory.warm.s", [&] { service.run_job(noisy); }, mo);
+
+    const double jobs_per_s = warm.median > 0 ? 1.0 / warm.median : 0.0;
+    const double shots_per_s = jobs_per_s * static_cast<double>(noisy_shots);
+    ctx.derived("trajectory.speedup", cold.median / warm.median, "x");
+    ctx.derived("trajectory.warm.jobs_per_s", jobs_per_s, "jobs/s");
+    ctx.derived("trajectory.warm.shots_per_s", shots_per_s, "shots/s");
+    t.add_row({std::string("trajectory"), cold.median, warm.median,
+               cold.median / warm.median, jobs_per_s, shots_per_s});
+  }
+
+  ctx.table(t);
+}

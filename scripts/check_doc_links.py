@@ -2,7 +2,8 @@
 """Markdown link checker for the repo's documentation (stdlib only).
 
 Scans the given markdown files (default: README.md, EXPERIMENTS.md,
-DESIGN.md, and docs/*.md) for inline links and [[wiki]]-free reference
+DESIGN.md, ROADMAP.md, and docs/*.md — SERVICE.md included) for inline
+links and [[wiki]]-free reference
 links, and verifies that every *relative* target resolves to a file or
 directory in the repository. Absolute URLs (http/https/mailto) are not
 fetched — docs must stay checkable offline — but a malformed scheme-less
@@ -27,7 +28,7 @@ HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.M)
 FENCE_RE = re.compile(r"```.*?```", re.S)
 EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
 
-DEFAULT_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md"]
+DEFAULT_FILES = ["README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"]
 
 
 def slugify(heading):

@@ -48,6 +48,20 @@ for id in fig6_blocked_dist.d3.naive.exchanges \
     echo "missing plan-compiler record in jsonl: $id" >&2; exit 1; }
 done
 
+# The service-throughput comparison (docs/SERVICE.md, "svc_throughput")
+# must record both submission paths for both execution modes.
+for id in svc_throughput.sampled.cold.s svc_throughput.sampled.warm.s \
+          svc_throughput.sampled.speedup svc_throughput.trajectory.warm.s \
+          svc_throughput.trajectory.warm.shots_per_s; do
+  grep -q "\"$id\"" BENCH_results.json || {
+    echo "missing service-throughput record: $id" >&2; exit 1; }
+done
+
+# A serve transcript must validate against the service schema: drive the
+# canned session (cache hit, trajectories, bad line, admission rejection).
+python3 scripts/check_service_schema.py \
+  --emit-with "$BUILD"/tools/svsim --output "$BUILD"/service_schema_check.jsonl
+
 # A profile report must come out of the plan-phase profiler: emit the
 # blocked + simulated-distributed artifacts and validate them.
 python3 scripts/check_profile_schema.py \

@@ -143,14 +143,15 @@ void observe_plan_execution(const EngineStats& stats, std::size_t phases) {
 
 }  // namespace
 
-template <typename T>
-void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
-               unsigned block_qubits) {
-  const unsigned n = state.num_qubits();
-  require(block_qubits >= 1 && block_qubits <= n,
-          "run_sweep: block_qubits out of range");
-  if (count == 0) return;
+namespace {
 
+/// Pre-casts `count` block-local gates for precision T, validating block
+/// locality. Shared by the single-state sweep and the batch executor (which
+/// prepares once per sweep for the whole batch).
+template <typename T>
+std::vector<PreparedGate<T>> prepare_sweep(const Gate* gates,
+                                           std::size_t count,
+                                           unsigned block_qubits) {
   std::vector<PreparedGate<T>> prepared;
   prepared.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -159,15 +160,16 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
                                 "boundary (not block-local)");
     prepared.push_back(prepare_gate<T>(gates[i]));
   }
+  return prepared;
+}
 
-  obs::Tracer& tracer = obs::Tracer::global();
-  const bool tracing = tracer.enabled();
-  const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
-
+/// The block loop of one sweep over one state, gates already prepared.
+template <typename T>
+void run_sweep_prepared(StateVector<T>& state, const PreparedGate<T>* pgs,
+                        std::size_t count, unsigned block_qubits) {
   std::complex<T>* psi = state.data();
   const unsigned b = block_qubits;
-  const std::uint64_t num_blocks = pow2(n - b);
-  const PreparedGate<T>* pgs = prepared.data();
+  const std::uint64_t num_blocks = pow2(state.num_qubits() - b);
   // serial_cutoff=2: blocks are large, so even two of them are worth
   // forking; the static partition mirrors the first-touch layout.
   state.pool().parallel_for(
@@ -180,6 +182,26 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
         }
       },
       /*serial_cutoff=*/2);
+}
+
+}  // namespace
+
+template <typename T>
+void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
+               unsigned block_qubits) {
+  const unsigned n = state.num_qubits();
+  require(block_qubits >= 1 && block_qubits <= n,
+          "run_sweep: block_qubits out of range");
+  if (count == 0) return;
+
+  const std::vector<PreparedGate<T>> prepared =
+      prepare_sweep<T>(gates, count, block_qubits);
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+  const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+
+  run_sweep_prepared(state, prepared.data(), count, block_qubits);
 
   // One read + one write of the state serves the whole sweep (in-block
   // traffic stays in cache); this is the bytes label the drift report and
@@ -189,7 +211,8 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
   observe_sweep(count, traversal_bytes);
   if (tracing) {
     tracer.record_span("sweep", obs::SpanCategory::Kernel, nullptr, 0,
-                       /*stride=*/pow2(b), traversal_bytes, start_ns);
+                       /*stride=*/pow2(block_qubits), traversal_bytes,
+                       start_ns);
   }
 }
 
@@ -326,6 +349,120 @@ EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
   return stats;
 }
 
+template <typename T>
+EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
+                           const ExecutionPlan& plan,
+                           const BatchHooks<T>& hooks) {
+  EngineStats stats;
+  if (states.empty()) return stats;
+  const unsigned n = plan.num_qubits;
+  for (const StateVector<T>* s : states) {
+    require(s != nullptr, "run_plan_batch: null state in batch");
+    require(s->num_qubits() == n,
+            "run_plan_batch: state/plan width mismatch");
+  }
+  const std::size_t batch = states.size();
+  const std::uint64_t state_bytes = 2 * pow2(n) * std::uint64_t{2 * sizeof(T)};
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  const bool tracing = tracer.enabled();
+
+  for (const PlanPhase& phase : plan.phases) {
+    switch (phase.kind) {
+      case PhaseKind::LocalSweep: {
+        // The batch payoff: one preparation (coefficient casts, kernel
+        // resolution, block-locality checks) serves every trajectory.
+        const std::vector<PreparedGate<T>> prepared = prepare_sweep<T>(
+            phase.gates.data(), phase.gates.size(), plan.block_qubits);
+        const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+        for (StateVector<T>* s : states)
+          run_sweep_prepared(*s, prepared.data(), prepared.size(),
+                             plan.block_qubits);
+        observe_sweep(phase.gates.size() * batch, state_bytes * batch);
+        if (tracing)
+          tracer.record_span("sweep", obs::SpanCategory::Kernel, nullptr, 0,
+                             pow2(plan.block_qubits), state_bytes * batch,
+                             start_ns);
+        stats.sweeps += batch;
+        stats.traversals += batch;
+        stats.blocked_gates += phase.gates.size() * batch;
+        stats.bytes_streamed += state_bytes * batch;
+        break;
+      }
+      case PhaseKind::DenseGate: {
+        for (const auto& g : phase.gates) {
+          const std::uint64_t gate_bytes = approx_streamed_bytes<T>(g, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          for (std::size_t i = 0; i < batch; ++i) {
+            apply_gate(*states[i], g);
+            if (hooks.after_gate) hooks.after_gate(i, *states[i], g);
+          }
+          if (tracing)
+            tracer.record_span(g.name(), obs::SpanCategory::Kernel,
+                               g.qubits.data(), g.qubits.size(),
+                               pair_stride(g), gate_bytes * batch, start_ns);
+          stats.bytes_streamed += gate_bytes * batch;
+          if (g.kind != GateKind::I && g.kind != GateKind::BARRIER) {
+            stats.passthrough_gates += batch;
+            stats.traversals += batch;
+          }
+        }
+        break;
+      }
+      case PhaseKind::Exchange: {
+        if (!phase.moves_data) break;  // cost-only window marker
+        for (const auto& h : phase.hops) {
+          const Gate swap_gate = Gate::swap(h.local_slot, h.node_slot);
+          const std::uint64_t swap_bytes =
+              approx_streamed_bytes<T>(swap_gate, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          for (StateVector<T>* s : states) apply_gate(*s, swap_gate);
+          if (tracing)
+            tracer.record_span("exchange", obs::SpanCategory::Collective,
+                               swap_gate.qubits.data(), 2,
+                               pair_stride(swap_gate), swap_bytes * batch,
+                               start_ns);
+          stats.exchanges += batch;
+          stats.bytes_streamed += swap_bytes * batch;
+        }
+        break;
+      }
+      case PhaseKind::MeasureFlush: {
+        require(static_cast<bool>(hooks.measure),
+                "run_plan_batch: MEASURE/RESET need a measure hook");
+        for (const auto& g : phase.gates) {
+          const std::uint64_t gate_bytes = approx_streamed_bytes<T>(g, n);
+          const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
+          for (std::size_t i = 0; i < batch; ++i)
+            hooks.measure(i, *states[i], g);
+          if (tracing)
+            tracer.record_span(g.name(), obs::SpanCategory::Measure,
+                               g.qubits.data(), g.qubits.size(),
+                               pair_stride(g), gate_bytes * batch, start_ns);
+          stats.measure_ops += batch;
+          stats.traversals += batch;
+          stats.bytes_streamed += gate_bytes * batch;
+        }
+        break;
+      }
+    }
+  }
+
+  // Each trajectory counts as one plan execution, matching what a per-shot
+  // loop over run_plan would have published (stats.exchanges is already the
+  // batch total, so it is added once, not once per trajectory).
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& execs = registry.counter("plan.executions");
+    static obs::Counter& executed = registry.counter("plan.phases_executed");
+    static obs::Counter& xchg = registry.counter("plan.exchanges_applied");
+    execs.add(batch);
+    executed.add(plan.phases.size() * batch);
+    xchg.add(stats.exchanges);
+  }
+  return stats;
+}
+
 template void run_sweep<float>(StateVector<float>&, const Gate*, std::size_t,
                                unsigned);
 template void run_sweep<double>(StateVector<double>&, const Gate*, std::size_t,
@@ -335,5 +472,11 @@ template EngineStats run_plan<float>(StateVector<float>&, const ExecutionPlan&,
 template EngineStats run_plan<double>(StateVector<double>&,
                                       const ExecutionPlan&,
                                       const PlanHooks<double>&);
+template EngineStats run_plan_batch<float>(
+    const std::vector<StateVector<float>*>&, const ExecutionPlan&,
+    const BatchHooks<float>&);
+template EngineStats run_plan_batch<double>(
+    const std::vector<StateVector<double>*>&, const ExecutionPlan&,
+    const BatchHooks<double>&);
 
 }  // namespace svsim::sv

@@ -64,6 +64,17 @@ struct PlanHooks {
   std::function<void(StateVector<T>&, const qc::Gate&)> after_gate;
 };
 
+/// Batch-execution callbacks: the same contract as PlanHooks with the
+/// trajectory index prepended, so each state in the batch draws from its
+/// own RNG stream and records its own classical bits.
+template <typename T>
+struct BatchHooks {
+  std::function<void(std::size_t traj, StateVector<T>&, const qc::Gate&)>
+      measure;
+  std::function<void(std::size_t traj, StateVector<T>&, const qc::Gate&)>
+      after_gate;
+};
+
 /// Records a copy of every ExecutionPlan run_plan executes while the scope
 /// is alive (in execution order). The plan-phase profiler (obs/profile.hpp)
 /// records measured samples but cannot retain plans — obs sits below sv —
@@ -102,6 +113,23 @@ template <typename T>
 EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
                      const PlanHooks<T>& hooks = {});
 
+/// Executes one plan over a batch of same-width states — the shot-batching
+/// hook the simulation service amortizes noise trajectories with. The plan
+/// is walked ONCE for the whole batch: each LocalSweep's gates are prepared
+/// (coefficients pre-cast, kernels resolved) a single time and applied to
+/// every state, and each phase records a single tracer span labeled with
+/// the batch's combined bytes, so per-trajectory bookkeeping cost drops
+/// with the batch size. Stochastic work comes in through BatchHooks with
+/// the batch-local trajectory index. Stats aggregate over the batch.
+///
+/// Unlike run_plan, the batch path does not emit plan-phase profiler
+/// samples or PlanCaptureScope entries (a sample must describe one state's
+/// traversal; profile single runs instead).
+template <typename T>
+EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
+                           const ExecutionPlan& plan,
+                           const BatchHooks<T>& hooks = {});
+
 extern template void run_sweep<float>(StateVector<float>&, const qc::Gate*,
                                       std::size_t, unsigned);
 extern template void run_sweep<double>(StateVector<double>&, const qc::Gate*,
@@ -112,5 +140,11 @@ extern template EngineStats run_plan<float>(StateVector<float>&,
 extern template EngineStats run_plan<double>(StateVector<double>&,
                                              const ExecutionPlan&,
                                              const PlanHooks<double>&);
+extern template EngineStats run_plan_batch<float>(
+    const std::vector<StateVector<float>*>&, const ExecutionPlan&,
+    const BatchHooks<float>&);
+extern template EngineStats run_plan_batch<double>(
+    const std::vector<StateVector<double>*>&, const ExecutionPlan&,
+    const BatchHooks<double>&);
 
 }  // namespace svsim::sv

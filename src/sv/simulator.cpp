@@ -187,6 +187,70 @@ void Simulator<T>::run_plan(StateVector<T>& state, const ExecutionPlan& plan) {
 
 namespace {
 
+/// O(1) derived seed for global trajectory t. The Xoshiro256 constructor
+/// scrambles its argument through splitmix64 per state word, so a
+/// golden-ratio stride is enough to decorrelate streams — unlike
+/// Xoshiro256::split(), whose t long-jumps would make seeding a batch of B
+/// trajectories O(B^2).
+std::uint64_t trajectory_seed(std::uint64_t seed, std::uint64_t traj) {
+  return seed + (traj + 1) * 0x9e3779b97f4a7c15ull;
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<std::vector<bool>> Simulator<T>::run_plan_batch(
+    const std::vector<StateVector<T>*>& states, const ExecutionPlan& plan,
+    std::uint64_t first_trajectory) {
+  if (states.empty()) return {};
+  for (const StateVector<T>* s : states)
+    require(s != nullptr && s->num_qubits() == plan.num_qubits,
+            "run_plan_batch: state/plan width mismatch");
+
+  std::vector<std::vector<bool>> bits(
+      states.size(), std::vector<bool>(plan.num_clbits, false));
+  // One independent stream per trajectory, keyed by the global index: the
+  // batch split is an execution detail, not part of the random experiment.
+  std::vector<Xoshiro256> rngs;
+  rngs.reserve(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i)
+    rngs.emplace_back(trajectory_seed(options_.seed, first_trajectory + i));
+
+  BatchHooks<T> hooks;
+  hooks.measure = [this, &bits, &rngs](std::size_t traj, StateVector<T>& s,
+                                       const Gate& g) {
+    if (g.kind == GateKind::MEASURE) {
+      bits[traj][g.cbit] = options_.noise.flip_readout(
+          s.measure(g.qubits[0], rngs[traj]), rngs[traj]);
+    } else {
+      s.reset_qubit(g.qubits[0], rngs[traj]);
+    }
+  };
+  if (!options_.noise.empty()) {
+    hooks.after_gate = [this, &rngs](std::size_t traj, StateVector<T>& s,
+                                     const Gate& g) {
+      options_.noise.apply_after(s, g, rngs[traj]);
+    };
+  }
+
+  const EngineStats stats = svsim::sv::run_plan_batch(states, plan, hooks);
+
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs_counter = registry.counter("sv.runs");
+  static obs::Counter& gates_counter = registry.counter("sv.gates_applied");
+  static obs::Counter& bytes_counter = registry.counter("sv.bytes_streamed");
+  static obs::Counter& measure_counter = registry.counter("sv.measure_ops");
+  runs_counter.add(states.size());
+  gates_counter.add(plan.total_gates() * states.size());
+  bytes_counter.add(stats.bytes_streamed);
+  measure_counter.add(stats.measure_ops);
+
+  classical_bits_ = bits.back();
+  return bits;
+}
+
+namespace {
+
 /// True if every MEASURE comes after every non-measure operation.
 bool measurements_trailing(const qc::Circuit& circuit) {
   bool seen_measure = false;

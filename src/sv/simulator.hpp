@@ -80,6 +80,18 @@ class Simulator {
   /// this simulator's RNG and classical-bit buffer, exactly as run_in_place.
   void run_plan(StateVector<T>& state, const ExecutionPlan& plan);
 
+  /// Executes a pre-compiled plan over a batch of same-width states — one
+  /// noise trajectory per state, with the plan walked once for the whole
+  /// batch (engine run_plan_batch). Trajectory i draws from its own RNG
+  /// stream derived from the simulator seed and the GLOBAL trajectory index
+  /// `first_trajectory + i`, so a 100-shot job produces identical results
+  /// whether executed as one batch of 100 or four batches of 25. Returns
+  /// the per-trajectory classical bits; classical_bits() afterwards holds
+  /// the last trajectory's bits.
+  std::vector<std::vector<bool>> run_plan_batch(
+      const std::vector<StateVector<T>*>& states, const ExecutionPlan& plan,
+      std::uint64_t first_trajectory = 0);
+
   /// Classical bits recorded by MEASURE gates in the most recent run.
   const std::vector<bool>& classical_bits() const noexcept {
     return classical_bits_;

@@ -1,0 +1,67 @@
+// JobQueue<T>: the bounded-by-nothing FIFO between job producers and the
+// service worker.
+//
+// The serve loop runs two threads: a reader that parses job lines as they
+// arrive and a worker that executes them in admission order (single worker,
+// so result lines come out in submission order without reordering logic).
+// pop() blocks until an item or close(); close() drains — already-queued
+// items are still delivered, matching an EOF on stdin that must not drop
+// submitted jobs. Library users can drive svc::Service directly and skip
+// the queue entirely.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace svsim::svc {
+
+template <typename T>
+class JobQueue {
+ public:
+  /// Enqueues one item. No-op after close() (the producer lost the race
+  /// with shutdown; the item is dropped, mirroring a closed socket).
+  void push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  /// Blocks for the next item. Returns false — and leaves `out` untouched —
+  /// once the queue is closed and drained.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Marks the end of input; queued items still drain through pop().
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace svsim::svc

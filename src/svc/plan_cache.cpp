@@ -1,0 +1,260 @@
+#include "svc/plan_cache.hpp"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "machine/machine_spec.hpp"
+#include "obs/metrics.hpp"
+#include "qc/circuit.hpp"
+
+namespace svsim::svc {
+
+namespace {
+
+/// FNV-1a 64-bit accumulator. Fast, dependency-free, and good enough for a
+/// cache key space of a few thousand circuits; collisions only cost a wrong
+/// cache hit, which validate()'d width checks would surface immediately.
+class Fnv1a {
+ public:
+  void bytes(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void u64(std::uint64_t v) noexcept { bytes(&v, sizeof(v)); }
+  void u32(std::uint32_t v) noexcept { bytes(&v, sizeof(v)); }
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) noexcept {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void hash_complex(Fnv1a& h, const qc::cplx& c) {
+  h.f64(c.real());
+  h.f64(c.imag());
+}
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+  obs::Gauge& bytes;
+
+  static CacheMetrics& global() {
+    auto& r = obs::MetricsRegistry::global();
+    static CacheMetrics m{r.counter("svc.plan_cache.hits"),
+                          r.counter("svc.plan_cache.misses"),
+                          r.counter("svc.plan_cache.evictions"),
+                          r.gauge("svc.plan_cache.bytes")};
+    return m;
+  }
+};
+
+}  // namespace
+
+std::string PlanKey::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "c%016llx.m%016llx.o%016llx",
+                static_cast<unsigned long long>(circuit_fp),
+                static_cast<unsigned long long>(machine_fp),
+                static_cast<unsigned long long>(options_fp));
+  return buf;
+}
+
+std::uint64_t fingerprint_circuit(const qc::Circuit& circuit) {
+  Fnv1a h;
+  h.u32(circuit.num_qubits());
+  h.u32(circuit.num_clbits());
+  h.u64(circuit.size());
+  for (const auto& g : circuit.gates()) {
+    h.u32(static_cast<std::uint32_t>(g.kind));
+    h.u64(g.qubits.size());
+    for (unsigned q : g.qubits) h.u32(q);
+    h.u64(g.params.size());
+    for (double p : g.params) h.f64(p);
+    h.u32(g.cbit);
+    if (g.kind == qc::GateKind::DIAG) {
+      const auto& diag = g.diagonal_entries();
+      h.u64(diag.size());
+      for (const auto& d : diag) hash_complex(h, d);
+    } else if (g.kind == qc::GateKind::UNITARY ||
+               g.kind == qc::GateKind::U2Q) {
+      const auto& m = g.matrix_payload();
+      h.u64(m.dim());
+      for (unsigned r = 0; r < m.dim(); ++r)
+        for (unsigned c = 0; c < m.dim(); ++c) hash_complex(h, m(r, c));
+    }
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprint_machine(const machine::MachineSpec* machine) {
+  Fnv1a h;
+  if (machine == nullptr) {
+    h.str("<none>");
+    return h.value();
+  }
+  const machine::MachineSpec& m = *machine;
+  h.str(m.name);
+  h.u32(m.numa_domains);
+  h.u32(m.cores_per_domain);
+  h.f64(m.clock_ghz);
+  h.u32(m.simd_bits);
+  h.u32(m.fma_pipes_per_core);
+  h.f64(m.mem_bandwidth_gbps_per_domain);
+  h.f64(m.mem_stream_efficiency);
+  h.f64(m.core_mem_bandwidth_gbps);
+  h.u64(m.caches.size());
+  for (const auto& c : m.caches) {
+    h.str(c.name);
+    h.u64(c.size_bytes);
+    h.u32(c.line_bytes);
+    h.u32(c.shared_by_cores);
+    h.f64(c.core_bandwidth_gbps);
+    h.f64(c.domain_bandwidth_gbps);
+  }
+  return h.value();
+}
+
+std::uint64_t fingerprint_plan_options(const sv::PlanOptions& options,
+                                       unsigned ranks,
+                                       const std::string& scheduler,
+                                       unsigned amp_bytes) {
+  Fnv1a h;
+  h.u32(options.fusion ? 1 : 0);
+  h.u32(options.fusion_width);
+  h.u32(options.blocking ? 1 : 0);
+  h.u32(options.block_qubits);
+  // Hash the budget auto sizing will actually use, not the raw knob: a
+  // probed-vs-declared budget switch (SVSIM_CACHE_BUDGET) changes block
+  // sizes and therefore must change the key.
+  h.u64(options.blocking ? sv::plan_cache_budget(options) : 0);
+  h.u32(options.amp_bytes);
+  h.u32(options.max_sweep_gates);
+  h.u32(options.min_free_qubits);
+  h.u32(ranks);
+  h.str(scheduler);
+  h.u32(amp_bytes);
+  return h.value();
+}
+
+std::uint64_t plan_footprint_bytes(const sv::ExecutionPlan& plan) {
+  std::uint64_t total = sizeof(sv::ExecutionPlan);
+  total += plan.final_slot_of.size() * sizeof(unsigned);
+  for (const auto& phase : plan.phases) {
+    total += sizeof(sv::PlanPhase);
+    total += phase.note.size();
+    total += phase.hops.size() * sizeof(sv::ExchangeHop);
+    for (const auto& g : phase.gates) {
+      total += sizeof(qc::Gate);
+      total += g.qubits.size() * sizeof(unsigned);
+      total += g.params.size() * sizeof(double);
+      if (g.kind == qc::GateKind::DIAG) {
+        total += g.diagonal_entries().size() * sizeof(qc::cplx);
+      } else if (g.kind == qc::GateKind::UNITARY ||
+                 g.kind == qc::GateKind::U2Q) {
+        const std::uint64_t dim = g.matrix_payload().dim();
+        total += dim * dim * sizeof(qc::cplx);
+      }
+    }
+  }
+  return total;
+}
+
+PlanCache::PlanCache(std::uint64_t budget_bytes)
+    : budget_bytes_(budget_bytes) {
+  require(budget_bytes_ > 0, "PlanCache: budget must be positive");
+}
+
+std::shared_ptr<const CachedPlan> PlanCache::get(const PlanKey& key) {
+  std::lock_guard lock(mutex_);
+  auto& metrics = CacheMetrics::global();
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    metrics.misses.increment();
+    return nullptr;
+  }
+  ++hits_;
+  metrics.hits.increment();
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+bool PlanCache::put(const PlanKey& key,
+                    std::shared_ptr<const CachedPlan> entry) {
+  SVSIM_ASSERT(entry != nullptr && entry->plan != nullptr);
+  std::lock_guard lock(mutex_);
+  auto& metrics = CacheMetrics::global();
+  const std::uint64_t incoming = entry->footprint_bytes;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    bytes_ -= it->second->second->footprint_bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  if (incoming > budget_bytes_) {
+    metrics.bytes.set(static_cast<double>(bytes_));
+    return false;  // one oversized tenant must not flush everyone else
+  }
+  evict_until_fits(incoming);
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  bytes_ += incoming;
+  metrics.bytes.set(static_cast<double>(bytes_));
+  return true;
+}
+
+void PlanCache::evict_until_fits(std::uint64_t incoming_bytes) {
+  auto& metrics = CacheMetrics::global();
+  while (!lru_.empty() && bytes_ + incoming_bytes > budget_bytes_) {
+    const auto victim = std::prev(lru_.end());
+    bytes_ -= victim->second->footprint_bytes;
+    index_.erase(victim->first);
+    lru_.erase(victim);
+    ++evictions_;
+    metrics.evictions.increment();
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  CacheMetrics::global().bytes.set(0.0);
+}
+
+std::uint64_t PlanCache::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+std::uint64_t PlanCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t PlanCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t PlanCache::evictions() const {
+  std::lock_guard lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace svsim::svc

@@ -1,0 +1,512 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "dist/dist_plan.hpp"
+#include "machine/exec_config.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "perf/perf_simulator.hpp"
+#include "qc/library.hpp"
+#include "qc/qasm.hpp"
+#include "sv/engine.hpp"
+#include "sv/plan.hpp"
+#include "sv/simulator.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/json.hpp"
+
+namespace svsim::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ServiceMetrics {
+  obs::Counter& jobs;
+  obs::Counter& rejected;
+  obs::Counter& shots;
+
+  static ServiceMetrics& global() {
+    auto& r = obs::MetricsRegistry::global();
+    static ServiceMetrics m{r.counter("svc.jobs"),
+                            r.counter("svc.jobs_rejected"),
+                            r.counter("svc.shots")};
+    return m;
+  }
+};
+
+/// True if every MEASURE comes after every non-measure operation (the same
+/// predicate Simulator::sample_counts gates its fast path on).
+bool measurements_trailing(const qc::Circuit& circuit) {
+  bool seen_measure = false;
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == qc::GateKind::MEASURE) {
+      seen_measure = true;
+    } else if (seen_measure && g.kind != qc::GateKind::BARRIER) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// MSB-first classical-register rendering of a counts key (identical to the
+/// `svsim run` output labels).
+std::string bit_label(std::uint64_t key, unsigned width) {
+  std::string label;
+  label.reserve(width);
+  for (unsigned b = width; b-- > 0;)
+    label += ((key >> b) & 1) ? '1' : '0';
+  return label;
+}
+
+sv::PlanOptions plan_options_for(const JobRequest& req,
+                                 const machine::MachineSpec* machine) {
+  sv::PlanOptions po;
+  po.fusion = req.fusion;
+  po.fusion_width = req.fusion_width;
+  // Mirrors Simulator::run_in_place: channels sample after every gate, so
+  // the blocked path only serves noiseless execution.
+  po.blocking = req.blocking && req.noise.channels().empty();
+  po.block_qubits = req.block_qubits;
+  po.amp_bytes = 2 * sizeof(double);
+  po.machine = machine;
+  return po;
+}
+
+sv::ExecutionPlan compile_for_service(const qc::Circuit& circuit,
+                                      const sv::PlanOptions& po,
+                                      unsigned ranks,
+                                      const std::string& scheduler) {
+  sv::ExecutionPlan plan;
+  if (ranks <= 1) {
+    plan = sv::compile_plan(circuit, po);
+  } else {
+    dist::DistExecOptions dopts;
+    dopts.scheduler = scheduler == "naive" ? dist::CommScheduler::Naive
+                                           : dist::CommScheduler::Remap;
+    dopts.plan = po;
+    plan = dist::compile_distributed(circuit, ilog2(ranks), dopts);
+  }
+  plan.validate();
+  return plan;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)), cache_(options_.cache_bytes) {
+  SVSIM_ASSERT(options_.pool != nullptr);
+  require(options_.batch_bytes > 0, "Service: batch_bytes must be positive");
+}
+
+JobResult Service::run_job(const JobRequest& request) {
+  obs::ScopedSpan span("svc.job", obs::SpanCategory::Region);
+  auto& metrics = ServiceMetrics::global();
+  metrics.jobs.increment();
+  ++jobs_run_;
+  try {
+    JobResult result = execute(request);
+    if (!result.ok && result.error_code == "admission_rejected") {
+      metrics.rejected.increment();
+      ++jobs_rejected_;
+    }
+    if (result.ok) {
+      metrics.shots.add(result.shots);
+      shots_executed_ += result.shots;
+    }
+    return result;
+  } catch (const std::exception& e) {
+    JobResult result;
+    result.id = request.id;
+    result.ok = false;
+    result.error_code = "job_failed";
+    result.error_message = e.what();
+    return result;
+  }
+}
+
+JobResult Service::execute(const JobRequest& request) {
+  const auto job_start = Clock::now();
+  JobResult result;
+  result.id = request.id;
+  result.shots = request.shots;
+  result.modeled_limit_seconds = options_.max_modeled_seconds;
+  require(request.shots > 0, "job: shots must be positive");
+  require(request.ranks >= 1 && is_pow2(request.ranks),
+          "job: ranks must be a power of two");
+  require(request.scheduler == "remap" || request.scheduler == "naive",
+          "job: scheduler must be remap or naive");
+
+  // Normalize the way `svsim run` does: a purely unitary circuit measures
+  // every qubit, so counts always key on the classical register.
+  qc::Circuit circuit = request.circuit;
+  if (circuit.is_unitary()) circuit.measure_all();
+
+  const sv::PlanOptions po = plan_options_for(request, &options_.machine);
+
+  // ---- Cache lookup (compile at most once per key) ----------------------
+  PlanKey key;
+  key.circuit_fp = fingerprint_circuit(circuit);
+  key.machine_fp = fingerprint_machine(&options_.machine);
+  key.options_fp = fingerprint_plan_options(po, request.ranks,
+                                            request.scheduler, po.amp_bytes);
+  result.cache_key = key.to_string();
+
+  std::shared_ptr<const CachedPlan> cached = cache_.get(key);
+  result.cache_hit = cached != nullptr;
+  if (cached == nullptr) {
+    const auto compile_start = Clock::now();
+    auto entry = std::make_shared<CachedPlan>();
+    entry->num_clbits = circuit.num_clbits();
+
+    const bool has_measure = std::any_of(
+        circuit.gates().begin(), circuit.gates().end(),
+        [](const qc::Gate& g) { return g.kind == qc::GateKind::MEASURE; });
+    const bool has_reset = std::any_of(
+        circuit.gates().begin(), circuit.gates().end(),
+        [](const qc::Gate& g) { return g.kind == qc::GateKind::RESET; });
+    entry->sampled_mode = request.noise.channels().empty() && !has_reset &&
+                          (!has_measure || measurements_trailing(circuit));
+
+    if (entry->sampled_mode) {
+      // Prepare-once-sample-many: strip the trailing measures and compile
+      // the unitary part, exactly as Simulator::sample_counts does, so
+      // sampled service results are bit-identical to it.
+      qc::Circuit unitary_part(circuit.num_qubits(), circuit.num_clbits());
+      for (const auto& g : circuit.gates()) {
+        if (g.kind == qc::GateKind::MEASURE) {
+          entry->measures.emplace_back(g.qubits[0], g.cbit);
+        } else if (g.kind != qc::GateKind::BARRIER) {
+          unitary_part.append(g);
+        }
+      }
+      entry->plan = std::make_shared<const sv::ExecutionPlan>(
+          compile_for_service(unitary_part, po, request.ranks,
+                              request.scheduler));
+    } else {
+      entry->plan = std::make_shared<const sv::ExecutionPlan>(
+          compile_for_service(circuit, po, request.ranks, request.scheduler));
+    }
+
+    machine::ExecConfig cfg;
+    cfg.threads = options_.threads;
+    cfg.element_bytes = sizeof(double);
+    entry->cost = perf::cost_plan(*entry->plan, options_.machine, cfg);
+    entry->footprint_bytes = plan_footprint_bytes(*entry->plan);
+    result.compile_seconds = seconds_since(compile_start);
+    cache_.put(key, entry);
+    cached = std::move(entry);
+  }
+
+  result.plan_summary = cached->plan->summary_id();
+  result.plan_footprint_bytes = cached->footprint_bytes;
+  result.mode = cached->sampled_mode ? "sampled" : "trajectory";
+  result.executions = cached->sampled_mode ? 1 : request.shots;
+
+  // ---- Admission --------------------------------------------------------
+  result.modeled_seconds =
+      cached->cost.compute_seconds * static_cast<double>(result.executions);
+  if (options_.max_modeled_seconds > 0.0 &&
+      result.modeled_seconds > options_.max_modeled_seconds) {
+    result.ok = false;
+    result.error_code = "admission_rejected";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "modeled compute %.3gs exceeds the %.3gs admission ceiling",
+                  result.modeled_seconds, options_.max_modeled_seconds);
+    result.error_message = buf;
+    result.total_seconds = seconds_since(job_start);
+    return result;  // the plan stays cached for a cheaper resubmission
+  }
+
+  // ---- Execute ----------------------------------------------------------
+  const auto exec_start = Clock::now();
+  const unsigned n = cached->plan->num_qubits;
+  const bool has_measure = !cached->measures.empty() ||
+                           (!cached->sampled_mode && cached->num_clbits > 0);
+  const unsigned label_width =
+      has_measure ? std::max(cached->num_clbits, 1u) : n;
+
+  sv::SimulatorOptions sim_opts;
+  sim_opts.pool = options_.pool;
+  sim_opts.seed = request.seed;
+  sim_opts.noise = request.noise;
+
+  if (cached->sampled_mode) {
+    // One preparation, `shots` samples; the RNG consumption (sampling, then
+    // per-sample readout flips) replicates sample_counts exactly.
+    sv::Simulator<double> sim(sim_opts);
+    sv::StateVector<double> state(n, options_.pool);
+    sim.run_plan(state, *cached->plan);
+    const auto samples = state.sample(request.shots, sim.rng());
+    const bool readout = request.noise.has_readout_error();
+    for (std::uint64_t basis : samples) {
+      std::uint64_t key_bits = 0;
+      if (!cached->measures.empty()) {
+        for (const auto& [q, c] : cached->measures) {
+          bool bit = test_bit(basis, q);
+          if (readout) bit = request.noise.flip_readout(bit, sim.rng());
+          if (bit) key_bits = set_bit(key_bits, c);
+        }
+      } else {
+        key_bits = basis;
+      }
+      ++result.counts[bit_label(key_bits, label_width)];
+    }
+    result.batches = 1;
+    result.batch_size = 1;
+  } else {
+    // Trajectory mode: batches of states walk the plan together, each
+    // trajectory keyed by its global index so the split does not affect
+    // the statistics.
+    const std::uint64_t state_bytes = pow2(n) * std::uint64_t{16};
+    const std::size_t batch_size = static_cast<std::size_t>(std::clamp<
+        std::uint64_t>(options_.batch_bytes / std::max<std::uint64_t>(
+                           state_bytes, 1),
+                       1, request.shots));
+    sv::Simulator<double> sim(sim_opts);
+    std::size_t done = 0;
+    while (done < request.shots) {
+      const std::size_t this_batch =
+          std::min(batch_size, request.shots - done);
+      std::vector<sv::StateVector<double>> states;
+      states.reserve(this_batch);
+      std::vector<sv::StateVector<double>*> ptrs;
+      ptrs.reserve(this_batch);
+      for (std::size_t i = 0; i < this_batch; ++i) {
+        states.emplace_back(n, options_.pool);
+        ptrs.push_back(&states.back());
+      }
+      const auto bits =
+          sim.run_plan_batch(ptrs, *cached->plan, /*first_trajectory=*/done);
+      for (const auto& traj_bits : bits) {
+        std::uint64_t key_bits = 0;
+        for (std::size_t b = 0; b < traj_bits.size(); ++b)
+          if (traj_bits[b]) key_bits = set_bit(key_bits, unsigned(b));
+        ++result.counts[bit_label(key_bits, label_width)];
+      }
+      done += this_batch;
+      ++result.batches;
+    }
+    result.batch_size = batch_size;
+  }
+
+  result.execute_seconds = seconds_since(exec_start);
+  result.total_seconds = seconds_since(job_start);
+  return result;
+}
+
+// ---- Serve protocol -----------------------------------------------------
+
+namespace {
+
+sv::NoiseModel parse_noise(const json::Value& v) {
+  sv::NoiseModel noise;
+  if (const json::Value* p = v.find("depolarizing"))
+    noise.add_depolarizing(p->as_number("noise.depolarizing"));
+  if (const json::Value* p = v.find("bit_flip"))
+    noise.add_bit_flip(p->as_number("noise.bit_flip"));
+  if (const json::Value* p = v.find("phase_flip"))
+    noise.add_phase_flip(p->as_number("noise.phase_flip"));
+  if (const json::Value* p = v.find("amplitude_damping"))
+    noise.add_amplitude_damping(p->as_number("noise.amplitude_damping"));
+  if (const json::Value* p = v.find("readout")) {
+    require(p->is_array() && p->array.size() == 2,
+            "noise.readout must be [p0_to_1, p1_to_0]");
+    noise.set_readout_error(p->array[0].as_number("noise.readout[0]"),
+                            p->array[1].as_number("noise.readout[1]"));
+  }
+  return noise;
+}
+
+qc::Circuit parse_circuit(const json::Value& job) {
+  if (const json::Value* q = job.find("qasm"))
+    return qc::parse_qasm(q->as_string("qasm"));
+  if (const json::Value* q = job.find("qft"))
+    return qc::qft(static_cast<unsigned>(q->as_number("qft")));
+  if (const json::Value* q = job.find("qv")) {
+    require(q->is_array() && q->array.size() >= 2,
+            "qv must be [qubits, depth] or [qubits, depth, seed]");
+    const auto nq = static_cast<unsigned>(q->array[0].as_number("qv[0]"));
+    const auto d = static_cast<unsigned>(q->array[1].as_number("qv[1]"));
+    const auto seed =
+        q->array.size() > 2
+            ? static_cast<std::uint64_t>(q->array[2].as_number("qv[2]"))
+            : 1234;
+    return qc::random_quantum_volume(nq, d, seed);
+  }
+  throw Error("job needs a circuit: one of \"qasm\", \"qft\", \"qv\"");
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+JobRequest parse_job_line(const std::string& line) {
+  const json::Value job = json::parse(line);
+  require(job.is_object(), "job line must be a JSON object");
+  JobRequest req;
+  req.id = job.get_string("id", "");
+  req.circuit = parse_circuit(job);
+  const double shots = job.get_number("shots", 1024.0);
+  require(shots >= 1.0, "shots must be >= 1");
+  req.shots = static_cast<std::size_t>(shots);
+  if (const json::Value* o = job.find("options")) {
+    require(o->is_object(), "\"options\" must be an object");
+    req.fusion = o->get_bool("fusion", false);
+    req.fusion_width =
+        static_cast<unsigned>(o->get_number("fusion_width", 3));
+    req.blocking = o->get_bool("blocked", false);
+    req.block_qubits =
+        static_cast<unsigned>(o->get_number("block_qubits", 0));
+    req.ranks = static_cast<unsigned>(o->get_number("ranks", 1));
+    req.scheduler = o->get_string("sched", "remap");
+    req.seed = static_cast<std::uint64_t>(o->get_number("seed", 1));
+  }
+  if (const json::Value* noise = job.find("noise")) {
+    require(noise->is_object(), "\"noise\" must be an object");
+    req.noise = parse_noise(*noise);
+  }
+  return req;
+}
+
+std::string result_to_json(const JobResult& r) {
+  std::ostringstream out;
+  out << "{\"type\":\"result\",\"id\":\"" << json::escape(r.id) << "\","
+      << "\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) {
+    out << ",\"error\":{\"code\":\"" << json::escape(r.error_code)
+        << "\",\"message\":\"" << json::escape(r.error_message) << "\"}";
+  }
+  out << ",\"shots\":" << r.shots;
+  if (r.ok) {
+    out << ",\"counts\":{";
+    bool first = true;
+    for (const auto& [bits, count] : r.counts) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << bits << "\":" << count;
+    }
+    out << "},\"mode\":\"" << r.mode << "\",\"executions\":" << r.executions
+        << ",\"batches\":" << r.batches
+        << ",\"batch_size\":" << r.batch_size;
+  }
+  if (!r.cache_key.empty()) {
+    out << ",\"cache\":{\"hit\":" << (r.cache_hit ? "true" : "false")
+        << ",\"key\":\"" << r.cache_key << "\",\"plan\":\""
+        << json::escape(r.plan_summary)
+        << "\",\"footprint_bytes\":" << r.plan_footprint_bytes << "}";
+  }
+  out << ",\"admission\":{\"modeled_seconds\":"
+      << format_double(r.modeled_seconds) << ",\"limit_seconds\":"
+      << format_double(r.modeled_limit_seconds) << "}";
+  out << ",\"timing\":{\"compile_seconds\":"
+      << format_double(r.compile_seconds) << ",\"execute_seconds\":"
+      << format_double(r.execute_seconds) << ",\"total_seconds\":"
+      << format_double(r.total_seconds) << "}}";
+  return out.str();
+}
+
+namespace {
+
+/// One parsed (or failed-to-parse) job line in flight between the reader
+/// thread and the executing thread.
+struct QueueItem {
+  std::uint64_t seq = 0;
+  JobRequest request;
+  bool parsed = false;
+  std::string parse_error;
+};
+
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
+ServeStats serve_session(std::istream& in, std::ostream& out,
+                         Service& service) {
+  JobQueue<QueueItem> queue;
+  std::thread reader([&in, &queue] {
+    std::string line;
+    std::uint64_t seq = 0;
+    while (std::getline(in, line)) {
+      if (blank(line)) continue;
+      QueueItem item;
+      item.seq = ++seq;
+      try {
+        item.request = parse_job_line(line);
+        item.parsed = true;
+      } catch (const std::exception& e) {
+        item.parse_error = e.what();
+        // Salvage the submitted id when the line was at least valid JSON,
+        // so the client can correlate the bad_request result.
+        try {
+          const json::Value job = json::parse(line);
+          if (job.is_object()) item.request.id = job.get_string("id", "");
+        } catch (const std::exception&) {
+        }
+      }
+      queue.push(std::move(item));
+    }
+    queue.close();
+  });
+
+  ServeStats stats;
+  QueueItem item;
+  while (queue.pop(item)) {
+    ++stats.jobs;
+    JobResult result;
+    if (!item.parsed) {
+      result.ok = false;
+      result.error_code = "bad_request";
+      result.error_message = item.parse_error;
+      result.id = item.request.id;
+    } else {
+      if (item.request.id.empty())
+        item.request.id = "job-" + std::to_string(item.seq);
+      result = service.run_job(item.request);
+    }
+    if (result.id.empty()) result.id = "job-" + std::to_string(item.seq);
+    if (result.ok) {
+      ++stats.ok;
+      stats.shots += result.shots;
+    } else {
+      ++stats.errors;
+    }
+    out << result_to_json(result) << "\n" << std::flush;
+  }
+  reader.join();
+
+  PlanCache& cache = service.cache();
+  out << "{\"type\":\"summary\",\"jobs\":" << stats.jobs
+      << ",\"ok\":" << stats.ok << ",\"errors\":" << stats.errors
+      << ",\"shots\":" << stats.shots << ",\"plan_cache\":{\"hits\":"
+      << cache.hits() << ",\"misses\":" << cache.misses()
+      << ",\"evictions\":" << cache.evictions() << ",\"entries\":"
+      << cache.size() << ",\"bytes\":" << cache.bytes()
+      << ",\"budget_bytes\":" << cache.budget_bytes() << "}}\n"
+      << std::flush;
+  return stats;
+}
+
+}  // namespace svsim::svc

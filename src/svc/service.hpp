@@ -1,0 +1,156 @@
+// svc::Service: the compile-once serve-many simulation service.
+//
+// A Service owns a PlanCache and executes JobRequests against it:
+//
+//   normalize -> fingerprint -> cache get-or-compile -> admission -> execute
+//
+// Compilation (fusion, sweep grouping, distributed exchange placement, and
+// the perf::cost_plan admission price) happens at most once per distinct
+// (circuit, machine, options) key; every later submission of the same job
+// reuses the cached plan and pays execution only. Shots amortize further:
+// a noiseless job with trailing measurements runs ONE state preparation and
+// samples (the Simulator::sample_counts fast path, bit-identical to it by
+// construction), and a noisy job batches trajectories through
+// sv::run_plan_batch so the plan walk and gate preparation are shared
+// across the batch.
+//
+// The line-delimited serve loop (`svsim serve`, serve_session below) is a
+// thin transport over run_job: one JSON job per input line, one JSON result
+// per output line, one summary line at EOF. docs/SERVICE.md specifies the
+// schema; scripts/check_service_schema.py validates a captured session.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "common/threading.hpp"
+#include "machine/machine_spec.hpp"
+#include "qc/circuit.hpp"
+#include "sv/noise.hpp"
+#include "svc/plan_cache.hpp"
+
+namespace svsim::svc {
+
+struct ServiceOptions {
+  /// Machine whose cache topology sizes blocks and whose roofline prices
+  /// admission. Owned by value: jobs may outlive any caller-held spec.
+  machine::MachineSpec machine = machine::MachineSpec::a64fx();
+  /// Plan-cache byte budget (LRU evicts beyond it).
+  std::uint64_t cache_bytes = 64ull << 20;
+  /// Admission ceiling on the modeled compute time of one job
+  /// (cost.compute_seconds x trajectory executions); 0 = admit everything.
+  double max_modeled_seconds = 0.0;
+  /// Target resident bytes of one trajectory batch's state vectors; the
+  /// batch size is max(1, batch_bytes / state_bytes), capped by the shot
+  /// count. Results are invariant to the split (global trajectory seeding).
+  std::uint64_t batch_bytes = 256ull << 20;
+  /// Threads assumed by the admission price model (0 = all cores).
+  unsigned threads = 0;
+  /// Worker pool for kernels (borrowed).
+  ThreadPool* pool = &ThreadPool::global();
+};
+
+/// One job: a circuit plus execution options. Field-for-field what a serve
+/// job line carries (parse_job_line); library users fill it directly.
+struct JobRequest {
+  std::string id;
+  qc::Circuit circuit{1};
+  std::size_t shots = 1024;
+  bool fusion = false;
+  unsigned fusion_width = 3;
+  bool blocking = false;
+  unsigned block_qubits = 0;
+  unsigned ranks = 1;                ///< power of two; >1 = distributed plan
+  std::string scheduler = "remap";   ///< "remap" | "naive"
+  std::uint64_t seed = 1;
+  sv::NoiseModel noise;
+};
+
+/// One job's outcome, including the cache/admission attribution the serve
+/// protocol reports.
+struct JobResult {
+  std::string id;
+  bool ok = true;
+  std::string error_code;     ///< "bad_request" | "admission_rejected" |
+                              ///< "job_failed"; empty when ok
+  std::string error_message;
+
+  std::size_t shots = 0;
+  /// MSB-first classical-register bitstrings -> occurrences.
+  std::map<std::string, std::size_t> counts;
+
+  bool cache_hit = false;
+  std::string cache_key;      ///< PlanKey::to_string()
+  std::string plan_summary;   ///< ExecutionPlan::summary_id()
+  std::uint64_t plan_footprint_bytes = 0;
+
+  double modeled_seconds = 0.0;        ///< admission price of this job
+  double modeled_limit_seconds = 0.0;  ///< ceiling in force (0 = none)
+
+  std::string mode;           ///< "sampled" | "trajectory"
+  std::size_t executions = 0; ///< plan executions (1 sampled, shots noisy)
+  std::size_t batches = 0;
+  std::size_t batch_size = 0; ///< states per full batch
+
+  double compile_seconds = 0.0;  ///< 0 on a cache hit
+  double execute_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// Thread-compatible (externally synchronized) service instance. The serve
+/// loop drives it from one worker thread; tests and benches call run_job
+/// directly.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  /// Executes one job end to end. Never throws: failures come back as a
+  /// JobResult with ok=false and a structured error code.
+  JobResult run_job(const JobRequest& request);
+
+  const ServiceOptions& options() const noexcept { return options_; }
+  PlanCache& cache() noexcept { return cache_; }
+
+  std::uint64_t jobs_run() const noexcept { return jobs_run_; }
+  std::uint64_t jobs_rejected() const noexcept { return jobs_rejected_; }
+  std::uint64_t shots_executed() const noexcept { return shots_executed_; }
+
+ private:
+  JobResult execute(const JobRequest& request);
+
+  ServiceOptions options_;
+  PlanCache cache_;
+  std::uint64_t jobs_run_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t shots_executed_ = 0;
+};
+
+/// Parses one serve job line (see docs/SERVICE.md#job-schema). Throws
+/// svsim::Error on malformed input; the serve loop converts that into an
+/// ok=false result with code "bad_request".
+JobRequest parse_job_line(const std::string& line);
+
+/// Renders a JobResult as one line of JSON (no trailing newline).
+std::string result_to_json(const JobResult& result);
+
+/// What one serve session processed (mirrors the emitted summary line).
+struct ServeStats {
+  std::uint64_t jobs = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t shots = 0;
+};
+
+/// Line-delimited serve loop: one JSON job per line on `in`, one JSON
+/// result line per job on `out` (submission order), then one summary line.
+/// Blank lines are skipped; jobs without an "id" get "job-<seq>". A reader
+/// thread parses ahead through a JobQueue while the calling thread
+/// executes, so parsing overlaps simulation; a socket transport would bind
+/// here without touching Service. Returns the session totals.
+ServeStats serve_session(std::istream& in, std::ostream& out,
+                         Service& service);
+
+}  // namespace svsim::svc

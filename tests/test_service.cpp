@@ -1,0 +1,496 @@
+// Service-layer tests: JSON protocol parsing, plan-cache keying/eviction,
+// batched-shot execution equivalence, admission control, and the serve
+// session loop (docs/SERVICE.md).
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/machine_spec.hpp"
+#include "obs/metrics.hpp"
+#include "qc/circuit.hpp"
+#include "qc/library.hpp"
+#include "sv/engine.hpp"
+#include "sv/plan.hpp"
+#include "sv/simulator.hpp"
+#include "sv/state_vector.hpp"
+#include "svc/job_queue.hpp"
+#include "svc/json.hpp"
+#include "svc/plan_cache.hpp"
+#include "svc/service.hpp"
+
+using namespace svsim;
+
+namespace {
+
+std::string bit_label(std::uint64_t key, unsigned width) {
+  std::string label;
+  for (unsigned b = width; b-- > 0;) label += ((key >> b) & 1) ? '1' : '0';
+  return label;
+}
+
+std::map<std::string, std::size_t> label_counts(
+    const std::map<std::uint64_t, std::size_t>& counts, unsigned width) {
+  std::map<std::string, std::size_t> out;
+  for (const auto& [k, c] : counts) out[bit_label(k, width)] = c;
+  return out;
+}
+
+}  // namespace
+
+// ---- JSON reader --------------------------------------------------------
+
+TEST(ServiceJson, ParsesNestedDocument) {
+  const auto v = svc::json::parse(
+      R"({"id":"a","shots":12,"flag":true,"arr":[1,2.5,-3e2],"obj":{"x":null}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("id", ""), "a");
+  EXPECT_EQ(v.get_number("shots", 0), 12.0);
+  EXPECT_TRUE(v.get_bool("flag", false));
+  const svc::json::Value* arr = v.find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[2].number, -300.0);
+  EXPECT_TRUE(v.at("obj", "t").at("x", "t").is_null());
+}
+
+TEST(ServiceJson, StringEscapes) {
+  const auto v = svc::json::parse(R"({"s":"a\"b\\c\n\tA"})");
+  EXPECT_EQ(v.get_string("s", ""), "a\"b\\c\n\tA");
+  EXPECT_EQ(svc::json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(ServiceJson, RejectsMalformedInput) {
+  EXPECT_THROW(svc::json::parse("{\"a\":1"), Error);
+  EXPECT_THROW(svc::json::parse("{} trailing"), Error);
+  EXPECT_THROW(svc::json::parse("{\"a\":tru}"), Error);
+  EXPECT_THROW(svc::json::parse("[1,]"), Error);
+}
+
+// ---- Fingerprints and cache keys ---------------------------------------
+
+TEST(ServiceFingerprint, CircuitStructureSensitive) {
+  qc::Circuit a = qc::qft(5);
+  qc::Circuit b = qc::qft(5);
+  EXPECT_EQ(svc::fingerprint_circuit(a), svc::fingerprint_circuit(b));
+  b.rz(0, 0.125);
+  EXPECT_NE(svc::fingerprint_circuit(a), svc::fingerprint_circuit(b));
+
+  qc::Circuit c(2);
+  c.rz(0, 0.5);
+  qc::Circuit d(2);
+  d.rz(0, 0.5000001);  // parameter bit pattern matters
+  EXPECT_NE(svc::fingerprint_circuit(c), svc::fingerprint_circuit(d));
+}
+
+TEST(ServiceFingerprint, MachineAndOptionsSensitive) {
+  const auto a64fx = machine::MachineSpec::a64fx();
+  const auto xeon = machine::MachineSpec::xeon_6148_dual();
+  EXPECT_NE(svc::fingerprint_machine(&a64fx), svc::fingerprint_machine(&xeon));
+  EXPECT_NE(svc::fingerprint_machine(&a64fx), svc::fingerprint_machine(nullptr));
+
+  sv::PlanOptions po;
+  const auto base = svc::fingerprint_plan_options(po, 1, "remap", 16);
+  EXPECT_EQ(base, svc::fingerprint_plan_options(po, 1, "remap", 16));
+  EXPECT_NE(base, svc::fingerprint_plan_options(po, 2, "remap", 16));
+  EXPECT_NE(base, svc::fingerprint_plan_options(po, 1, "naive", 16));
+  sv::PlanOptions fused = po;
+  fused.fusion = true;
+  EXPECT_NE(base, svc::fingerprint_plan_options(fused, 1, "remap", 16));
+}
+
+// ---- PlanCache ----------------------------------------------------------
+
+namespace {
+
+std::shared_ptr<svc::CachedPlan> make_entry(unsigned qubits,
+                                            std::uint64_t footprint) {
+  auto entry = std::make_shared<svc::CachedPlan>();
+  entry->plan = std::make_shared<const sv::ExecutionPlan>(
+      sv::compile_plan(qc::qft(qubits), {}));
+  entry->footprint_bytes = footprint;
+  return entry;
+}
+
+}  // namespace
+
+TEST(PlanCache, HitReturnsIdenticalPlan) {
+  svc::PlanCache cache(1 << 20);
+  svc::PlanKey key{1, 2, 3};
+  auto entry = make_entry(4, 100);
+  const std::string id = entry->plan->summary_id();
+  ASSERT_TRUE(cache.put(key, entry));
+
+  const auto hit = cache.get(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->plan.get(), entry->plan.get());  // the very same object
+  EXPECT_EQ(hit->plan->summary_id(), id);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.get({9, 9, 9}), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PlanCache, EvictsLruUnderByteBudget) {
+  svc::PlanCache cache(250);
+  ASSERT_TRUE(cache.put({1, 0, 0}, make_entry(3, 100)));
+  ASSERT_TRUE(cache.put({2, 0, 0}, make_entry(3, 100)));
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch key 1 so key 2 is the LRU victim.
+  EXPECT_NE(cache.get({1, 0, 0}), nullptr);
+  ASSERT_TRUE(cache.put({3, 0, 0}, make_entry(3, 100)));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.get({1, 0, 0}), nullptr);  // survivor
+  EXPECT_EQ(cache.get({2, 0, 0}), nullptr);  // evicted -> miss
+  EXPECT_LE(cache.bytes(), 250u);
+}
+
+TEST(PlanCache, RejectsOversizedEntryWithoutFlushing) {
+  svc::PlanCache cache(250);
+  ASSERT_TRUE(cache.put({1, 0, 0}, make_entry(3, 200)));
+  EXPECT_FALSE(cache.put({2, 0, 0}, make_entry(3, 1000)));
+  EXPECT_EQ(cache.size(), 1u);            // tenant kept
+  EXPECT_NE(cache.get({1, 0, 0}), nullptr);
+}
+
+TEST(PlanCache, FootprintEstimateCoversPayloads) {
+  const auto plan = sv::compile_plan(qc::qft(6), {});
+  const std::uint64_t fp = svc::plan_footprint_bytes(plan);
+  EXPECT_GT(fp, sizeof(sv::ExecutionPlan));
+  // A wider circuit with more gates must cost more.
+  EXPECT_GT(svc::plan_footprint_bytes(sv::compile_plan(qc::qft(10), {})), fp);
+}
+
+// ---- JobQueue -----------------------------------------------------------
+
+TEST(JobQueue, DrainsAfterClose) {
+  svc::JobQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  q.push(3);  // dropped: producer lost the race with shutdown
+  int v = 0;
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(q.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(q.pop(v));
+}
+
+// ---- Engine batch execution --------------------------------------------
+
+TEST(RunPlanBatch, MatchesSequentialRunPlan) {
+  const qc::Circuit circuit = qc::random_quantum_volume(6, 3, 11);
+  sv::PlanOptions po;
+  po.blocking = true;
+  const auto plan = sv::compile_plan(circuit, po);
+
+  std::vector<sv::StateVector<double>> batch_states;
+  std::vector<sv::StateVector<double>*> ptrs;
+  batch_states.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    batch_states.emplace_back(6);
+    ptrs.push_back(&batch_states.back());
+  }
+  const auto batch_stats = sv::run_plan_batch(ptrs, plan);
+
+  sv::StateVector<double> reference(6);
+  const auto single_stats = sv::run_plan(reference, plan);
+
+  for (const auto* s : ptrs)
+    for (std::uint64_t i = 0; i < s->size(); ++i)
+      EXPECT_EQ(s->data()[i], reference.data()[i]) << "amplitude " << i;
+
+  // Aggregated stats are the single-run stats times the batch size.
+  EXPECT_EQ(batch_stats.traversals, 3 * single_stats.traversals);
+  EXPECT_EQ(batch_stats.blocked_gates, 3 * single_stats.blocked_gates);
+  EXPECT_EQ(batch_stats.bytes_streamed, 3 * single_stats.bytes_streamed);
+}
+
+// ---- Service ------------------------------------------------------------
+
+namespace {
+
+svc::JobRequest qft_job(const std::string& id, unsigned qubits,
+                        std::size_t shots, std::uint64_t seed) {
+  svc::JobRequest req;
+  req.id = id;
+  req.circuit = qc::qft(qubits);
+  req.shots = shots;
+  req.seed = seed;
+  return req;
+}
+
+}  // namespace
+
+TEST(Service, SampledModeBitIdenticalToSimulator) {
+  svc::Service service{svc::ServiceOptions{}};
+  svc::JobRequest req = qft_job("j", 5, 500, 42);
+  const svc::JobResult result = service.run_job(req);
+  ASSERT_TRUE(result.ok) << result.error_message;
+  EXPECT_EQ(result.mode, "sampled");
+  EXPECT_EQ(result.executions, 1u);
+
+  // The service replicates Simulator::sample_counts' fast path (one state
+  // preparation + sampling with identical RNG consumption), so at a fixed
+  // seed the histograms are bit-identical, not merely close.
+  sv::SimulatorOptions opts;
+  opts.seed = 42;
+  sv::Simulator<double> sim(opts);
+  qc::Circuit circuit = qc::qft(5);
+  circuit.measure_all();
+  const auto expected = label_counts(sim.sample_counts(circuit, 500), 5);
+  EXPECT_EQ(result.counts, expected);
+}
+
+TEST(Service, CacheHitReturnsBitIdenticalPlan) {
+  svc::Service service{svc::ServiceOptions{}};
+  const auto first = service.run_job(qft_job("a", 6, 64, 1));
+  const auto second = service.run_job(qft_job("b", 6, 64, 1));
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.cache_key, second.cache_key);
+  EXPECT_EQ(first.plan_summary, second.plan_summary);
+  EXPECT_EQ(second.compile_seconds, 0.0);
+  EXPECT_EQ(first.counts, second.counts);  // same seed -> same samples
+  EXPECT_EQ(service.cache().hits(), 1u);
+  EXPECT_EQ(service.cache().misses(), 1u);
+}
+
+TEST(Service, DifferentOptionsMissTheCache) {
+  svc::Service service{svc::ServiceOptions{}};
+  ASSERT_TRUE(service.run_job(qft_job("a", 6, 16, 1)).ok);
+  svc::JobRequest fused = qft_job("b", 6, 16, 1);
+  fused.fusion = true;
+  const auto result = service.run_job(fused);
+  ASSERT_TRUE(result.ok);
+  EXPECT_FALSE(result.cache_hit);
+  EXPECT_EQ(service.cache().misses(), 2u);
+}
+
+TEST(Service, EvictionUnderSmallByteBudget) {
+  svc::ServiceOptions opts;
+  opts.cache_bytes = 4096;  // roughly one small plan
+  svc::Service service(opts);
+  ASSERT_TRUE(service.run_job(qft_job("a", 4, 8, 1)).ok);
+  ASSERT_TRUE(service.run_job(qft_job("b", 5, 8, 1)).ok);
+  ASSERT_TRUE(service.run_job(qft_job("c", 6, 8, 1)).ok);
+  EXPECT_GT(service.cache().evictions(), 0u);
+  EXPECT_LE(service.cache().bytes(), opts.cache_bytes);
+  // The evicted first circuit must re-compile as a miss.
+  const auto again = service.run_job(qft_job("a2", 4, 8, 1));
+  ASSERT_TRUE(again.ok);
+  EXPECT_FALSE(again.cache_hit);
+}
+
+TEST(Service, AdmissionRejectsOverCostJob) {
+  svc::ServiceOptions opts;
+  opts.max_modeled_seconds = 1e-12;  // everything is over budget
+  svc::Service service(opts);
+  const auto result = service.run_job(qft_job("big", 8, 32, 1));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_code, "admission_rejected");
+  EXPECT_GT(result.modeled_seconds, result.modeled_limit_seconds);
+  EXPECT_TRUE(result.counts.empty());
+  EXPECT_EQ(service.jobs_rejected(), 1u);
+  // The plan was still compiled and cached: resubmission attributes a hit.
+  const auto retry = service.run_job(qft_job("big2", 8, 32, 1));
+  EXPECT_TRUE(retry.cache_hit);
+}
+
+TEST(Service, TrajectoryBatchingMatchesPerShotStatistics) {
+  // X(0) then bit-flip noise: P(outcome "0") = p. Compare the service's
+  // batched trajectories against the Simulator's per-shot general path at
+  // binomial tolerance (4 sigma of the two-sample difference).
+  constexpr double kP = 0.1;
+  constexpr std::size_t kShots = 2000;
+  qc::Circuit circuit(1, 1);
+  circuit.x(0);
+  circuit.measure(0, 0);
+
+  svc::JobRequest req;
+  req.id = "noisy";
+  req.circuit = circuit;
+  req.shots = kShots;
+  req.seed = 9;
+  req.noise.add_bit_flip(kP, 1);
+  svc::Service service{svc::ServiceOptions{}};
+  const auto result = service.run_job(req);
+  ASSERT_TRUE(result.ok) << result.error_message;
+  EXPECT_EQ(result.mode, "trajectory");
+  EXPECT_EQ(result.executions, kShots);
+
+  sv::SimulatorOptions opts;
+  opts.seed = 10;  // independent stream; statistical comparison
+  opts.noise.add_bit_flip(kP, 1);
+  sv::Simulator<double> sim(opts);
+  const auto per_shot = label_counts(sim.sample_counts(circuit, kShots), 1);
+
+  const auto frac = [&](const std::map<std::string, std::size_t>& counts) {
+    const auto it = counts.find("0");
+    return it == counts.end() ? 0.0
+                              : static_cast<double>(it->second) / kShots;
+  };
+  const double sigma = std::sqrt(2.0 * kP * (1.0 - kP) / kShots);
+  EXPECT_NEAR(frac(result.counts), kP, 4.0 * sigma);
+  EXPECT_NEAR(frac(per_shot), kP, 4.0 * sigma);
+  EXPECT_NEAR(frac(result.counts), frac(per_shot), 4.0 * sigma);
+
+  std::size_t total = 0;
+  for (const auto& [k, c] : result.counts) total += c;
+  EXPECT_EQ(total, kShots);
+}
+
+TEST(Service, TrajectoryResultsInvariantToBatchSplit) {
+  qc::Circuit circuit(2, 2);
+  circuit.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+
+  svc::JobRequest req;
+  req.circuit = circuit;
+  req.shots = 100;
+  req.seed = 77;
+  req.noise.add_depolarizing(0.05);
+
+  svc::ServiceOptions one_batch;
+  one_batch.batch_bytes = 1u << 30;  // everything in one batch
+  svc::ServiceOptions tiny_batches;
+  tiny_batches.batch_bytes = 1;  // one state per batch
+  svc::Service a{one_batch};
+  svc::Service b(tiny_batches);
+  const auto ra = a.run_job(req);
+  const auto rb = b.run_job(req);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_EQ(ra.batches, 1u);
+  EXPECT_EQ(rb.batches, 100u);
+  // Trajectory i is seeded by its global index, so the histogram cannot
+  // depend on how the shots were grouped into batches.
+  EXPECT_EQ(ra.counts, rb.counts);
+}
+
+// ---- Serve protocol -----------------------------------------------------
+
+TEST(ServeProtocol, ParseJobLineReadsOptionsAndNoise) {
+  const auto req = svc::parse_job_line(
+      R"({"id":"x","qft":4,"shots":32,)"
+      R"("options":{"fusion":true,"fusion_width":2,"blocked":true,)"
+      R"("ranks":4,"sched":"naive","seed":5},)"
+      R"("noise":{"depolarizing":0.01,"readout":[0.02,0.03]}})");
+  EXPECT_EQ(req.id, "x");
+  EXPECT_EQ(req.circuit.num_qubits(), 4u);
+  EXPECT_EQ(req.shots, 32u);
+  EXPECT_TRUE(req.fusion);
+  EXPECT_EQ(req.fusion_width, 2u);
+  EXPECT_TRUE(req.blocking);
+  EXPECT_EQ(req.ranks, 4u);
+  EXPECT_EQ(req.scheduler, "naive");
+  EXPECT_EQ(req.seed, 5u);
+  EXPECT_EQ(req.noise.channels().size(), 1u);
+  EXPECT_TRUE(req.noise.has_readout_error());
+  EXPECT_THROW(svc::parse_job_line(R"({"shots":4})"), Error);
+  EXPECT_THROW(svc::parse_job_line("not json"), Error);
+}
+
+TEST(ServeProtocol, ResultJsonRoundTripsThroughTheReader) {
+  svc::JobResult r;
+  r.id = "we\"ird";
+  r.shots = 4;
+  r.counts["01"] = 3;
+  r.counts["10"] = 1;
+  r.mode = "sampled";
+  r.executions = 1;
+  r.batches = 1;
+  r.batch_size = 1;
+  r.cache_key = "c1.m2.o3";
+  r.plan_summary = "q2r1b0p1g2";
+  const auto v = svc::json::parse(svc::result_to_json(r));
+  EXPECT_EQ(v.get_string("type", ""), "result");
+  EXPECT_EQ(v.get_string("id", ""), "we\"ird");
+  EXPECT_TRUE(v.get_bool("ok", false));
+  EXPECT_EQ(v.at("counts", "t").get_number("01", 0), 3.0);
+  EXPECT_EQ(v.at("cache", "t").get_bool("hit", true), false);
+}
+
+TEST(ServeProtocol, SessionEmitsResultsAndSummary) {
+  std::istringstream in(
+      "{\"id\":\"a\",\"qft\":4,\"shots\":16,\"options\":{\"seed\":3}}\n"
+      "\n"
+      "{\"id\":\"b\",\"qft\":4,\"shots\":16,\"options\":{\"seed\":3}}\n"
+      "this is not json\n");
+  std::ostringstream out;
+  svc::Service service{svc::ServiceOptions{}};
+  const svc::ServeStats stats = svc::serve_session(in, out, service);
+  EXPECT_EQ(stats.jobs, 3u);
+  EXPECT_EQ(stats.ok, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_EQ(stats.shots, 32u);
+
+  std::vector<svc::json::Value> lines;
+  std::istringstream reread(out.str());
+  std::string line;
+  while (std::getline(reread, line)) lines.push_back(svc::json::parse(line));
+  ASSERT_EQ(lines.size(), 4u);  // 3 results + summary
+
+  EXPECT_EQ(lines[0].get_string("id", ""), "a");
+  EXPECT_FALSE(lines[0].at("cache", "t").get_bool("hit", true));
+  EXPECT_EQ(lines[1].get_string("id", ""), "b");
+  EXPECT_TRUE(lines[1].at("cache", "t").get_bool("hit", false));
+  // Identical job + seed: the second submission reuses the plan AND
+  // reproduces the histogram.
+  EXPECT_EQ(lines[0].find("counts")->object.size(),
+            lines[1].find("counts")->object.size());
+  EXPECT_FALSE(lines[2].get_bool("ok", true));
+  EXPECT_EQ(lines[2].at("error", "t").get_string("code", ""), "bad_request");
+
+  const auto& summary = lines[3];
+  EXPECT_EQ(summary.get_string("type", ""), "summary");
+  EXPECT_EQ(summary.get_number("jobs", 0), 3.0);
+  EXPECT_EQ(summary.get_number("errors", 0), 1.0);
+  EXPECT_EQ(summary.at("plan_cache", "t").get_number("hits", 0), 1.0);
+  EXPECT_EQ(summary.at("plan_cache", "t").get_number("misses", 0), 1.0);
+}
+
+TEST(ServeProtocol, BadRequestEchoesSubmittedId) {
+  // A line that is valid JSON but fails job parsing (register-wide QASM
+  // measure is unsupported) must still echo the submitted id; a line that
+  // is not JSON at all falls back to job-<seq>.
+  std::istringstream in(
+      "{\"id\":\"my-job\",\"qasm\":\"not qasm at all\",\"shots\":4}\n"
+      "not json\n");
+  std::ostringstream out;
+  svc::Service service{svc::ServiceOptions{}};
+  svc::serve_session(in, out, service);
+
+  std::istringstream reread(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(reread, line));
+  const svc::json::Value first = svc::json::parse(line);
+  EXPECT_FALSE(first.get_bool("ok", true));
+  EXPECT_EQ(first.at("error", "t").get_string("code", ""), "bad_request");
+  EXPECT_EQ(first.get_string("id", ""), "my-job");
+  ASSERT_TRUE(std::getline(reread, line));
+  const svc::json::Value second = svc::json::parse(line);
+  EXPECT_FALSE(second.get_bool("ok", true));
+  EXPECT_EQ(second.get_string("id", ""), "job-2");
+}
+
+TEST(ServeProtocol, MetricsCountersPublish) {
+  obs::MetricsRegistry::global().reset();
+  svc::Service service{svc::ServiceOptions{}};
+  ASSERT_TRUE(service.run_job(qft_job("a", 4, 8, 1)).ok);
+  ASSERT_TRUE(service.run_job(qft_job("b", 4, 8, 1)).ok);
+  auto& r = obs::MetricsRegistry::global();
+  EXPECT_EQ(r.counter("svc.jobs").value(), 2u);
+  EXPECT_EQ(r.counter("svc.plan_cache.hits").value(), 1u);
+  EXPECT_EQ(r.counter("svc.plan_cache.misses").value(), 1u);
+  EXPECT_EQ(r.counter("svc.shots").value(), 16u);
+  EXPECT_GT(r.gauge("svc.plan_cache.bytes").value(), 0.0);
+}

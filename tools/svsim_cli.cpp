@@ -23,6 +23,8 @@
 //             [--json FILE] [--trace-json FILE] [--metrics]
 //   svsim transpile <circuit.qasm> [--optimize] [--basis-cx]
 //             [--route-linear]
+//   svsim serve [--jobs FILE] [--out FILE] [--machine NAME]
+//             [--cache-bytes B] [--max-seconds S] [--threads T] [--metrics]
 //   svsim machines
 //
 // `run` executes the circuit and prints measurement counts; `project`
@@ -39,7 +41,10 @@
 // the critical-path attribution and what-if sensitivity, and writes the
 // timeline JSON artifact (scripts/check_timeline_schema.py validates it)
 // plus a multi-lane Chrome trace; `transpile` prints the rewritten circuit
-// as OpenQASM.
+// as OpenQASM; `serve` runs the compile-once serve-many job loop — one JSON
+// job per input line, one JSON result line per job plus a summary line
+// (docs/SERVICE.md specifies the schema, scripts/check_service_schema.py
+// validates a captured session).
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -71,6 +76,7 @@
 #include "stab/stabilizer.hpp"
 #include "sv/plan.hpp"
 #include "sv/simulator.hpp"
+#include "svc/service.hpp"
 
 using namespace svsim;
 
@@ -121,6 +127,11 @@ constexpr OptionSpec kOptionSpecs[] = {
     {"timeline", true, false,
      "record the makespan timeline and write the artifact JSON to FILE "
      "(plan/profile)"},
+    {"jobs", true, false, "read job lines from FILE instead of stdin (serve)"},
+    {"out", true, false, "write result lines to FILE instead of stdout (serve)"},
+    {"cache-bytes", true, false, "plan-cache byte budget (serve)"},
+    {"max-seconds", true, false,
+     "admission ceiling on modeled compute seconds per job (serve)"},
     {"optimize", false, false, "run the gate-level optimizer (transpile)"},
     {"basis-cx", false, false, "decompose to the CX basis (transpile)"},
     {"route-linear", false, false, "route for linear connectivity (transpile)"},
@@ -726,6 +737,51 @@ int cmd_transpile(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  svc::ServiceOptions opts;
+  opts.machine = machine_by_name(args.get("machine", "a64fx"));
+  if (args.flag("cache-bytes"))
+    opts.cache_bytes = std::stoull(args.get("cache-bytes", "0"));
+  if (args.flag("max-seconds"))
+    opts.max_modeled_seconds = std::stod(args.get("max-seconds", "0"));
+  if (args.flag("threads"))
+    opts.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+  if (args.flag("metrics")) obs::MetricsRegistry::global().reset();
+  svc::Service service(opts);
+
+  std::ifstream jobs_file;
+  std::istream* in = &std::cin;
+  if (args.flag("jobs")) {
+    const std::string path = args.get("jobs", "-");
+    if (path != "-") {
+      jobs_file.open(path);
+      require(jobs_file.good(), "cannot open '" + path + "' for reading");
+      in = &jobs_file;
+    }
+  }
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (args.flag("out")) {
+    const std::string path = args.get("out", "-");
+    if (path != "-") {
+      out_file.open(path);
+      require(out_file.good(), "cannot open '" + path + "' for writing");
+      out = &out_file;
+    }
+  }
+
+  const svc::ServeStats stats = svc::serve_session(*in, *out, service);
+  std::cerr << "served " << stats.jobs << " jobs (" << stats.ok << " ok, "
+            << stats.errors << " errors, " << stats.shots
+            << " shots); plan cache: " << service.cache().hits()
+            << " hits, " << service.cache().misses() << " misses, "
+            << service.cache().evictions() << " evictions\n";
+  // Metrics go to stderr so the stdout stream stays pure line-JSON.
+  if (args.flag("metrics"))
+    obs::MetricsRegistry::global().table().print(std::cerr);
+  return 0;
+}
+
 int cmd_machines() {
   Table t("Machine library",
           {"name", "cores", "GHz", "SIMD", "peak_GFLOPs", "STREAM_GBs"});
@@ -763,6 +819,8 @@ void usage() {
       "      [--threads T] [--net tofu|edr] [--straggler NODE] [--slowdown X]\n"
       "      [--json FILE] [--trace-json FILE] [--metrics]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
+      "  serve [--jobs FILE] [--out FILE] [--machine NAME] [--cache-bytes B]\n"
+      "      [--max-seconds S] [--threads T] [--metrics]\n"
       "  machines\n";
 }
 
@@ -782,6 +840,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile(args);
     if (cmd == "timeline") return cmd_timeline(args);
     if (cmd == "transpile") return cmd_transpile(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "machines") return cmd_machines();
     usage();
     return 2;
