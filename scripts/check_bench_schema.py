@@ -34,6 +34,7 @@ EXPECTED_CASES = [
     "fig5_roofline",
     "fig6_distributed",
     "micro_kernels",
+    "simd_kernels",
     "tab1_circuits",
     "tab2_fusion",
     "tab3_power",
@@ -50,6 +51,9 @@ ENV_KEYS = [
     "clock_ghz",
     "clock_source",
     "stream_gbps",
+    "cpu_isa",
+    "simd_backend",
+    "simd_vector_bits",
     "timestamp_utc",
 ]
 

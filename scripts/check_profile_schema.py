@@ -29,8 +29,8 @@ import sys
 KNOWN_KINDS = {"local_sweep", "dense_gate", "exchange", "measure_flush"}
 
 ENV_INT_KEYS = ("threads", "num_qubits", "node_qubits", "local_qubits",
-                "block_qubits", "ranks", "declared_cache_budget_bytes",
-                "probed_cache_budget_bytes")
+                "block_qubits", "simd_vector_bits", "ranks",
+                "declared_cache_budget_bytes", "probed_cache_budget_bytes")
 PHASE_NUM_KEYS = ("measured_seconds", "modeled_seconds", "drift_ratio",
                   "measured_bytes", "modeled_bytes", "flops",
                   "exchange_bytes", "sim_exchange_seconds", "measured_gbps",
@@ -116,6 +116,9 @@ def check_profile(path, expect_ranks=None):
         fail("'env' must be an object")
     if not isinstance(env.get("machine"), str) or not env["machine"]:
         fail("env.machine must be a non-empty string")
+    for key in ("simd_isa", "simd_backend"):
+        if not isinstance(env.get(key), str) or not env[key]:
+            fail(f"env.{key} must be a non-empty string")
     for key in ENV_INT_KEYS:
         if not isinstance(env.get(key), int) or env[key] < 0:
             fail(f"env.{key} must be a non-negative integer")

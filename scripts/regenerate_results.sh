@@ -57,6 +57,31 @@ for id in svc_throughput.sampled.cold.s svc_throughput.sampled.warm.s \
     echo "missing service-throughput record: $id" >&2; exit 1; }
 done
 
+# The SIMD backend comparison (docs/ARCHITECTURE.md "sv/simd") must record
+# every hand-vectorized class for the scalar reference and, via the derived
+# speedup records, at least one vectorized backend. On an AVX2 host the
+# hand-vectorized f32 Hadamard and Matrix1 kernels must beat scalar 1.3x.
+for id in simd_kernels.scalar.hadamard.f64 simd_kernels.scalar.hadamard.f32 \
+          simd_kernels.scalar.diag1.f64 simd_kernels.scalar.matrix1.f32 \
+          simd_kernels.scalar.matrix2.f64; do
+  grep -q "\"$id\"" BENCH_results.json || {
+    echo "missing simd-kernel record: $id" >&2; exit 1; }
+done
+python3 - <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_results.json"))
+recs = doc["records"]
+if not any(k.startswith("simd_kernels.speedup.") for k in recs):
+    sys.exit("no simd_kernels speedup records: no vectorized backend ran")
+if doc["env"].get("simd_backend") == "avx2":
+    for cls in ("hadamard", "matrix1"):
+        rid = f"simd_kernels.speedup.avx2.{cls}.f32"
+        speedup = recs[rid]["value"]
+        if speedup < 1.3:
+            sys.exit(f"{rid}: {speedup:.2f}x < 1.3x over scalar")
+        print(f"{rid}: {speedup:.2f}x over scalar")
+EOF
+
 # A serve transcript must validate against the service schema: drive the
 # canned session (cache hit, trajectories, bad line, admission rejection).
 python3 scripts/check_service_schema.py \

@@ -1,0 +1,51 @@
+#include "machine/cpu_features.hpp"
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_ASIMD
+#define HWCAP_ASIMD (1 << 1)
+#endif
+#ifndef HWCAP_SVE
+#define HWCAP_SVE (1 << 22)
+#endif
+#endif
+
+namespace svsim::machine {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.avx2 = __builtin_cpu_supports("avx2");
+  f.fma = __builtin_cpu_supports("fma");
+#elif defined(__aarch64__)
+#if defined(__linux__)
+  const unsigned long hwcap = getauxval(AT_HWCAP);
+  f.neon = (hwcap & HWCAP_ASIMD) != 0;
+  f.sve = (hwcap & HWCAP_SVE) != 0;
+#else
+  // AdvSIMD is architecturally mandatory on AArch64; without an auxv
+  // interface we cannot probe SVE, so leave it off.
+  f.neon = true;
+#endif
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe();
+  return f;
+}
+
+const char* detected_isa_name() {
+  const CpuFeatures& f = cpu_features();
+  if (f.sve) return "sve";
+  if (f.neon) return "neon";
+  if (f.avx2 && f.fma) return "avx2";
+  return "baseline";
+}
+
+}  // namespace svsim::machine

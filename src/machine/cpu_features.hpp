@@ -1,0 +1,28 @@
+#pragma once
+
+// Runtime CPU feature detection for SIMD kernel dispatch (sv/simd).
+//
+// Detection runs once per process (cpuid-backed builtins on x86-64,
+// getauxval(AT_HWCAP) on aarch64 Linux) and is cheap to query afterwards.
+// The machine layer owns this so both the kernel registry (sv/simd) and
+// the bench environment capture (obs/bench) can report the same answer.
+
+namespace svsim::machine {
+
+struct CpuFeatures {
+  // x86-64
+  bool avx2 = false;
+  bool fma = false;
+  // aarch64
+  bool neon = false;
+  bool sve = false;
+};
+
+/// Detected features of the executing CPU; probed once, then cached.
+const CpuFeatures& cpu_features();
+
+/// Short name of the widest SIMD extension the CPU exposes that our
+/// kernel tier knows about: "sve", "neon", "avx2", or "baseline".
+const char* detected_isa_name();
+
+}  // namespace svsim::machine

@@ -8,7 +8,10 @@
 #include <sstream>
 #include <thread>
 
+#include <atomic>
+
 #include "common/threading.hpp"
+#include "machine/cpu_features.hpp"
 
 #ifndef SVSIM_BENCH_BUILD_TYPE
 #define SVSIM_BENCH_BUILD_TYPE "unknown"
@@ -128,7 +131,13 @@ HostSpecParams resolve_host_spec() {
   return p;
 }
 
+std::atomic<SimdEnvProvider> g_simd_provider{nullptr};
+
 }  // namespace
+
+void set_simd_env_provider(SimdEnvProvider provider) {
+  g_simd_provider.store(provider, std::memory_order_release);
+}
 
 machine::MachineSpec host_spec() {
   const HostSpecParams p = resolve_host_spec();
@@ -156,6 +165,16 @@ BenchEnv capture_env() {
   env.clock_source = p.clock_source;
   env.stream_gbps = p.gbps;
   env.spec_source = p.spec_source;
+
+  env.cpu_isa = machine::detected_isa_name();
+  if (const SimdEnvProvider provider =
+          g_simd_provider.load(std::memory_order_acquire)) {
+    const SimdEnvInfo info = provider();
+    env.simd_backend = info.backend;
+    env.simd_vector_bits = info.vector_bits;
+  } else {
+    env.simd_backend = "unset";
+  }
 
   std::time_t now = std::time(nullptr);
   std::tm tm{};

@@ -31,11 +31,25 @@ struct BenchEnv {
   std::string clock_source;     ///< "env" | "cpuinfo" | "fallback"
   double stream_gbps = 0;       ///< STREAM estimate used for the host spec
   std::string spec_source;      ///< "env" if SVSIM_HOST_SPEC overrode anything
+  std::string cpu_isa;          ///< widest detected SIMD extension of the CPU
+  std::string simd_backend;     ///< active kernel backend ("unset" if none yet)
+  unsigned simd_vector_bits = 0;  ///< backend vector width; 0 = scalar
   std::string timestamp_utc;    ///< ISO-8601, time of capture
 };
 
 /// Captures the environment now (cheap; reads two /proc//sys files).
 BenchEnv capture_env();
+
+/// The SIMD kernel backend lives above this library (sv/simd), so runners
+/// that link it install a provider; capture_env falls back to
+/// backend "unset" / 0 bits when none is registered. The CPU ISA itself
+/// is always probed (machine/cpu_features).
+struct SimdEnvInfo {
+  std::string backend;
+  unsigned vector_bits = 0;
+};
+using SimdEnvProvider = SimdEnvInfo (*)();
+void set_simd_env_provider(SimdEnvProvider provider);
 
 /// Highest "cpu MHz" in /proc/cpuinfo as GHz, or 0 when unreadable
 /// (non-Linux, masked /proc). Exposed for tests.

@@ -152,6 +152,10 @@ void write_env_json(std::ostream& os, const BenchEnv& env) {
   put_kv(os, "clock_source", env.clock_source);
   put_kv(os, "stream_gbps", env.stream_gbps);
   put_kv(os, "spec_source", env.spec_source);
+  put_kv(os, "cpu_isa", env.cpu_isa);
+  put_kv(os, "simd_backend", env.simd_backend);
+  put_kv(os, "simd_vector_bits",
+         static_cast<std::uint64_t>(env.simd_vector_bits));
   put_kv(os, "timestamp_utc", env.timestamp_utc, /*trailing_comma=*/false);
   os << '}';
 }

@@ -5,6 +5,8 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "machine/cpu_features.hpp"
+#include "sv/simd/simd.hpp"
 
 namespace svsim::perf {
 
@@ -64,6 +66,12 @@ ProfileReport build_profile_report(const obs::RunProfile& run,
   report.env.node_qubits = plan.node_qubits;
   report.env.local_qubits = plan.local_qubits;
   report.env.block_qubits = plan.block_qubits;
+  report.env.simd_isa = machine::detected_isa_name();
+  {
+    const sv::simd::BackendInfo backend = sv::simd::active_backend();
+    report.env.simd_backend = backend.name;
+    report.env.simd_vector_bits = backend.vector_bits;
+  }
   report.env.ranks = plan.num_ranks();
   report.env.declared_cache_budget_bytes = m.cache_budget_per_core_bytes();
   const machine::CacheProbeResult& probe = machine::probed_cache_budget();
@@ -159,7 +167,11 @@ void write_profile_json(const ProfileReport& report, std::ostream& os) {
      << "\",\"threads\":" << e.threads << ",\"num_qubits\":" << e.num_qubits
      << ",\"node_qubits\":" << e.node_qubits
      << ",\"local_qubits\":" << e.local_qubits
-     << ",\"block_qubits\":" << e.block_qubits << ",\"ranks\":" << e.ranks
+     << ",\"block_qubits\":" << e.block_qubits << ",\"simd_isa\":\""
+     << json_escape(e.simd_isa) << "\",\"simd_backend\":\""
+     << json_escape(e.simd_backend)
+     << "\",\"simd_vector_bits\":" << e.simd_vector_bits
+     << ",\"ranks\":" << e.ranks
      << ",\"declared_cache_budget_bytes\":" << e.declared_cache_budget_bytes
      << ",\"probed_cache_budget_bytes\":" << e.probed_cache_budget_bytes
      << ",\"probe_valid\":" << (e.probe_valid ? "true" : "false")
@@ -203,6 +215,9 @@ Table profile_env_table(const ProfileReport& report) {
              std::to_string(e.num_qubits) + "/" +
                  std::to_string(e.local_qubits) + "/" +
                  std::to_string(e.block_qubits)});
+  t.add_row({std::string("simd backend"),
+             e.simd_backend + " (isa " + e.simd_isa + ", " +
+                 std::to_string(e.simd_vector_bits) + "-bit)"});
   t.add_row({std::string("ranks"), static_cast<std::int64_t>(e.ranks)});
   t.add_row({std::string("cache budget declared (KiB)"),
              static_cast<std::int64_t>(e.declared_cache_budget_bytes >> 10)});

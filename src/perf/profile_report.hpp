@@ -88,6 +88,9 @@ struct ProfileEnv {
   unsigned node_qubits = 0;
   unsigned local_qubits = 0;
   unsigned block_qubits = 0;
+  std::string simd_isa;      ///< widest SIMD extension detected on the CPU
+  std::string simd_backend;  ///< kernel backend active for this run
+  unsigned simd_vector_bits = 0;  ///< backend width; 0 = scalar backend
   std::uint64_t ranks = 1;
   std::uint64_t declared_cache_budget_bytes = 0;
   std::uint64_t probed_cache_budget_bytes = 0;

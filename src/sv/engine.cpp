@@ -11,6 +11,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "sv/kernels.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/simulator.hpp"
 
 namespace svsim::sv {
@@ -159,6 +160,7 @@ std::vector<PreparedGate<T>> prepare_sweep(const Gate* gates,
       require(q < block_qubits, "run_sweep: gate operand crosses the block "
                                 "boundary (not block-local)");
     prepared.push_back(prepare_gate<T>(gates[i]));
+    simd::count_dispatch(prepared.back().cls);
   }
   return prepared;
 }

@@ -699,7 +699,10 @@ template <typename T>
 using BlockKernelFn = void (*)(std::complex<T>*, unsigned nb,
                                const PreparedGate<T>&);
 
-/// The dispatch table, indexed by KernelClass.
+/// The portable scalar reference table, indexed by KernelClass. SIMD
+/// backends (sv/simd) derive their tables from this one, substituting
+/// hand-vectorized entries; it also serves as the equivalence oracle in
+/// tests.
 template <typename T>
 inline const std::array<BlockKernelFn<T>, kNumKernelClasses>&
 block_kernel_table() {
@@ -717,6 +720,21 @@ block_kernel_table() {
   return table;
 }
 
+/// The table of the active SIMD backend (scalar entries where the backend
+/// has no hand-vectorized kernel). Defined in sv/simd/registry.cpp; the
+/// first call triggers runtime CPU detection / the SVSIM_SIMD override
+/// (see sv/simd/simd.hpp).
+template <typename T>
+const std::array<BlockKernelFn<T>, kNumKernelClasses>&
+active_block_kernel_table();
+
+template <>
+const std::array<BlockKernelFn<float>, kNumKernelClasses>&
+active_block_kernel_table<float>();
+template <>
+const std::array<BlockKernelFn<double>, kNumKernelClasses>&
+active_block_kernel_table<double>();
+
 /// Resolves `g` for block-local application: classifies it and pre-casts
 /// every coefficient to precision T. Throws for MEASURE/RESET and for dense
 /// payloads wider than the block path supports.
@@ -732,7 +750,8 @@ template <typename T>
 inline void apply_gate_in_block(std::complex<T>* block, unsigned nb,
                                 const PreparedGate<T>& pg) {
   SVSIM_ASSERT(detail::blk::min_block_qubits(pg) <= nb);
-  block_kernel_table<T>()[static_cast<std::size_t>(pg.cls)](block, nb, pg);
+  active_block_kernel_table<T>()[static_cast<std::size_t>(pg.cls)](block, nb,
+                                                                  pg);
 }
 
 }  // namespace svsim::sv

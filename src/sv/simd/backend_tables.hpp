@@ -1,0 +1,29 @@
+#pragma once
+
+// Internal contract between the backend kernel translation units and the
+// registry (sv/simd/registry.cpp). Each backend TU returns a sparse
+// override set: null entries fall back to the scalar reference table.
+// When the ISA is not compiled in (wrong architecture or missing
+// compiler flags), the TU still links but reports compiled = false.
+
+#include <array>
+
+#include "sv/kernels.hpp"
+
+namespace svsim::sv::simd::detail {
+
+struct KernelOverrides {
+  bool compiled = false;
+  /// Hardware vector width of the compiled kernels; 0 when !compiled.
+  /// For SVE this is probed at runtime (vector-length agnostic code).
+  unsigned vector_bits = 0;
+  std::array<BlockKernelFn<float>, kNumKernelClasses> f32{};
+  std::array<BlockKernelFn<double>, kNumKernelClasses> f64{};
+};
+
+const KernelOverrides& generic_overrides();
+const KernelOverrides& avx2_overrides();
+const KernelOverrides& neon_overrides();
+const KernelOverrides& sve_overrides();
+
+}  // namespace svsim::sv::simd::detail

@@ -75,7 +75,8 @@ std::string bit_label(std::uint64_t key, unsigned width) {
 }
 
 sv::PlanOptions plan_options_for(const JobRequest& req,
-                                 const machine::MachineSpec* machine) {
+                                 const machine::MachineSpec* machine,
+                                 unsigned element_bytes) {
   sv::PlanOptions po;
   po.fusion = req.fusion;
   po.fusion_width = req.fusion_width;
@@ -83,7 +84,10 @@ sv::PlanOptions plan_options_for(const JobRequest& req,
   // the blocked path only serves noiseless execution.
   po.blocking = req.blocking && req.noise.channels().empty();
   po.block_qubits = req.block_qubits;
-  po.amp_bytes = 2 * sizeof(double);
+  // f32 amplitudes halve the footprint, so auto-sized blocks go twice as
+  // deep; amp_bytes also feeds the plan fingerprint, keeping precisions in
+  // separate cache entries.
+  po.amp_bytes = 2 * element_bytes;
   po.machine = machine;
   return po;
 }
@@ -104,6 +108,76 @@ sv::ExecutionPlan compile_for_service(const qc::Circuit& circuit,
   }
   plan.validate();
   return plan;
+}
+
+/// Runs the cached plan at amplitude precision T and fills the counts and
+/// batch attribution. The RNG discipline (sampling, then per-sample
+/// readout flips; global trajectory seeding) is identical across
+/// precisions — only the state element type changes.
+template <typename T>
+void execute_counts(const CachedPlan& cached, const JobRequest& request,
+                    const ServiceOptions& options,
+                    const sv::SimulatorOptions& sim_opts,
+                    unsigned label_width, JobResult& result) {
+  const unsigned n = cached.plan->num_qubits;
+  if (cached.sampled_mode) {
+    // One preparation, `shots` samples; the RNG consumption replicates
+    // Simulator::sample_counts exactly.
+    sv::Simulator<T> sim(sim_opts);
+    sv::StateVector<T> state(n, options.pool);
+    sim.run_plan(state, *cached.plan);
+    const auto samples = state.sample(request.shots, sim.rng());
+    const bool readout = request.noise.has_readout_error();
+    for (std::uint64_t basis : samples) {
+      std::uint64_t key_bits = 0;
+      if (!cached.measures.empty()) {
+        for (const auto& [q, c] : cached.measures) {
+          bool bit = test_bit(basis, q);
+          if (readout) bit = request.noise.flip_readout(bit, sim.rng());
+          if (bit) key_bits = set_bit(key_bits, c);
+        }
+      } else {
+        key_bits = basis;
+      }
+      ++result.counts[bit_label(key_bits, label_width)];
+    }
+    result.batches = 1;
+    result.batch_size = 1;
+  } else {
+    // Trajectory mode: batches of states walk the plan together, each
+    // trajectory keyed by its global index so the split does not affect
+    // the statistics.
+    const std::uint64_t state_bytes = pow2(n) * std::uint64_t{2 * sizeof(T)};
+    const std::size_t batch_size = static_cast<std::size_t>(std::clamp<
+        std::uint64_t>(options.batch_bytes / std::max<std::uint64_t>(
+                           state_bytes, 1),
+                       1, request.shots));
+    sv::Simulator<T> sim(sim_opts);
+    std::size_t done = 0;
+    while (done < request.shots) {
+      const std::size_t this_batch =
+          std::min(batch_size, request.shots - done);
+      std::vector<sv::StateVector<T>> states;
+      states.reserve(this_batch);
+      std::vector<sv::StateVector<T>*> ptrs;
+      ptrs.reserve(this_batch);
+      for (std::size_t i = 0; i < this_batch; ++i) {
+        states.emplace_back(n, options.pool);
+        ptrs.push_back(&states.back());
+      }
+      const auto bits =
+          sim.run_plan_batch(ptrs, *cached.plan, /*first_trajectory=*/done);
+      for (const auto& traj_bits : bits) {
+        std::uint64_t key_bits = 0;
+        for (std::size_t b = 0; b < traj_bits.size(); ++b)
+          if (traj_bits[b]) key_bits = set_bit(key_bits, unsigned(b));
+        ++result.counts[bit_label(key_bits, label_width)];
+      }
+      done += this_batch;
+      ++result.batches;
+    }
+    result.batch_size = batch_size;
+  }
 }
 
 }  // namespace
@@ -151,13 +225,21 @@ JobResult Service::execute(const JobRequest& request) {
           "job: ranks must be a power of two");
   require(request.scheduler == "remap" || request.scheduler == "naive",
           "job: scheduler must be remap or naive");
+  const std::string precision = request.precision.empty()
+                                    ? options_.default_precision
+                                    : request.precision;
+  require(precision == "f64" || precision == "f32",
+          "job: precision must be f64 or f32");
+  const unsigned element_bytes = precision == "f32" ? 4 : 8;
+  result.precision = precision;
 
   // Normalize the way `svsim run` does: a purely unitary circuit measures
   // every qubit, so counts always key on the classical register.
   qc::Circuit circuit = request.circuit;
   if (circuit.is_unitary()) circuit.measure_all();
 
-  const sv::PlanOptions po = plan_options_for(request, &options_.machine);
+  const sv::PlanOptions po =
+      plan_options_for(request, &options_.machine, element_bytes);
 
   // ---- Cache lookup (compile at most once per key) ----------------------
   PlanKey key;
@@ -205,7 +287,7 @@ JobResult Service::execute(const JobRequest& request) {
 
     machine::ExecConfig cfg;
     cfg.threads = options_.threads;
-    cfg.element_bytes = sizeof(double);
+    cfg.element_bytes = element_bytes;
     entry->cost = perf::cost_plan(*entry->plan, options_.machine, cfg);
     entry->footprint_bytes = plan_footprint_bytes(*entry->plan);
     result.compile_seconds = seconds_since(compile_start);
@@ -247,63 +329,12 @@ JobResult Service::execute(const JobRequest& request) {
   sim_opts.seed = request.seed;
   sim_opts.noise = request.noise;
 
-  if (cached->sampled_mode) {
-    // One preparation, `shots` samples; the RNG consumption (sampling, then
-    // per-sample readout flips) replicates sample_counts exactly.
-    sv::Simulator<double> sim(sim_opts);
-    sv::StateVector<double> state(n, options_.pool);
-    sim.run_plan(state, *cached->plan);
-    const auto samples = state.sample(request.shots, sim.rng());
-    const bool readout = request.noise.has_readout_error();
-    for (std::uint64_t basis : samples) {
-      std::uint64_t key_bits = 0;
-      if (!cached->measures.empty()) {
-        for (const auto& [q, c] : cached->measures) {
-          bool bit = test_bit(basis, q);
-          if (readout) bit = request.noise.flip_readout(bit, sim.rng());
-          if (bit) key_bits = set_bit(key_bits, c);
-        }
-      } else {
-        key_bits = basis;
-      }
-      ++result.counts[bit_label(key_bits, label_width)];
-    }
-    result.batches = 1;
-    result.batch_size = 1;
+  if (element_bytes == 4) {
+    execute_counts<float>(*cached, request, options_, sim_opts, label_width,
+                          result);
   } else {
-    // Trajectory mode: batches of states walk the plan together, each
-    // trajectory keyed by its global index so the split does not affect
-    // the statistics.
-    const std::uint64_t state_bytes = pow2(n) * std::uint64_t{16};
-    const std::size_t batch_size = static_cast<std::size_t>(std::clamp<
-        std::uint64_t>(options_.batch_bytes / std::max<std::uint64_t>(
-                           state_bytes, 1),
-                       1, request.shots));
-    sv::Simulator<double> sim(sim_opts);
-    std::size_t done = 0;
-    while (done < request.shots) {
-      const std::size_t this_batch =
-          std::min(batch_size, request.shots - done);
-      std::vector<sv::StateVector<double>> states;
-      states.reserve(this_batch);
-      std::vector<sv::StateVector<double>*> ptrs;
-      ptrs.reserve(this_batch);
-      for (std::size_t i = 0; i < this_batch; ++i) {
-        states.emplace_back(n, options_.pool);
-        ptrs.push_back(&states.back());
-      }
-      const auto bits =
-          sim.run_plan_batch(ptrs, *cached->plan, /*first_trajectory=*/done);
-      for (const auto& traj_bits : bits) {
-        std::uint64_t key_bits = 0;
-        for (std::size_t b = 0; b < traj_bits.size(); ++b)
-          if (traj_bits[b]) key_bits = set_bit(key_bits, unsigned(b));
-        ++result.counts[bit_label(key_bits, label_width)];
-      }
-      done += this_batch;
-      ++result.batches;
-    }
-    result.batch_size = batch_size;
+    execute_counts<double>(*cached, request, options_, sim_opts, label_width,
+                           result);
   }
 
   result.execute_seconds = seconds_since(exec_start);
@@ -381,6 +412,7 @@ JobRequest parse_job_line(const std::string& line) {
     req.ranks = static_cast<unsigned>(o->get_number("ranks", 1));
     req.scheduler = o->get_string("sched", "remap");
     req.seed = static_cast<std::uint64_t>(o->get_number("seed", 1));
+    req.precision = o->get_string("precision", "");
   }
   if (const json::Value* noise = job.find("noise")) {
     require(noise->is_object(), "\"noise\" must be an object");
@@ -406,7 +438,8 @@ std::string result_to_json(const JobResult& r) {
       first = false;
       out << "\"" << bits << "\":" << count;
     }
-    out << "},\"mode\":\"" << r.mode << "\",\"executions\":" << r.executions
+    out << "},\"mode\":\"" << r.mode << "\",\"precision\":\""
+        << json::escape(r.precision) << "\",\"executions\":" << r.executions
         << ",\"batches\":" << r.batches
         << ",\"batch_size\":" << r.batch_size;
   }

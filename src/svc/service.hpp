@@ -49,6 +49,10 @@ struct ServiceOptions {
   std::uint64_t batch_bytes = 256ull << 20;
   /// Threads assumed by the admission price model (0 = all cores).
   unsigned threads = 0;
+  /// Amplitude precision for jobs that do not request one ("f64" | "f32").
+  /// Precision is part of the plan fingerprint (via amp_bytes), so f32 and
+  /// f64 plans never share a cache entry.
+  std::string default_precision = "f64";
   /// Worker pool for kernels (borrowed).
   ThreadPool* pool = &ThreadPool::global();
 };
@@ -66,6 +70,7 @@ struct JobRequest {
   unsigned ranks = 1;                ///< power of two; >1 = distributed plan
   std::string scheduler = "remap";   ///< "remap" | "naive"
   std::uint64_t seed = 1;
+  std::string precision;             ///< "f64" | "f32"; empty = service default
   sv::NoiseModel noise;
 };
 
@@ -91,6 +96,7 @@ struct JobResult {
   double modeled_limit_seconds = 0.0;  ///< ceiling in force (0 = none)
 
   std::string mode;           ///< "sampled" | "trajectory"
+  std::string precision;      ///< resolved amplitude precision ("f64"|"f32")
   std::size_t executions = 0; ///< plan executions (1 sampled, shots noisy)
   std::size_t batches = 0;
   std::size_t batch_size = 0; ///< states per full batch

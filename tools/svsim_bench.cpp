@@ -28,6 +28,7 @@
 #include "obs/bench/record.hpp"
 #include "obs/bench/registry.hpp"
 #include "obs/profile.hpp"
+#include "sv/simd/simd.hpp"
 
 using namespace svsim;
 using obs::bench::BenchCase;
@@ -104,6 +105,13 @@ bool selected(const BenchCase& c, const Options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Records must be stamped with the kernel backend they measured; the
+  // obs layer cannot see sv/simd, so the runner bridges the two.
+  obs::bench::set_simd_env_provider(+[]() {
+    const sv::simd::BackendInfo b = sv::simd::active_backend();
+    return obs::bench::SimdEnvInfo{b.name, b.vector_bits};
+  });
+
   Options o;
   try {
     o = parse(argc, argv);

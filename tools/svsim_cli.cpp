@@ -75,6 +75,7 @@
 #include "qc/transpile.hpp"
 #include "stab/stabilizer.hpp"
 #include "sv/plan.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/simulator.hpp"
 #include "svc/service.hpp"
 
@@ -97,6 +98,11 @@ struct OptionSpec {
 constexpr OptionSpec kOptionSpecs[] = {
     {"shots", true, false, "number of measurement shots (run)"},
     {"backend", true, false, "sv | sv32 | stab (run)"},
+    {"precision", true, false,
+     "f64 | f32 amplitude precision (run/plan/profile/serve)"},
+    {"simd", true, false,
+     "force the kernel backend: scalar|generic|avx2|neon|sve (default: "
+     "SVSIM_SIMD or runtime CPU detection)"},
     {"fusion", true, false, "enable gate fusion with max width W"},
     {"blocked", false, false, "cache-blocked sweep execution (run)"},
     {"block-qubits", true, false, "block size in qubits, 0 = auto (run)"},
@@ -190,6 +196,16 @@ machine::MachineSpec machine_by_name(const std::string& name) {
               "' (try a64fx, a64fx-boost, a64fx-eco, fx700, xeon, tx2)");
 }
 
+/// --precision: amplitude scalar size in bytes (f64 default). `run` also
+/// honors the legacy `--backend sv32` spelling; both reach the same
+/// Simulator<float> path.
+unsigned element_bytes_from_args(const Args& args) {
+  const std::string p = args.get("precision", "f64");
+  if (p == "f64") return 8;
+  if (p == "f32") return 4;
+  throw Error("unknown precision '" + p + "' (f64, f32)");
+}
+
 qc::Circuit load_circuit(const Args& args) {
   if (args.flag("qft"))
     return qc::qft(static_cast<unsigned>(std::stoul(args.get("qft", "20"))));
@@ -231,6 +247,10 @@ sv::ExecutionPlan compile_plan_from_args(const Args& args,
         static_cast<unsigned>(std::stoul(args.get("block-qubits", "0")));
   }
   po.machine = machine;
+  // f32 amplitudes halve the element footprint, so auto-sized blocks go
+  // twice as deep for the same cache budget; the fingerprint (svc) and
+  // plan JSON carry amp_bytes so precisions never mix.
+  po.amp_bytes = 2 * element_bytes_from_args(args);
 
   sv::ExecutionPlan plan;
   if (node_qubits == 0) {
@@ -364,6 +384,7 @@ int cmd_run(const Args& args) {
   if (args.flag("metrics")) {
     obs::MetricsRegistry::global().reset();
     ThreadPool::global().reset_stats();
+    sv::simd::publish_metrics();
   }
   std::optional<obs::HwCounterScope> counters;
   if (args.flag("counters")) counters.emplace();
@@ -378,14 +399,15 @@ int cmd_run(const Args& args) {
     capture.emplace();
   }
 
-  if (backend == "sv32") {
+  require(backend == "sv" || backend == "sv32",
+          "unknown backend '" + backend + "' (sv, sv32, stab)");
+  const bool f32 = backend == "sv32" || element_bytes_from_args(args) == 4;
+  if (f32) {
     sv::Simulator<float> sim(opts);
     print_counts(sim.sample_counts(circuit, shots));
-  } else if (backend == "sv") {
+  } else {
     sv::Simulator<double> sim(opts);
     print_counts(sim.sample_counts(circuit, shots));
-  } else {
-    throw Error("unknown backend '" + backend + "' (sv, sv32, stab)");
   }
 
   if (profiler) {
@@ -402,7 +424,8 @@ int cmd_run(const Args& args) {
     if (args.flag("threads"))
       cfg.threads =
           static_cast<unsigned>(std::stoul(args.get("threads", "0")));
-    cfg.element_bytes = backend == "sv32" ? 4 : 8;
+    cfg.element_bytes = f32 ? 4 : 8;
+    cfg.vector_bits = sv::simd::effective_vector_bits(cfg.element_bytes);
     const perf::ProfileReport report =
         perf::build_profile_report(runs.back(), plans.back(), m, cfg);
     const std::string path = args.get("profile", "profile.json");
@@ -583,6 +606,8 @@ int cmd_profile(const Args& args) {
   machine::ExecConfig cfg;
   if (args.flag("threads"))
     cfg.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+  cfg.element_bytes = element_bytes_from_args(args);
+  cfg.vector_bits = sv::simd::effective_vector_bits(cfg.element_bytes);
   const sv::ExecutionPlan plan = compile_plan_from_args(args, circuit, &m);
 
   // Execute the plan for real with the profiler riding run_plan. The
@@ -597,9 +622,15 @@ int cmd_profile(const Args& args) {
 
   sv::SimulatorOptions sopts;
   sopts.seed = std::stoull(args.get("seed", "1"));
-  sv::Simulator<double> sim(sopts);
-  sv::StateVector<double> state(circuit.num_qubits());
-  sim.run_plan(state, plan);
+  if (cfg.element_bytes == 4) {
+    sv::Simulator<float> sim(sopts);
+    sv::StateVector<float> state(circuit.num_qubits());
+    sim.run_plan(state, plan);
+  } else {
+    sv::Simulator<double> sim(sopts);
+    sv::StateVector<double> state(circuit.num_qubits());
+    sim.run_plan(state, plan);
+  }
 
   // Price the exchanges on the modeled interconnect while the profiler is
   // still installed: time_plan annotates the Exchange samples with the
@@ -663,7 +694,10 @@ int cmd_timeline(const Args& args) {
   const dist::InterconnectSpec net =
       interconnect_by_name(args.get("net", "tofu"));
   const dist::StragglerConfig straggler = straggler_from_args(args);
-  if (args.flag("metrics")) obs::MetricsRegistry::global().reset();
+  if (args.flag("metrics")) {
+    obs::MetricsRegistry::global().reset();
+    sv::simd::publish_metrics();
+  }
 
   const dist::Timeline tl = dist::record_timeline(plan, m, cfg, net, straggler);
   const perf::CriticalPath cp = perf::extract_critical_path(tl);
@@ -746,7 +780,14 @@ int cmd_serve(const Args& args) {
     opts.max_modeled_seconds = std::stod(args.get("max-seconds", "0"));
   if (args.flag("threads"))
     opts.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
-  if (args.flag("metrics")) obs::MetricsRegistry::global().reset();
+  if (args.flag("precision")) {
+    element_bytes_from_args(args);  // validates the spelling
+    opts.default_precision = args.get("precision", "f64");
+  }
+  if (args.flag("metrics")) {
+    obs::MetricsRegistry::global().reset();
+    sv::simd::publish_metrics();
+  }
   svc::Service service(opts);
 
   std::ifstream jobs_file;
@@ -802,6 +843,9 @@ int cmd_machines() {
 void usage() {
   std::cerr <<
       "usage: svsim <command> [args]\n"
+      "(every command also accepts --simd scalar|generic|avx2|neon|sve to\n"
+      " force the kernel backend, and run/plan/profile/serve accept\n"
+      " --precision f64|f32 for the amplitude precision)\n"
       "  run <file.qasm|--qft N|--qv N D> [--shots N] [--backend sv|sv32|stab]\n"
       "      [--fusion W] [--blocked] [--block-qubits B] [--seed S]\n"
       "      [--trace-json FILE] [--trace] [--metrics] [--counters]\n"
@@ -820,7 +864,7 @@ void usage() {
       "      [--json FILE] [--trace-json FILE] [--metrics]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  serve [--jobs FILE] [--out FILE] [--machine NAME] [--cache-bytes B]\n"
-      "      [--max-seconds S] [--threads T] [--metrics]\n"
+      "      [--max-seconds S] [--threads T] [--precision f64|f32] [--metrics]\n"
       "  machines\n";
 }
 
@@ -834,6 +878,16 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args args = parse_args(argc, argv);
+    // --simd pins the kernel backend for everything the command executes
+    // (run, profile, serve jobs, ...); an unavailable backend is a hard
+    // error here, unlike the best-effort SVSIM_SIMD environment override.
+    if (args.flag("simd")) {
+      const std::string name = args.get("simd", "");
+      require(sv::simd::select_backend(name),
+              "SIMD backend '" + name +
+                  "' is not available on this CPU/build (see `svsim "
+                  "machines`; scalar and generic always are)");
+    }
     if (cmd == "run") return cmd_run(args);
     if (cmd == "project") return cmd_project(args);
     if (cmd == "plan") return cmd_plan(args);
