@@ -4,6 +4,7 @@
 Usage:
   check_service_schema.py TRANSCRIPT.jsonl
   check_service_schema.py --emit-with PATH/TO/svsim [--output TRANSCRIPT.jsonl]
+      [--threads N]
 
 With --emit-with, a canned session is first driven through `svsim serve`:
 the same QFT job twice (the second submission MUST be a plan-cache hit with
@@ -13,8 +14,16 @@ malformed line, and an over-cost job against a tight admission ceiling
 validated line by line: every line is a well-formed JSON object, results
 carry the counts/cache/admission/timing blocks with consistent types, shot
 totals add up, cache attribution matches the summary's plan_cache block,
-and the summary accounting (jobs = ok + errors) closes. Exits nonzero with
-a diagnostic on the first violation.
+the summary's svc block accounts every job to a worker, and the summary
+accounting (jobs = ok + errors) closes. Exits nonzero with a diagnostic on
+the first violation.
+
+Result lines are correlated by job id, never by position: with --threads N
+(> 1) the serve loop runs N workers and emits results in completion order.
+Concurrent workers may also both miss on the same plan (the "warm" job can
+race "cold"), so the warm-submission-must-hit assertion is enforced only at
+--threads 1; the bit-identical-histogram assertion holds at every worker
+count.
 """
 
 import argparse
@@ -100,7 +109,25 @@ def check_result(i, rec):
                  f"c<16hex>.m<16hex>.o<16hex>")
 
 
-def check_transcript(path, expect_session):
+def check_summary_svc(summary, jobs):
+    svc = summary.get("svc")
+    if not isinstance(svc, dict):
+        fail("summary needs an 'svc' object")
+    workers = svc.get("workers")
+    if not isinstance(workers, int) or workers < 1:
+        fail("summary: svc.workers must be a positive integer")
+    worker_jobs = svc.get("worker_jobs")
+    if (not isinstance(worker_jobs, list) or len(worker_jobs) != workers
+            or any(not isinstance(j, int) or j < 0 for j in worker_jobs)):
+        fail("summary: svc.worker_jobs must list one non-negative job "
+             "count per worker")
+    if sum(worker_jobs) != jobs:
+        fail(f"summary: svc.worker_jobs sums to {sum(worker_jobs)}, "
+             f"jobs says {jobs}")
+    return workers
+
+
+def check_transcript(path, expect_session, threads=1):
     try:
         with open(path, encoding="utf-8") as f:
             lines = [ln for ln in f.read().splitlines() if ln.strip()]
@@ -147,6 +174,9 @@ def check_transcript(path, expect_session):
         if summary.get(key) != expected:
             fail(f"summary: '{key}' = {summary.get(key)!r}, "
                  f"results say {expected}")
+    workers = check_summary_svc(summary, len(results))
+    if threads > 1 and workers != threads:
+        fail(f"summary: svc.workers = {workers}, expected {threads}")
     hits = [r for r in results if (r.get("cache") or {}).get("hit")]
     misses = [r for r in results if r.get("cache")
               and not r["cache"]["hit"]]
@@ -161,17 +191,21 @@ def check_transcript(path, expect_session):
             if job_id not in by_id:
                 fail(f"canned session: result '{job_id}' missing")
         cold, warm = by_id["cold"], by_id["warm"]
-        if cold["cache"]["hit"]:
-            fail("canned session: first submission must be a cache miss")
-        if not warm["cache"]["hit"]:
-            fail("canned session: identical resubmission must be a "
-                 "plan-cache hit")
+        if threads <= 1:
+            # Deterministic single-worker attribution. With concurrent
+            # workers, cold and warm may race and both miss; the cache key,
+            # plan, and histogram equalities below hold regardless.
+            if cold["cache"]["hit"]:
+                fail("canned session: first submission must be a cache miss")
+            if not warm["cache"]["hit"]:
+                fail("canned session: identical resubmission must be a "
+                     "plan-cache hit")
+            if warm["timing"]["compile_seconds"] != 0:
+                fail("canned session: a cache hit must not recompile")
         if warm["cache"]["key"] != cold["cache"]["key"]:
             fail("canned session: identical jobs produced different keys")
         if warm["cache"]["plan"] != cold["cache"]["plan"]:
             fail("canned session: cache hit returned a different plan")
-        if warm["timing"]["compile_seconds"] != 0:
-            fail("canned session: a cache hit must not recompile")
         if warm["counts"] != cold["counts"]:
             fail("canned session: same job + seed must reproduce the "
                  "histogram bit-for-bit")
@@ -199,7 +233,12 @@ def main():
                         help="svsim binary; drive the canned session first")
     parser.add_argument("--output", default="service_schema_check.jsonl",
                         help="where --emit-with writes the transcript")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="serve worker count for --emit-with; > 1 "
+                        "relaxes single-worker cache-hit attribution")
     args = parser.parse_args()
+    if args.threads < 1:
+        parser.error("--threads must be >= 1")
 
     if args.emit_with:
         path = args.output
@@ -208,14 +247,17 @@ def main():
             for job in SESSION_JOBS) + "\n"
         cmd = [args.emit_with, "serve", "--max-seconds", ADMISSION_CEILING,
                "--out", path]
+        if args.threads > 1:
+            cmd += ["--threads", str(args.threads)]
         result = subprocess.run(cmd, input=stdin, capture_output=True,
                                 text=True)
         if result.returncode != 0:
             fail(f"'{' '.join(cmd)}' exited {result.returncode}:\n"
                  f"{result.stderr}")
-        check_transcript(path, expect_session=True)
+        check_transcript(path, expect_session=True, threads=args.threads)
     elif args.transcript:
-        check_transcript(args.transcript, expect_session=False)
+        check_transcript(args.transcript, expect_session=False,
+                         threads=args.threads)
     else:
         parser.error("need a transcript file or --emit-with")
 

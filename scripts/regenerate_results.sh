@@ -49,13 +49,31 @@ for id in fig6_blocked_dist.d3.naive.exchanges \
 done
 
 # The service-throughput comparison (docs/SERVICE.md, "svc_throughput")
-# must record both submission paths for both execution modes.
+# must record both submission paths for both execution modes, plus the
+# warm-cache worker-scaling sweep behind `svsim serve --threads N`.
 for id in svc_throughput.sampled.cold.s svc_throughput.sampled.warm.s \
           svc_throughput.sampled.speedup svc_throughput.trajectory.warm.s \
-          svc_throughput.trajectory.warm.shots_per_s; do
+          svc_throughput.trajectory.warm.shots_per_s \
+          svc_throughput.workers.w1.jobs_per_s \
+          svc_throughput.workers.w2.jobs_per_s \
+          svc_throughput.workers.w4.jobs_per_s; do
   grep -q "\"$id\"" BENCH_results.json || {
     echo "missing service-throughput record: $id" >&2; exit 1; }
 done
+# The 4-worker scaling ratio only means something when the host can actually
+# run 4 executors concurrently; on smaller machines the pool slices all
+# degrade to one thread and the sweep merely must have run (checked above).
+if [ "$(nproc)" -ge 4 ]; then
+  python3 - <<'EOF'
+import json, sys
+recs = json.load(open("BENCH_results.json"))["records"]
+scaling = recs["svc_throughput.workers.w4.scaling"]["value"]
+if scaling < 2.0:
+    sys.exit(f"svc_throughput.workers.w4.scaling: {scaling:.2f}x < 2.0x "
+             "over one worker")
+print(f"svc_throughput.workers.w4.scaling: {scaling:.2f}x over one worker")
+EOF
+fi
 
 # The SIMD backend comparison (docs/ARCHITECTURE.md "sv/simd") must record
 # every hand-vectorized class for the scalar reference and, via the derived
@@ -83,9 +101,14 @@ if doc["env"].get("simd_backend") == "avx2":
 EOF
 
 # A serve transcript must validate against the service schema: drive the
-# canned session (cache hit, trajectories, bad line, admission rejection).
+# canned session (cache hit, trajectories, bad line, admission rejection),
+# then the same session through four serve workers (results correlate by id;
+# the summary's svc block must account every job to a worker).
 python3 scripts/check_service_schema.py \
   --emit-with "$BUILD"/tools/svsim --output "$BUILD"/service_schema_check.jsonl
+python3 scripts/check_service_schema.py --threads 4 \
+  --emit-with "$BUILD"/tools/svsim \
+  --output "$BUILD"/service_schema_check_w4.jsonl
 
 # A profile report must come out of the plan-phase profiler: emit the
 # blocked + simulated-distributed artifacts and validate them.

@@ -18,27 +18,30 @@ using machine::MachineSpec;
 
 namespace {
 
-/// Publishes what one plan-timing evaluation modeled.
-void record_plan_metrics(std::size_t exchanges, double exchange_bytes) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& evals = registry.counter("dist.plan_evals");
-  static obs::Counter& xchg = registry.counter("dist.exchanges");
-  static obs::Counter& bytes = registry.counter("dist.exchange_bytes");
-  evals.increment();
-  xchg.add(exchanges);
-  bytes.add(static_cast<std::uint64_t>(exchange_bytes));
+/// Publishes what one plan-timing evaluation modeled. Handles resolve per
+/// call against the context's registry — caching them in function-local
+/// statics pinned the first registry forever (the stale-handle bug; see
+/// tests/test_context.cpp).
+void record_plan_metrics(obs::MetricsRegistry& registry, std::size_t exchanges,
+                         double exchange_bytes) {
+  registry.counter("dist.plan_evals").increment();
+  registry.counter("dist.exchanges").add(exchanges);
+  registry.counter("dist.exchange_bytes")
+      .add(static_cast<std::uint64_t>(exchange_bytes));
 }
 
 }  // namespace
 
 DistTiming time_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
-                     const ExecConfig& config, const InterconnectSpec& net) {
-  obs::ScopedSpan span("time_plan", obs::SpanCategory::Collective);
-  const perf::PlanCost cost = perf::cost_plan(plan, m, config);
+                     const ExecConfig& config, const InterconnectSpec& net,
+                     const ExecutionContext& ctx) {
+  obs::ScopedSpan span("time_plan", obs::SpanCategory::Collective,
+                       ctx.tracer());
+  const perf::PlanCost cost = perf::cost_plan(plan, m, config, ctx);
 
   DistTiming t;
   t.compute_seconds = cost.compute_seconds;
-  obs::Profiler* const prof = obs::Profiler::current();
+  obs::Profiler* const prof = ctx.profiler();
   for (std::size_t i = 0; i < plan.phases.size(); ++i) {
     const auto& phase = plan.phases[i];
     if (phase.kind != sv::PhaseKind::Exchange) continue;
@@ -60,7 +63,7 @@ DistTiming time_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
   t.total_seconds = t.compute_seconds + t.comm_seconds;
   t.pipelined_seconds = std::max(t.compute_seconds, t.comm_seconds);
   span.set_bytes(static_cast<std::uint64_t>(t.exchange_bytes));
-  record_plan_metrics(t.num_exchanges, t.exchange_bytes);
+  record_plan_metrics(ctx.metrics(), t.num_exchanges, t.exchange_bytes);
   return t;
 }
 

@@ -22,6 +22,7 @@
 #include "dist/interconnect.hpp"
 #include "machine/exec_config.hpp"
 #include "machine/machine_spec.hpp"
+#include "obs/context.hpp"
 #include "sv/plan.hpp"
 
 namespace svsim::dist {
@@ -35,11 +36,14 @@ struct DistTiming {
   double exchange_bytes = 0.0;    ///< per node, total
 };
 
-/// Times `plan` with each node modeled as `m` under `config`.
+/// Times `plan` with each node modeled as `m` under `config`. Spans,
+/// counters, and the profiler exchange annotations resolve through `ctx`
+/// (default: the process-wide singletons).
 DistTiming time_plan(const sv::ExecutionPlan& plan,
                      const machine::MachineSpec& m,
                      const machine::ExecConfig& config,
-                     const InterconnectSpec& net);
+                     const InterconnectSpec& net,
+                     const ExecutionContext& ctx = ExecutionContext::global());
 
 /// Legacy per-gate plan, adapted through to_execution_plan.
 DistTiming time_plan(const DistPlan& plan, const machine::MachineSpec& m,

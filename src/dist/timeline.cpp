@@ -125,20 +125,16 @@ Timeline TimelineBuilder::finish(double makespan_seconds) {
 
 namespace {
 
-void record_timeline_metrics(const Timeline& t) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& records = registry.counter("dist.timeline.records");
-  static obs::Counter& events = registry.counter("dist.timeline.events");
-  static obs::Gauge& imbalance = registry.gauge("dist.timeline.imbalance");
-  static obs::Gauge& wire_util =
-      registry.gauge("dist.timeline.wire_utilization");
-  static obs::Gauge& makespan =
-      registry.gauge("dist.timeline.makespan_seconds");
-  records.increment();
-  events.add(t.total_events());
-  imbalance.set(t.imbalance());
-  wire_util.set(t.wire_utilization());
-  makespan.set(t.makespan_seconds);
+// Handles resolve per call against the context's registry; function-local
+// statics here used to pin the first registry forever (stale after a
+// registry substitution — see tests/test_context.cpp).
+void record_timeline_metrics(obs::MetricsRegistry& registry,
+                             const Timeline& t) {
+  registry.counter("dist.timeline.records").increment();
+  registry.counter("dist.timeline.events").add(t.total_events());
+  registry.gauge("dist.timeline.imbalance").set(t.imbalance());
+  registry.gauge("dist.timeline.wire_utilization").set(t.wire_utilization());
+  registry.gauge("dist.timeline.makespan_seconds").set(t.makespan_seconds);
 }
 
 }  // namespace
@@ -147,8 +143,10 @@ Timeline record_timeline(const sv::ExecutionPlan& plan,
                          const machine::MachineSpec& m,
                          const machine::ExecConfig& config,
                          const InterconnectSpec& net,
-                         const StragglerConfig& straggler) {
-  obs::ScopedSpan span("record_timeline", obs::SpanCategory::Collective);
+                         const StragglerConfig& straggler,
+                         const ExecutionContext& ctx) {
+  obs::ScopedSpan span("record_timeline", obs::SpanCategory::Collective,
+                       ctx.tracer());
   const std::uint64_t nodes = plan.num_ranks();
   if (nodes > kTimelineMaxRanks)
     throw Error("record_timeline: plan " + plan.summary_id() + " spans " +
@@ -160,7 +158,7 @@ Timeline record_timeline(const sv::ExecutionPlan& plan,
   const double makespan =
       event_driven_makespan(plan, m, config, net, straggler, &builder);
   Timeline t = builder.finish(makespan);
-  record_timeline_metrics(t);
+  record_timeline_metrics(ctx.metrics(), t);
   return t;
 }
 

@@ -186,13 +186,16 @@ class TimelineBuilder {
 
 /// Runs the event-driven makespan simulator with a recorder attached and
 /// returns the full per-rank timeline. Publishes dist.timeline.* metrics
-/// (records/events counters, imbalance/wire_utilization/makespan gauges).
+/// (records/events counters, imbalance/wire_utilization/makespan gauges)
+/// into `ctx`'s registry and records its span into `ctx`'s tracer.
 /// Throws svsim::Error when the plan spans more than kTimelineMaxRanks.
 Timeline record_timeline(const sv::ExecutionPlan& plan,
                          const machine::MachineSpec& m,
                          const machine::ExecConfig& config,
                          const InterconnectSpec& net,
-                         const StragglerConfig& straggler = {});
+                         const StragglerConfig& straggler = {},
+                         const ExecutionContext& ctx =
+                             ExecutionContext::global());
 
 /// Chrome trace (chrome://tracing / Perfetto) export: pid 3 holds one lane
 /// per rank (compute + wait intervals), pid 4 one lane per exchanged rank

@@ -1,0 +1,14 @@
+#include "obs/context.hpp"
+
+namespace svsim {
+
+const ExecutionContext& ExecutionContext::global() noexcept {
+  // Default-constructed: every accessor falls through to the process-wide
+  // singleton. Immutable, so safe to share across threads. The referenced
+  // singletons are lazily created on first use by their own accessors; this
+  // object holds only null pointers until then.
+  static const ExecutionContext ctx;
+  return ctx;
+}
+
+}  // namespace svsim

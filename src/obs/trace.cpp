@@ -196,8 +196,10 @@ void Tracer::write_chrome_json(std::ostream& os) const {
 }
 
 ScopedSpan::ScopedSpan(const char* name, SpanCategory category)
+    : ScopedSpan(name, category, Tracer::global()) {}
+
+ScopedSpan::ScopedSpan(const char* name, SpanCategory category, Tracer& tracer)
     : name_(name), category_(category) {
-  Tracer& tracer = Tracer::global();
   if (tracer.enabled()) {
     tracer_ = &tracer;
     start_ns_ = tracer.now_ns();

@@ -131,9 +131,12 @@ class Tracer {
 };
 
 /// RAII region span recorded into Tracer::global() (if enabled at entry).
+/// The two-argument form resolves the global tracer; pass an explicit
+/// tracer (e.g. ExecutionContext::tracer()) to record elsewhere.
 class ScopedSpan {
  public:
   ScopedSpan(const char* name, SpanCategory category);
+  ScopedSpan(const char* name, SpanCategory category, Tracer& tracer);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;

@@ -115,7 +115,9 @@ qc::Gate localized_proxy(const qc::Gate& g, unsigned local_qubits) {
 }  // namespace
 
 PlanCost cost_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
-                   const ExecConfig& config) {
+                   const ExecConfig& config, const ExecutionContext& ctx) {
+  obs::ScopedSpan span("cost_plan", obs::SpanCategory::Collective,
+                       ctx.tracer());
   const Placement p = machine::place_threads(m, config);
   const unsigned ln = plan.local_qubits;
   const double amp_bytes = 2.0 * config.element_bytes;
@@ -181,6 +183,7 @@ PlanCost cost_plan(const sv::ExecutionPlan& plan, const MachineSpec& m,
     r.total_bytes += pc.bytes;
     r.phases.push_back(pc);
   }
+  ctx.metrics().counter("perf.plan_cost_evals").increment();
   return r;
 }
 

@@ -19,6 +19,7 @@
 
 #include "machine/exec_config.hpp"
 #include "machine/machine_spec.hpp"
+#include "obs/context.hpp"
 #include "perf/kernel_model.hpp"
 #include "qc/circuit.hpp"
 #include "sv/plan.hpp"
@@ -116,7 +117,10 @@ struct PlanCost {
 /// Costs every phase of `plan` on machine `m` under `config`. Gates with
 /// operands on node slots (free controls, diagonals) are priced via a
 /// localized proxy on the rank partition, matching what each rank executes.
+/// Publishes the `perf.plan_cost_evals` counter and its model span through
+/// `ctx` (default: the process-wide singletons).
 PlanCost cost_plan(const sv::ExecutionPlan& plan, const machine::MachineSpec& m,
-                   const machine::ExecConfig& config);
+                   const machine::ExecConfig& config,
+                   const ExecutionContext& ctx = ExecutionContext::global());
 
 }  // namespace svsim::perf

@@ -46,12 +46,13 @@ std::vector<const PhaseProfile*> ProfileReport::by_measured_time() const {
 ProfileReport build_profile_report(const obs::RunProfile& run,
                                    const sv::ExecutionPlan& plan,
                                    const machine::MachineSpec& m,
-                                   const machine::ExecConfig& config) {
+                                   const machine::ExecConfig& config,
+                                   const ExecutionContext& ctx) {
   require(run.phases.size() == plan.phases.size(),
           "build_profile_report: run samples do not match the plan's phases "
           "(was this run profiled against a different plan?)");
 
-  const PlanCost cost = cost_plan(plan, m, config);
+  const PlanCost cost = cost_plan(plan, m, config, ctx);
   SVSIM_ASSERT(cost.phases.size() == plan.phases.size());
   const machine::Placement placement = machine::place_threads(m, config);
   // Roofline footprint: one rank's partition (what the compute phases
@@ -122,6 +123,7 @@ ProfileReport build_profile_report(const obs::RunProfile& run,
   if (measured_phase_seconds > 0.0)
     for (PhaseProfile& p : report.phases)
       p.share = p.measured_seconds / measured_phase_seconds;
+  ctx.metrics().counter("perf.profile_reports").increment();
   return report;
 }
 

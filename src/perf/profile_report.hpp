@@ -121,11 +121,14 @@ struct ProfileReport {
 
 /// Joins one profiled run against its plan's cost model and roofline.
 /// `run.phases` must describe `plan.phases` positionally (which is what
-/// sv::run_plan emits); throws on a count mismatch.
+/// sv::run_plan emits); throws on a count mismatch. The embedded cost-model
+/// evaluation and the `perf.profile_reports` counter resolve through `ctx`.
 ProfileReport build_profile_report(const obs::RunProfile& run,
                                    const sv::ExecutionPlan& plan,
                                    const machine::MachineSpec& m,
-                                   const machine::ExecConfig& config);
+                                   const machine::ExecConfig& config,
+                                   const ExecutionContext& ctx =
+                                       ExecutionContext::global());
 
 /// The profile.json artifact (scripts/check_profile_schema.py validates).
 void write_profile_json(const ProfileReport& report, std::ostream& os);

@@ -66,14 +66,14 @@ std::vector<ExecutionPlan> PlanCaptureScope::plans() const {
 
 namespace {
 
-void observe_sweep(std::size_t gates, std::uint64_t traversal_bytes) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& sweeps = registry.counter("sv.sweeps");
-  static obs::Counter& swept = registry.counter("sv.sweep_gates");
-  static obs::Counter& bytes = registry.counter("sv.sweep_bytes");
-  sweeps.increment();
-  swept.add(gates);
-  bytes.add(traversal_bytes);
+// Metric handles are resolved from the context's registry on every call —
+// never cached in function-local statics, which would pin the first
+// registry forever and miscount under per-context registries.
+void observe_sweep(obs::MetricsRegistry& registry, std::size_t gates,
+                   std::uint64_t traversal_bytes) {
+  registry.counter("sv.sweeps").increment();
+  registry.counter("sv.sweep_gates").add(gates);
+  registry.counter("sv.sweep_bytes").add(traversal_bytes);
 }
 
 /// Estimated bytes a gate's kernel streams on a 2^n state (read + write of
@@ -132,14 +132,12 @@ std::uint64_t pair_stride(const Gate& g) {
   return pow2(*std::min_element(targets.begin(), targets.end()));
 }
 
-void observe_plan_execution(const EngineStats& stats, std::size_t phases) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& execs = registry.counter("plan.executions");
-  static obs::Counter& executed = registry.counter("plan.phases_executed");
-  static obs::Counter& xchg = registry.counter("plan.exchanges_applied");
-  execs.increment();
-  executed.add(phases);
-  xchg.add(stats.exchanges);
+void observe_plan_execution(obs::MetricsRegistry& registry,
+                            const EngineStats& stats, std::size_t phases,
+                            std::size_t executions) {
+  registry.counter("plan.executions").add(executions);
+  registry.counter("plan.phases_executed").add(phases * executions);
+  registry.counter("plan.exchanges_applied").add(stats.exchanges);
 }
 
 }  // namespace
@@ -152,7 +150,8 @@ namespace {
 template <typename T>
 std::vector<PreparedGate<T>> prepare_sweep(const Gate* gates,
                                            std::size_t count,
-                                           unsigned block_qubits) {
+                                           unsigned block_qubits,
+                                           obs::MetricsRegistry& registry) {
   std::vector<PreparedGate<T>> prepared;
   prepared.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -160,7 +159,7 @@ std::vector<PreparedGate<T>> prepare_sweep(const Gate* gates,
       require(q < block_qubits, "run_sweep: gate operand crosses the block "
                                 "boundary (not block-local)");
     prepared.push_back(prepare_gate<T>(gates[i]));
-    simd::count_dispatch(prepared.back().cls);
+    simd::count_dispatch(prepared.back().cls, registry);
   }
   return prepared;
 }
@@ -190,16 +189,16 @@ void run_sweep_prepared(StateVector<T>& state, const PreparedGate<T>* pgs,
 
 template <typename T>
 void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
-               unsigned block_qubits) {
+               unsigned block_qubits, const ExecutionContext& ctx) {
   const unsigned n = state.num_qubits();
   require(block_qubits >= 1 && block_qubits <= n,
           "run_sweep: block_qubits out of range");
   if (count == 0) return;
 
   const std::vector<PreparedGate<T>> prepared =
-      prepare_sweep<T>(gates, count, block_qubits);
+      prepare_sweep<T>(gates, count, block_qubits, ctx.metrics());
 
-  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Tracer& tracer = ctx.tracer();
   const bool tracing = tracer.enabled();
   const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
 
@@ -210,7 +209,7 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
   // trace viewers see for the sweep span.
   const std::uint64_t traversal_bytes =
       2 * pow2(n) * std::uint64_t{2 * sizeof(T)};
-  observe_sweep(count, traversal_bytes);
+  observe_sweep(ctx.metrics(), count, traversal_bytes);
   if (tracing) {
     tracer.record_span("sweep", obs::SpanCategory::Kernel, nullptr, 0,
                        /*stride=*/pow2(block_qubits), traversal_bytes,
@@ -220,20 +219,21 @@ void run_sweep(StateVector<T>& state, const Gate* gates, std::size_t count,
 
 template <typename T>
 EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
-                     const PlanHooks<T>& hooks) {
+                     const PlanHooks<T>& hooks, const ExecutionContext& ctx) {
   const unsigned n = state.num_qubits();
   require(n == plan.num_qubits, "run_plan: state/plan width mismatch");
 
   EngineStats stats;
-  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Tracer& tracer = ctx.tracer();
   const bool tracing = tracer.enabled();
 
   // Plan-phase profiling: one relaxed load when idle; when a profiler is
-  // installed, each phase is bracketed with clock reads, a bytes delta, a
-  // tracer-drop delta (ring overflow => partial report), and — on request —
-  // a perf_event counter scope. Cost-only phases still get a (near-zero)
-  // sample so sample i always describes plan.phases[i].
-  obs::Profiler* const prof = obs::Profiler::current();
+  // installed (or the context pins one), each phase is bracketed with clock
+  // reads, a bytes delta, a tracer-drop delta (ring overflow => partial
+  // report), and — on request — a perf_event counter scope. Cost-only
+  // phases still get a (near-zero) sample so sample i always describes
+  // plan.phases[i].
+  obs::Profiler* const prof = ctx.profiler();
   if (PlanCaptureScope* capture = PlanCaptureScope::current())
     capture->add(plan);
   std::uint64_t run_start = 0;
@@ -264,7 +264,7 @@ EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
     switch (phase.kind) {
       case PhaseKind::LocalSweep: {
         run_sweep(state, phase.gates.data(), phase.gates.size(),
-                  plan.block_qubits);
+                  plan.block_qubits, ctx);
         ++stats.sweeps;
         ++stats.traversals;
         stats.blocked_gates += phase.gates.size();
@@ -347,14 +347,16 @@ EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
     prof->end_run(prof->now_ns() - run_start,
                   tracer.dropped() > run_drops_before);
 
-  observe_plan_execution(stats, plan.phases.size());
+  observe_plan_execution(ctx.metrics(), stats, plan.phases.size(),
+                         /*executions=*/1);
   return stats;
 }
 
 template <typename T>
 EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
                            const ExecutionPlan& plan,
-                           const BatchHooks<T>& hooks) {
+                           const BatchHooks<T>& hooks,
+                           const ExecutionContext& ctx) {
   EngineStats stats;
   if (states.empty()) return stats;
   const unsigned n = plan.num_qubits;
@@ -366,7 +368,7 @@ EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
   const std::size_t batch = states.size();
   const std::uint64_t state_bytes = 2 * pow2(n) * std::uint64_t{2 * sizeof(T)};
 
-  obs::Tracer& tracer = obs::Tracer::global();
+  obs::Tracer& tracer = ctx.tracer();
   const bool tracing = tracer.enabled();
 
   for (const PlanPhase& phase : plan.phases) {
@@ -374,13 +376,15 @@ EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
       case PhaseKind::LocalSweep: {
         // The batch payoff: one preparation (coefficient casts, kernel
         // resolution, block-locality checks) serves every trajectory.
-        const std::vector<PreparedGate<T>> prepared = prepare_sweep<T>(
-            phase.gates.data(), phase.gates.size(), plan.block_qubits);
+        const std::vector<PreparedGate<T>> prepared =
+            prepare_sweep<T>(phase.gates.data(), phase.gates.size(),
+                             plan.block_qubits, ctx.metrics());
         const std::uint64_t start_ns = tracing ? tracer.now_ns() : 0;
         for (StateVector<T>* s : states)
           run_sweep_prepared(*s, prepared.data(), prepared.size(),
                              plan.block_qubits);
-        observe_sweep(phase.gates.size() * batch, state_bytes * batch);
+        observe_sweep(ctx.metrics(), phase.gates.size() * batch,
+                      state_bytes * batch);
         if (tracing)
           tracer.record_span("sweep", obs::SpanCategory::Kernel, nullptr, 0,
                              pow2(plan.block_qubits), state_bytes * batch,
@@ -453,32 +457,27 @@ EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
   // Each trajectory counts as one plan execution, matching what a per-shot
   // loop over run_plan would have published (stats.exchanges is already the
   // batch total, so it is added once, not once per trajectory).
-  {
-    auto& registry = obs::MetricsRegistry::global();
-    static obs::Counter& execs = registry.counter("plan.executions");
-    static obs::Counter& executed = registry.counter("plan.phases_executed");
-    static obs::Counter& xchg = registry.counter("plan.exchanges_applied");
-    execs.add(batch);
-    executed.add(plan.phases.size() * batch);
-    xchg.add(stats.exchanges);
-  }
+  observe_plan_execution(ctx.metrics(), stats, plan.phases.size(),
+                         /*executions=*/batch);
   return stats;
 }
 
 template void run_sweep<float>(StateVector<float>&, const Gate*, std::size_t,
-                               unsigned);
+                               unsigned, const ExecutionContext&);
 template void run_sweep<double>(StateVector<double>&, const Gate*, std::size_t,
-                                unsigned);
+                                unsigned, const ExecutionContext&);
 template EngineStats run_plan<float>(StateVector<float>&, const ExecutionPlan&,
-                                     const PlanHooks<float>&);
+                                     const PlanHooks<float>&,
+                                     const ExecutionContext&);
 template EngineStats run_plan<double>(StateVector<double>&,
                                       const ExecutionPlan&,
-                                      const PlanHooks<double>&);
+                                      const PlanHooks<double>&,
+                                      const ExecutionContext&);
 template EngineStats run_plan_batch<float>(
     const std::vector<StateVector<float>*>&, const ExecutionPlan&,
-    const BatchHooks<float>&);
+    const BatchHooks<float>&, const ExecutionContext&);
 template EngineStats run_plan_batch<double>(
     const std::vector<StateVector<double>*>&, const ExecutionPlan&,
-    const BatchHooks<double>&);
+    const BatchHooks<double>&, const ExecutionContext&);
 
 }  // namespace svsim::sv

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/context.hpp"
 #include "qc/gate.hpp"
 #include "sv/plan.hpp"
 #include "sv/state_vector.hpp"
@@ -103,15 +104,20 @@ class PlanCaptureScope {
 
 /// Applies `count` gates — all block-local for `block_qubits` — to the state
 /// in one blocked traversal. Records one "sweep" tracer span when tracing.
+/// Spans and counters resolve through `ctx`; the default context is the
+/// process-wide singletons, so existing call sites are unchanged.
 template <typename T>
 void run_sweep(StateVector<T>& state, const qc::Gate* gates, std::size_t count,
-               unsigned block_qubits);
+               unsigned block_qubits,
+               const ExecutionContext& ctx = ExecutionContext::global());
 
 /// Executes a whole plan. Every phase kind records its tracer spans and
-/// metric counters; MeasureFlush needs hooks.measure.
+/// metric counters (resolved through `ctx`); MeasureFlush needs
+/// hooks.measure.
 template <typename T>
 EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
-                     const PlanHooks<T>& hooks = {});
+                     const PlanHooks<T>& hooks = {},
+                     const ExecutionContext& ctx = ExecutionContext::global());
 
 /// Executes one plan over a batch of same-width states — the shot-batching
 /// hook the simulation service amortizes noise trajectories with. The plan
@@ -128,23 +134,29 @@ EngineStats run_plan(StateVector<T>& state, const ExecutionPlan& plan,
 template <typename T>
 EngineStats run_plan_batch(const std::vector<StateVector<T>*>& states,
                            const ExecutionPlan& plan,
-                           const BatchHooks<T>& hooks = {});
+                           const BatchHooks<T>& hooks = {},
+                           const ExecutionContext& ctx =
+                               ExecutionContext::global());
 
 extern template void run_sweep<float>(StateVector<float>&, const qc::Gate*,
-                                      std::size_t, unsigned);
+                                      std::size_t, unsigned,
+                                      const ExecutionContext&);
 extern template void run_sweep<double>(StateVector<double>&, const qc::Gate*,
-                                       std::size_t, unsigned);
+                                       std::size_t, unsigned,
+                                       const ExecutionContext&);
 extern template EngineStats run_plan<float>(StateVector<float>&,
                                             const ExecutionPlan&,
-                                            const PlanHooks<float>&);
+                                            const PlanHooks<float>&,
+                                            const ExecutionContext&);
 extern template EngineStats run_plan<double>(StateVector<double>&,
                                              const ExecutionPlan&,
-                                             const PlanHooks<double>&);
+                                             const PlanHooks<double>&,
+                                             const ExecutionContext&);
 extern template EngineStats run_plan_batch<float>(
     const std::vector<StateVector<float>*>&, const ExecutionPlan&,
-    const BatchHooks<float>&);
+    const BatchHooks<float>&, const ExecutionContext&);
 extern template EngineStats run_plan_batch<double>(
     const std::vector<StateVector<double>*>&, const ExecutionPlan&,
-    const BatchHooks<double>&);
+    const BatchHooks<double>&, const ExecutionContext&);
 
 }  // namespace svsim::sv

@@ -81,15 +81,16 @@ bool all_diagonal(const Group& group) {
 }
 
 /// Publishes the width of one emitted multi-gate block (1..6 qubits).
-void observe_block_width(std::size_t width, std::size_t gates_merged) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Histogram& widths = registry.histogram(
-      "fusion.block_width", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
-  static obs::Counter& blocks = registry.counter("fusion.blocks");
-  static obs::Counter& merged = registry.counter("fusion.gates_merged");
-  widths.observe(static_cast<double>(width));
-  blocks.increment();
-  merged.add(gates_merged);
+/// Handles resolve per call against the options' registry — caching them
+/// in statics would pin whichever registry was seen first.
+void observe_block_width(const FusionOptions& options, std::size_t width,
+                         std::size_t gates_merged) {
+  auto& registry = options.metrics != nullptr ? *options.metrics
+                                              : obs::MetricsRegistry::global();
+  registry.histogram("fusion.block_width", {1.0, 2.0, 3.0, 4.0, 5.0, 6.0})
+      .observe(static_cast<double>(width));
+  registry.counter("fusion.blocks").increment();
+  registry.counter("fusion.gates_merged").add(gates_merged);
 }
 
 void flush(Group& group, Circuit& out, const FusionOptions& options) {
@@ -101,10 +102,10 @@ void flush(Group& group, Circuit& out, const FusionOptions& options) {
     std::vector<cplx> diag(u.dim());
     for (std::size_t i = 0; i < u.dim(); ++i) diag[i] = u(i, i);
     out.append(Gate::diag(group.support, std::move(diag)));
-    observe_block_width(group.support.size(), group.gates.size());
+    observe_block_width(options, group.support.size(), group.gates.size());
   } else {
     out.append(Gate::unitary(group.support, group_unitary(group)));
-    observe_block_width(group.support.size(), group.gates.size());
+    observe_block_width(options, group.support.size(), group.gates.size());
   }
   group = Group{};
 }

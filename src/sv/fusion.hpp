@@ -11,6 +11,10 @@
 
 #include "qc/circuit.hpp"
 
+namespace svsim::obs {
+class MetricsRegistry;
+}
+
 namespace svsim::sv {
 
 struct FusionOptions {
@@ -19,6 +23,9 @@ struct FusionOptions {
   /// Groups that remain a single gate pass through unchanged.
   /// Diagonal-only groups are emitted as DIAG gates (cheaper kernel).
   bool prefer_diagonal = true;
+  /// Registry fusion telemetry publishes to (borrowed); nullptr = the
+  /// process-wide registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Returns an equivalent circuit where runs of adjacent unitary gates with

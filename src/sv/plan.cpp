@@ -240,6 +240,7 @@ void append_window_phases(ExecutionPlan& plan, std::vector<Gate> gates,
   so.amp_bytes = options.amp_bytes;
   so.max_sweep_gates = options.max_sweep_gates;
   so.min_free_qubits = options.min_free_qubits;
+  so.metrics = options.metrics;
   SweepPlan sweeps = plan_sweeps(gates, plan.num_qubits, so);
   for (auto& step : sweeps.steps) {
     if (step.blocked) {
@@ -258,18 +259,18 @@ void append_window_phases(ExecutionPlan& plan, std::vector<Gate> gates,
   }
 }
 
-void note_plan_compiled(const ExecutionPlan& plan) {
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& compiles = registry.counter("plan.compiles");
-  static obs::Counter& phases = registry.counter("plan.phases");
-  static obs::Counter& windows = registry.counter("plan.windows");
-  static obs::Counter& exchanges = registry.counter("plan.exchanges");
-  static obs::Counter& xbytes = registry.counter("plan.exchange_bytes");
-  compiles.increment();
-  phases.add(plan.phases.size());
-  windows.add(plan.num_windows());
-  exchanges.add(plan.num_exchanges);
-  xbytes.add(static_cast<std::uint64_t>(plan.exchange_bytes_per_rank));
+// Handles resolve per call against the caller's registry — no function-
+// local statics, which would pin the first registry forever.
+void note_plan_compiled(const ExecutionPlan& plan,
+                        obs::MetricsRegistry* metrics) {
+  auto& registry =
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::global();
+  registry.counter("plan.compiles").increment();
+  registry.counter("plan.phases").add(plan.phases.size());
+  registry.counter("plan.windows").add(plan.num_windows());
+  registry.counter("plan.exchanges").add(plan.num_exchanges);
+  registry.counter("plan.exchange_bytes")
+      .add(static_cast<std::uint64_t>(plan.exchange_bytes_per_rank));
 }
 
 ExecutionPlan compile_plan(const qc::Circuit& circuit,
@@ -282,6 +283,7 @@ ExecutionPlan compile_plan(const qc::Circuit& circuit,
   if (options.fusion) {
     FusionOptions fo;
     fo.max_width = options.fusion_width;
+    fo.metrics = options.metrics;
     fused_storage = fuse(circuit, fo);
     source = &fused_storage;
   }
@@ -319,7 +321,7 @@ ExecutionPlan compile_plan(const qc::Circuit& circuit,
   append_window_phases(plan, std::move(window), options);
 
   plan.finalize();
-  note_plan_compiled(plan);
+  note_plan_compiled(plan, options.metrics);
   return plan;
 }
 

@@ -157,6 +157,11 @@ struct PlanOptions {
   unsigned min_free_qubits = 3;
   /// Machine whose cache topology sizes the blocks (borrowed; optional).
   const machine::MachineSpec* machine = nullptr;
+  /// Registry compile telemetry (plan.compiles, fusion.*, sweep.*)
+  /// publishes to (borrowed); nullptr = the process-wide registry. Set
+  /// from ExecutionContext::metrics() when compiling under a per-context
+  /// registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The cache budget auto block sizing will use under `options` (explicit
@@ -176,8 +181,10 @@ void append_window_phases(ExecutionPlan& plan, std::vector<qc::Gate> gates,
                           const PlanOptions& options);
 
 /// Publishes plan.* compile-side counters (plan.compiles/phases/windows/
-/// exchanges/exchange_bytes) for a freshly compiled plan.
-void note_plan_compiled(const ExecutionPlan& plan);
+/// exchanges/exchange_bytes) for a freshly compiled plan. `metrics` is the
+/// destination registry; nullptr = the process-wide registry.
+void note_plan_compiled(const ExecutionPlan& plan,
+                        obs::MetricsRegistry* metrics = nullptr);
 
 /// Compiles a circuit for single-node execution: fusion (optional) ->
 /// sweep grouping per window between MEASURE/RESET flush points. The

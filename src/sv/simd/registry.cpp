@@ -8,11 +8,18 @@
 #include <vector>
 
 #include "machine/cpu_features.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sv/simd/backend_tables.hpp"
 #include "sv/simd/simd.hpp"
 
 namespace svsim::sv::simd {
+
+// ContextConfig carries the backend as the raw Isa value (obs sits below
+// sv and cannot see this enum); pin the encoding it relies on: enumerators
+// start at 0, so the -1 "use the active backend" sentinel never collides.
+static_assert(static_cast<int>(Isa::Scalar) == 0);
+static_assert(ContextConfig{}.simd_isa == -1);
 
 namespace {
 
@@ -204,23 +211,32 @@ unsigned effective_vector_bits(unsigned element_bytes) {
   return e.vector_bits;
 }
 
-void publish_metrics() {
+void publish_metrics() { publish_metrics(obs::MetricsRegistry::global()); }
+
+void publish_metrics(obs::MetricsRegistry& registry) {
   const Entry& e = active_entry();
-  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-  reg.gauge("sv.simd.backend").set(static_cast<double>(static_cast<int>(e.isa)));
-  reg.gauge("sv.simd.vector_bits").set(static_cast<double>(e.vector_bits));
+  registry.gauge("sv.simd.backend")
+      .set(static_cast<double>(static_cast<int>(e.isa)));
+  registry.gauge("sv.simd.vector_bits").set(static_cast<double>(e.vector_bits));
 }
 
 void count_dispatch(KernelClass cls) {
-  static const std::array<obs::Counter*, kNumKernelClasses> counters = [] {
-    std::array<obs::Counter*, kNumKernelClasses> c{};
-    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  count_dispatch(cls, obs::MetricsRegistry::global());
+}
+
+void count_dispatch(KernelClass cls, obs::MetricsRegistry& registry) {
+  // Metric NAMES are registry-independent, so they are built once; the
+  // Counter handles are looked up per call against the caller's registry
+  // (caching them in a static would pin the first registry — the
+  // stale-handle bug ExecutionContext exists to eliminate).
+  static const std::array<std::string, kNumKernelClasses> names = [] {
+    std::array<std::string, kNumKernelClasses> n{};
     for (std::size_t i = 0; i < kNumKernelClasses; ++i)
-      c[i] = &reg.counter(std::string("sv.simd.dispatch.") +
-                          kernel_class_name(static_cast<KernelClass>(i)));
-    return c;
+      n[i] = std::string("sv.simd.dispatch.") +
+             kernel_class_name(static_cast<KernelClass>(i));
+    return n;
   }();
-  counters[static_cast<std::size_t>(cls)]->increment();
+  registry.counter(names[static_cast<std::size_t>(cls)]).increment();
 }
 
 }  // namespace svsim::sv::simd

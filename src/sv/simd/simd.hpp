@@ -30,6 +30,10 @@
 
 #include "sv/kernels.hpp"
 
+namespace svsim::obs {
+class MetricsRegistry;
+}
+
 namespace svsim::sv::simd {
 
 /// Instruction-set tiers, narrowest first. Generic uses compiler vector
@@ -82,13 +86,18 @@ void select_default_backend();
 /// one complex (16 * element_bytes bits) for the scalar backend.
 unsigned effective_vector_bits(unsigned element_bytes);
 
-/// Bump the `sv.simd.dispatch.<class>` counter for one prepared gate.
+/// Bump the `sv.simd.dispatch.<class>` counter for one prepared gate in
+/// `registry` (an ExecutionContext's metrics registry); the no-registry
+/// form counts against the process-wide registry.
 void count_dispatch(KernelClass cls);
+void count_dispatch(KernelClass cls, obs::MetricsRegistry& registry);
 
 /// Re-publish the `sv.simd.backend` / `sv.simd.vector_bits` gauges for
-/// the active backend. Selection publishes them once; callers that reset
-/// the metrics registry afterwards (e.g. `--metrics`) use this to keep
-/// the dump truthful.
+/// the active backend. Selection publishes them once (to the process-wide
+/// registry); callers that reset the metrics registry afterwards (e.g.
+/// `--metrics`) or carry a per-context registry use this to keep the dump
+/// truthful.
 void publish_metrics();
+void publish_metrics(obs::MetricsRegistry& registry);
 
 }  // namespace svsim::sv::simd

@@ -4,6 +4,7 @@
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "sv/engine.hpp"
 #include "sv/kernels.hpp"
@@ -122,8 +123,20 @@ Simulator<T>::Simulator(SimulatorOptions options)
 }
 
 template <typename T>
+const ExecutionContext& Simulator<T>::ctx() const noexcept {
+  return options_.context != nullptr ? *options_.context
+                                     : ExecutionContext::global();
+}
+
+template <typename T>
+ThreadPool& Simulator<T>::exec_pool() const noexcept {
+  return options_.context != nullptr ? options_.context->pool()
+                                     : *options_.pool;
+}
+
+template <typename T>
 StateVector<T> Simulator<T>::run(const qc::Circuit& circuit) {
-  StateVector<T> state(circuit.num_qubits(), options_.pool);
+  StateVector<T> state(circuit.num_qubits(), &exec_pool());
   run_in_place(state, circuit);
   return state;
 }
@@ -142,6 +155,7 @@ void Simulator<T>::run_in_place(StateVector<T>& state,
   po.block_qubits = options_.block_qubits;
   po.amp_bytes = 2 * sizeof(T);
   po.machine = options_.machine;
+  po.metrics = &ctx().metrics();
   run_plan(state, compile_plan(circuit, po));
 }
 
@@ -170,19 +184,17 @@ void Simulator<T>::run_plan(StateVector<T>& state, const ExecutionPlan& plan) {
     };
   }
 
-  const EngineStats stats = svsim::sv::run_plan(state, plan, hooks);
+  const EngineStats stats = svsim::sv::run_plan(state, plan, hooks, ctx());
 
   // One registry flush per run, not per gate: counters stay observable even
-  // on hot trajectory loops without per-gate atomics.
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& runs_counter = registry.counter("sv.runs");
-  static obs::Counter& gates_counter = registry.counter("sv.gates_applied");
-  static obs::Counter& bytes_counter = registry.counter("sv.bytes_streamed");
-  static obs::Counter& measure_counter = registry.counter("sv.measure_ops");
-  runs_counter.increment();
-  gates_counter.add(plan.total_gates());
-  bytes_counter.add(stats.bytes_streamed);
-  measure_counter.add(stats.measure_ops);
+  // on hot trajectory loops without per-gate atomics. Handles are resolved
+  // from the context's registry on every run — never cached in statics,
+  // which would pin the first registry across contexts.
+  obs::MetricsRegistry& registry = ctx().metrics();
+  registry.counter("sv.runs").increment();
+  registry.counter("sv.gates_applied").add(plan.total_gates());
+  registry.counter("sv.bytes_streamed").add(stats.bytes_streamed);
+  registry.counter("sv.measure_ops").add(stats.measure_ops);
 }
 
 namespace {
@@ -233,17 +245,14 @@ std::vector<std::vector<bool>> Simulator<T>::run_plan_batch(
     };
   }
 
-  const EngineStats stats = svsim::sv::run_plan_batch(states, plan, hooks);
+  const EngineStats stats =
+      svsim::sv::run_plan_batch(states, plan, hooks, ctx());
 
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& runs_counter = registry.counter("sv.runs");
-  static obs::Counter& gates_counter = registry.counter("sv.gates_applied");
-  static obs::Counter& bytes_counter = registry.counter("sv.bytes_streamed");
-  static obs::Counter& measure_counter = registry.counter("sv.measure_ops");
-  runs_counter.add(states.size());
-  gates_counter.add(plan.total_gates() * states.size());
-  bytes_counter.add(stats.bytes_streamed);
-  measure_counter.add(stats.measure_ops);
+  obs::MetricsRegistry& registry = ctx().metrics();
+  registry.counter("sv.runs").add(states.size());
+  registry.counter("sv.gates_applied").add(plan.total_gates() * states.size());
+  registry.counter("sv.bytes_streamed").add(stats.bytes_streamed);
+  registry.counter("sv.measure_ops").add(stats.measure_ops);
 
   classical_bits_ = bits.back();
   return bits;

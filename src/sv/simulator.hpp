@@ -18,6 +18,10 @@
 #include "sv/noise.hpp"
 #include "sv/state_vector.hpp"
 
+namespace svsim {
+class ExecutionContext;
+}
+
 namespace svsim::machine {
 struct MachineSpec;
 }
@@ -55,6 +59,11 @@ struct SimulatorOptions {
   std::uint64_t seed = 0x5eed;
   /// Noise model; empty = ideal simulation.
   NoiseModel noise;
+  /// Execution context (borrowed): metrics registry, tracer, profiler hook,
+  /// and worker pool the run resolves against. nullptr = the process-wide
+  /// singletons (ExecutionContext::global()). When set, the context's pool
+  /// takes precedence over `pool` for states this simulator creates.
+  const ExecutionContext* context = nullptr;
 };
 
 template <typename T>
@@ -110,6 +119,12 @@ class Simulator {
   double expectation(const qc::Circuit& circuit, const qc::PauliOperator& op);
 
  private:
+  /// The context runs resolve against (options_.context or the global one).
+  const ExecutionContext& ctx() const noexcept;
+  /// Pool for states this simulator creates: the context's when a context
+  /// was supplied, else options_.pool.
+  ThreadPool& exec_pool() const noexcept;
+
   SimulatorOptions options_;
   Xoshiro256 rng_;
   std::vector<bool> classical_bits_;

@@ -119,16 +119,34 @@ double StateVector<T>::probability_of_one(unsigned q) const {
   require(q < num_qubits_, "probability_of_one: qubit out of range");
   const value_type* psi = amps_.data();
   const std::uint64_t half = size() / 2;
-  return pool_->parallel_reduce(
-      half, [psi, q](unsigned, std::uint64_t b, std::uint64_t e) {
-        double acc = 0.0;
-        for (std::uint64_t c = b; c < e; ++c) {
-          const std::uint64_t i = insert_zero_bit(c, q) | pow2(q);
-          acc += static_cast<double>(psi[i].real()) * psi[i].real() +
-                 static_cast<double>(psi[i].imag()) * psi[i].imag();
+  // Fixed-chunk reduction (same scheme as sample()): per-chunk partials are
+  // computed in parallel but summed in chunk order, so the result is
+  // bit-identical for ANY pool size. This feeds measure() and therefore
+  // every trajectory's RNG comparisons — a plain parallel_reduce would make
+  // measurement outcomes depend on how many workers the caller's pool has,
+  // breaking the serve guarantee that `--threads N` (per-worker pool
+  // slices) reproduces `--threads 1` results exactly.
+  const std::uint64_t num_chunks = std::min<std::uint64_t>(half, 1u << 12);
+  const std::uint64_t chunk = half / num_chunks;
+  std::vector<double> partial(num_chunks, 0.0);
+  double* part = partial.data();
+  pool_->parallel_for(
+      num_chunks,
+      [psi, q, chunk, part](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t k = b; k < e; ++k) {
+          double acc = 0.0;
+          for (std::uint64_t c = k * chunk; c < (k + 1) * chunk; ++c) {
+            const std::uint64_t i = insert_zero_bit(c, q) | pow2(q);
+            acc += static_cast<double>(psi[i].real()) * psi[i].real() +
+                   static_cast<double>(psi[i].imag()) * psi[i].imag();
+          }
+          part[k] = acc;
         }
-        return acc;
-      });
+      },
+      /*serial_cutoff=*/8);
+  double total = 0.0;
+  for (std::uint64_t k = 0; k < num_chunks; ++k) total += partial[k];
+  return total;
 }
 
 template <typename T>

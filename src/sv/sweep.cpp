@@ -103,13 +103,13 @@ SweepPlan plan_sweeps(const std::vector<Gate>& gates, unsigned num_qubits,
   flush();
 
   // Planner telemetry: how much of the circuit the blocked path captured.
-  auto& registry = obs::MetricsRegistry::global();
-  static obs::Counter& plans = registry.counter("sweep.plans");
-  static obs::Counter& blocked = registry.counter("sweep.blocked_gates");
-  static obs::Counter& pass = registry.counter("sweep.passthrough_gates");
-  plans.increment();
-  blocked.add(plan.blocked_gates);
-  pass.add(plan.passthrough_gates);
+  // Handles are resolved per call (no function-local statics) so they land
+  // in whichever registry the caller's context carries.
+  auto& registry = options.metrics != nullptr ? *options.metrics
+                                              : obs::MetricsRegistry::global();
+  registry.counter("sweep.plans").increment();
+  registry.counter("sweep.blocked_gates").add(plan.blocked_gates);
+  registry.counter("sweep.passthrough_gates").add(plan.passthrough_gates);
   return plan;
 }
 

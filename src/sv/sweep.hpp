@@ -22,6 +22,10 @@
 
 #include "qc/circuit.hpp"
 
+namespace svsim::obs {
+class MetricsRegistry;
+}
+
 namespace svsim::sv {
 
 struct SweepOptions {
@@ -40,6 +44,10 @@ struct SweepOptions {
   /// Keep at least 2^min_free_qubits blocks when the register allows, so
   /// the per-block loop still parallelizes across the pool.
   unsigned min_free_qubits = 3;
+  /// Registry planner telemetry publishes to (borrowed); nullptr = the
+  /// process-wide registry. Set from ExecutionContext::metrics() when
+  /// compiling under a per-context registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Largest block exponent whose block (2^b amplitudes of `amp_bytes`) fits

@@ -42,21 +42,6 @@ void hash_complex(Fnv1a& h, const qc::cplx& c) {
   h.f64(c.imag());
 }
 
-struct CacheMetrics {
-  obs::Counter& hits;
-  obs::Counter& misses;
-  obs::Counter& evictions;
-  obs::Gauge& bytes;
-
-  static CacheMetrics& global() {
-    auto& r = obs::MetricsRegistry::global();
-    static CacheMetrics m{r.counter("svc.plan_cache.hits"),
-                          r.counter("svc.plan_cache.misses"),
-                          r.counter("svc.plan_cache.evictions"),
-                          r.gauge("svc.plan_cache.bytes")};
-    return m;
-  }
-};
 
 }  // namespace
 
@@ -169,22 +154,28 @@ std::uint64_t plan_footprint_bytes(const sv::ExecutionPlan& plan) {
   return total;
 }
 
-PlanCache::PlanCache(std::uint64_t budget_bytes)
-    : budget_bytes_(budget_bytes) {
+PlanCache::PlanCache(std::uint64_t budget_bytes, obs::MetricsRegistry* metrics)
+    : budget_bytes_(budget_bytes), metrics_(metrics) {
   require(budget_bytes_ > 0, "PlanCache: budget must be positive");
+}
+
+// Handles resolve per call; a function-local static handle struct here used
+// to pin the first registry forever (stale after a registry substitution —
+// see tests/test_context.cpp).
+obs::MetricsRegistry& PlanCache::registry() const {
+  return metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::global();
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::get(const PlanKey& key) {
   std::lock_guard lock(mutex_);
-  auto& metrics = CacheMetrics::global();
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
-    metrics.misses.increment();
+    registry().counter("svc.plan_cache.misses").increment();
     return nullptr;
   }
   ++hits_;
-  metrics.hits.increment();
+  registry().counter("svc.plan_cache.hits").increment();
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
   return it->second->second;
 }
@@ -193,7 +184,6 @@ bool PlanCache::put(const PlanKey& key,
                     std::shared_ptr<const CachedPlan> entry) {
   SVSIM_ASSERT(entry != nullptr && entry->plan != nullptr);
   std::lock_guard lock(mutex_);
-  auto& metrics = CacheMetrics::global();
   const std::uint64_t incoming = entry->footprint_bytes;
   if (const auto it = index_.find(key); it != index_.end()) {
     bytes_ -= it->second->second->footprint_bytes;
@@ -201,26 +191,25 @@ bool PlanCache::put(const PlanKey& key,
     index_.erase(it);
   }
   if (incoming > budget_bytes_) {
-    metrics.bytes.set(static_cast<double>(bytes_));
+    registry().gauge("svc.plan_cache.bytes").set(static_cast<double>(bytes_));
     return false;  // one oversized tenant must not flush everyone else
   }
   evict_until_fits(incoming);
   lru_.emplace_front(key, std::move(entry));
   index_[key] = lru_.begin();
   bytes_ += incoming;
-  metrics.bytes.set(static_cast<double>(bytes_));
+  registry().gauge("svc.plan_cache.bytes").set(static_cast<double>(bytes_));
   return true;
 }
 
 void PlanCache::evict_until_fits(std::uint64_t incoming_bytes) {
-  auto& metrics = CacheMetrics::global();
   while (!lru_.empty() && bytes_ + incoming_bytes > budget_bytes_) {
     const auto victim = std::prev(lru_.end());
     bytes_ -= victim->second->footprint_bytes;
     index_.erase(victim->first);
     lru_.erase(victim);
     ++evictions_;
-    metrics.evictions.increment();
+    registry().counter("svc.plan_cache.evictions").increment();
   }
 }
 
@@ -229,7 +218,7 @@ void PlanCache::clear() {
   lru_.clear();
   index_.clear();
   bytes_ = 0;
-  CacheMetrics::global().bytes.set(0.0);
+  registry().gauge("svc.plan_cache.bytes").set(0.0);
 }
 
 std::uint64_t PlanCache::bytes() const {

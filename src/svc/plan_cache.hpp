@@ -34,6 +34,9 @@ class Circuit;
 namespace svsim::machine {
 struct MachineSpec;
 }
+namespace svsim::obs {
+class MetricsRegistry;
+}
 
 namespace svsim::svc {
 
@@ -98,7 +101,11 @@ struct CachedPlan {
 /// entire cache for one tenant.
 class PlanCache {
  public:
-  explicit PlanCache(std::uint64_t budget_bytes);
+  /// `metrics` is the registry the svc.plan_cache.* series publish to;
+  /// nullptr resolves to the process registry on every call (never cached
+  /// in a static handle, so a substituted registry is picked up).
+  explicit PlanCache(std::uint64_t budget_bytes,
+                     obs::MetricsRegistry* metrics = nullptr);
 
   /// Returns the entry (refreshing its recency) or nullptr. Counts a hit
   /// or a miss on the svc.plan_cache.* metrics either way.
@@ -120,8 +127,10 @@ class PlanCache {
 
  private:
   void evict_until_fits(std::uint64_t incoming_bytes);  // requires mutex_
+  obs::MetricsRegistry& registry() const;
 
   const std::uint64_t budget_bytes_;
+  obs::MetricsRegistry* const metrics_;
   mutable std::mutex mutex_;
   /// MRU at the front. The map points into the list.
   std::list<std::pair<PlanKey, std::shared_ptr<const CachedPlan>>> lru_;

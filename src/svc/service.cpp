@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <istream>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -22,6 +23,7 @@
 #include "qc/qasm.hpp"
 #include "sv/engine.hpp"
 #include "sv/plan.hpp"
+#include "sv/simd/simd.hpp"
 #include "sv/simulator.hpp"
 #include "svc/job_queue.hpp"
 #include "svc/json.hpp"
@@ -35,20 +37,6 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
-
-struct ServiceMetrics {
-  obs::Counter& jobs;
-  obs::Counter& rejected;
-  obs::Counter& shots;
-
-  static ServiceMetrics& global() {
-    auto& r = obs::MetricsRegistry::global();
-    static ServiceMetrics m{r.counter("svc.jobs"),
-                            r.counter("svc.jobs_rejected"),
-                            r.counter("svc.shots")};
-    return m;
-  }
-};
 
 /// True if every MEASURE comes after every non-measure operation (the same
 /// predicate Simulator::sample_counts gates its fast path on).
@@ -118,13 +106,15 @@ template <typename T>
 void execute_counts(const CachedPlan& cached, const JobRequest& request,
                     const ServiceOptions& options,
                     const sv::SimulatorOptions& sim_opts,
-                    unsigned label_width, JobResult& result) {
+                    const ExecutionContext& ctx, unsigned label_width,
+                    JobResult& result) {
   const unsigned n = cached.plan->num_qubits;
+  ThreadPool* const pool = &ctx.pool();
   if (cached.sampled_mode) {
     // One preparation, `shots` samples; the RNG consumption replicates
     // Simulator::sample_counts exactly.
     sv::Simulator<T> sim(sim_opts);
-    sv::StateVector<T> state(n, options.pool);
+    sv::StateVector<T> state(n, pool);
     sim.run_plan(state, *cached.plan);
     const auto samples = state.sample(request.shots, sim.rng());
     const bool readout = request.noise.has_readout_error();
@@ -162,7 +152,7 @@ void execute_counts(const CachedPlan& cached, const JobRequest& request,
       std::vector<sv::StateVector<T>*> ptrs;
       ptrs.reserve(this_batch);
       for (std::size_t i = 0; i < this_batch; ++i) {
-        states.emplace_back(n, options.pool);
+        states.emplace_back(n, pool);
         ptrs.push_back(&states.back());
       }
       const auto bits =
@@ -189,19 +179,28 @@ Service::Service(ServiceOptions options)
 }
 
 JobResult Service::run_job(const JobRequest& request) {
-  obs::ScopedSpan span("svc.job", obs::SpanCategory::Region);
-  auto& metrics = ServiceMetrics::global();
-  metrics.jobs.increment();
-  ++jobs_run_;
+  ExecutionContext ctx;
+  ctx.with_pool(*options_.pool);
+  return run_job(request, ctx);
+}
+
+JobResult Service::run_job(const JobRequest& request,
+                           const ExecutionContext& ctx) {
+  obs::ScopedSpan span("svc.job", obs::SpanCategory::Region, ctx.tracer());
+  // Counter handles resolve per job through the context's registry; a
+  // function-local static here would pin the first registry forever.
+  obs::MetricsRegistry& registry = ctx.metrics();
+  registry.counter("svc.jobs").increment();
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
   try {
-    JobResult result = execute(request);
+    JobResult result = execute(request, ctx);
     if (!result.ok && result.error_code == "admission_rejected") {
-      metrics.rejected.increment();
-      ++jobs_rejected_;
+      registry.counter("svc.jobs_rejected").increment();
+      jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
     }
     if (result.ok) {
-      metrics.shots.add(result.shots);
-      shots_executed_ += result.shots;
+      registry.counter("svc.shots").add(result.shots);
+      shots_executed_.fetch_add(result.shots, std::memory_order_relaxed);
     }
     return result;
   } catch (const std::exception& e) {
@@ -214,7 +213,8 @@ JobResult Service::run_job(const JobRequest& request) {
   }
 }
 
-JobResult Service::execute(const JobRequest& request) {
+JobResult Service::execute(const JobRequest& request,
+                           const ExecutionContext& ctx) {
   const auto job_start = Clock::now();
   JobResult result;
   result.id = request.id;
@@ -238,8 +238,11 @@ JobResult Service::execute(const JobRequest& request) {
   qc::Circuit circuit = request.circuit;
   if (circuit.is_unitary()) circuit.measure_all();
 
-  const sv::PlanOptions po =
+  sv::PlanOptions po =
       plan_options_for(request, &options_.machine, element_bytes);
+  // Compile-path telemetry (fusion/sweep/plan counters) lands in the
+  // context's registry; the pointer is not part of the fingerprint.
+  po.metrics = &ctx.metrics();
 
   // ---- Cache lookup (compile at most once per key) ----------------------
   PlanKey key;
@@ -288,7 +291,7 @@ JobResult Service::execute(const JobRequest& request) {
     machine::ExecConfig cfg;
     cfg.threads = options_.threads;
     cfg.element_bytes = element_bytes;
-    entry->cost = perf::cost_plan(*entry->plan, options_.machine, cfg);
+    entry->cost = perf::cost_plan(*entry->plan, options_.machine, cfg, ctx);
     entry->footprint_bytes = plan_footprint_bytes(*entry->plan);
     result.compile_seconds = seconds_since(compile_start);
     cache_.put(key, entry);
@@ -326,15 +329,16 @@ JobResult Service::execute(const JobRequest& request) {
 
   sv::SimulatorOptions sim_opts;
   sim_opts.pool = options_.pool;
+  sim_opts.context = &ctx;
   sim_opts.seed = request.seed;
   sim_opts.noise = request.noise;
 
   if (element_bytes == 4) {
-    execute_counts<float>(*cached, request, options_, sim_opts, label_width,
-                          result);
+    execute_counts<float>(*cached, request, options_, sim_opts, ctx,
+                          label_width, result);
   } else {
-    execute_counts<double>(*cached, request, options_, sim_opts, label_width,
-                           result);
+    execute_counts<double>(*cached, request, options_, sim_opts, ctx,
+                           label_width, result);
   }
 
   result.execute_seconds = seconds_since(exec_start);
@@ -478,6 +482,8 @@ bool blank(const std::string& line) {
 
 ServeStats serve_session(std::istream& in, std::ostream& out,
                          Service& service) {
+  const unsigned workers = std::max(1u, service.options().workers);
+
   JobQueue<QueueItem> queue;
   std::thread reader([&in, &queue] {
     std::string line;
@@ -504,36 +510,98 @@ ServeStats serve_session(std::istream& in, std::ostream& out,
     queue.close();
   });
 
-  ServeStats stats;
-  QueueItem item;
-  while (queue.pop(item)) {
-    ++stats.jobs;
-    JobResult result;
-    if (!item.parsed) {
-      result.ok = false;
-      result.error_code = "bad_request";
-      result.error_message = item.parse_error;
-      result.id = item.request.id;
-    } else {
-      if (item.request.id.empty())
-        item.request.id = "job-" + std::to_string(item.seq);
-      result = service.run_job(item.request);
+  // Per-worker execution contexts. Each worker owns a private ThreadPool
+  // slice — ThreadPool is not safe for concurrent external submitters, so
+  // workers never share one. All contexts resolve to the process metrics
+  // registry, so session metrics merge by construction (counters are
+  // atomic). A single worker reuses the service's configured pool and pops
+  // in submission order, preserving the classic serve behavior exactly.
+  std::vector<std::unique_ptr<ThreadPool>> slices;
+  std::vector<ExecutionContext> contexts;
+  contexts.reserve(workers);
+  if (workers == 1) {
+    contexts.emplace_back();
+    contexts.back().with_pool(*service.options().pool);
+  } else {
+    ContextConfig config;
+    config.element_bytes =
+        service.options().default_precision == "f32" ? 4u : 8u;
+    config.simd_isa = static_cast<int>(sv::simd::active_backend().isa);
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned per_worker = std::max(1u, hw / workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      slices.push_back(std::make_unique<ThreadPool>(per_worker));
+      contexts.emplace_back();
+      contexts.back().with_pool(*slices.back()).with_config(config);
     }
-    if (result.id.empty()) result.id = "job-" + std::to_string(item.seq);
-    if (result.ok) {
-      ++stats.ok;
-      stats.shots += result.shots;
-    } else {
-      ++stats.errors;
-    }
-    out << result_to_json(result) << "\n" << std::flush;
   }
+
+  ServeStats stats;
+  stats.workers = workers;
+  stats.worker_jobs.assign(workers, 0);
+  contexts.front().metrics().gauge("svc.workers").set(workers);
+
+  // Result lines flow through an output queue drained by one writer thread,
+  // so concurrent workers never interleave bytes on `out`. Lines appear in
+  // completion order; clients correlate by "id".
+  JobQueue<std::string> output;
+  std::thread writer([&out, &output] {
+    std::string line;
+    while (output.pop(line)) out << line << "\n" << std::flush;
+  });
+
+  std::mutex stats_mutex;
+  auto run_worker = [&](unsigned w) {
+    const ExecutionContext& ctx = contexts[w];
+    const std::string jobs_counter =
+        "svc.worker." + std::to_string(w) + ".jobs";
+    QueueItem item;
+    while (queue.pop(item)) {
+      JobResult result;
+      if (!item.parsed) {
+        result.ok = false;
+        result.error_code = "bad_request";
+        result.error_message = item.parse_error;
+        result.id = item.request.id;
+      } else {
+        if (item.request.id.empty())
+          item.request.id = "job-" + std::to_string(item.seq);
+        result = service.run_job(item.request, ctx);
+      }
+      if (result.id.empty()) result.id = "job-" + std::to_string(item.seq);
+      ctx.metrics().counter(jobs_counter).increment();
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.jobs;
+        ++stats.worker_jobs[w];
+        if (result.ok) {
+          ++stats.ok;
+          stats.shots += result.shots;
+        } else {
+          ++stats.errors;
+        }
+      }
+      output.push(result_to_json(result));
+    }
+  };
+  std::vector<std::thread> executors;
+  executors.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) executors.emplace_back(run_worker, w);
+  for (auto& t : executors) t.join();
   reader.join();
+  output.close();
+  writer.join();
 
   PlanCache& cache = service.cache();
   out << "{\"type\":\"summary\",\"jobs\":" << stats.jobs
       << ",\"ok\":" << stats.ok << ",\"errors\":" << stats.errors
-      << ",\"shots\":" << stats.shots << ",\"plan_cache\":{\"hits\":"
+      << ",\"shots\":" << stats.shots << ",\"svc\":{\"workers\":"
+      << stats.workers << ",\"worker_jobs\":[";
+  for (unsigned w = 0; w < workers; ++w) {
+    if (w != 0) out << ",";
+    out << stats.worker_jobs[w];
+  }
+  out << "]},\"plan_cache\":{\"hits\":"
       << cache.hits() << ",\"misses\":" << cache.misses()
       << ",\"evictions\":" << cache.evictions() << ",\"entries\":"
       << cache.size() << ",\"bytes\":" << cache.bytes()

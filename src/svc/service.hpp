@@ -16,18 +16,24 @@
 //
 // The line-delimited serve loop (`svsim serve`, serve_session below) is a
 // thin transport over run_job: one JSON job per input line, one JSON result
-// per output line, one summary line at EOF. docs/SERVICE.md specifies the
+// per output line, one summary line at EOF. With workers > 1 the loop runs
+// N executor threads against the shared PlanCache, each under its own
+// ExecutionContext (private ThreadPool slice, shared metrics registry); a
+// writer thread serializes result lines. docs/SERVICE.md specifies the
 // schema; scripts/check_service_schema.py validates a captured session.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/threading.hpp"
 #include "machine/machine_spec.hpp"
+#include "obs/context.hpp"
 #include "qc/circuit.hpp"
 #include "sv/noise.hpp"
 #include "svc/plan_cache.hpp"
@@ -53,8 +59,16 @@ struct ServiceOptions {
   /// Precision is part of the plan fingerprint (via amp_bytes), so f32 and
   /// f64 plans never share a cache entry.
   std::string default_precision = "f64";
-  /// Worker pool for kernels (borrowed).
+  /// Worker pool for kernels (borrowed). A context passed to run_job takes
+  /// precedence; this is the fallback for the context-free overload.
   ThreadPool* pool = &ThreadPool::global();
+  /// Serve-loop executor threads. 1 keeps the classic single-consumer loop;
+  /// N > 1 runs N workers against the shared PlanCache, each with a private
+  /// ThreadPool slice of roughly hardware_concurrency()/N threads. The
+  /// per-job result payload is identical either way (plans and trajectory
+  /// seeding are order- and pool-size-independent); only line order and
+  /// timing/cache-hit attribution may differ.
+  unsigned workers = 1;
 };
 
 /// One job: a circuit plus execution options. Field-for-field what a serve
@@ -106,32 +120,44 @@ struct JobResult {
   double total_seconds = 0.0;
 };
 
-/// Thread-compatible (externally synchronized) service instance. The serve
-/// loop drives it from one worker thread; tests and benches call run_job
-/// directly.
+/// Thread-safe service instance: run_job may be called concurrently from
+/// any number of threads (the PlanCache is internally locked and the job
+/// counters are atomic). Callers that execute in parallel should hand each
+/// thread its own ExecutionContext with a private ThreadPool, as the serve
+/// loop does — ThreadPool itself is not safe for concurrent external
+/// submitters.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
 
   /// Executes one job end to end. Never throws: failures come back as a
-  /// JobResult with ok=false and a structured error code.
+  /// JobResult with ok=false and a structured error code. This overload
+  /// runs under a context built from the service options (options.pool).
   JobResult run_job(const JobRequest& request);
+
+  /// Same, but every observable side effect — kernel pool, metrics
+  /// registry, tracer spans, profiler samples — resolves through `ctx`.
+  JobResult run_job(const JobRequest& request, const ExecutionContext& ctx);
 
   const ServiceOptions& options() const noexcept { return options_; }
   PlanCache& cache() noexcept { return cache_; }
 
-  std::uint64_t jobs_run() const noexcept { return jobs_run_; }
-  std::uint64_t jobs_rejected() const noexcept { return jobs_rejected_; }
-  std::uint64_t shots_executed() const noexcept { return shots_executed_; }
+  std::uint64_t jobs_run() const noexcept { return jobs_run_.load(); }
+  std::uint64_t jobs_rejected() const noexcept {
+    return jobs_rejected_.load();
+  }
+  std::uint64_t shots_executed() const noexcept {
+    return shots_executed_.load();
+  }
 
  private:
-  JobResult execute(const JobRequest& request);
+  JobResult execute(const JobRequest& request, const ExecutionContext& ctx);
 
   ServiceOptions options_;
   PlanCache cache_;
-  std::uint64_t jobs_run_ = 0;
-  std::uint64_t jobs_rejected_ = 0;
-  std::uint64_t shots_executed_ = 0;
+  std::atomic<std::uint64_t> jobs_run_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> shots_executed_{0};
 };
 
 /// Parses one serve job line (see docs/SERVICE.md#job-schema). Throws
@@ -148,14 +174,23 @@ struct ServeStats {
   std::uint64_t ok = 0;
   std::uint64_t errors = 0;
   std::uint64_t shots = 0;
+  unsigned workers = 1;
+  std::vector<std::uint64_t> worker_jobs;  ///< jobs executed per worker
 };
 
 /// Line-delimited serve loop: one JSON job per line on `in`, one JSON
-/// result line per job on `out` (submission order), then one summary line.
-/// Blank lines are skipped; jobs without an "id" get "job-<seq>". A reader
-/// thread parses ahead through a JobQueue while the calling thread
-/// executes, so parsing overlaps simulation; a socket transport would bind
-/// here without touching Service. Returns the session totals.
+/// result line per job on `out`, then one summary line. Blank lines are
+/// skipped; jobs without an "id" get "job-<seq>". A reader thread parses
+/// ahead through a JobQueue while executor threads run jobs, so parsing
+/// overlaps simulation; a socket transport would bind here without touching
+/// Service.
+///
+/// With options().workers == 1 result lines come out in submission order.
+/// With workers > 1, N executor threads pull from the queue — each under a
+/// private ExecutionContext/ThreadPool slice — and a writer thread emits
+/// result lines in completion order (clients correlate by "id"). The result
+/// *set* is identical across worker counts for the same input. Returns the
+/// session totals.
 ServeStats serve_session(std::istream& in, std::ostream& out,
                          Service& service);
 

@@ -1,11 +1,13 @@
 // Service-layer tests: JSON protocol parsing, plan-cache keying/eviction,
 // batched-shot execution equivalence, admission control, and the serve
 // session loop (docs/SERVICE.md).
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -493,4 +495,208 @@ TEST(ServeProtocol, MetricsCountersPublish) {
   EXPECT_EQ(r.counter("svc.plan_cache.misses").value(), 1u);
   EXPECT_EQ(r.counter("svc.shots").value(), 16u);
   EXPECT_GT(r.gauge("svc.plan_cache.bytes").value(), 0.0);
+}
+
+// ---- Concurrency: cache hammering, context metrics, multi-worker serve --
+
+TEST(PlanCache, ConcurrentHammerKeepsByteAccounting) {
+  // 8 threads mix hits, misses, inserts, and evictions over a key space
+  // whose total footprint (12 x 100 bytes) exceeds the 450-byte budget, so
+  // the LRU churns constantly. Every counter must balance afterwards: the
+  // cache is the one structure all serve workers share.
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIters = 200;
+  constexpr unsigned kKeySpace = 12;
+  constexpr std::uint64_t kFootprint = 100;
+  svc::PlanCache cache(450);
+
+  std::vector<std::shared_ptr<svc::CachedPlan>> entries;
+  for (unsigned k = 0; k < kKeySpace; ++k)
+    entries.push_back(make_entry(3, kFootprint));
+
+  std::atomic<std::uint64_t> gets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t x = t + 1;  // xorshift: deterministic per-thread stream
+      for (unsigned i = 0; i < kIters; ++i) {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        const auto k = static_cast<unsigned>(x % kKeySpace);
+        const svc::PlanKey key{k + 1, 7, 9};
+        gets.fetch_add(1, std::memory_order_relaxed);
+        if (cache.get(key) == nullptr) cache.put(key, entries[k]);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(cache.hits() + cache.misses(), gets.load());
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.bytes(), 450u);
+  // No lost or phantom bytes: residency accounting matches the entry count.
+  EXPECT_EQ(cache.bytes(), cache.size() * kFootprint);
+  // Every indexed entry is still retrievable (no dangling LRU iterators).
+  const std::size_t resident = cache.size();
+  std::size_t found = 0;
+  for (unsigned k = 0; k < kKeySpace; ++k)
+    if (cache.get({k + 1, 7, 9}) != nullptr) ++found;
+  EXPECT_EQ(found, resident);
+}
+
+TEST(PlanCache, MetricsFollowSubstitutedRegistry) {
+  // Warm the global-registry path first: a static handle struct would pin
+  // the process registry's counters here and leak the later increments.
+  svc::PlanCache warm(1000);
+  warm.get({5, 5, 5});
+  auto& global = obs::MetricsRegistry::global();
+  const std::uint64_t frozen = global.counter("svc.plan_cache.misses").value();
+
+  obs::MetricsRegistry mine;
+  svc::PlanCache cache(1000, &mine);
+  EXPECT_EQ(cache.get({1, 2, 3}), nullptr);
+  ASSERT_TRUE(cache.put({1, 2, 3}, make_entry(3, 100)));
+  EXPECT_NE(cache.get({1, 2, 3}), nullptr);
+  EXPECT_EQ(mine.counter("svc.plan_cache.misses").value(), 1u);
+  EXPECT_EQ(mine.counter("svc.plan_cache.hits").value(), 1u);
+  EXPECT_EQ(mine.gauge("svc.plan_cache.bytes").value(), 100.0);
+  EXPECT_EQ(global.counter("svc.plan_cache.misses").value(), frozen);
+}
+
+TEST(Service, RunJobMetricsFollowContext) {
+  svc::Service service{svc::ServiceOptions{}};
+  ASSERT_TRUE(service.run_job(qft_job("warm", 4, 8, 1)).ok);  // global path
+  auto& global = obs::MetricsRegistry::global();
+  const std::uint64_t frozen = global.counter("svc.jobs").value();
+
+  obs::MetricsRegistry mine;
+  ExecutionContext ctx;
+  ctx.with_metrics(mine);
+  const auto result = service.run_job(qft_job("ctx", 5, 8, 1), ctx);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(mine.counter("svc.jobs").value(), 1u);
+  EXPECT_EQ(mine.counter("svc.shots").value(), 8u);
+  // The compile path (cache miss) threads the same registry.
+  EXPECT_EQ(mine.counter("plan.compiles").value(), 1u);
+  EXPECT_EQ(mine.counter("perf.plan_cost_evals").value(), 1u);
+  EXPECT_EQ(global.counter("svc.jobs").value(), frozen);
+  EXPECT_EQ(service.jobs_run(), 2u);  // instance counters see both jobs
+}
+
+namespace {
+
+/// The serve job mix the worker-equivalence test runs: sampled f64 (with a
+/// repeated plan), sampled f32, trajectory noise jobs, a fused QV circuit,
+/// and one bad_request line.
+const char* worker_job_mix() {
+  return
+      "{\"id\":\"s1\",\"qft\":5,\"shots\":64,\"options\":{\"seed\":7}}\n"
+      "{\"id\":\"s2\",\"qft\":5,\"shots\":64,\"options\":{\"seed\":7}}\n"
+      "{\"id\":\"f1\",\"qft\":4,\"shots\":32,"
+      "\"options\":{\"seed\":3,\"precision\":\"f32\"}}\n"
+      "{\"id\":\"t1\",\"qft\":4,\"shots\":16,\"options\":{\"seed\":5},"
+      "\"noise\":{\"bit_flip\":0.05}}\n"
+      "{\"id\":\"s3\",\"qv\":[4,2,9],\"shots\":48,"
+      "\"options\":{\"seed\":11,\"fusion\":true}}\n"
+      "{\"id\":\"t2\",\"qft\":5,\"shots\":8,\"options\":{\"seed\":2},"
+      "\"noise\":{\"depolarizing\":0.02}}\n"
+      "{\"id\":\"bad\",\"qasm\":\"nope\",\"shots\":4}\n";
+}
+
+/// Canonical per-job payload keyed by id, excluding the fields that may
+/// legitimately differ across worker counts: timing, and the cache-hit
+/// flag (two concurrent submissions of one plan may both miss). The cache
+/// KEY and plan summary are deterministic and stay in.
+std::map<std::string, std::string> payload_by_id(const std::string& session) {
+  std::map<std::string, std::string> payloads;
+  std::istringstream is(session);
+  std::string line;
+  while (std::getline(is, line)) {
+    const svc::json::Value v = svc::json::parse(line);
+    if (v.get_string("type", "") != "result") continue;
+    std::ostringstream os;
+    os << "ok=" << v.get_bool("ok", false)
+       << " shots=" << v.get_number("shots", -1)
+       << " mode=" << v.get_string("mode", "")
+       << " precision=" << v.get_string("precision", "")
+       << " executions=" << v.get_number("executions", -1)
+       << " batches=" << v.get_number("batches", -1)
+       << " batch_size=" << v.get_number("batch_size", -1);
+    if (const svc::json::Value* c = v.find("counts")) {
+      os << " counts=";
+      for (const auto& [bits, n] : c->object)
+        os << bits << ":" << n.number << ",";
+    }
+    if (const svc::json::Value* c = v.find("cache"))
+      os << " key=" << c->get_string("key", "")
+         << " plan=" << c->get_string("plan", "");
+    if (const svc::json::Value* e = v.find("error"))
+      os << " error=" << e->get_string("code", "");
+    const auto [it, inserted] =
+        payloads.emplace(v.get_string("id", ""), os.str());
+    EXPECT_TRUE(inserted) << "duplicate result id " << it->first;
+  }
+  return payloads;
+}
+
+}  // namespace
+
+TEST(ServeProtocol, MultiWorkerResultSetMatchesSingleWorker) {
+  svc::ServiceOptions base;
+  base.workers = 1;
+  svc::Service single(base);
+  std::istringstream in1(worker_job_mix());
+  std::ostringstream out1;
+  const svc::ServeStats stats1 = svc::serve_session(in1, out1, single);
+
+  base.workers = 4;
+  svc::Service quad(base);
+  std::istringstream in4(worker_job_mix());
+  std::ostringstream out4;
+  const svc::ServeStats stats4 = svc::serve_session(in4, out4, quad);
+
+  EXPECT_EQ(stats1.workers, 1u);
+  EXPECT_EQ(stats4.workers, 4u);
+  ASSERT_EQ(stats4.worker_jobs.size(), 4u);
+  std::uint64_t across_workers = 0;
+  for (const std::uint64_t j : stats4.worker_jobs) across_workers += j;
+  EXPECT_EQ(across_workers, stats4.jobs);
+
+  EXPECT_EQ(stats1.jobs, stats4.jobs);
+  EXPECT_EQ(stats1.ok, stats4.ok);
+  EXPECT_EQ(stats1.errors, stats4.errors);
+  EXPECT_EQ(stats1.shots, stats4.shots);
+
+  // The result SET is bit-identical: same ids, and for each id the same
+  // counts histogram, mode, precision, plan attribution, and batching.
+  const auto p1 = payload_by_id(out1.str());
+  const auto p4 = payload_by_id(out4.str());
+  ASSERT_EQ(p1.size(), 7u);
+  EXPECT_EQ(p1, p4);
+}
+
+TEST(ServeProtocol, SummaryReportsWorkerBlock) {
+  svc::ServiceOptions opts;
+  opts.workers = 3;
+  svc::Service service(opts);
+  std::istringstream in(
+      "{\"id\":\"a\",\"qft\":4,\"shots\":8,\"options\":{\"seed\":1}}\n"
+      "{\"id\":\"b\",\"qft\":4,\"shots\":8,\"options\":{\"seed\":1}}\n");
+  std::ostringstream out;
+  svc::serve_session(in, out, service);
+
+  std::istringstream reread(out.str());
+  std::string line, last;
+  while (std::getline(reread, line)) last = line;
+  const svc::json::Value summary = svc::json::parse(last);
+  ASSERT_EQ(summary.get_string("type", ""), "summary");
+  const svc::json::Value& svc_block = summary.at("svc", "summary.svc");
+  EXPECT_EQ(svc_block.get_number("workers", 0), 3.0);
+  const svc::json::Value* jobs = svc_block.find("worker_jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_TRUE(jobs->is_array());
+  ASSERT_EQ(jobs->array.size(), 3u);
+  double total = 0;
+  for (const auto& j : jobs->array) total += j.number;
+  EXPECT_EQ(total, summary.get_number("jobs", -1));
 }

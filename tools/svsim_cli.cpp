@@ -778,8 +778,13 @@ int cmd_serve(const Args& args) {
     opts.cache_bytes = std::stoull(args.get("cache-bytes", "0"));
   if (args.flag("max-seconds"))
     opts.max_modeled_seconds = std::stod(args.get("max-seconds", "0"));
-  if (args.flag("threads"))
+  if (args.flag("threads")) {
+    // For serve, --threads T doubles as the worker count: T executor
+    // threads pull jobs concurrently (each with a ThreadPool slice), and
+    // the admission model keeps pricing jobs at T modeled threads.
     opts.threads = static_cast<unsigned>(std::stoul(args.get("threads", "0")));
+    opts.workers = std::max(1u, opts.threads);
+  }
   if (args.flag("precision")) {
     element_bytes_from_args(args);  // validates the spelling
     opts.default_precision = args.get("precision", "f64");
@@ -813,8 +818,9 @@ int cmd_serve(const Args& args) {
 
   const svc::ServeStats stats = svc::serve_session(*in, *out, service);
   std::cerr << "served " << stats.jobs << " jobs (" << stats.ok << " ok, "
-            << stats.errors << " errors, " << stats.shots
-            << " shots); plan cache: " << service.cache().hits()
+            << stats.errors << " errors, " << stats.shots << " shots) on "
+            << stats.workers << " worker(s); plan cache: "
+            << service.cache().hits()
             << " hits, " << service.cache().misses() << " misses, "
             << service.cache().evictions() << " evictions\n";
   // Metrics go to stderr so the stdout stream stays pure line-JSON.
@@ -864,7 +870,8 @@ void usage() {
       "      [--json FILE] [--trace-json FILE] [--metrics]\n"
       "  transpile <file.qasm|--qft N> [--optimize] [--basis-cx] [--route-linear]\n"
       "  serve [--jobs FILE] [--out FILE] [--machine NAME] [--cache-bytes B]\n"
-      "      [--max-seconds S] [--threads T] [--precision f64|f32] [--metrics]\n"
+      "      [--max-seconds S] [--threads T (T serve workers)]\n"
+      "      [--precision f64|f32] [--metrics]\n"
       "  machines\n";
 }
 
